@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/tj"
+	"repro/internal/vm"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Section 5.2 transactional read-barrier elimination, quiescence versus
+// isolation barriers as privatization mechanisms (Section 3.4), and the
+// cost of version-management granularity.
+
+// ablationReadHeavy: transactions repeatedly sum an immutable tree and
+// bump one counter — the best case for the Section 5.2 extension.
+const ablationReadHeavy = `
+class Node { var v: int; var l: Node; var r: Node; }
+class Main {
+  static var root: Node;
+  static var hits: int;
+  static func build(d: int): Node {
+    var n = new Node();
+    n.v = d;
+    if (d > 0) { n.l = Main.build(d - 1); n.r = Main.build(d - 1); }
+    return n;
+  }
+  static func sum(n: Node): int {
+    if (n == null) { return 0; }
+    return n.v + Main.sum(n.l) + Main.sum(n.r);
+  }
+  static func main() {
+    root = Main.build(arg(0));
+    for (var i = 0; i < arg(1); i++) {
+      atomic {
+        var s = Main.sum(root);
+        hits = hits + s % 7 + 1;
+      }
+    }
+    print(hits);
+  }
+}`
+
+func runProg(b *testing.B, src string, o opt.Options, mode vm.Mode) {
+	b.Helper()
+	prog, _, err := tj.Compile(src, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := vm.New(prog, mode, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTxnReadElim compares weak-atomicity transactions with
+// the full open-for-read protocol against the Section 5.2 extension that
+// bypasses it for provably conflict-free loads.
+func BenchmarkAblationTxnReadElim(b *testing.B) {
+	args := []int64{7, 60}
+	mode := vm.Mode{Sync: vm.SyncSTM, Versioning: vm.Eager, Args: args}
+	b.Run("OpenForRead", func(b *testing.B) {
+		runProg(b, ablationReadHeavy, opt.Options{WholeProgram: true}, mode)
+	})
+	b.Run("DirectReads", func(b *testing.B) {
+		runProg(b, ablationReadHeavy, opt.Options{TxnReadElim: true}, mode)
+	})
+}
+
+// ablationPrivatize: the Figure 1 pattern as a throughput workload — a
+// producer publishes items transactionally; the consumer privatizes each
+// and then reads/writes it plainly. Safe either via isolation barriers
+// (strong atomicity) or via commit-time quiescence (Section 3.4).
+const ablationPrivatize = `
+class Item { var a: int; var b: int; }
+class Main {
+  static var slot: Item;
+  static func put(it: Item) {
+    atomic {
+      if (slot != null) { retry; }
+      slot = it;
+    }
+  }
+  static func take(): Item {
+    var it: Item = null;
+    atomic {
+      if (slot == null) { retry; }
+      it = slot;
+      slot = null;
+    }
+    return it;
+  }
+  static func producer(n: int) {
+    for (var i = 0; i < n; i++) {
+      var it = new Item();
+      it.a = i;
+      it.b = i;
+      Main.put(it);
+    }
+  }
+  static func main() {
+    var n = arg(0);
+    var t = spawn Main.producer(n);
+    var sum = 0;
+    for (var got = 0; got < n; got++) {
+      var it = Main.take();
+      sum += it.a + it.b;  // privatized accesses
+      it.a = 0;
+    }
+    join(t);
+    print(sum);
+  }
+}`
+
+// BenchmarkAblationPrivatization compares the two mechanisms the paper
+// discusses for making privatization safe.
+func BenchmarkAblationPrivatization(b *testing.B) {
+	args := []int64{400}
+	b.Run("StrongBarriers", func(b *testing.B) {
+		runProg(b, ablationPrivatize, opt.FromLevel(opt.O2Aggregate, 1),
+			vm.Mode{Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true, Args: args})
+	})
+	b.Run("WeakQuiescence", func(b *testing.B) {
+		runProg(b, ablationPrivatize, opt.FromLevel(opt.O0NoOpts, 1),
+			vm.Mode{Sync: vm.SyncSTM, Versioning: vm.Eager, Quiescence: true, Args: args})
+	})
+}
+
+// ablationWriteHeavy: transactions write many adjacent fields; granularity
+// 2 halves the number of undo-log entries at the cost of logging the
+// neighbour slot.
+const ablationWriteHeavy = `
+class Row { var a: int; var b: int; var c: int; var d: int; }
+class Main {
+  static var rows: Row[];
+  static func main() {
+    var n = arg(0);
+    rows = new Row[n];
+    for (var i = 0; i < n; i++) { rows[i] = new Row(); }
+    for (var it = 0; it < arg(1); it++) {
+      atomic {
+        for (var i = 0; i < n; i++) {
+          var r = rows[i];
+          r.a = r.a + 1;
+          r.b = r.b + 2;
+          r.c = r.c + 3;
+          r.d = r.d + 4;
+        }
+      }
+    }
+    print(rows[0].a + rows[0].d);
+  }
+}`
+
+// BenchmarkAblationGranularity measures the eager STM's undo-log
+// granularity trade-off (Section 2.4 discusses its semantics; this is its
+// cost side).
+func BenchmarkAblationGranularity(b *testing.B) {
+	args := []int64{64, 50}
+	for _, g := range []int{1, 2} {
+		name := "G1"
+		if g == 2 {
+			name = "G2"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := opt.FromLevel(opt.O0NoOpts, g)
+			runProg(b, ablationWriteHeavy, o,
+				vm.Mode{Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true, Granularity: g, Args: args})
+		})
+	}
+}

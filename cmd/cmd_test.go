@@ -1,0 +1,120 @@
+// Package cmd_test smoke-tests the command-line tools end to end: each
+// binary is built once into a temp dir and exercised on a real program.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+const sampleTJ = `
+class Counter {
+  var n: int;
+  func work(iters: int) {
+    for (var i = 0; i < iters; i++) { atomic { n = n + 1; } }
+  }
+}
+class Main {
+  static func main() {
+    var c = new Counter();
+    var t = spawn c.work(arg(0));
+    c.work(arg(0));
+    join(t);
+    print(c.n);
+  }
+}`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "sample.tj")
+	if err := os.WriteFile(p, []byte(sampleTJ), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTjrunTool(t *testing.T) {
+	bin := buildTool(t, "tjrun")
+	src := writeSample(t)
+	for _, mode := range []string{"synch", "weak-eager", "weak-lazy", "strong", "strong-dea", "strong-lazy"} {
+		out, err := exec.Command(bin, "-mode", mode, src, "250").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", mode, err, out)
+		}
+		if got := strings.TrimSpace(string(out)); got != "500" {
+			t.Errorf("%s: output %q, want 500", mode, got)
+		}
+	}
+	// Stats flag and bad inputs.
+	out, err := exec.Command(bin, "-mode", "strong", "-stats", src, "10").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "txn commits") {
+		t.Errorf("stats run: %v\n%s", err, out)
+	}
+	if _, err := exec.Command(bin, "-mode", "nope", src).CombinedOutput(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := exec.Command(bin, src, "notanint").CombinedOutput(); err == nil {
+		t.Error("bad argument accepted")
+	}
+}
+
+func TestTjcTool(t *testing.T) {
+	bin := buildTool(t, "tjc")
+	src := writeSample(t)
+	out, err := exec.Command(bin, "-O", "4", "-fig13", "-method", "Main.main", "-ir", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tjc: %v\n%s", err, out)
+	}
+	for _, want := range []string{"compiled", "barriers inserted", "whole-program", "Figure 13", "func Main.main"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("tjc output missing %q:\n%s", want, out)
+		}
+	}
+	bad := filepath.Join(t.TempDir(), "bad.tj")
+	os.WriteFile(bad, []byte("class {"), 0o644)
+	if _, err := exec.Command(bin, bad).CombinedOutput(); err == nil {
+		t.Error("tjc accepted a syntax error")
+	}
+}
+
+func TestAnomaliesTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anomaly matrix is slow")
+	}
+	bin := buildTool(t, "anomalies")
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("anomalies: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "match the paper's Figure 6") {
+		t.Errorf("anomalies output:\n%s", out)
+	}
+}
+
+func TestStmbenchFig13(t *testing.T) {
+	bin := buildTool(t, "stmbench")
+	out, err := exec.Command(bin, "-fig", "13").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmbench: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Figure 13", "tsp", "NAIT-TL"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stmbench output missing %q", want)
+		}
+	}
+}

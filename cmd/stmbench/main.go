@@ -1,0 +1,98 @@
+// Command stmbench regenerates the paper's evaluation figures on the host
+// machine. Each -fig value corresponds to a table or figure of the paper:
+//
+//	stmbench -fig 6            anomaly matrix (Section 2, Figure 6)
+//	stmbench -fig 13           static barrier-removal counts (Figure 13)
+//	stmbench -fig 15           strong-atomicity overhead, both barriers
+//	stmbench -fig 16           read-barrier-only overhead
+//	stmbench -fig 17           write-barrier-only overhead
+//	stmbench -fig 18           Tsp scalability
+//	stmbench -fig 19           OO7 scalability
+//	stmbench -fig 20           JBB scalability
+//	stmbench -fig all          everything
+//
+// Flags -scale and -maxthreads stretch the workloads; -reps controls timed
+// repetitions per configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"repro/internal/bench"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// Benchmarks allocate heavily and time short runs; relax the collector
+	// so GC pauses do not dominate the measurements.
+	debug.SetGCPercent(400)
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 13, 15, 16, 17, 18, 19, 20 or all")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	maxThreads := flag.Int("maxthreads", bench.MaxThreads(), "largest thread count in scalability sweeps")
+	reps := flag.Int("reps", bench.Reps, "timed repetitions per configuration")
+	flag.Parse()
+	bench.Reps = *reps
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("6", func() error {
+		out, ok := bench.RunAnomalies()
+		fmt.Print(out)
+		if !ok {
+			return fmt.Errorf("anomaly matrix does not match the paper")
+		}
+		fmt.Println("matrix matches Figure 6")
+		return nil
+	})
+	run("13", func() error {
+		res, err := bench.RunStatic()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.String())
+		return nil
+	})
+	overhead := func(name, figure string, sel vm.BarrierSelect) {
+		run(name, func() error {
+			res, err := bench.RunOverhead(figure, sel, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		})
+	}
+	overhead("15", "Figure 15 (read+write barriers)", vm.BarrierAll)
+	overhead("16", "Figure 16 (read barriers only)", vm.BarrierReadsOnly)
+	overhead("17", "Figure 17 (write barriers only)", vm.BarrierWritesOnly)
+
+	scaling := func(name, figure string, w workloads.Workload) {
+		run(name, func() error {
+			res, err := bench.RunScaling(figure, w, bench.ThreadSweep(*maxThreads), *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			lo, hi := res.StrongWeakGap("Strong+WholeProg")
+			fmt.Printf("strong/weak ratio: %.2fx at %d thread(s), %.2fx at %d threads\n",
+				lo, res.Threads[0], hi, res.Threads[len(res.Threads)-1])
+			return nil
+		})
+	}
+	scaling("18", "Figure 18", workloads.Tsp())
+	scaling("19", "Figure 19", workloads.OO7())
+	scaling("20", "Figure 20", workloads.JBB())
+}

@@ -1,0 +1,77 @@
+// Command tjc compiles a TJ source file through the barrier-inserting and
+// barrier-optimizing pipeline and reports what the paper's JIT would do:
+// the IR with per-access barrier annotations, the optimization report, and
+// the whole-program NAIT/TL static counts (the per-program row of
+// Figure 13).
+//
+// Usage:
+//
+//	tjc [-O level] [-g granularity] [-ir] [-method name] [-fig13] file.tj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/opt"
+	"repro/internal/tj"
+)
+
+func main() {
+	level := flag.Int("O", 4, "optimization level 0..4 (NoOpts..+WholeProgOpts)")
+	gran := flag.Int("g", 1, "version-management granularity in slots (1 or 2)")
+	showIR := flag.Bool("ir", false, "dump IR with barrier annotations")
+	method := flag.String("method", "", "dump only this method (e.g. Main.main)")
+	fig13 := flag.Bool("fig13", false, "print the program's Figure 13 static-count row")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tjc [flags] file.tj")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *level < 0 || *level > 4 {
+		fmt.Fprintln(os.Stderr, "tjc: -O must be 0..4")
+		os.Exit(2)
+	}
+	prog, rep, err := tj.CompileLevel(string(src), opt.Level(*level), *gran)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("compiled %d methods at %v (granularity %d)\n",
+		len(prog.Methods), opt.Level(*level), *gran)
+	fmt.Printf("non-txn barriers inserted: %d reads, %d writes\n", rep.TotalReads, rep.TotalWrites)
+	fmt.Printf("removed: %d immutable, %d escape; aggregated: %d accesses in %d groups\n",
+		rep.RemovedImmutable, rep.RemovedEscape, rep.AggregatedAccesses, rep.AggregateGroups)
+	if rep.WholeProg != nil {
+		wp := rep.WholeProg
+		fmt.Printf("whole-program: NAIT removed %d/%d reads, %d/%d writes; TL %d/%d reads, %d/%d writes; init-self exempt %d\n",
+			wp.NAITReads, wp.TotalReads, wp.NAITWrites, wp.TotalWrites,
+			wp.TLReads, wp.TotalReads, wp.TLWrites, wp.TotalWrites, wp.InitSelf)
+	}
+	if *fig13 {
+		frontend, err := tj.Frontend(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := analysis.Run(frontend, analysis.Options{Granularity: *gran})
+		fmt.Println("\nFigure 13 row (reachable non-transactional barriers):")
+		fmt.Print(r.String())
+	}
+	if *showIR || *method != "" {
+		fmt.Println()
+		for _, m := range prog.Methods {
+			if *method != "" && m.Name != *method {
+				continue
+			}
+			fmt.Println(m.String())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import "math/bits"
+
+// bitset is a fixed-universe bit set over abstract-object IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// set sets bit i and reports whether it was newly set.
+func (b bitset) set(i int) bool {
+	w, m := i/64, uint64(1)<<uint(i%64)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// unionWith sets b |= o, reporting whether b changed.
+func (b bitset) unionWith(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// forEach calls f for every set bit.
+func (b bitset) forEach(f func(int)) {
+	for w, word := range b {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			f(w*64 + tz)
+			word &^= 1 << uint(tz)
+		}
+	}
+}
+
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+// Package conflict implements the conflict manager invoked by isolation
+// barriers and transactional open-for-read/write operations when multiple
+// threads contend for the same transaction record.
+//
+// Per Section 3.2, the default manager "backs off and returns so that the
+// barriers retry"; alternatively conflicts "could signal a race by throwing
+// an exception or breaking to the debugger", which is how isolation
+// barriers can aid in debugging concurrent programs. All three policies are
+// available here: exponential backoff, a panic policy, and a reporting
+// policy that records each conflict for later inspection.
+package conflict
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies the access that hit a conflict.
+type Kind uint8
+
+// Conflict kinds.
+const (
+	NonTxnRead  Kind = iota // non-transactional read barrier
+	NonTxnWrite             // non-transactional write barrier
+	TxnRead                 // transactional open-for-read
+	TxnWrite                // transactional open-for-write
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NonTxnRead:
+		return "non-txn-read"
+	case NonTxnWrite:
+		return "non-txn-write"
+	case TxnRead:
+		return "txn-read"
+	case TxnWrite:
+		return "txn-write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Info describes one conflict event passed to a Handler.
+type Info struct {
+	Kind    Kind
+	Attempt int    // 0-based retry attempt for this access
+	Record  uint64 // transaction-record word observed
+}
+
+// Handler decides what to do about a conflict. Returning normally means
+// "retry the access"; a handler may also panic to surface the race.
+type Handler interface {
+	HandleConflict(Info)
+}
+
+// Stats counts conflict events per kind.
+type Stats struct {
+	counts [4]atomic.Int64
+}
+
+// Count returns the number of conflicts of kind k handled so far.
+func (s *Stats) Count(k Kind) int64 { return s.counts[k].Load() }
+
+// Total returns the number of conflicts of all kinds.
+func (s *Stats) Total() int64 {
+	var t int64
+	for i := range s.counts {
+		t += s.counts[i].Load()
+	}
+	return t
+}
+
+func (s *Stats) record(k Kind) { s.counts[k].Add(1) }
+
+// Backoff is the default handler: exponential backoff capped at maxSpin
+// iterations, yielding to the scheduler between rounds. It is safe for
+// concurrent use.
+type Backoff struct {
+	Stats Stats
+
+	// MaxSleep bounds the per-conflict sleep once spinning escalates.
+	// Zero means DefaultMaxSleep.
+	MaxSleep time.Duration
+}
+
+// DefaultMaxSleep is the backoff sleep cap.
+const DefaultMaxSleep = 100 * time.Microsecond
+
+// HandleConflict implements Handler with bounded exponential backoff.
+func (b *Backoff) HandleConflict(info Info) {
+	b.Stats.record(info.Kind)
+	WaitAttempt(info.Attempt, b.MaxSleep)
+}
+
+// WaitAttempt performs the backoff for the given 0-based attempt number:
+// brief spinning for early attempts, then scheduler yields, then sleeps
+// with exponentially growing duration capped at maxSleep.
+func WaitAttempt(attempt int, maxSleep time.Duration) {
+	switch {
+	case attempt < 4:
+		spin(1 << uint(attempt))
+	case attempt < 10:
+		runtime.Gosched()
+	default:
+		if maxSleep <= 0 {
+			maxSleep = DefaultMaxSleep
+		}
+		shift := attempt - 10
+		if shift > 12 {
+			shift = 12
+		}
+		d := time.Microsecond << uint(shift)
+		if d > maxSleep {
+			d = maxSleep
+		}
+		time.Sleep(d)
+	}
+}
+
+var spinSink atomic.Int64
+
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		spinSink.Add(1)
+	}
+}
+
+// Panic is a handler that raises a RaceError, the "throw an exception"
+// policy. Useful in tests that must prove a conflict occurs.
+type Panic struct{ Stats Stats }
+
+// RaceError is the panic value raised by the Panic handler.
+type RaceError struct{ Info Info }
+
+func (e RaceError) Error() string {
+	return fmt.Sprintf("isolation conflict detected: %v (record %#x, attempt %d)",
+		e.Info.Kind, e.Info.Record, e.Info.Attempt)
+}
+
+// HandleConflict implements Handler by panicking with a RaceError.
+func (p *Panic) HandleConflict(info Info) {
+	p.Stats.record(info.Kind)
+	panic(RaceError{Info: info})
+}
+
+// Reporter records every conflict (up to Limit) and then delegates to a
+// backoff so execution continues — the "break to the debugger" policy in
+// spirit: the program keeps running and the races are available afterward.
+type Reporter struct {
+	Stats   Stats
+	Limit   int // max events retained; 0 means 1024
+	mu      sync.Mutex
+	events  []Info
+	dropped int64
+}
+
+// HandleConflict implements Handler.
+func (r *Reporter) HandleConflict(info Info) {
+	r.Stats.record(info.Kind)
+	limit := r.Limit
+	if limit == 0 {
+		limit = 1024
+	}
+	r.mu.Lock()
+	if len(r.events) < limit {
+		r.events = append(r.events, info)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+	WaitAttempt(info.Attempt, 0)
+}
+
+// Events returns a copy of the recorded conflicts and the count of dropped
+// events beyond the limit.
+func (r *Reporter) Events() ([]Info, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Info(nil), r.events...), r.dropped
+}

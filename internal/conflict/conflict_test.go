@@ -1,0 +1,107 @@
+package conflict
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		NonTxnRead:  "non-txn-read",
+		NonTxnWrite: "non-txn-write",
+		TxnRead:     "txn-read",
+		TxnWrite:    "txn-write",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.HasPrefix(Kind(9).String(), "Kind(") {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestBackoffCountsAndReturns(t *testing.T) {
+	b := &Backoff{}
+	for i := 0; i < 5; i++ {
+		b.HandleConflict(Info{Kind: TxnWrite, Attempt: i})
+	}
+	b.HandleConflict(Info{Kind: NonTxnRead, Attempt: 0})
+	if b.Stats.Count(TxnWrite) != 5 || b.Stats.Count(NonTxnRead) != 1 {
+		t.Errorf("counts = %d/%d", b.Stats.Count(TxnWrite), b.Stats.Count(NonTxnRead))
+	}
+	if b.Stats.Total() != 6 {
+		t.Errorf("total = %d", b.Stats.Total())
+	}
+}
+
+func TestBackoffEscalates(t *testing.T) {
+	// High attempt numbers must sleep (bounded); just verify it returns
+	// promptly and takes at least a microsecond-ish pause.
+	b := &Backoff{MaxSleep: 200 * time.Microsecond}
+	start := time.Now()
+	b.HandleConflict(Info{Kind: TxnRead, Attempt: 20})
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("backoff slept too long: %v", d)
+	}
+}
+
+func TestPanicHandler(t *testing.T) {
+	p := &Panic{}
+	defer func() {
+		r := recover()
+		re, ok := r.(RaceError)
+		if !ok {
+			t.Fatalf("recovered %T, want RaceError", r)
+		}
+		if re.Info.Kind != NonTxnWrite || !strings.Contains(re.Error(), "non-txn-write") {
+			t.Errorf("race error = %v", re)
+		}
+		if p.Stats.Count(NonTxnWrite) != 1 {
+			t.Error("panic handler did not count")
+		}
+	}()
+	p.HandleConflict(Info{Kind: NonTxnWrite, Record: 0x2a})
+}
+
+func TestReporterRecordsAndCaps(t *testing.T) {
+	r := &Reporter{Limit: 3}
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.HandleConflict(Info{Kind: TxnRead, Attempt: i})
+		}(i)
+	}
+	wg.Wait()
+	events, dropped := r.Events()
+	if len(events) != 3 {
+		t.Errorf("events = %d, want 3 (capped)", len(events))
+	}
+	if dropped != 7 {
+		t.Errorf("dropped = %d, want 7", dropped)
+	}
+	if r.Stats.Count(TxnRead) != 10 {
+		t.Errorf("stats = %d", r.Stats.Count(TxnRead))
+	}
+}
+
+func TestReporterDefaultLimit(t *testing.T) {
+	r := &Reporter{}
+	r.HandleConflict(Info{Kind: TxnRead})
+	events, dropped := r.Events()
+	if len(events) != 1 || dropped != 0 {
+		t.Errorf("events=%d dropped=%d", len(events), dropped)
+	}
+}
+
+func TestWaitAttemptAllPhases(t *testing.T) {
+	// Spin, yield, and sleep phases must all return.
+	for _, attempt := range []int{0, 2, 5, 9, 10, 15, 30} {
+		WaitAttempt(attempt, time.Millisecond)
+	}
+}

@@ -1,0 +1,360 @@
+// Package containers provides transactional data structures built on the
+// strongly-atomic STM's public API (package core): a hash map, a bounded
+// blocking queue, and a sorted-list set. Every operation is a transaction,
+// each structure also exposes Tx variants so multiple operations compose
+// into one atomic step, and — because the underlying system is strongly
+// atomic — objects handed out of a structure can safely be used with
+// plain non-transactional accesses afterwards (the privatization idiom of
+// the paper's Figure 1).
+package containers
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/objmodel"
+)
+
+// ensureClass registers a class once per system.
+func ensureClass(sys *core.System, name string, fields ...core.Field) (*core.Class, error) {
+	if c := sys.Heap.ClassByName(name); c != nil {
+		return c, nil
+	}
+	return sys.DefineClass(name, fields...)
+}
+
+// ---- Map ----
+
+// Map is a fixed-bucket transactional hash map from int64 to int64.
+type Map struct {
+	sys     *core.System
+	buckets core.Obj // reference array: bucket heads
+	size    core.Obj // {count}
+	node    *core.Class
+	n       int
+}
+
+// map node slots.
+const (
+	mnKey = iota
+	mnVal
+	mnNext
+)
+
+// NewMap creates a map with nBuckets chains.
+func NewMap(sys *core.System, nBuckets int) (*Map, error) {
+	if nBuckets <= 0 {
+		return nil, fmt.Errorf("containers: bucket count must be positive")
+	}
+	node, err := ensureClass(sys, "containers.MapNode",
+		core.Field{Name: "key"}, core.Field{Name: "val"},
+		core.Field{Name: "next", IsRef: true})
+	if err != nil {
+		return nil, err
+	}
+	counter, err := ensureClass(sys, "containers.Counter", core.Field{Name: "count"})
+	if err != nil {
+		return nil, err
+	}
+	m := &Map{
+		sys:     sys,
+		buckets: sys.NewArray(nBuckets, true),
+		size:    sys.New(counter),
+		node:    node,
+		n:       nBuckets,
+	}
+	// Containers are shared by construction; publish eagerly under DEA.
+	sys.Heap.Publish(m.buckets)
+	sys.Heap.Publish(m.size)
+	return m, nil
+}
+
+func (m *Map) bucket(k int64) int {
+	h := uint64(k) * 0x9e3779b97f4a7c15
+	return int(h % uint64(m.n))
+}
+
+// PutTx inserts or updates k inside an enclosing transaction.
+func (m *Map) PutTx(tx core.Tx, k, v int64) {
+	b := m.bucket(k)
+	for r := tx.ReadRef(m.buckets, b); r != 0; {
+		nd := m.sys.Deref(r)
+		if int64(tx.Read(nd, mnKey)) == k {
+			tx.Write(nd, mnVal, uint64(v))
+			return
+		}
+		r = tx.ReadRef(nd, mnNext)
+	}
+	nd := m.sys.New(m.node)
+	nd.StoreSlot(mnKey, uint64(k)) // fresh private object: plain init is safe
+	nd.StoreSlot(mnVal, uint64(v))
+	nd.StoreSlot(mnNext, uint64(tx.ReadRef(m.buckets, b)))
+	tx.WriteRef(m.buckets, b, nd.Ref())
+	tx.Write(m.size, 0, tx.Read(m.size, 0)+1)
+}
+
+// Put inserts or updates k as its own transaction.
+func (m *Map) Put(k, v int64) error {
+	return m.sys.Atomic(func(tx core.Tx) error {
+		m.PutTx(tx, k, v)
+		return nil
+	})
+}
+
+// GetTx looks k up inside an enclosing transaction.
+func (m *Map) GetTx(tx core.Tx, k int64) (int64, bool) {
+	for r := tx.ReadRef(m.buckets, m.bucket(k)); r != 0; {
+		nd := m.sys.Deref(r)
+		if int64(tx.Read(nd, mnKey)) == k {
+			return int64(tx.Read(nd, mnVal)), true
+		}
+		r = tx.ReadRef(nd, mnNext)
+	}
+	return 0, false
+}
+
+// Get looks k up as its own transaction.
+func (m *Map) Get(k int64) (v int64, ok bool, err error) {
+	err = m.sys.Atomic(func(tx core.Tx) error {
+		v, ok = m.GetTx(tx, k)
+		return nil
+	})
+	return v, ok, err
+}
+
+// DeleteTx removes k inside an enclosing transaction, reporting presence.
+func (m *Map) DeleteTx(tx core.Tx, k int64) bool {
+	b := m.bucket(k)
+	var prev core.Obj
+	for r := tx.ReadRef(m.buckets, b); r != 0; {
+		nd := m.sys.Deref(r)
+		if int64(tx.Read(nd, mnKey)) == k {
+			next := tx.ReadRef(nd, mnNext)
+			if prev == nil {
+				tx.WriteRef(m.buckets, b, next)
+			} else {
+				tx.WriteRef(prev, mnNext, next)
+			}
+			tx.Write(m.size, 0, tx.Read(m.size, 0)-1)
+			return true
+		}
+		prev = nd
+		r = tx.ReadRef(nd, mnNext)
+	}
+	return false
+}
+
+// Delete removes k as its own transaction.
+func (m *Map) Delete(k int64) (ok bool, err error) {
+	err = m.sys.Atomic(func(tx core.Tx) error {
+		ok = m.DeleteTx(tx, k)
+		return nil
+	})
+	return ok, err
+}
+
+// Len returns the entry count (transactionally consistent snapshot).
+func (m *Map) Len() (n int64, err error) {
+	err = m.sys.Atomic(func(tx core.Tx) error {
+		n = int64(tx.Read(m.size, 0))
+		return nil
+	})
+	return n, err
+}
+
+// ---- Queue ----
+
+// Queue is a bounded transactional FIFO of int64 with blocking semantics:
+// Put blocks while full and Take while empty, via the STM's user-initiated
+// retry (the paper's retry operation).
+type Queue struct {
+	sys   *core.System
+	buf   core.Obj // scalar ring buffer
+	state core.Obj // {head, count}
+	cap   int
+}
+
+// queue state slots.
+const (
+	qsHead = iota
+	qsCount
+)
+
+// NewQueue creates a queue of the given capacity.
+func NewQueue(sys *core.System, capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("containers: capacity must be positive")
+	}
+	state, err := ensureClass(sys, "containers.QueueState",
+		core.Field{Name: "head"}, core.Field{Name: "count"})
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{sys: sys, buf: sys.NewArray(capacity, false), state: sys.New(state), cap: capacity}
+	sys.Heap.Publish(q.buf)
+	sys.Heap.Publish(q.state)
+	return q, nil
+}
+
+// Put appends v, blocking while the queue is full.
+func (q *Queue) Put(v int64) error {
+	return q.sys.Atomic(func(tx core.Tx) error {
+		head := int(tx.Read(q.state, qsHead))
+		count := int(tx.Read(q.state, qsCount))
+		if count == q.cap {
+			tx.Retry()
+		}
+		tx.Write(q.buf, (head+count)%q.cap, uint64(v))
+		tx.Write(q.state, qsCount, uint64(count+1))
+		return nil
+	})
+}
+
+// Take removes and returns the oldest element, blocking while empty.
+func (q *Queue) Take() (v int64, err error) {
+	err = q.sys.Atomic(func(tx core.Tx) error {
+		head := int(tx.Read(q.state, qsHead))
+		count := int(tx.Read(q.state, qsCount))
+		if count == 0 {
+			tx.Retry()
+		}
+		v = int64(tx.Read(q.buf, head))
+		tx.Write(q.state, qsHead, uint64((head+1)%q.cap))
+		tx.Write(q.state, qsCount, uint64(count-1))
+		return nil
+	})
+	return v, err
+}
+
+// TryTake is Take without blocking; ok is false when empty.
+func (q *Queue) TryTake() (v int64, ok bool, err error) {
+	err = q.sys.Atomic(func(tx core.Tx) error {
+		head := int(tx.Read(q.state, qsHead))
+		count := int(tx.Read(q.state, qsCount))
+		if count == 0 {
+			return nil
+		}
+		v = int64(tx.Read(q.buf, head))
+		ok = true
+		tx.Write(q.state, qsHead, uint64((head+1)%q.cap))
+		tx.Write(q.state, qsCount, uint64(count-1))
+		return nil
+	})
+	return v, ok, err
+}
+
+// ---- Set ----
+
+// Set is a sorted singly-linked transactional set of int64.
+type Set struct {
+	sys  *core.System
+	head core.Obj // sentinel node
+	node *core.Class
+}
+
+// set node slots.
+const (
+	snKey = iota
+	snNext
+)
+
+// NewSet creates an empty set.
+func NewSet(sys *core.System) (*Set, error) {
+	node, err := ensureClass(sys, "containers.SetNode",
+		core.Field{Name: "key"}, core.Field{Name: "next", IsRef: true})
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{sys: sys, head: sys.New(node), node: node}
+	sys.Heap.Publish(s.head)
+	return s, nil
+}
+
+// locate returns (pred, curr) where curr is the first node with key >= k.
+func (s *Set) locate(tx core.Tx, k int64) (pred core.Obj, curr objmodel.Ref) {
+	pred = s.head
+	curr = tx.ReadRef(pred, snNext)
+	for curr != 0 {
+		nd := s.sys.Deref(curr)
+		if int64(tx.Read(nd, snKey)) >= k {
+			return pred, curr
+		}
+		pred = nd
+		curr = tx.ReadRef(nd, snNext)
+	}
+	return pred, 0
+}
+
+// InsertTx adds k inside an enclosing transaction, reporting novelty.
+func (s *Set) InsertTx(tx core.Tx, k int64) bool {
+	pred, curr := s.locate(tx, k)
+	if curr != 0 && int64(tx.Read(s.sys.Deref(curr), snKey)) == k {
+		return false
+	}
+	nd := s.sys.New(s.node)
+	nd.StoreSlot(snKey, uint64(k))
+	nd.StoreSlot(snNext, uint64(curr))
+	tx.WriteRef(pred, snNext, nd.Ref())
+	return true
+}
+
+// Insert adds k as its own transaction.
+func (s *Set) Insert(k int64) (added bool, err error) {
+	err = s.sys.Atomic(func(tx core.Tx) error {
+		added = s.InsertTx(tx, k)
+		return nil
+	})
+	return added, err
+}
+
+// ContainsTx tests membership inside an enclosing transaction.
+func (s *Set) ContainsTx(tx core.Tx, k int64) bool {
+	_, curr := s.locate(tx, k)
+	return curr != 0 && int64(tx.Read(s.sys.Deref(curr), snKey)) == k
+}
+
+// Contains tests membership as its own transaction.
+func (s *Set) Contains(k int64) (found bool, err error) {
+	err = s.sys.Atomic(func(tx core.Tx) error {
+		found = s.ContainsTx(tx, k)
+		return nil
+	})
+	return found, err
+}
+
+// RemoveTx deletes k inside an enclosing transaction, reporting presence.
+func (s *Set) RemoveTx(tx core.Tx, k int64) bool {
+	pred, curr := s.locate(tx, k)
+	if curr == 0 {
+		return false
+	}
+	nd := s.sys.Deref(curr)
+	if int64(tx.Read(nd, snKey)) != k {
+		return false
+	}
+	tx.WriteRef(pred, snNext, tx.ReadRef(nd, snNext))
+	return true
+}
+
+// Remove deletes k as its own transaction.
+func (s *Set) Remove(k int64) (removed bool, err error) {
+	err = s.sys.Atomic(func(tx core.Tx) error {
+		removed = s.RemoveTx(tx, k)
+		return nil
+	})
+	return removed, err
+}
+
+// Snapshot returns the sorted contents in one consistent transaction.
+func (s *Set) Snapshot() (keys []int64, err error) {
+	err = s.sys.Atomic(func(tx core.Tx) error {
+		keys = keys[:0]
+		for curr := tx.ReadRef(s.head, snNext); curr != 0; {
+			nd := s.sys.Deref(curr)
+			keys = append(keys, int64(tx.Read(nd, snKey)))
+			curr = tx.ReadRef(nd, snNext)
+		}
+		return nil
+	})
+	return keys, err
+}

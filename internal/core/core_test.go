@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/opt"
+)
+
+func TestSystemStrongCounter(t *testing.T) {
+	s := MustNewSystem(Config{Strong: true})
+	cls, err := s.DefineClass("Counter", Field{Name: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := s.New(cls)
+	const perSide = 1000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // transactional side
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			_ = s.Atomic(func(tx Tx) error {
+				tx.Write(o, 0, tx.Read(o, 0)+1)
+				return nil
+			})
+		}
+	}()
+	go func() { // non-transactional, barriered side
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			s.Write(o, 0, s.Read(o, 0)+1)
+		}
+	}()
+	wg.Wait()
+	if got := o.LoadSlot(0); got != 2*perSide {
+		t.Errorf("counter = %d, want %d (strong atomicity must not lose updates)", got, 2*perSide)
+	}
+}
+
+func TestSystemWeakIsDirect(t *testing.T) {
+	s := MustNewSystem(Config{})
+	cls, _ := s.DefineClass("C", Field{Name: "x"})
+	o := s.New(cls)
+	s.Write(o, 0, 7)
+	if s.Read(o, 0) != 7 {
+		t.Error("weak read/write roundtrip failed")
+	}
+}
+
+func TestSystemLazy(t *testing.T) {
+	s := MustNewSystem(Config{Versioning: Lazy, Strong: true})
+	cls, _ := s.DefineClass("C", Field{Name: "x"})
+	o := s.New(cls)
+	err := s.Atomic(func(tx Tx) error {
+		tx.Write(o, 0, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(o, 0); got != 5 {
+		t.Errorf("read = %d", got)
+	}
+}
+
+func TestSystemRefsAndDeref(t *testing.T) {
+	s := MustNewSystem(Config{Strong: true, DEA: true, Versioning: Eager})
+	node, _ := s.DefineClass("Node", Field{Name: "v"}, Field{Name: "next", IsRef: true})
+	a, b := s.New(node), s.New(node)
+	b.StoreSlot(0, 42)
+	s.WriteRef(a, 1, b.Ref()) // a is private: no publication
+	if !b.IsPrivate() {
+		t.Error("write into private container should not publish")
+	}
+	if got := s.Deref(s.ReadRef(a, 1)).LoadSlot(0); got != 42 {
+		t.Errorf("deref = %d", got)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := NewSystem(Config{DEA: true}); err == nil {
+		t.Error("DEA without Strong accepted")
+	}
+	if _, err := NewSystem(Config{DEA: true, Strong: true, Versioning: Lazy}); err == nil {
+		t.Error("DEA with Lazy accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSystem did not panic")
+		}
+	}()
+	MustNewSystem(Config{DEA: true})
+}
+
+const helloSrc = `
+class Main {
+  static func main() {
+    var s = 0;
+    for (var i = 0; i < arg(0); i++) { s += i; }
+    atomic { s = s * 2; }
+    print(s);
+  }
+}`
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := Compile(helloSrc, Config{Strong: true, OptLevel: opt.O2Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "90" {
+		t.Errorf("output = %q, want 90", res.Output)
+	}
+	if res.Executed == 0 || res.Commits == 0 {
+		t.Errorf("stats: executed=%d commits=%d", res.Executed, res.Commits)
+	}
+	if p.Report == nil || p.Report.TotalReads < 0 {
+		t.Error("missing optimization report")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile(`class Main { static func main() { undefined_thing; } }`, Config{}); err == nil {
+		t.Error("semantic error not reported")
+	}
+	if _, err := Compile(`class Main {`, Config{}); err == nil {
+		t.Error("syntax error not reported")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p, err := Compile(helloSrc, Config{OptLevel: opt.O0NoOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.DisassembleMethod("Main.main")
+	for _, want := range []string{"atomicbegin", "atomicend", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	if !strings.Contains(p.DisassembleMethod("No.such"), "no method") {
+		t.Error("missing-method note absent")
+	}
+}
+
+func TestRunTo(t *testing.T) {
+	p, err := Compile(helloSrc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.RunTo(&sb, p.Mode(5)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "20" {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestAtomicOpen(t *testing.T) {
+	s := MustNewSystem(Config{Strong: true})
+	cls, _ := s.DefineClass("L", Field{Name: "ops"}, Field{Name: "data"})
+	logObj, data := s.New(cls), s.New(cls)
+	compensated := false
+	err := s.Atomic(func(tx Tx) error {
+		tx.Write(data, 1, 7)
+		// Open-nested audit-log increment: survives the parent's abort.
+		if err := s.AtomicOpen(tx, func(otx Tx) error {
+			otx.Write(logObj, 0, otx.Read(logObj, 0)+1)
+			return nil
+		}, func() { compensated = true }); err != nil {
+			return err
+		}
+		return ErrAbortSentinel
+	})
+	if err != ErrAbortSentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if data.LoadSlot(1) != 0 {
+		t.Error("parent effect survived abort")
+	}
+	if logObj.LoadSlot(0) != 1 {
+		t.Error("open-nested effect did not survive parent abort")
+	}
+	if !compensated {
+		t.Error("compensation did not run")
+	}
+	// Lazy systems reject open nesting.
+	lz := MustNewSystem(Config{Versioning: Lazy})
+	if err := lz.AtomicOpen(nil, func(tx Tx) error { return nil }, nil); err == nil {
+		t.Error("lazy open nesting accepted")
+	}
+}
+
+// ErrAbortSentinel aborts the test transaction permanently.
+var ErrAbortSentinel = errSentinel{}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "abort" }
+
+func ExampleSystem_Atomic() {
+	s := MustNewSystem(Config{Strong: true})
+	acct, _ := s.DefineClass("Account", Field{Name: "balance"})
+	a, b := s.New(acct), s.New(acct)
+	a.StoreSlot(0, 100)
+	_ = s.Atomic(func(tx Tx) error {
+		tx.Write(a, 0, tx.Read(a, 0)-25)
+		tx.Write(b, 0, tx.Read(b, 0)+25)
+		return nil
+	})
+	fmt.Println(s.Read(a, 0), s.Read(b, 0))
+	// Output: 75 25
+}

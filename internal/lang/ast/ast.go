@@ -1,0 +1,316 @@
+// Package ast defines the abstract syntax tree of TJ. Nodes carry slots for
+// the information the type checker (package types) resolves: expression
+// types, field symbols, and call targets, which the lowering pass (package
+// lower) consumes.
+package ast
+
+import "repro/internal/lang/token"
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Pos     token.Pos
+	Name    string
+	Extends string // "" if none
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	Inits   []*InitDecl
+}
+
+// FieldDecl declares one field.
+type FieldDecl struct {
+	Pos      token.Pos
+	Name     string
+	Type     *TypeExpr
+	Static   bool
+	Final    bool
+	Volatile bool
+}
+
+// InitDecl is a static initializer block (Java clinit).
+type InitDecl struct {
+	Pos  token.Pos
+	Body *BlockStmt
+}
+
+// MethodDecl declares a method.
+type MethodDecl struct {
+	Pos    token.Pos
+	Name   string
+	Static bool
+	Params []*Param
+	Ret    *TypeExpr // nil for void
+	Body   *BlockStmt
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Pos  token.Pos
+	Name string
+	Type *TypeExpr
+}
+
+// TypeExpr is a syntactic type.
+type TypeExpr struct {
+	Pos  token.Pos
+	Kind TypeKind
+	Name string    // class name for KClass
+	Elem *TypeExpr // for KArray
+}
+
+// TypeKind discriminates TypeExpr.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	KInt TypeKind = iota
+	KBool
+	KThread
+	KClass
+	KArray
+)
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	Pos   token.Pos
+	Stmts []Stmt
+}
+
+// VarStmt is var name [: type] = expr;
+type VarStmt struct {
+	Pos  token.Pos
+	Name string
+	Type *TypeExpr // nil = inferred
+	Init Expr
+}
+
+// AssignStmt is lvalue = expr; (Op is token.Assign, PlusAssign, MinusAssign).
+type AssignStmt struct {
+	Pos token.Pos
+	Op  token.Kind
+	LHS Expr // Ident, FieldExpr, IndexExpr or StaticExpr
+	RHS Expr // nil for ++/-- (Op Inc/Dec)
+}
+
+// IfStmt is if (cond) then else else.
+type IfStmt struct {
+	Pos  token.Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt or nil
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Pos  token.Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for (init; cond; post) body.
+type ForStmt struct {
+	Pos  token.Pos
+	Init Stmt // VarStmt, AssignStmt or nil
+	Cond Expr // nil = true
+	Post Stmt // AssignStmt or nil
+	Body *BlockStmt
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	Pos   token.Pos
+	Value Expr // nil for void
+}
+
+// AtomicStmt is atomic { body } — the paper's transaction construct.
+type AtomicStmt struct {
+	Pos  token.Pos
+	Body *BlockStmt
+}
+
+// SyncStmt is synchronized (expr) { body }.
+type SyncStmt struct {
+	Pos  token.Pos
+	Lock Expr
+	Body *BlockStmt
+}
+
+// RetryStmt is retry; — valid only inside atomic.
+type RetryStmt struct {
+	Pos token.Pos
+}
+
+// BreakStmt is break;
+type BreakStmt struct {
+	Pos token.Pos
+}
+
+// ContinueStmt is continue;
+type ContinueStmt struct {
+	Pos token.Pos
+}
+
+// ExprStmt is expr; (calls and spawns).
+type ExprStmt struct {
+	Pos token.Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmt()    {}
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*AtomicStmt) stmt()   {}
+func (*SyncStmt) stmt()     {}
+func (*RetryStmt) stmt()    {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	Position() token.Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos token.Pos
+	Val int64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos token.Pos
+	Val bool
+}
+
+// NullLit is null.
+type NullLit struct{ Pos token.Pos }
+
+// ThisExpr is this.
+type ThisExpr struct{ Pos token.Pos }
+
+// Ident names a local, parameter, implicit this-field, or class (in
+// qualified positions).
+type Ident struct {
+	Pos  token.Pos
+	Name string
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos token.Pos
+	Op  token.Kind
+	X   Expr
+}
+
+// BinaryExpr is x op y.
+type BinaryExpr struct {
+	Pos  token.Pos
+	Op   token.Kind
+	L, R Expr
+}
+
+// FieldExpr is x.name (instance field) or ClassName.name (static field —
+// resolved by the type checker, which sets IsStatic).
+type FieldExpr struct {
+	Pos  token.Pos
+	X    Expr // receiver or *Ident naming a class
+	Name string
+}
+
+// IndexExpr is arr[i].
+type IndexExpr struct {
+	Pos token.Pos
+	X   Expr
+	Idx Expr
+}
+
+// CallExpr is x.m(args), ClassName.m(args), or m(args) (implicit this /
+// current class static).
+type CallExpr struct {
+	Pos  token.Pos
+	Fun  Expr // *FieldExpr (qualified) or *Ident (unqualified)
+	Args []Expr
+}
+
+// SpawnExpr is spawn call — runs the call on a new thread, yielding thread.
+type SpawnExpr struct {
+	Pos  token.Pos
+	Call *CallExpr
+}
+
+// NewExpr is new C().
+type NewExpr struct {
+	Pos  token.Pos
+	Name string
+}
+
+// NewArrayExpr is new elem[len].
+type NewArrayExpr struct {
+	Pos  token.Pos
+	Elem *TypeExpr
+	Len  Expr
+}
+
+// BuiltinExpr is print(x), rand(n), len(a), join(t).
+type BuiltinExpr struct {
+	Pos  token.Pos
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) expr()       {}
+func (*BoolLit) expr()      {}
+func (*NullLit) expr()      {}
+func (*ThisExpr) expr()     {}
+func (*Ident) expr()        {}
+func (*UnaryExpr) expr()    {}
+func (*BinaryExpr) expr()   {}
+func (*FieldExpr) expr()    {}
+func (*IndexExpr) expr()    {}
+func (*CallExpr) expr()     {}
+func (*SpawnExpr) expr()    {}
+func (*NewExpr) expr()      {}
+func (*NewArrayExpr) expr() {}
+func (*BuiltinExpr) expr()  {}
+
+// Position implementations.
+func (e *IntLit) Position() token.Pos       { return e.Pos }
+func (e *BoolLit) Position() token.Pos      { return e.Pos }
+func (e *NullLit) Position() token.Pos      { return e.Pos }
+func (e *ThisExpr) Position() token.Pos     { return e.Pos }
+func (e *Ident) Position() token.Pos        { return e.Pos }
+func (e *UnaryExpr) Position() token.Pos    { return e.Pos }
+func (e *BinaryExpr) Position() token.Pos   { return e.Pos }
+func (e *FieldExpr) Position() token.Pos    { return e.Pos }
+func (e *IndexExpr) Position() token.Pos    { return e.Pos }
+func (e *CallExpr) Position() token.Pos     { return e.Pos }
+func (e *SpawnExpr) Position() token.Pos    { return e.Pos }
+func (e *NewExpr) Position() token.Pos      { return e.Pos }
+func (e *NewArrayExpr) Position() token.Pos { return e.Pos }
+func (e *BuiltinExpr) Position() token.Pos  { return e.Pos }
+
+// Builtins is the set of builtin function names.
+var Builtins = map[string]bool{
+	"print": true, // print(int): write a line of output
+	"rand":  true, // rand(n): uniform int in [0, n)
+	"len":   true, // len(arr): array length
+	"join":  true, // join(t): wait for a spawned thread
+	"arg":   true, // arg(i): i-th driver-supplied program argument (0 if absent)
+}

@@ -1,0 +1,78 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Nop; op <= Ret; op++ {
+		if strings.HasPrefix(op.String(), "Op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "Op(") {
+		t.Error("unknown op should render numerically")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	loads := []Op{GetField, GetStatic, GetElem}
+	stores := []Op{SetField, SetStatic, SetElem}
+	for _, op := range loads {
+		if !op.IsMemAccess() || !op.IsLoad() || op.IsStore() {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	for _, op := range stores {
+		if !op.IsMemAccess() || op.IsLoad() || !op.IsStore() {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	for _, op := range []Op{Add, Call(0), AtomicBegin, ArrayLen} {
+		if op.IsMemAccess() {
+			t.Errorf("%v should not be a memory access", op)
+		}
+	}
+}
+
+// Call is a helper to sneak a non-access op into the table test.
+func Call(_ int) Op { return CallStatic }
+
+func TestRemovedByString(t *testing.T) {
+	if RemovedBy(0).String() != "-" {
+		t.Errorf("zero = %q", RemovedBy(0).String())
+	}
+	r := ByImmutable | ByNAIT
+	s := r.String()
+	if !strings.Contains(s, "immutable") || !strings.Contains(s, "nait") {
+		t.Errorf("combined = %q", s)
+	}
+	all := ByImmutable | ByLocalEscape | ByNAIT | ByTL | ByInitSelf
+	if got := all.String(); strings.Count(got, "+") != 4 {
+		t.Errorf("all = %q", got)
+	}
+}
+
+func TestBarrierActive(t *testing.T) {
+	if (Barrier{}).Active() {
+		t.Error("zero barrier should be inactive")
+	}
+	if !(Barrier{Need: true}).Active() {
+		t.Error("needed barrier should be active")
+	}
+	if (Barrier{Need: true, InAggregate: true}).Active() {
+		t.Error("aggregated barrier should not be individually active")
+	}
+}
+
+func TestBlockTerminator(t *testing.T) {
+	b := &Block{}
+	if b.Terminator() != nil {
+		t.Error("empty block terminator should be nil")
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: Nop}, Instr{Op: Ret, A: -1})
+	if b.Terminator().Op != Ret {
+		t.Error("terminator should be the last instruction")
+	}
+}

@@ -1,0 +1,216 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural well-formedness of a compiled method: register
+// indexes in range, branch targets valid, terminators only in terminal
+// position, consistent barrier annotations, paired aggregation markers,
+// and balanced atomic-region markers. The compiler driver runs it after
+// lowering and after every optimization pass configuration, so a bad pass
+// fails compilation instead of corrupting execution.
+func (m *Method) Verify() error {
+	if len(m.Blocks) == 0 {
+		return fmt.Errorf("%s: no blocks", m.Name)
+	}
+	checkReg := func(r int, what string, in *Instr) error {
+		if r < 0 || r >= m.NumRegs {
+			return fmt.Errorf("%s: %v: %s register r%d out of range [0,%d)",
+				m.Name, in.Op, what, r, m.NumRegs)
+		}
+		return nil
+	}
+	optReg := func(r int, what string, in *Instr) error {
+		if r == -1 {
+			return nil
+		}
+		return checkReg(r, what, in)
+	}
+	atomicDelta := 0
+	for bi, b := range m.Blocks {
+		if b.ID != bi {
+			return fmt.Errorf("%s: block %d has ID %d", m.Name, bi, b.ID)
+		}
+		aggDepth := 0
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			switch in.Op {
+			case Jmp:
+				if !last {
+					return fmt.Errorf("%s: b%d: jmp not in terminal position", m.Name, b.ID)
+				}
+				if err := m.checkTarget(in.Targets[0], b.ID); err != nil {
+					return err
+				}
+			case Br:
+				if !last {
+					return fmt.Errorf("%s: b%d: br not in terminal position", m.Name, b.ID)
+				}
+				if err := checkReg(in.A, "condition", in); err != nil {
+					return err
+				}
+				for _, t := range in.Targets {
+					if err := m.checkTarget(t, b.ID); err != nil {
+						return err
+					}
+				}
+			case Ret:
+				if !last {
+					return fmt.Errorf("%s: b%d: ret not in terminal position", m.Name, b.ID)
+				}
+				if err := optReg(in.A, "return value", in); err != nil {
+					return err
+				}
+			case ConstInt:
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+			case Mov, Neg, Not, ArrayLen, Rand, Arg:
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+				if err := checkReg(in.A, "operand", in); err != nil {
+					return err
+				}
+			case Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Le, Gt, Ge:
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+				if err := checkReg(in.A, "lhs", in); err != nil {
+					return err
+				}
+				if err := checkReg(in.B, "rhs", in); err != nil {
+					return err
+				}
+			case GetField, GetElem:
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+				if err := checkReg(in.A, "base", in); err != nil {
+					return err
+				}
+				if in.Op == GetElem {
+					if err := checkReg(in.B, "index", in); err != nil {
+						return err
+					}
+				}
+			case SetField:
+				if err := checkReg(in.A, "base", in); err != nil {
+					return err
+				}
+				if err := checkReg(in.B, "value", in); err != nil {
+					return err
+				}
+			case SetElem:
+				for _, r := range []int{in.A, in.B, in.C} {
+					if err := checkReg(r, "operand", in); err != nil {
+						return err
+					}
+				}
+			case GetStatic:
+				if in.Class == nil {
+					return fmt.Errorf("%s: b%d: getstatic without class", m.Name, b.ID)
+				}
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+			case SetStatic:
+				if in.Class == nil {
+					return fmt.Errorf("%s: b%d: setstatic without class", m.Name, b.ID)
+				}
+				if err := checkReg(in.B, "value", in); err != nil {
+					return err
+				}
+			case NewObj:
+				if in.Class == nil {
+					return fmt.Errorf("%s: b%d: new without class", m.Name, b.ID)
+				}
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+			case NewArray:
+				if err := checkReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+				if err := checkReg(in.A, "length", in); err != nil {
+					return err
+				}
+			case CallStatic, CallVirtual, Spawn:
+				if in.Op == CallStatic && in.Callee == nil {
+					return fmt.Errorf("%s: b%d: static call without callee", m.Name, b.ID)
+				}
+				if in.Op == CallVirtual && in.VIndex < 0 {
+					return fmt.Errorf("%s: b%d: virtual call without vtable index", m.Name, b.ID)
+				}
+				if in.Op == Spawn && in.Callee == nil && in.VIndex < 0 {
+					return fmt.Errorf("%s: b%d: spawn without target", m.Name, b.ID)
+				}
+				if err := optReg(in.Dst, "dst", in); err != nil {
+					return err
+				}
+				for _, a := range in.Args {
+					if err := checkReg(a, "argument", in); err != nil {
+						return err
+					}
+				}
+			case Join, Print, MonitorEnter, MonitorExit:
+				if err := checkReg(in.A, "operand", in); err != nil {
+					return err
+				}
+			case AtomicBegin:
+				atomicDelta++
+			case AtomicEnd:
+				atomicDelta--
+			case Retry, Nop:
+			case AcquireRec:
+				if aggDepth != 0 {
+					return fmt.Errorf("%s: b%d: nested AcquireRec", m.Name, b.ID)
+				}
+				if err := checkReg(in.A, "record base", in); err != nil {
+					return err
+				}
+				aggDepth++
+			case ReleaseRec:
+				if aggDepth != 1 {
+					return fmt.Errorf("%s: b%d: ReleaseRec without AcquireRec", m.Name, b.ID)
+				}
+				aggDepth--
+			default:
+				return fmt.Errorf("%s: b%d: unknown opcode %v", m.Name, b.ID, in.Op)
+			}
+			if in.Op.IsMemAccess() {
+				if !in.Barrier.Need && in.Barrier.RemovedBy == 0 && !in.Atomic {
+					return fmt.Errorf("%s: b%d: non-transactional access %v has its barrier cleared with no removal reason",
+						m.Name, b.ID, in.Op)
+				}
+				if in.Barrier.InAggregate && aggDepth == 0 {
+					return fmt.Errorf("%s: b%d: InAggregate access outside AcquireRec/ReleaseRec", m.Name, b.ID)
+				}
+			}
+		}
+		if aggDepth != 0 {
+			return fmt.Errorf("%s: b%d: AcquireRec not released within the block", m.Name, b.ID)
+		}
+	}
+	if atomicDelta != 0 {
+		return fmt.Errorf("%s: unbalanced atomic markers (delta %d)", m.Name, atomicDelta)
+	}
+	return nil
+}
+
+func (m *Method) checkTarget(t, from int) error {
+	if t < 0 || t >= len(m.Blocks) {
+		return fmt.Errorf("%s: b%d: branch target b%d out of range", m.Name, from, t)
+	}
+	return nil
+}
+
+// Verify checks every method in the program.
+func (p *Program) Verify() error {
+	for _, m := range p.Methods {
+		if err := m.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ir"
+	"repro/internal/tj"
+)
+
+func compiled(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := tj.Frontend(`
+class C { var f: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    atomic { c.f = 1; }
+    if (c.f > 0) { print(c.f); }
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mainMethod(t *testing.T, p *ir.Program) *ir.Method {
+	t.Helper()
+	for _, m := range p.Methods {
+		if m.Name == "Main.main" {
+			return m
+		}
+	}
+	t.Fatal("no main")
+	return nil
+}
+
+func TestVerifyAcceptsCompilerOutput(t *testing.T) {
+	if err := compiled(t).Verify(); err != nil {
+		t.Errorf("verifier rejected compiler output: %v", err)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		mutate  func(m *ir.Method)
+		wantSub string
+	}{
+		{"register out of range", func(m *ir.Method) {
+			for _, b := range m.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Op == ir.Mov {
+						b.Instrs[i].A = 999
+						return
+					}
+				}
+			}
+			m.Blocks[0].Instrs[0].Dst = 999
+		}, "out of range"},
+		{"bad branch target", func(m *ir.Method) {
+			for _, b := range m.Blocks {
+				if tt := b.Terminator(); tt != nil && tt.Op == ir.Br {
+					tt.Targets[0] = 99
+					return
+				}
+			}
+		}, "target"},
+		{"terminator mid-block", func(m *ir.Method) {
+			for _, b := range m.Blocks {
+				if len(b.Instrs) >= 2 {
+					b.Instrs[0] = ir.Instr{Op: ir.Ret, A: -1, Dst: -1}
+					return
+				}
+			}
+		}, "terminal position"},
+		{"barrier cleared without reason", func(m *ir.Method) {
+			for _, b := range m.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op.IsMemAccess() && !in.Atomic {
+						in.Barrier.Need = false
+						in.Barrier.RemovedBy = 0
+						return
+					}
+				}
+			}
+		}, "no removal reason"},
+		{"unbalanced atomic", func(m *ir.Method) {
+			for _, b := range m.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Op == ir.AtomicEnd {
+						b.Instrs[i].Op = ir.Nop
+						return
+					}
+				}
+			}
+		}, "unbalanced atomic"},
+		{"dangling acquire", func(m *ir.Method) {
+			b := m.Blocks[0]
+			b.Instrs = append([]ir.Instr{{Op: ir.AcquireRec, A: 0, Dst: -1}}, b.Instrs...)
+		}, "not released"},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			p := compiled(t)
+			c.mutate(mainMethod(t, p))
+			err := p.Verify()
+			if err == nil {
+				t.Fatal("verifier accepted corrupted IR")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestVerifyEmptyMethod(t *testing.T) {
+	m := &ir.Method{Name: "X.empty"}
+	if err := m.Verify(); err == nil {
+		t.Error("empty method accepted")
+	}
+}

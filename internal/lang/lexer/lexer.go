@@ -1,0 +1,220 @@
+// Package lexer tokenizes TJ source text.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/lang/token"
+)
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans TJ source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New creates a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input, returning the token stream terminated by
+// an EOF token.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var toks []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() token.Pos { return token.Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (token.Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token.Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return token.Token{Kind: token.Ident, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token.Token{}, &Error{Pos: pos, Msg: "integer literal out of range: " + text}
+		}
+		return token.Token{Kind: token.Int, Text: text, Val: v, Pos: pos}, nil
+	}
+	lx.advance()
+	mk := func(k token.Kind) (token.Token, error) {
+		return token.Token{Kind: k, Pos: pos}, nil
+	}
+	two := func(next byte, with, without token.Kind) (token.Token, error) {
+		if lx.peek() == next {
+			lx.advance()
+			return mk(with)
+		}
+		return mk(without)
+	}
+	switch c {
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case '[':
+		return mk(token.LBracket)
+	case ']':
+		return mk(token.RBracket)
+	case ';':
+		return mk(token.Semicolon)
+	case ':':
+		return mk(token.Colon)
+	case ',':
+		return mk(token.Comma)
+	case '.':
+		return mk(token.Dot)
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return mk(token.Inc)
+		}
+		return two('=', token.PlusAssign, token.Plus)
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return mk(token.Dec)
+		}
+		return two('=', token.MinusAssign, token.Minus)
+	case '*':
+		return mk(token.Star)
+	case '/':
+		return mk(token.Slash)
+	case '%':
+		return mk(token.Percent)
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Ne, token.Not)
+	case '<':
+		return two('=', token.Le, token.Lt)
+	case '>':
+		return two('=', token.Ge, token.Gt)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return mk(token.AndAnd)
+		}
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return mk(token.OrOr)
+		}
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+}

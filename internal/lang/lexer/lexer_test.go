@@ -1,0 +1,153 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("tokenize %q: %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	want = append(want, token.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPunctuationAndOperators(t *testing.T) {
+	expectKinds(t, "( ) { } [ ] ; : , .",
+		token.LParen, token.RParen, token.LBrace, token.RBrace,
+		token.LBracket, token.RBracket, token.Semicolon, token.Colon,
+		token.Comma, token.Dot)
+	expectKinds(t, "+ - * / % = += -= ++ -- == != < <= > >= && || !",
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Assign, token.PlusAssign, token.MinusAssign, token.Inc, token.Dec,
+		token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge,
+		token.AndAnd, token.OrOr, token.Not)
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks, err := Tokenize("class atomic atomico Class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.KwClass || toks[1].Kind != token.KwAtomic {
+		t.Errorf("keywords not recognized: %v %v", toks[0], toks[1])
+	}
+	if toks[2].Kind != token.Ident || toks[2].Text != "atomico" {
+		t.Errorf("prefix of keyword mis-lexed: %v", toks[2])
+	}
+	if toks[3].Kind != token.Ident || toks[3].Text != "Class" {
+		t.Errorf("case-sensitive keyword mis-lexed: %v", toks[3])
+	}
+}
+
+func TestIntegers(t *testing.T) {
+	toks, err := Tokenize("0 42 1103515245")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 42, 1103515245}
+	for i, v := range want {
+		if toks[i].Kind != token.Int || toks[i].Val != v {
+			t.Errorf("token %d = %v, want %d", i, toks[i], v)
+		}
+	}
+}
+
+func TestIntegerOverflow(t *testing.T) {
+	if _, err := Tokenize("99999999999999999999999999"); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\n b /* block\n comment */ c",
+		token.Ident, token.Ident, token.Ident)
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	if _, err := Tokenize("a /* never closed"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := Tokenize("a # b"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := Tokenize("a & b"); err == nil {
+		t.Error("lone & accepted")
+	}
+	if _, err := Tokenize("a | b"); err == nil {
+		t.Error("lone | accepted")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token pos = %v", toks[1].Pos)
+	}
+	if !toks[0].Pos.IsValid() || (token.Pos{}).IsValid() {
+		t.Error("IsValid misbehaves")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks, _ := Tokenize("x 5 +")
+	if toks[0].String() != "identifier(x)" {
+		t.Errorf("ident string = %q", toks[0].String())
+	}
+	if toks[1].String() != "integer(5)" {
+		t.Errorf("int string = %q", toks[1].String())
+	}
+	if toks[2].String() != "+" {
+		t.Errorf("op string = %q", toks[2].String())
+	}
+}
+
+func TestWholeProgramLexes(t *testing.T) {
+	src := `
+class Main {
+  static var xs: int[];
+  init { xs = new int[4]; }
+  static func main() {
+    atomic { xs[0]++; }
+    synchronized (Main.lock()) { }
+  }
+  static func lock(): Main { return null; }
+}`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 40 {
+		t.Errorf("suspiciously few tokens: %d", len(toks))
+	}
+}

@@ -1,0 +1,300 @@
+package lower
+
+import (
+	"repro/internal/lang/ast"
+	"repro/internal/lang/ir"
+	"repro/internal/lang/token"
+	"repro/internal/lang/types"
+)
+
+// expr lowers an expression to a register holding its value.
+func (f *fn) expr(e ast.Expr) (int, error) {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		t := f.temp(ir.RInt)
+		f.emit(ir.Instr{Op: ir.ConstInt, Dst: t, A: -1, Const: ex.Val, Pos: ex.Pos})
+		return t, nil
+	case *ast.BoolLit:
+		t := f.temp(ir.RInt)
+		v := int64(0)
+		if ex.Val {
+			v = 1
+		}
+		f.emit(ir.Instr{Op: ir.ConstInt, Dst: t, A: -1, Const: v, Pos: ex.Pos})
+		return t, nil
+	case *ast.NullLit:
+		t := f.temp(ir.RRef)
+		f.emit(ir.Instr{Op: ir.ConstInt, Dst: t, A: -1, Const: 0, Pos: ex.Pos})
+		return t, nil
+	case *ast.ThisExpr:
+		return 0, nil
+	case *ast.Ident:
+		if v := f.info.VarRefs[ex]; v != nil {
+			return f.varReg(v), nil
+		}
+		fld := f.info.FieldRefs[ex]
+		if fld == nil {
+			return -1, errf(ex.Pos, "identifier %s did not resolve to a value", ex.Name)
+		}
+		t := f.temp(regKind(fld.Type))
+		if fld.Static {
+			f.emit(ir.Instr{Op: ir.GetStatic, Dst: t, A: -1, Class: fld.Owner,
+				Slot: fld.Slot, IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: ex.Pos})
+		} else {
+			f.emit(ir.Instr{Op: ir.GetField, Dst: t, A: 0, Slot: fld.Slot,
+				IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: ex.Pos})
+		}
+		return t, nil
+	case *ast.UnaryExpr:
+		x, err := f.expr(ex.X)
+		if err != nil {
+			return -1, err
+		}
+		t := f.temp(ir.RInt)
+		op := ir.Neg
+		if ex.Op == token.Not {
+			op = ir.Not
+		}
+		f.emit(ir.Instr{Op: op, Dst: t, A: x, B: -1, Pos: ex.Pos})
+		return t, nil
+	case *ast.BinaryExpr:
+		return f.binary(ex)
+	case *ast.FieldExpr:
+		fld := f.info.FieldRefs[ex]
+		if fld == nil {
+			return -1, errf(ex.Pos, "field %s did not resolve", ex.Name)
+		}
+		t := f.temp(regKind(fld.Type))
+		if fld.Static {
+			f.emit(ir.Instr{Op: ir.GetStatic, Dst: t, A: -1, Class: fld.Owner,
+				Slot: fld.Slot, IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: ex.Pos})
+			return t, nil
+		}
+		base, err := f.expr(ex.X)
+		if err != nil {
+			return -1, err
+		}
+		f.emit(ir.Instr{Op: ir.GetField, Dst: t, A: base, Slot: fld.Slot,
+			IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: ex.Pos})
+		return t, nil
+	case *ast.IndexExpr:
+		arr, err := f.expr(ex.X)
+		if err != nil {
+			return -1, err
+		}
+		idx, err := f.expr(ex.Idx)
+		if err != nil {
+			return -1, err
+		}
+		elemT := f.info.ExprTypes[ex]
+		t := f.temp(regKind(elemT))
+		f.emit(ir.Instr{Op: ir.GetElem, Dst: t, A: arr, B: idx,
+			IsRef: elemT.IsRef(), Pos: ex.Pos})
+		return t, nil
+	case *ast.CallExpr:
+		return f.call(ex, false)
+	case *ast.SpawnExpr:
+		return f.call(ex.Call, true)
+	case *ast.NewExpr:
+		cl := f.info.NewClasses[ex]
+		t := f.temp(ir.RRef)
+		f.emit(ir.Instr{Op: ir.NewObj, Dst: t, A: -1, Class: cl,
+			AllocSite: f.site(), Pos: ex.Pos})
+		return t, nil
+	case *ast.NewArrayExpr:
+		n, err := f.expr(ex.Len)
+		if err != nil {
+			return -1, err
+		}
+		at := f.info.ExprTypes[ex]
+		t := f.temp(ir.RRef)
+		f.emit(ir.Instr{Op: ir.NewArray, Dst: t, A: n, Flag: at.Elem.IsRef(),
+			AllocSite: f.site(), Pos: ex.Pos})
+		return t, nil
+	case *ast.BuiltinExpr:
+		return f.builtin(ex)
+	}
+	return -1, errf(e.Position(), "unhandled expression %T", e)
+}
+
+// exprOrVoid lowers an expression that may produce no value (void calls).
+func (f *fn) exprOrVoid(e ast.Expr) (int, error) {
+	if t := f.info.ExprTypes[e]; t != nil && t.Kind == types.KVoid {
+		switch ex := e.(type) {
+		case *ast.CallExpr:
+			return f.call(ex, false)
+		case *ast.BuiltinExpr:
+			return f.builtin(ex)
+		}
+	}
+	return f.expr(e)
+}
+
+func (f *fn) binary(ex *ast.BinaryExpr) (int, error) {
+	if ex.Op == token.AndAnd || ex.Op == token.OrOr {
+		return f.shortCircuit(ex)
+	}
+	l, err := f.expr(ex.L)
+	if err != nil {
+		return -1, err
+	}
+	r, err := f.expr(ex.R)
+	if err != nil {
+		return -1, err
+	}
+	var op ir.Op
+	switch ex.Op {
+	case token.Plus:
+		op = ir.Add
+	case token.Minus:
+		op = ir.Sub
+	case token.Star:
+		op = ir.Mul
+	case token.Slash:
+		op = ir.Div
+	case token.Percent:
+		op = ir.Mod
+	case token.Eq:
+		op = ir.Eq
+	case token.Ne:
+		op = ir.Ne
+	case token.Lt:
+		op = ir.Lt
+	case token.Le:
+		op = ir.Le
+	case token.Gt:
+		op = ir.Gt
+	case token.Ge:
+		op = ir.Ge
+	default:
+		return -1, errf(ex.Pos, "bad binary operator %v", ex.Op)
+	}
+	t := f.temp(ir.RInt)
+	f.emit(ir.Instr{Op: op, Dst: t, A: l, B: r, Pos: ex.Pos})
+	return t, nil
+}
+
+// shortCircuit lowers && and || with control flow.
+func (f *fn) shortCircuit(ex *ast.BinaryExpr) (int, error) {
+	t := f.temp(ir.RInt)
+	l, err := f.expr(ex.L)
+	if err != nil {
+		return -1, err
+	}
+	evalR := f.newBlock()
+	short := f.newBlock()
+	done := f.newBlock()
+	if ex.Op == token.AndAnd {
+		f.emit(ir.Instr{Op: ir.Br, Dst: -1, A: l, Targets: [2]int{evalR.ID, short.ID}, Pos: ex.Pos})
+	} else {
+		f.emit(ir.Instr{Op: ir.Br, Dst: -1, A: l, Targets: [2]int{short.ID, evalR.ID}, Pos: ex.Pos})
+	}
+	f.cur = evalR
+	r, err := f.expr(ex.R)
+	if err != nil {
+		return -1, err
+	}
+	f.emit(ir.Instr{Op: ir.Mov, Dst: t, A: r, Pos: ex.Pos})
+	f.jump(done)
+	f.cur = short
+	v := int64(0)
+	if ex.Op == token.OrOr {
+		v = 1
+	}
+	f.emit(ir.Instr{Op: ir.ConstInt, Dst: t, A: -1, Const: v, Pos: ex.Pos})
+	f.jump(done)
+	f.cur = done
+	return t, nil
+}
+
+func (f *fn) call(ex *ast.CallExpr, spawn bool) (int, error) {
+	tgt := f.info.CallTargets[ex]
+	m := tgt.Method
+	var args []int
+	if !m.Static {
+		recv := 0 // implicit this
+		if !tgt.RecvImplicit {
+			fe := ex.Fun.(*ast.FieldExpr)
+			r, err := f.expr(fe.X)
+			if err != nil {
+				return -1, err
+			}
+			recv = r
+		}
+		args = append(args, recv)
+	}
+	for _, a := range ex.Args {
+		r, err := f.expr(a)
+		if err != nil {
+			return -1, err
+		}
+		args = append(args, r)
+	}
+	dst := -1
+	if spawn {
+		dst = f.temp(ir.RThread)
+		in := ir.Instr{Op: ir.Spawn, Dst: dst, A: -1, Args: args, VIndex: -1, Pos: ex.Pos}
+		if m.Static {
+			in.Callee = m
+		} else {
+			in.VIndex = m.VIndex
+		}
+		f.emit(in)
+		return dst, nil
+	}
+	if m.Ret.Kind != types.KVoid {
+		dst = f.temp(regKind(m.Ret))
+	}
+	if m.Static {
+		f.emit(ir.Instr{Op: ir.CallStatic, Dst: dst, A: -1, Callee: m, VIndex: -1, Args: args, Pos: ex.Pos})
+	} else {
+		f.emit(ir.Instr{Op: ir.CallVirtual, Dst: dst, A: -1, VIndex: m.VIndex, Callee: m, Args: args, Pos: ex.Pos})
+	}
+	return dst, nil
+}
+
+func (f *fn) builtin(ex *ast.BuiltinExpr) (int, error) {
+	switch ex.Name {
+	case "print":
+		a, err := f.expr(ex.Args[0])
+		if err != nil {
+			return -1, err
+		}
+		isBool := f.info.ExprTypes[ex.Args[0]].Kind == types.KBool
+		f.emit(ir.Instr{Op: ir.Print, Dst: -1, A: a, B: -1, Flag: isBool, Pos: ex.Pos})
+		return -1, nil
+	case "rand":
+		a, err := f.expr(ex.Args[0])
+		if err != nil {
+			return -1, err
+		}
+		t := f.temp(ir.RInt)
+		f.emit(ir.Instr{Op: ir.Rand, Dst: t, A: a, B: -1, Pos: ex.Pos})
+		return t, nil
+	case "arg":
+		a, err := f.expr(ex.Args[0])
+		if err != nil {
+			return -1, err
+		}
+		t := f.temp(ir.RInt)
+		f.emit(ir.Instr{Op: ir.Arg, Dst: t, A: a, B: -1, Pos: ex.Pos})
+		return t, nil
+	case "len":
+		a, err := f.expr(ex.Args[0])
+		if err != nil {
+			return -1, err
+		}
+		t := f.temp(ir.RInt)
+		// Array length is immutable: no barrier is ever needed (§6).
+		f.emit(ir.Instr{Op: ir.ArrayLen, Dst: t, A: a, B: -1, Pos: ex.Pos})
+		return t, nil
+	case "join":
+		a, err := f.expr(ex.Args[0])
+		if err != nil {
+			return -1, err
+		}
+		f.emit(ir.Instr{Op: ir.Join, Dst: -1, A: a, B: -1, Pos: ex.Pos})
+		return -1, nil
+	}
+	return -1, errf(ex.Pos, "unknown builtin %s", ex.Name)
+}

@@ -1,0 +1,215 @@
+// Package lower compiles type-checked TJ ASTs to IR. It is the code
+// generator of our JIT: it lowers control flow to a basic-block CFG,
+// assigns registers, and — the part that matters for the paper — annotates
+// every field, static, and array access with a strong-atomicity barrier
+// (Barrier.Need), which the optimization passes in package opt then remove
+// or aggregate. Accesses lexically inside atomic blocks are marked Atomic;
+// they execute through the STM regardless of barrier annotations.
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/ir"
+	"repro/internal/lang/token"
+	"repro/internal/lang/types"
+)
+
+// Compile lowers a checked program to IR.
+func Compile(tp *types.Program) (*ir.Program, error) {
+	l := &lowerer{
+		tp: tp,
+		prog: &ir.Program{
+			Types:  tp,
+			BysSym: make(map[*types.Method]*ir.Method),
+		},
+	}
+	for _, cl := range tp.Classes {
+		for _, init := range cl.Inits {
+			m, err := l.lowerInit(cl, init)
+			if err != nil {
+				return nil, err
+			}
+			l.prog.Methods = append(l.prog.Methods, m)
+			l.prog.Inits = append(l.prog.Inits, m)
+		}
+		for _, sym := range cl.Decls {
+			m, err := l.lowerMethod(cl, sym)
+			if err != nil {
+				return nil, err
+			}
+			l.prog.Methods = append(l.prog.Methods, m)
+			l.prog.BysSym[sym] = m
+		}
+	}
+	l.prog.Main = l.prog.BysSym[tp.Main]
+	l.prog.NumAllocSites = l.allocSites
+	return l.prog, nil
+}
+
+type lowerer struct {
+	tp         *types.Program
+	prog       *ir.Program
+	allocSites int
+}
+
+type cleanupKind uint8
+
+const (
+	cleanupMonitor cleanupKind = iota
+	cleanupAtomic
+)
+
+type cleanup struct {
+	kind cleanupKind
+	reg  int // monitor object register
+}
+
+type loopCtx struct {
+	contBlock    *ir.Block
+	breakBlock   *ir.Block
+	cleanupDepth int
+}
+
+type fn struct {
+	l    *lowerer
+	m    *ir.Method
+	info *types.Info
+	cls  *types.Class
+
+	varBase int // register offset of VarSym.Index 0 (1 for instance methods)
+	cur     *ir.Block
+
+	atomicDepth int
+	cleanups    []cleanup
+	loops       []loopCtx
+}
+
+func (l *lowerer) newFn(cl *types.Class, name string, static bool, vars []*types.VarSym, nparams int) *fn {
+	f := &fn{
+		l:    l,
+		info: l.tp.Info,
+		cls:  cl,
+		m: &ir.Method{
+			Class:  cl,
+			Name:   name,
+			Static: static,
+		},
+	}
+	if !static {
+		f.varBase = 1
+		f.m.RegKinds = append(f.m.RegKinds, ir.RRef) // this
+	}
+	for _, v := range vars {
+		f.m.RegKinds = append(f.m.RegKinds, regKind(v.Type))
+	}
+	f.m.NumParams = f.varBase + nparams
+	f.m.NumRegs = len(f.m.RegKinds)
+	f.cur = f.newBlock()
+	return f
+}
+
+func regKind(t *types.Type) ir.RegKind {
+	switch {
+	case t.IsRef() || t.Kind == types.KNull:
+		return ir.RRef
+	case t.Kind == types.KThread:
+		return ir.RThread
+	default:
+		return ir.RInt
+	}
+}
+
+func (l *lowerer) lowerMethod(cl *types.Class, sym *types.Method) (*ir.Method, error) {
+	vars := l.tp.Info.MethodVars[sym.Decl]
+	f := l.newFn(cl, cl.Name+"."+sym.Name, sym.Static, vars, len(sym.Params))
+	f.m.Sym = sym
+	if err := f.block(sym.Decl.Body); err != nil {
+		return nil, err
+	}
+	f.ensureReturn()
+	return f.m, nil
+}
+
+func (l *lowerer) lowerInit(cl *types.Class, init *ast.InitDecl) (*ir.Method, error) {
+	vars := l.tp.Info.MethodVars[init]
+	f := l.newFn(cl, cl.Name+".<clinit>", true, vars, 0)
+	f.m.IsInit = true
+	if err := f.block(init.Body); err != nil {
+		return nil, err
+	}
+	f.ensureReturn()
+	return f.m, nil
+}
+
+func (f *fn) newBlock() *ir.Block {
+	b := &ir.Block{ID: len(f.m.Blocks)}
+	f.m.Blocks = append(f.m.Blocks, b)
+	return b
+}
+
+func (f *fn) emit(in ir.Instr) *ir.Instr {
+	if in.Dst == 0 && in.Op != ir.Nop {
+		// Dst defaults to -1 unless set explicitly; 0 is a valid register,
+		// so callers must pass Dst explicitly. This guard catches the
+		// common zero-value mistake for ops that never produce a value.
+		switch in.Op {
+		case ir.SetField, ir.SetStatic, ir.SetElem, ir.Jmp, ir.Br, ir.Ret,
+			ir.MonitorEnter, ir.MonitorExit, ir.AtomicBegin, ir.AtomicEnd,
+			ir.Retry, ir.Join, ir.Print, ir.AcquireRec, ir.ReleaseRec, ir.Nop:
+			in.Dst = -1
+		}
+	}
+	if in.Op.IsMemAccess() {
+		in.Barrier.Need = true
+	}
+	if f.atomicDepth > 0 {
+		in.Atomic = true
+	}
+	f.cur.Instrs = append(f.cur.Instrs, in)
+	return &f.cur.Instrs[len(f.cur.Instrs)-1]
+}
+
+func (f *fn) temp(k ir.RegKind) int {
+	r := f.m.NumRegs
+	f.m.NumRegs++
+	f.m.RegKinds = append(f.m.RegKinds, k)
+	return r
+}
+
+func (f *fn) terminated() bool {
+	t := f.cur.Terminator()
+	if t == nil {
+		return false
+	}
+	switch t.Op {
+	case ir.Jmp, ir.Br, ir.Ret:
+		return true
+	}
+	return false
+}
+
+func (f *fn) jump(to *ir.Block) {
+	if !f.terminated() {
+		f.emit(ir.Instr{Op: ir.Jmp, Dst: -1, Targets: [2]int{to.ID, -1}})
+	}
+}
+
+func (f *fn) ensureReturn() {
+	if !f.terminated() {
+		f.emit(ir.Instr{Op: ir.Ret, Dst: -1, A: -1})
+	}
+}
+
+func (f *fn) varReg(v *types.VarSym) int { return f.varBase + v.Index }
+
+func (f *fn) site() int {
+	s := f.l.allocSites
+	f.l.allocSites++
+	return s
+}
+
+func errf(pos token.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: lower: %s", pos, fmt.Sprintf(format, args...))
+}

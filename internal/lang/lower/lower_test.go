@@ -1,0 +1,315 @@
+package lower_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ir"
+	"repro/internal/tj"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := tj.Frontend(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func method(t *testing.T, p *ir.Program, name string) *ir.Method {
+	t.Helper()
+	for _, m := range p.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("no method %s", name)
+	return nil
+}
+
+func opsOf(m *ir.Method) []ir.Op {
+	var ops []ir.Op
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			ops = append(ops, b.Instrs[i].Op)
+		}
+	}
+	return ops
+}
+
+func countOp(m *ir.Method, op ir.Op) int {
+	n := 0
+	for _, o := range opsOf(m) {
+		if o == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEveryAccessGetsBarrierAnnotation(t *testing.T) {
+	p := compile(t, `
+class C { var f: int; var g: C; }
+class Main {
+  static var s: int;
+  static func main() {
+    var c = new C();
+    c.f = 1;
+    var x = c.f;
+    c.g = c;
+    s = x;
+    x = s;
+    var a = new int[3];
+    a[0] = x;
+    x = a[0];
+  }
+}`)
+	m := method(t, p, "Main.main")
+	accesses := 0
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsMemAccess() {
+				accesses++
+				if !in.Barrier.Need {
+					t.Errorf("%v at %v lowered without barrier annotation", in.Op, in.Pos)
+				}
+			}
+		}
+	}
+	if accesses != 7 {
+		t.Errorf("memory accesses = %d, want 7", accesses)
+	}
+}
+
+func TestAtomicMarking(t *testing.T) {
+	p := compile(t, `
+class Main {
+  static var s: int;
+  static func main() {
+    s = 1;
+    atomic { s = 2; }
+    s = 3;
+  }
+}`)
+	m := method(t, p, "Main.main")
+	var flags []bool
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.SetStatic {
+				flags = append(flags, in.Atomic)
+			}
+		}
+	}
+	want := []bool{false, true, false}
+	if len(flags) != 3 {
+		t.Fatalf("stores = %d", len(flags))
+	}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Errorf("store %d atomic = %v, want %v", i, flags[i], want[i])
+		}
+	}
+	if countOp(m, ir.AtomicBegin) != 1 || countOp(m, ir.AtomicEnd) != 1 {
+		t.Error("atomic begin/end not balanced")
+	}
+}
+
+func TestReturnInsideAtomicEmitsAtomicEnd(t *testing.T) {
+	p := compile(t, `
+class Main {
+  static var s: int;
+  static func f(): int {
+    atomic {
+      s = 1;
+      return 5;
+    }
+  }
+  static func main() { var x = Main.f(); x = x; }
+}`)
+	m := method(t, p, "Main.f")
+	// Every Ret must be preceded (in its block) by an AtomicEnd when
+	// lexically inside atomic.
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Ret && in.Atomic {
+				ok := false
+				for j := 0; j < i; j++ {
+					if b.Instrs[j].Op == ir.AtomicEnd {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Error("return inside atomic without preceding AtomicEnd")
+				}
+			}
+		}
+	}
+	if countOp(m, ir.AtomicEnd) < 1 {
+		t.Error("no AtomicEnd emitted")
+	}
+}
+
+func TestBreakOutOfSyncReleasesMonitor(t *testing.T) {
+	p := compile(t, `
+class Main {
+  static var lock: Main;
+  static func main() {
+    lock = new Main();
+    for (var i = 0; i < 3; i++) {
+      synchronized (lock) {
+        if (i == 1) { break; }
+      }
+    }
+  }
+}`)
+	m := method(t, p, "Main.main")
+	enters, exits := countOp(m, ir.MonitorEnter), countOp(m, ir.MonitorExit)
+	if enters != 1 {
+		t.Errorf("MonitorEnter = %d", enters)
+	}
+	// One exit on the normal path plus one on the break path.
+	if exits != 2 {
+		t.Errorf("MonitorExit = %d, want 2 (normal + break path)", exits)
+	}
+}
+
+func TestShortCircuitBranches(t *testing.T) {
+	p := compile(t, `
+class Main {
+  static func f(a: bool, b: bool): bool { return a && b || !a; }
+  static func main() { var x = Main.f(true, false); x = x; }
+}`)
+	m := method(t, p, "Main.f")
+	if countOp(m, ir.Br) < 2 {
+		t.Error("short-circuit operators did not lower to branches")
+	}
+}
+
+func TestVirtualAndStaticCalls(t *testing.T) {
+	p := compile(t, `
+class A { func v(): int { return 1; } }
+class Main {
+  static func s(): int { return 2; }
+  static func main() {
+    var a = new A();
+    var x = a.v() + Main.s();
+    x = x;
+  }
+}`)
+	m := method(t, p, "Main.main")
+	if countOp(m, ir.CallVirtual) != 1 || countOp(m, ir.CallStatic) != 1 {
+		t.Errorf("calls: virtual=%d static=%d", countOp(m, ir.CallVirtual), countOp(m, ir.CallStatic))
+	}
+}
+
+func TestAllocSitesUnique(t *testing.T) {
+	p := compile(t, `
+class C { }
+class Main {
+  static func main() {
+    var a = new C();
+    var b = new C();
+    var c = new int[2];
+    c[0] = 0;
+    var d = a;
+    d = b;
+  }
+}`)
+	seen := map[int]bool{}
+	for _, m := range p.Methods {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.NewObj || in.Op == ir.NewArray {
+					if seen[in.AllocSite] {
+						t.Errorf("duplicate alloc site %d", in.AllocSite)
+					}
+					seen[in.AllocSite] = true
+				}
+			}
+		}
+	}
+	if len(seen) != 3 || p.NumAllocSites != 3 {
+		t.Errorf("alloc sites = %d (program says %d), want 3", len(seen), p.NumAllocSites)
+	}
+}
+
+func TestTerminatorsPresent(t *testing.T) {
+	p := compile(t, `
+class Main {
+  static func f(x: int): int {
+    if (x > 0) { return 1; }
+    while (x < 0) { x++; }
+    return 0;
+  }
+  static func main() { var r = Main.f(1); r = r; }
+}`)
+	m := method(t, p, "Main.f")
+	for _, b := range m.Blocks {
+		if len(b.Instrs) == 0 {
+			continue // empty blocks are legal (fallthrough returns void)
+		}
+		term := b.Terminator()
+		switch term.Op {
+		case ir.Jmp, ir.Br, ir.Ret:
+		default:
+			// Non-terminated blocks are only legal as implicit void returns
+			// at the end of a method; f returns int so everything must end
+			// in a real terminator.
+			t.Errorf("block b%d ends with %v", b.ID, term.Op)
+		}
+	}
+}
+
+func TestMethodStringRendering(t *testing.T) {
+	p := compile(t, `
+class C { var f: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    atomic { c.f = 1; }
+    var x = c.f;
+    x = x;
+  }
+}`)
+	s := method(t, p, "Main.main").String()
+	for _, want := range []string{"func Main.main", "[txn]", "barrier: yes", "new C"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFinalFlagPropagated(t *testing.T) {
+	p := compile(t, `
+class C { final var id: int; var v: int; func set() { id = 1; } }
+class Main {
+  static func main() {
+    var c = new C();
+    c.set();
+    var x = c.id + c.v;
+    x = x;
+  }
+}`)
+	m := method(t, p, "Main.main")
+	finals, nonfinals := 0, 0
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.GetField {
+				if in.Final {
+					finals++
+				} else {
+					nonfinals++
+				}
+			}
+		}
+	}
+	if finals != 1 || nonfinals != 1 {
+		t.Errorf("final loads = %d, non-final = %d, want 1/1", finals, nonfinals)
+	}
+}

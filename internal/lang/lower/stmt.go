@@ -1,0 +1,354 @@
+package lower
+
+import (
+	"repro/internal/lang/ast"
+	"repro/internal/lang/ir"
+	"repro/internal/lang/token"
+	"repro/internal/lang/types"
+)
+
+func (f *fn) block(b *ast.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+		if f.terminated() {
+			// Unreachable trailing statements are dropped.
+			break
+		}
+	}
+	return nil
+}
+
+func (f *fn) stmt(s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return f.block(st)
+	case *ast.VarStmt:
+		v := f.info.VarDecls[st]
+		r, err := f.expr(st.Init)
+		if err != nil {
+			return err
+		}
+		f.emit(ir.Instr{Op: ir.Mov, Dst: f.varReg(v), A: r, Pos: st.Pos})
+		return nil
+	case *ast.AssignStmt:
+		return f.assign(st)
+	case *ast.IfStmt:
+		return f.ifStmt(st)
+	case *ast.WhileStmt:
+		return f.whileStmt(st)
+	case *ast.ForStmt:
+		return f.forStmt(st)
+	case *ast.ReturnStmt:
+		return f.returnStmt(st)
+	case *ast.AtomicStmt:
+		return f.atomicStmt(st)
+	case *ast.SyncStmt:
+		return f.syncStmt(st)
+	case *ast.RetryStmt:
+		f.emit(ir.Instr{Op: ir.Retry, Dst: -1, A: -1, B: -1, Pos: st.Pos})
+		return nil
+	case *ast.BreakStmt:
+		lc := f.loops[len(f.loops)-1]
+		f.emitCleanupsDownTo(lc.cleanupDepth)
+		f.jump(lc.breakBlock)
+		return nil
+	case *ast.ContinueStmt:
+		lc := f.loops[len(f.loops)-1]
+		f.emitCleanupsDownTo(lc.cleanupDepth)
+		f.jump(lc.contBlock)
+		return nil
+	case *ast.ExprStmt:
+		_, err := f.exprOrVoid(st.X)
+		return err
+	}
+	return errf(token.Pos{}, "unhandled statement %T", s)
+}
+
+func (f *fn) assign(st *ast.AssignStmt) error {
+	// ++/--/+=/-=: read-modify-write on the same location.
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		if v := f.info.VarRefs[lhs]; v != nil {
+			return f.assignVar(st, f.varReg(v))
+		}
+		fld := f.info.FieldRefs[lhs]
+		if fld.Static {
+			return f.assignStatic(st, fld)
+		}
+		return f.assignField(st, 0 /* this */, fld) // reg 0 is this
+	case *ast.FieldExpr:
+		fld := f.info.FieldRefs[lhs]
+		if fld.Static {
+			return f.assignStatic(st, fld)
+		}
+		base, err := f.expr(lhs.X)
+		if err != nil {
+			return err
+		}
+		return f.assignField(st, base, fld)
+	case *ast.IndexExpr:
+		arr, err := f.expr(lhs.X)
+		if err != nil {
+			return err
+		}
+		idx, err := f.expr(lhs.Idx)
+		if err != nil {
+			return err
+		}
+		elemT := f.info.ExprTypes[lhs]
+		val, err := f.assignRHS(st, func() (int, error) {
+			t := f.temp(regKind(elemT))
+			f.emit(ir.Instr{Op: ir.GetElem, Dst: t, A: arr, B: idx,
+				IsRef: elemT.IsRef(), Pos: st.Pos})
+			return t, nil
+		})
+		if err != nil {
+			return err
+		}
+		f.emit(ir.Instr{Op: ir.SetElem, Dst: -1, A: arr, B: idx, C: val,
+			IsRef: elemT.IsRef(), Pos: st.Pos})
+		return nil
+	}
+	return errf(st.Pos, "bad assignment target %T", st.LHS)
+}
+
+// assignRHS computes the value to store: the plain RHS for =, or a
+// read-modify-write using load() for compound assignments.
+func (f *fn) assignRHS(st *ast.AssignStmt, load func() (int, error)) (int, error) {
+	switch st.Op {
+	case token.Assign:
+		return f.expr(st.RHS)
+	case token.Inc, token.Dec:
+		cur, err := load()
+		if err != nil {
+			return -1, err
+		}
+		one := f.temp(ir.RInt)
+		f.emit(ir.Instr{Op: ir.ConstInt, Dst: one, A: -1, Const: 1, Pos: st.Pos})
+		op := ir.Add
+		if st.Op == token.Dec {
+			op = ir.Sub
+		}
+		res := f.temp(ir.RInt)
+		f.emit(ir.Instr{Op: op, Dst: res, A: cur, B: one, Pos: st.Pos})
+		return res, nil
+	case token.PlusAssign, token.MinusAssign:
+		cur, err := load()
+		if err != nil {
+			return -1, err
+		}
+		rhs, err := f.expr(st.RHS)
+		if err != nil {
+			return -1, err
+		}
+		op := ir.Add
+		if st.Op == token.MinusAssign {
+			op = ir.Sub
+		}
+		res := f.temp(ir.RInt)
+		f.emit(ir.Instr{Op: op, Dst: res, A: cur, B: rhs, Pos: st.Pos})
+		return res, nil
+	}
+	return -1, errf(st.Pos, "bad assignment operator %v", st.Op)
+}
+
+func (f *fn) assignVar(st *ast.AssignStmt, reg int) error {
+	val, err := f.assignRHS(st, func() (int, error) { return reg, nil })
+	if err != nil {
+		return err
+	}
+	f.emit(ir.Instr{Op: ir.Mov, Dst: reg, A: val, Pos: st.Pos})
+	return nil
+}
+
+func (f *fn) assignField(st *ast.AssignStmt, base int, fld *types.Field) error {
+	val, err := f.assignRHS(st, func() (int, error) {
+		t := f.temp(regKind(fld.Type))
+		f.emit(ir.Instr{Op: ir.GetField, Dst: t, A: base, Slot: fld.Slot,
+			IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: st.Pos})
+		return t, nil
+	})
+	if err != nil {
+		return err
+	}
+	f.emit(ir.Instr{Op: ir.SetField, Dst: -1, A: base, B: val, Slot: fld.Slot,
+		IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: st.Pos})
+	return nil
+}
+
+func (f *fn) assignStatic(st *ast.AssignStmt, fld *types.Field) error {
+	val, err := f.assignRHS(st, func() (int, error) {
+		t := f.temp(regKind(fld.Type))
+		f.emit(ir.Instr{Op: ir.GetStatic, Dst: t, A: -1, Class: fld.Owner,
+			Slot: fld.Slot, IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: st.Pos})
+		return t, nil
+	})
+	if err != nil {
+		return err
+	}
+	f.emit(ir.Instr{Op: ir.SetStatic, Dst: -1, A: -1, B: val, Class: fld.Owner,
+		Slot: fld.Slot, IsRef: fld.Type.IsRef(), Final: fld.Final, Pos: st.Pos})
+	return nil
+}
+
+func (f *fn) ifStmt(st *ast.IfStmt) error {
+	cond, err := f.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := f.newBlock()
+	var elseB *ir.Block
+	done := f.newBlock()
+	if st.Else != nil {
+		elseB = f.newBlock()
+		f.emit(ir.Instr{Op: ir.Br, Dst: -1, A: cond, Targets: [2]int{thenB.ID, elseB.ID}, Pos: st.Pos})
+	} else {
+		f.emit(ir.Instr{Op: ir.Br, Dst: -1, A: cond, Targets: [2]int{thenB.ID, done.ID}, Pos: st.Pos})
+	}
+	f.cur = thenB
+	if err := f.block(st.Then); err != nil {
+		return err
+	}
+	f.jump(done)
+	if st.Else != nil {
+		f.cur = elseB
+		if err := f.stmt(st.Else); err != nil {
+			return err
+		}
+		f.jump(done)
+	}
+	f.cur = done
+	return nil
+}
+
+func (f *fn) whileStmt(st *ast.WhileStmt) error {
+	head := f.newBlock()
+	body := f.newBlock()
+	done := f.newBlock()
+	f.jump(head)
+	f.cur = head
+	cond, err := f.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	f.emit(ir.Instr{Op: ir.Br, Dst: -1, A: cond, Targets: [2]int{body.ID, done.ID}, Pos: st.Pos})
+	f.loops = append(f.loops, loopCtx{contBlock: head, breakBlock: done, cleanupDepth: len(f.cleanups)})
+	f.cur = body
+	if err := f.block(st.Body); err != nil {
+		return err
+	}
+	f.jump(head)
+	f.loops = f.loops[:len(f.loops)-1]
+	f.cur = done
+	return nil
+}
+
+func (f *fn) forStmt(st *ast.ForStmt) error {
+	if st.Init != nil {
+		if err := f.stmt(st.Init); err != nil {
+			return err
+		}
+	}
+	head := f.newBlock()
+	body := f.newBlock()
+	post := f.newBlock()
+	done := f.newBlock()
+	f.jump(head)
+	f.cur = head
+	if st.Cond != nil {
+		cond, err := f.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		f.emit(ir.Instr{Op: ir.Br, Dst: -1, A: cond, Targets: [2]int{body.ID, done.ID}, Pos: st.Pos})
+	} else {
+		f.jump(body)
+	}
+	f.loops = append(f.loops, loopCtx{contBlock: post, breakBlock: done, cleanupDepth: len(f.cleanups)})
+	f.cur = body
+	if err := f.block(st.Body); err != nil {
+		return err
+	}
+	f.jump(post)
+	f.loops = f.loops[:len(f.loops)-1]
+	f.cur = post
+	if st.Post != nil {
+		if err := f.stmt(st.Post); err != nil {
+			return err
+		}
+	}
+	f.jump(head)
+	f.cur = done
+	return nil
+}
+
+func (f *fn) returnStmt(st *ast.ReturnStmt) error {
+	val := -1
+	if st.Value != nil {
+		r, err := f.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		val = r
+	}
+	// Returning out of synchronized/atomic regions must release monitors
+	// and end transactions on the way out.
+	f.emitCleanupsDownTo(0)
+	f.emit(ir.Instr{Op: ir.Ret, Dst: -1, A: val, Pos: st.Pos})
+	return nil
+}
+
+// emitCleanupsDownTo emits the exit actions for every region deeper than
+// depth without popping them (the lexical region continues for other
+// paths).
+func (f *fn) emitCleanupsDownTo(depth int) {
+	for i := len(f.cleanups) - 1; i >= depth; i-- {
+		c := f.cleanups[i]
+		switch c.kind {
+		case cleanupMonitor:
+			f.emit(ir.Instr{Op: ir.MonitorExit, Dst: -1, A: c.reg})
+		case cleanupAtomic:
+			f.emit(ir.Instr{Op: ir.AtomicEnd, Dst: -1, A: -1})
+		}
+	}
+}
+
+func (f *fn) atomicStmt(st *ast.AtomicStmt) error {
+	f.emit(ir.Instr{Op: ir.AtomicBegin, Dst: -1, A: -1, Pos: st.Pos})
+	f.atomicDepth++
+	f.cleanups = append(f.cleanups, cleanup{kind: cleanupAtomic})
+	err := f.block(st.Body)
+	f.cleanups = f.cleanups[:len(f.cleanups)-1]
+	f.atomicDepth--
+	if err != nil {
+		return err
+	}
+	if !f.terminated() {
+		f.emit(ir.Instr{Op: ir.AtomicEnd, Dst: -1, A: -1, Pos: st.Pos})
+	}
+	return nil
+}
+
+func (f *fn) syncStmt(st *ast.SyncStmt) error {
+	lock, err := f.expr(st.Lock)
+	if err != nil {
+		return err
+	}
+	// Pin the lock object in a dedicated register so re-evaluation at exit
+	// sees the same object even if the source expression's parts change.
+	pin := f.temp(ir.RRef)
+	f.emit(ir.Instr{Op: ir.Mov, Dst: pin, A: lock, Pos: st.Pos})
+	f.emit(ir.Instr{Op: ir.MonitorEnter, Dst: -1, A: pin, Pos: st.Pos})
+	f.cleanups = append(f.cleanups, cleanup{kind: cleanupMonitor, reg: pin})
+	err = f.block(st.Body)
+	f.cleanups = f.cleanups[:len(f.cleanups)-1]
+	if err != nil {
+		return err
+	}
+	if !f.terminated() {
+		f.emit(ir.Instr{Op: ir.MonitorExit, Dst: -1, A: pin, Pos: st.Pos})
+	}
+	return nil
+}

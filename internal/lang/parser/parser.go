@@ -1,0 +1,740 @@
+// Package parser parses TJ source into an AST.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/lexer"
+	"repro/internal/lang/token"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+// Parse tokenizes and parses a TJ compilation unit.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) next() token.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return token.Token{}, &Error{Pos: p.cur().Pos,
+		Msg: fmt.Sprintf("expected %v, found %v", k, p.cur())}
+}
+
+func (p *parser) parseProgram() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		c, err := p.parseClass()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, c)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseClass() (*ast.ClassDecl, error) {
+	kw, err := p.expect(token.KwClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	c := &ast.ClassDecl{Pos: kw.Pos, Name: name.Text}
+	if p.accept(token.KwExtends) {
+		sup, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		c.Extends = sup.Text
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.accept(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, &Error{Pos: p.cur().Pos, Msg: "unexpected EOF in class body"}
+		}
+		if err := p.parseMember(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) parseMember(c *ast.ClassDecl) error {
+	pos := p.cur().Pos
+	static := p.accept(token.KwStatic)
+	final := p.accept(token.KwFinal)
+	volatile := p.accept(token.KwVolatile)
+	switch {
+	case p.at(token.KwVar):
+		p.next()
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return err
+		}
+		c.Fields = append(c.Fields, &ast.FieldDecl{
+			Pos: pos, Name: name.Text, Type: typ,
+			Static: static, Final: final, Volatile: volatile,
+		})
+		return nil
+	case p.at(token.KwFunc):
+		if final || volatile {
+			return &Error{Pos: pos, Msg: "final/volatile apply to fields only"}
+		}
+		p.next()
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return err
+		}
+		m := &ast.MethodDecl{Pos: pos, Name: name.Text, Static: static}
+		if _, err := p.expect(token.LParen); err != nil {
+			return err
+		}
+		for !p.accept(token.RParen) {
+			if len(m.Params) > 0 {
+				if _, err := p.expect(token.Comma); err != nil {
+					return err
+				}
+			}
+			pn, err := p.expect(token.Ident)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(token.Colon); err != nil {
+				return err
+			}
+			pt, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			m.Params = append(m.Params, &ast.Param{Pos: pn.Pos, Name: pn.Text, Type: pt})
+		}
+		if p.accept(token.Colon) {
+			rt, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			m.Ret = rt
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		m.Body = body
+		c.Methods = append(c.Methods, m)
+		return nil
+	case p.at(token.KwInit):
+		if static || final || volatile {
+			return &Error{Pos: pos, Msg: "init blocks take no modifiers"}
+		}
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		c.Inits = append(c.Inits, &ast.InitDecl{Pos: pos, Body: body})
+		return nil
+	}
+	return &Error{Pos: pos, Msg: fmt.Sprintf("expected class member, found %v", p.cur())}
+}
+
+func (p *parser) parseType() (*ast.TypeExpr, error) {
+	pos := p.cur().Pos
+	var t *ast.TypeExpr
+	switch {
+	case p.accept(token.KwInt):
+		t = &ast.TypeExpr{Pos: pos, Kind: ast.KInt}
+	case p.accept(token.KwBool):
+		t = &ast.TypeExpr{Pos: pos, Kind: ast.KBool}
+	case p.accept(token.KwThread):
+		t = &ast.TypeExpr{Pos: pos, Kind: ast.KThread}
+	case p.at(token.Ident):
+		name := p.next()
+		t = &ast.TypeExpr{Pos: pos, Kind: ast.KClass, Name: name.Text}
+	default:
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf("expected type, found %v", p.cur())}
+	}
+	for p.at(token.LBracket) && p.toks[p.pos+1].Kind == token.RBracket {
+		p.next()
+		p.next()
+		t = &ast.TypeExpr{Pos: pos, Kind: ast.KArray, Elem: t}
+	}
+	return t, nil
+}
+
+func (p *parser) parseBlock() (*ast.BlockStmt, error) {
+	lb, err := p.expect(token.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &ast.BlockStmt{Pos: lb.Pos}
+	for !p.accept(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, &Error{Pos: p.cur().Pos, Msg: "unexpected EOF in block"}
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwVar:
+		return p.parseVarStmt(true)
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		p.next()
+		var val ast.Expr
+		if !p.at(token.Semicolon) {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{Pos: pos, Value: val}, nil
+	case token.KwAtomic:
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AtomicStmt{Pos: pos, Body: body}, nil
+	case token.KwSynchronized:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		lock, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SyncStmt{Pos: pos, Lock: lock, Body: body}, nil
+	case token.KwRetry:
+		p.next()
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.RetryStmt{Pos: pos}, nil
+	case token.KwBreak:
+		p.next()
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.BreakStmt{Pos: pos}, nil
+	case token.KwContinue:
+		p.next()
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ContinueStmt{Pos: pos}, nil
+	}
+	// Assignment or expression statement.
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement without the
+// trailing semicolon (shared by for-headers).
+func (p *parser) parseSimpleStmt() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case token.Assign, token.PlusAssign, token.MinusAssign:
+		op := p.next().Kind
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{Pos: pos, Op: op, LHS: lhs, RHS: rhs}, nil
+	case token.Inc, token.Dec:
+		op := p.next().Kind
+		return &ast.AssignStmt{Pos: pos, Op: op, LHS: lhs}, nil
+	}
+	return &ast.ExprStmt{Pos: pos, X: lhs}, nil
+}
+
+func (p *parser) parseVarStmt(withSemi bool) (ast.Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // var
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	var typ *ast.TypeExpr
+	if p.accept(token.Colon) {
+		typ, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Assign); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if withSemi {
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+	}
+	return &ast.VarStmt{Pos: pos, Name: name.Text, Type: typ, Init: init}, nil
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	p.next()
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(token.KwElse) {
+		if p.at(token.KwIf) {
+			e, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = e
+		} else {
+			e, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = e
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseFor() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	p.next()
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	st := &ast.ForStmt{Pos: pos}
+	if !p.at(token.Semicolon) {
+		var err error
+		if p.at(token.KwVar) {
+			st.Init, err = p.parseVarStmt(false)
+		} else {
+			st.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(token.Semicolon) {
+		var err error
+		st.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(token.RParen) {
+		var err error
+		st.Post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.OrOr) {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Pos: pos, Op: token.OrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.AndAnd) {
+		pos := p.next().Pos
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Pos: pos, Op: token.AndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (ast.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		switch k {
+		case token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge:
+			pos := p.next().Pos
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.BinaryExpr{Pos: pos, Op: k, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdd() (ast.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.Plus) || p.at(token.Minus) {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.Star) || p.at(token.Slash) || p.at(token.Percent) {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	switch p.cur().Kind {
+	case token.Minus, token.Not:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Pos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			pos := p.next().Pos
+			name, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(token.LParen) {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				x = &ast.CallExpr{Pos: pos,
+					Fun:  &ast.FieldExpr{Pos: pos, X: x, Name: name.Text},
+					Args: args}
+			} else {
+				x = &ast.FieldExpr{Pos: pos, X: x, Name: name.Text}
+			}
+		case token.LBracket:
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			x = &ast.IndexExpr{Pos: pos, X: x, Idx: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]ast.Expr, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.accept(token.RParen) {
+		if len(args) > 0 {
+			if _, err := p.expect(token.Comma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Int:
+		p.next()
+		return &ast.IntLit{Pos: t.Pos, Val: t.Val}, nil
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{Pos: t.Pos, Val: true}, nil
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{Pos: t.Pos, Val: false}, nil
+	case token.KwNull:
+		p.next()
+		return &ast.NullLit{Pos: t.Pos}, nil
+	case token.KwThis:
+		p.next()
+		return &ast.ThisExpr{Pos: t.Pos}, nil
+	case token.LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case token.KwNew:
+		p.next()
+		elem, err := p.parseNewType()
+		if err != nil {
+			return nil, err
+		}
+		// Array-of-array element types: each "[]" pair (an immediately
+		// closed bracket) wraps the element type; the final "[expr]" is the
+		// allocation length.
+		for p.at(token.LBracket) && p.toks[p.pos+1].Kind == token.RBracket {
+			p.next()
+			p.next()
+			elem = &ast.TypeExpr{Pos: t.Pos, Kind: ast.KArray, Elem: elem}
+		}
+		if p.at(token.LParen) {
+			if elem.Kind != ast.KClass {
+				return nil, &Error{Pos: t.Pos, Msg: "only class types can be constructed with new C()"}
+			}
+			if _, err := p.expect(token.LParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			return &ast.NewExpr{Pos: t.Pos, Name: elem.Name}, nil
+		}
+		if _, err := p.expect(token.LBracket); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+		return &ast.NewArrayExpr{Pos: t.Pos, Elem: elem, Len: n}, nil
+	case token.KwSpawn:
+		p.next()
+		x, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return nil, &Error{Pos: t.Pos, Msg: "spawn requires a method call"}
+		}
+		return &ast.SpawnExpr{Pos: t.Pos, Call: call}, nil
+	case token.Ident:
+		p.next()
+		if p.at(token.LParen) {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if ast.Builtins[t.Text] {
+				return &ast.BuiltinExpr{Pos: t.Pos, Name: t.Text, Args: args}, nil
+			}
+			return &ast.CallExpr{Pos: t.Pos,
+				Fun:  &ast.Ident{Pos: t.Pos, Name: t.Text},
+				Args: args}, nil
+		}
+		return &ast.Ident{Pos: t.Pos, Name: t.Text}, nil
+	}
+	return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected expression, found %v", t)}
+}
+
+// parseNewType parses the type after new: a class name or a scalar/array
+// element type (without trailing []).
+func (p *parser) parseNewType() (*ast.TypeExpr, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.accept(token.KwInt):
+		return &ast.TypeExpr{Pos: pos, Kind: ast.KInt}, nil
+	case p.accept(token.KwBool):
+		return &ast.TypeExpr{Pos: pos, Kind: ast.KBool}, nil
+	case p.accept(token.KwThread):
+		return &ast.TypeExpr{Pos: pos, Kind: ast.KThread}, nil
+	case p.at(token.Ident):
+		n := p.next()
+		return &ast.TypeExpr{Pos: pos, Kind: ast.KClass, Name: n.Text}, nil
+	}
+	return nil, &Error{Pos: pos, Msg: fmt.Sprintf("expected type after new, found %v", p.cur())}
+}

@@ -1,0 +1,219 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("parse %q: expected error", src)
+	}
+	if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err.Error(), wantSub)
+	}
+}
+
+func TestClassDecls(t *testing.T) {
+	p := parseOK(t, `
+class A { var x: int; }
+class B extends A {
+  static final var id: int;
+  volatile var flag: bool;
+  var peers: B[];
+  var grid: int[][];
+}`)
+	if len(p.Classes) != 2 {
+		t.Fatalf("classes = %d", len(p.Classes))
+	}
+	b := p.Classes[1]
+	if b.Extends != "A" {
+		t.Errorf("extends = %q", b.Extends)
+	}
+	if !b.Fields[0].Static || !b.Fields[0].Final {
+		t.Error("modifiers lost on id")
+	}
+	if !b.Fields[1].Volatile {
+		t.Error("volatile lost")
+	}
+	if b.Fields[2].Type.Kind != ast.KArray || b.Fields[2].Type.Elem.Kind != ast.KClass {
+		t.Error("array-of-class type mis-parsed")
+	}
+	if b.Fields[3].Type.Kind != ast.KArray || b.Fields[3].Type.Elem.Kind != ast.KArray {
+		t.Error("array-of-array type mis-parsed")
+	}
+}
+
+func TestMethodsAndParams(t *testing.T) {
+	p := parseOK(t, `
+class C {
+  func f(a: int, b: C, c: bool[]): int { return a; }
+  static func g() { }
+  init { }
+}`)
+	c := p.Classes[0]
+	if len(c.Methods) != 2 || len(c.Inits) != 1 {
+		t.Fatalf("methods=%d inits=%d", len(c.Methods), len(c.Inits))
+	}
+	f := c.Methods[0]
+	if len(f.Params) != 3 || f.Ret == nil || f.Ret.Kind != ast.KInt {
+		t.Errorf("f signature mis-parsed: %+v", f)
+	}
+	if !c.Methods[1].Static || c.Methods[1].Ret != nil {
+		t.Errorf("g signature mis-parsed")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	p := parseOK(t, `
+class C {
+  func f() {
+    var x = 1;
+    var y: C = null;
+    x = 2;
+    x += 3;
+    x -= 4;
+    x++;
+    x--;
+    if (x > 0) { x = 1; } else if (x < 0) { x = 2; } else { x = 3; }
+    while (x > 0) { x--; break; }
+    for (var i = 0; i < 10; i++) { continue; }
+    for (;;) { break; }
+    atomic { retry; }
+    synchronized (y) { }
+    return;
+  }
+}`)
+	body := p.Classes[0].Methods[0].Body
+	if len(body.Stmts) < 13 {
+		t.Errorf("statements = %d", len(body.Stmts))
+	}
+	found := map[string]bool{}
+	for _, s := range body.Stmts {
+		switch s.(type) {
+		case *ast.AtomicStmt:
+			found["atomic"] = true
+		case *ast.SyncStmt:
+			found["sync"] = true
+		case *ast.ForStmt:
+			found["for"] = true
+		case *ast.WhileStmt:
+			found["while"] = true
+		case *ast.IfStmt:
+			found["if"] = true
+		}
+	}
+	for _, k := range []string{"atomic", "sync", "for", "while", "if"} {
+		if !found[k] {
+			t.Errorf("missing %s statement", k)
+		}
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	p := parseOK(t, `
+class C { func f(): int { return 1 + 2 * 3 - 4 / 2 % 2; } }`)
+	ret := p.Classes[0].Methods[0].Body.Stmts[0].(*ast.ReturnStmt)
+	// Top node must be the subtraction: (1 + 2*3) - (4/2 % 2).
+	bin, ok := ret.Value.(*ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("return value %T", ret.Value)
+	}
+	if bin.Op.String() != "-" {
+		t.Errorf("top operator = %v", bin.Op)
+	}
+}
+
+func TestShortCircuitAndComparisons(t *testing.T) {
+	parseOK(t, `
+class C {
+  func f(a: int, b: int): bool {
+    return a < b && b <= 10 || !(a == b) && a != 0;
+  }
+}`)
+}
+
+func TestCallsFieldsIndexSpawn(t *testing.T) {
+	p := parseOK(t, `
+class C {
+  var peer: C;
+  var data: int[];
+  func m(x: int): int { return x; }
+  func f() {
+    var a = m(1);
+    var b = this.m(2);
+    var c = peer.m(3);
+    var d = C.sf();
+    var e = data[a + b];
+    data[0] = c + d + e;
+    var t = spawn peer.m(4);
+    join(t);
+    print(len(data));
+    var r = rand(10) + arg(0);
+    r = r;
+  }
+  static func sf(): int { return 0; }
+}`)
+	if p == nil {
+		t.Fatal("nil program")
+	}
+}
+
+func TestNewForms(t *testing.T) {
+	parseOK(t, `
+class C {
+  func f() {
+    var a = new C();
+    var b = new int[10];
+    var c = new C[5];
+    var d = new int[][3];
+    var e = new bool[2];
+    var t = new thread[4];
+    e[0] = true;
+    d[0] = b;
+    c[0] = a;
+    t[0] = spawn a.f();
+  }
+}`)
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, `class`, "expected identifier")
+	parseErr(t, `class C`, "expected {")
+	parseErr(t, `class C { var x int; }`, "expected :")
+	parseErr(t, `class C { func f() { if x { } } }`, "expected (")
+	parseErr(t, `class C { func f() { var x = ; } }`, "expected expression")
+	parseErr(t, `class C { func f() { x = 1 } }`, "expected ;")
+	parseErr(t, `class C { static init { } }`, "init blocks take no modifiers")
+	parseErr(t, `class C { final func f() { } }`, "final/volatile apply to fields only")
+	parseErr(t, `class C { func f() { spawn 5; } }`, "spawn requires a method call")
+	parseErr(t, `class C { func f() { var x = new int(); } }`, "only class types")
+	parseErr(t, `class C { func f() {`, "unexpected EOF")
+	parseErr(t, `class C { 5 }`, "expected class member")
+}
+
+func TestElseIfChain(t *testing.T) {
+	p := parseOK(t, `
+class C { func f(x: int): int {
+  if (x == 1) { return 1; }
+  else if (x == 2) { return 2; }
+  else { return 3; }
+} }`)
+	ifst := p.Classes[0].Methods[0].Body.Stmts[0].(*ast.IfStmt)
+	if _, ok := ifst.Else.(*ast.IfStmt); !ok {
+		t.Errorf("else-if chain produced %T", ifst.Else)
+	}
+}

@@ -1,0 +1,147 @@
+// Package token defines the lexical tokens of TJ, the small Java-like
+// transactional language this reproduction compiles. TJ plays the role
+// Java plays in the paper: programs written in it are compiled by our JIT
+// (packages lang/lower and opt), which inserts strong-atomicity isolation
+// barriers on non-transactional accesses and optimizes them away.
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int // integer literal
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semicolon
+	Colon
+	Comma
+	Dot
+
+	// Operators.
+	Assign     // =
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	PlusAssign // +=
+	MinusAssign
+	Inc // ++
+	Dec // --
+	Eq  // ==
+	Ne  // !=
+	Lt  // <
+	Le  // <=
+	Gt  // >
+	Ge  // >=
+	AndAnd
+	OrOr
+	Not
+
+	// Keywords.
+	KwClass
+	KwExtends
+	KwVar
+	KwFunc
+	KwStatic
+	KwFinal
+	KwVolatile
+	KwInit
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwAtomic
+	KwSynchronized
+	KwRetry
+	KwSpawn
+	KwNew
+	KwNull
+	KwTrue
+	KwFalse
+	KwThis
+	KwInt
+	KwBool
+	KwThread
+	KwBreak
+	KwContinue
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "integer",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semicolon: ";", Colon: ":",
+	Comma: ",", Dot: ".",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	PlusAssign: "+=", MinusAssign: "-=", Inc: "++", Dec: "--",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+	KwClass: "class", KwExtends: "extends", KwVar: "var", KwFunc: "func",
+	KwStatic: "static", KwFinal: "final", KwVolatile: "volatile",
+	KwInit: "init", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwFor: "for", KwReturn: "return", KwAtomic: "atomic",
+	KwSynchronized: "synchronized", KwRetry: "retry", KwSpawn: "spawn",
+	KwNew: "new", KwNull: "null", KwTrue: "true", KwFalse: "false",
+	KwThis: "this", KwInt: "int", KwBool: "bool", KwThread: "thread",
+	KwBreak: "break", KwContinue: "continue",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"class": KwClass, "extends": KwExtends, "var": KwVar, "func": KwFunc,
+	"static": KwStatic, "final": KwFinal, "volatile": KwVolatile,
+	"init": KwInit, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "return": KwReturn, "atomic": KwAtomic,
+	"synchronized": KwSynchronized, "retry": KwRetry, "spawn": KwSpawn,
+	"new": KwNew, "null": KwNull, "true": KwTrue, "false": KwFalse,
+	"this": KwThis, "int": KwInt, "bool": KwBool, "thread": KwThread,
+	"break": KwBreak, "continue": KwContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling or literal text
+	Val  int64  // integer literal value
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Text)
+	case Int:
+		return fmt.Sprintf("%s(%d)", t.Kind, t.Val)
+	default:
+		return t.Kind.String()
+	}
+}

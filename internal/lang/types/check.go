@@ -1,0 +1,591 @@
+package types
+
+import (
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// checkBodies type-checks every method body and static initializer.
+func (c *checker) checkBodies() error {
+	for _, cl := range c.p.Classes {
+		for _, m := range cl.Decls {
+			if err := c.checkMethod(cl, m); err != nil {
+				return err
+			}
+		}
+		for _, init := range cl.Inits {
+			if err := c.checkInit(cl, init); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkMethod(cl *Class, m *Method) error {
+	c.cls, c.method, c.initDecl = cl, m, nil
+	c.scopes = []map[string]*VarSym{make(map[string]*VarSym)}
+	c.vars = nil
+	c.atomic, c.loop = 0, 0
+	for i, name := range m.ParamNames {
+		if err := c.declare(m.Decl.Params[i].Pos, name, m.Params[i]); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(m.Decl.Body); err != nil {
+		return err
+	}
+	c.p.Info.MethodVars[m.Decl] = c.vars
+	return nil
+}
+
+func (c *checker) checkInit(cl *Class, init *ast.InitDecl) error {
+	c.cls, c.method, c.initDecl = cl, nil, init
+	c.scopes = []map[string]*VarSym{make(map[string]*VarSym)}
+	c.vars = nil
+	c.atomic, c.loop = 0, 0
+	if err := c.checkBlock(init.Body); err != nil {
+		return err
+	}
+	c.p.Info.MethodVars[init] = c.vars
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*VarSym)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos token.Pos, name string, t *Type) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(pos, "duplicate variable %s", name)
+	}
+	v := &VarSym{Name: name, Type: t, Index: len(c.vars)}
+	c.vars = append(c.vars, v)
+	top[name] = v
+	return nil
+}
+
+func (c *checker) lookupVar(name string) *VarSym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) inStaticContext() bool {
+	return c.method == nil || c.method.Static
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return c.checkBlock(st)
+	case *ast.VarStmt:
+		it, err := c.checkExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		var vt *Type
+		if st.Type != nil {
+			vt, err = c.resolveType(st.Type)
+			if err != nil {
+				return err
+			}
+			if !it.AssignableTo(vt) {
+				return errf(st.Pos, "cannot assign %s to variable of type %s", it, vt)
+			}
+		} else {
+			if it.Kind == KNull {
+				return errf(st.Pos, "cannot infer type from null; annotate the variable")
+			}
+			if it.Kind == KVoid {
+				return errf(st.Pos, "cannot assign void result")
+			}
+			vt = it
+		}
+		if err := c.declare(st.Pos, st.Name, vt); err != nil {
+			return err
+		}
+		c.p.Info.VarDecls[st] = c.lookupVar(st.Name)
+		return nil
+	case *ast.AssignStmt:
+		return c.checkAssign(st)
+	case *ast.IfStmt:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != KBool {
+			return errf(st.Pos, "if condition must be bool, got %s", ct)
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *ast.WhileStmt:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != KBool {
+			return errf(st.Pos, "while condition must be bool, got %s", ct)
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body)
+	case *ast.ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			ct, err := c.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if ct.Kind != KBool {
+				return errf(st.Pos, "for condition must be bool, got %s", ct)
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body)
+	case *ast.ReturnStmt:
+		if c.method == nil {
+			return errf(st.Pos, "return not allowed in init block")
+		}
+		if st.Value == nil {
+			if c.method.Ret != Void {
+				return errf(st.Pos, "missing return value (want %s)", c.method.Ret)
+			}
+			return nil
+		}
+		vt, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if c.method.Ret == Void {
+			return errf(st.Pos, "method returns no value")
+		}
+		if !vt.AssignableTo(c.method.Ret) {
+			return errf(st.Pos, "cannot return %s (want %s)", vt, c.method.Ret)
+		}
+		return nil
+	case *ast.AtomicStmt:
+		c.atomic++
+		defer func() { c.atomic-- }()
+		return c.checkBlock(st.Body)
+	case *ast.SyncStmt:
+		if c.atomic > 0 {
+			return errf(st.Pos, "synchronized inside atomic is not supported (monitors cannot roll back)")
+		}
+		lt, err := c.checkExpr(st.Lock)
+		if err != nil {
+			return err
+		}
+		if !lt.IsRef() {
+			return errf(st.Pos, "synchronized requires an object, got %s", lt)
+		}
+		return c.checkBlock(st.Body)
+	case *ast.RetryStmt:
+		if c.atomic == 0 {
+			return errf(st.Pos, "retry outside atomic block")
+		}
+		return nil
+	case *ast.BreakStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ast.ContinueStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *ast.ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	}
+	return errf(token.Pos{}, "unhandled statement %T", s)
+}
+
+func (c *checker) checkAssign(st *ast.AssignStmt) error {
+	lt, err := c.checkLValue(st.LHS)
+	if err != nil {
+		return err
+	}
+	if st.Op == token.Inc || st.Op == token.Dec {
+		if lt.Kind != KInt {
+			return errf(st.Pos, "%v requires int operand, got %s", st.Op, lt)
+		}
+		return nil
+	}
+	rt, err := c.checkExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	if st.Op == token.PlusAssign || st.Op == token.MinusAssign {
+		if lt.Kind != KInt || rt.Kind != KInt {
+			return errf(st.Pos, "%v requires int operands", st.Op)
+		}
+		return nil
+	}
+	if !rt.AssignableTo(lt) {
+		return errf(st.Pos, "cannot assign %s to %s", rt, lt)
+	}
+	return nil
+}
+
+// checkLValue checks an assignable expression and enforces final-field
+// rules: final fields may only be written by the declaring class's own
+// methods or initializers (the constructor discipline that lets the JIT
+// elide barriers on final-field reads).
+func (c *checker) checkLValue(e ast.Expr) (*Type, error) {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	switch lv := e.(type) {
+	case *ast.Ident:
+		if c.p.Info.VarRefs[lv] != nil {
+			return t, nil
+		}
+		if f := c.p.Info.FieldRefs[lv]; f != nil {
+			return t, c.checkFinalWrite(lv.Pos, f)
+		}
+		return nil, errf(lv.Pos, "%s is not assignable", lv.Name)
+	case *ast.FieldExpr:
+		if f := c.p.Info.FieldRefs[lv]; f != nil {
+			return t, c.checkFinalWrite(lv.Pos, f)
+		}
+		return nil, errf(lv.Pos, "field %s is not assignable", lv.Name)
+	case *ast.IndexExpr:
+		return t, nil
+	}
+	return nil, errf(e.Position(), "expression is not assignable")
+}
+
+func (c *checker) checkFinalWrite(pos token.Pos, f *Field) error {
+	if f.Final && f.Owner != c.cls {
+		return errf(pos, "cannot assign to final field %s.%s outside its class", f.Owner.Name, f.Name)
+	}
+	return nil
+}
+
+func (c *checker) setType(e ast.Expr, t *Type) *Type {
+	c.p.Info.ExprTypes[e] = t
+	return t
+}
+
+func (c *checker) checkExpr(e ast.Expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		return c.setType(e, Int), nil
+	case *ast.BoolLit:
+		return c.setType(e, Bool), nil
+	case *ast.NullLit:
+		return c.setType(e, Null), nil
+	case *ast.ThisExpr:
+		if c.inStaticContext() {
+			return nil, errf(ex.Pos, "this used in a static context")
+		}
+		return c.setType(e, &Type{Kind: KClass, Class: c.cls}), nil
+	case *ast.Ident:
+		return c.checkIdent(ex)
+	case *ast.UnaryExpr:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case token.Minus:
+			if xt.Kind != KInt {
+				return nil, errf(ex.Pos, "unary - requires int, got %s", xt)
+			}
+			return c.setType(e, Int), nil
+		case token.Not:
+			if xt.Kind != KBool {
+				return nil, errf(ex.Pos, "! requires bool, got %s", xt)
+			}
+			return c.setType(e, Bool), nil
+		}
+		return nil, errf(ex.Pos, "bad unary operator")
+	case *ast.BinaryExpr:
+		return c.checkBinary(ex)
+	case *ast.FieldExpr:
+		return c.checkFieldExpr(ex)
+	case *ast.IndexExpr:
+		at, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if at.Kind != KArray {
+			return nil, errf(ex.Pos, "indexing non-array %s", at)
+		}
+		it, err := c.checkExpr(ex.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if it.Kind != KInt {
+			return nil, errf(ex.Pos, "array index must be int, got %s", it)
+		}
+		return c.setType(e, at.Elem), nil
+	case *ast.CallExpr:
+		return c.checkCall(ex)
+	case *ast.SpawnExpr:
+		if _, err := c.checkCall(ex.Call); err != nil {
+			return nil, err
+		}
+		tgt := c.p.Info.CallTargets[ex.Call]
+		if tgt.Method.Ret != Void {
+			return nil, errf(ex.Pos, "spawned method must return void")
+		}
+		return c.setType(e, Thread), nil
+	case *ast.NewExpr:
+		cl := c.p.ClassByName[ex.Name]
+		if cl == nil {
+			return nil, errf(ex.Pos, "unknown class %s", ex.Name)
+		}
+		c.p.Info.NewClasses[ex] = cl
+		return c.setType(e, &Type{Kind: KClass, Class: cl}), nil
+	case *ast.NewArrayExpr:
+		elem, err := c.resolveType(ex.Elem)
+		if err != nil {
+			return nil, err
+		}
+		lt, err := c.checkExpr(ex.Len)
+		if err != nil {
+			return nil, err
+		}
+		if lt.Kind != KInt {
+			return nil, errf(ex.Pos, "array length must be int, got %s", lt)
+		}
+		return c.setType(e, &Type{Kind: KArray, Elem: elem}), nil
+	case *ast.BuiltinExpr:
+		return c.checkBuiltin(ex)
+	}
+	return nil, errf(e.Position(), "unhandled expression %T", e)
+}
+
+func (c *checker) checkIdent(id *ast.Ident) (*Type, error) {
+	if v := c.lookupVar(id.Name); v != nil {
+		c.p.Info.VarRefs[id] = v
+		return c.setType(id, v.Type), nil
+	}
+	// Implicit this-field or current-class static.
+	if !c.inStaticContext() {
+		if f := c.cls.FieldByName(id.Name); f != nil {
+			c.p.Info.FieldRefs[id] = f
+			return c.setType(id, f.Type), nil
+		}
+	}
+	for cl := c.cls; cl != nil; cl = cl.Super {
+		if f := cl.StaticByName(id.Name); f != nil {
+			c.p.Info.FieldRefs[id] = f
+			return c.setType(id, f.Type), nil
+		}
+	}
+	if cl := c.p.ClassByName[id.Name]; cl != nil {
+		// Class reference: only valid as a qualifier; give it a marker type.
+		c.p.Info.ClassRefs[id] = cl
+		return c.setType(id, Void), nil
+	}
+	return nil, errf(id.Pos, "undefined: %s", id.Name)
+}
+
+func (c *checker) checkBinary(ex *ast.BinaryExpr) (*Type, error) {
+	lt, err := c.checkExpr(ex.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.checkExpr(ex.R)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case token.Plus, token.Minus, token.Star, token.Slash, token.Percent:
+		if lt.Kind != KInt || rt.Kind != KInt {
+			return nil, errf(ex.Pos, "arithmetic requires ints, got %s and %s", lt, rt)
+		}
+		return c.setType(ex, Int), nil
+	case token.Lt, token.Le, token.Gt, token.Ge:
+		if lt.Kind != KInt || rt.Kind != KInt {
+			return nil, errf(ex.Pos, "comparison requires ints, got %s and %s", lt, rt)
+		}
+		return c.setType(ex, Bool), nil
+	case token.Eq, token.Ne:
+		ok := lt.Equal(rt) ||
+			(lt.Kind == KNull && rt.IsRef()) || (rt.Kind == KNull && lt.IsRef()) ||
+			(lt.Kind == KNull && rt.Kind == KNull) ||
+			(lt.Kind == KClass && rt.Kind == KClass &&
+				(lt.Class.IsSubclassOf(rt.Class) || rt.Class.IsSubclassOf(lt.Class)))
+		if !ok {
+			return nil, errf(ex.Pos, "cannot compare %s and %s", lt, rt)
+		}
+		return c.setType(ex, Bool), nil
+	case token.AndAnd, token.OrOr:
+		if lt.Kind != KBool || rt.Kind != KBool {
+			return nil, errf(ex.Pos, "logical operator requires bools, got %s and %s", lt, rt)
+		}
+		return c.setType(ex, Bool), nil
+	}
+	return nil, errf(ex.Pos, "bad binary operator %v", ex.Op)
+}
+
+func (c *checker) checkFieldExpr(ex *ast.FieldExpr) (*Type, error) {
+	// ClassName.field → static access.
+	if id, ok := ex.X.(*ast.Ident); ok && c.lookupVar(id.Name) == nil {
+		if cl := c.p.ClassByName[id.Name]; cl != nil {
+			c.p.Info.ClassRefs[id] = cl
+			c.setType(id, Void)
+			for s := cl; s != nil; s = s.Super {
+				if f := s.StaticByName(ex.Name); f != nil {
+					c.p.Info.FieldRefs[ex] = f
+					return c.setType(ex, f.Type), nil
+				}
+			}
+			return nil, errf(ex.Pos, "class %s has no static field %s", cl.Name, ex.Name)
+		}
+	}
+	xt, err := c.checkExpr(ex.X)
+	if err != nil {
+		return nil, err
+	}
+	if xt.Kind != KClass {
+		return nil, errf(ex.Pos, "field access on non-object %s", xt)
+	}
+	f := xt.Class.FieldByName(ex.Name)
+	if f == nil {
+		return nil, errf(ex.Pos, "class %s has no field %s", xt.Class.Name, ex.Name)
+	}
+	c.p.Info.FieldRefs[ex] = f
+	return c.setType(ex, f.Type), nil
+}
+
+func (c *checker) checkCall(ex *ast.CallExpr) (*Type, error) {
+	var m *Method
+	tgt := &CallTarget{}
+	switch fun := ex.Fun.(type) {
+	case *ast.Ident:
+		// Unqualified: method of the current class.
+		m = c.cls.MethodByName(fun.Name)
+		if m == nil {
+			return nil, errf(ex.Pos, "class %s has no method %s", c.cls.Name, fun.Name)
+		}
+		if !m.Static {
+			if c.inStaticContext() {
+				return nil, errf(ex.Pos, "instance method %s called from static context", m.Sig())
+			}
+			tgt.Virtual = true
+			tgt.RecvImplicit = true
+		}
+	case *ast.FieldExpr:
+		// ClassName.m(...) → static call; expr.m(...) → virtual call.
+		if id, ok := fun.X.(*ast.Ident); ok && c.lookupVar(id.Name) == nil {
+			if cl := c.p.ClassByName[id.Name]; cl != nil {
+				c.p.Info.ClassRefs[id] = cl
+				c.setType(id, Void)
+				m = cl.MethodByName(fun.Name)
+				if m == nil || !m.Static {
+					return nil, errf(ex.Pos, "class %s has no static method %s", cl.Name, fun.Name)
+				}
+				break
+			}
+		}
+		xt, err := c.checkExpr(fun.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KClass {
+			return nil, errf(ex.Pos, "method call on non-object %s", xt)
+		}
+		m = xt.Class.MethodByName(fun.Name)
+		if m == nil {
+			return nil, errf(ex.Pos, "class %s has no method %s", xt.Class.Name, fun.Name)
+		}
+		if m.Static {
+			return nil, errf(ex.Pos, "static method %s called through an instance", m.Sig())
+		}
+		tgt.Virtual = true
+	default:
+		return nil, errf(ex.Pos, "expression is not callable")
+	}
+	if len(ex.Args) != len(m.Params) {
+		return nil, errf(ex.Pos, "%s expects %d arguments, got %d", m.Sig(), len(m.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !at.AssignableTo(m.Params[i]) {
+			return nil, errf(a.Position(), "argument %d: cannot use %s as %s", i+1, at, m.Params[i])
+		}
+	}
+	tgt.Method = m
+	c.p.Info.CallTargets[ex] = tgt
+	return c.setType(ex, m.Ret), nil
+}
+
+func (c *checker) checkBuiltin(ex *ast.BuiltinExpr) (*Type, error) {
+	argTypes := make([]*Type, len(ex.Args))
+	for i, a := range ex.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		argTypes[i] = t
+	}
+	switch ex.Name {
+	case "print":
+		if len(ex.Args) != 1 || (argTypes[0].Kind != KInt && argTypes[0].Kind != KBool) {
+			return nil, errf(ex.Pos, "print takes one int or bool argument")
+		}
+		return c.setType(ex, Void), nil
+	case "rand":
+		if len(ex.Args) != 1 || argTypes[0].Kind != KInt {
+			return nil, errf(ex.Pos, "rand takes one int argument")
+		}
+		return c.setType(ex, Int), nil
+	case "arg":
+		if len(ex.Args) != 1 || argTypes[0].Kind != KInt {
+			return nil, errf(ex.Pos, "arg takes one int argument")
+		}
+		return c.setType(ex, Int), nil
+	case "len":
+		if len(ex.Args) != 1 || argTypes[0].Kind != KArray {
+			return nil, errf(ex.Pos, "len takes one array argument")
+		}
+		return c.setType(ex, Int), nil
+	case "join":
+		if len(ex.Args) != 1 || argTypes[0].Kind != KThread {
+			return nil, errf(ex.Pos, "join takes one thread argument")
+		}
+		return c.setType(ex, Void), nil
+	}
+	return nil, errf(ex.Pos, "unknown builtin %s", ex.Name)
+}

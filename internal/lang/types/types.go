@@ -1,0 +1,450 @@
+// Package types implements name resolution and type checking for TJ,
+// producing the symbol information (classes, field slots, virtual-method
+// tables, call targets) that IR lowering consumes.
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Kind enumerates semantic type kinds.
+type Kind uint8
+
+// Semantic type kinds. KNull is the type of the null literal, assignable to
+// any reference type. KVoid is the absent return type.
+const (
+	KInt Kind = iota
+	KBool
+	KThread
+	KClass
+	KArray
+	KNull
+	KVoid
+)
+
+// Type is a semantic type. Types are interned enough for == comparison on
+// scalars; use Equal otherwise.
+type Type struct {
+	Kind  Kind
+	Class *Class // KClass
+	Elem  *Type  // KArray
+}
+
+// Shared scalar types.
+var (
+	Int    = &Type{Kind: KInt}
+	Bool   = &Type{Kind: KBool}
+	Thread = &Type{Kind: KThread}
+	Null   = &Type{Kind: KNull}
+	Void   = &Type{Kind: KVoid}
+)
+
+// IsRef reports whether values of t are heap references (occupy reference
+// slots and participate in escape analysis and publication).
+func (t *Type) IsRef() bool { return t.Kind == KClass || t.Kind == KArray }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KClass:
+		return t.Class == u.Class
+	case KArray:
+		return t.Elem.Equal(u.Elem)
+	default:
+		return true
+	}
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KInt:
+		return "int"
+	case KBool:
+		return "bool"
+	case KThread:
+		return "thread"
+	case KClass:
+		return t.Class.Name
+	case KArray:
+		return t.Elem.String() + "[]"
+	case KNull:
+		return "null"
+	case KVoid:
+		return "void"
+	}
+	return "?"
+}
+
+// AssignableTo reports whether a value of type t can be assigned to a
+// location of type u: identical types, null to any reference, or a subclass
+// to a superclass.
+func (t *Type) AssignableTo(u *Type) bool {
+	if t.Equal(u) {
+		return true
+	}
+	if t.Kind == KNull && u.IsRef() {
+		return true
+	}
+	if t.Kind == KClass && u.Kind == KClass {
+		for c := t.Class; c != nil; c = c.Super {
+			if c == u.Class {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Field is a resolved field symbol.
+type Field struct {
+	Name     string
+	Owner    *Class // declaring class
+	Slot     int    // slot index in the object (instance) or statics holder
+	Type     *Type
+	Static   bool
+	Final    bool
+	Volatile bool
+}
+
+// Method is a resolved method symbol.
+type Method struct {
+	Name       string
+	Owner      *Class
+	Static     bool
+	Params     []*Type
+	ParamNames []string
+	Ret        *Type // Void for none
+	Decl       *ast.MethodDecl
+	VIndex     int // vtable index for instance methods, -1 for static
+}
+
+// Sig returns a printable signature.
+func (m *Method) Sig() string {
+	s := m.Owner.Name + "." + m.Name + "("
+	for i, p := range m.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + "): " + m.Ret.String()
+}
+
+// Class is a resolved class symbol.
+type Class struct {
+	Name  string
+	ID    int
+	Super *Class
+	Decl  *ast.ClassDecl
+
+	Fields  []*Field // instance fields in slot order, inherited first
+	Statics []*Field // static fields in slot order
+
+	fieldsByName  map[string]*Field
+	staticsByName map[string]*Field
+	methodsByName map[string]*Method // declared or inherited
+
+	VTable []*Method // virtual dispatch table
+	Decls  []*Method // methods declared in this class (not inherited)
+	Inits  []*ast.InitDecl
+}
+
+// FieldByName resolves an instance field, including inherited ones.
+func (c *Class) FieldByName(name string) *Field { return c.fieldsByName[name] }
+
+// StaticByName resolves a static field declared in this class.
+func (c *Class) StaticByName(name string) *Field { return c.staticsByName[name] }
+
+// MethodByName resolves a method, including inherited ones.
+func (c *Class) MethodByName(name string) *Method { return c.methodsByName[name] }
+
+// IsSubclassOf reports whether c is t or derives from t.
+func (c *Class) IsSubclassOf(t *Class) bool {
+	for s := c; s != nil; s = s.Super {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// VarSym is a local variable or parameter symbol.
+type VarSym struct {
+	Name  string
+	Type  *Type
+	Index int // dense per-method local index; parameters first
+}
+
+// CallTarget describes a resolved call site.
+type CallTarget struct {
+	Method  *Method
+	Virtual bool // dispatch through the vtable on the receiver's class
+	// Recv is set for instance calls: the receiver expression, or nil for
+	// an implicit this.
+	RecvImplicit bool
+}
+
+// Info carries all resolution results, keyed by AST node.
+type Info struct {
+	ExprTypes map[ast.Expr]*Type
+	// FieldRefs resolves FieldExpr nodes and Idents that name fields.
+	FieldRefs map[ast.Expr]*Field
+	// VarRefs resolves Idents that name locals or parameters.
+	VarRefs map[ast.Expr]*VarSym
+	// VarDecls resolves var statements to the symbol they introduce.
+	VarDecls map[*ast.VarStmt]*VarSym
+	// ClassRefs marks Ident nodes that name a class (static qualifiers).
+	ClassRefs map[ast.Expr]*Class
+	// CallTargets resolves calls.
+	CallTargets map[*ast.CallExpr]*CallTarget
+	// NewClasses resolves new C() expressions.
+	NewClasses map[*ast.NewExpr]*Class
+	// MethodVars lists each method's local symbols (params first) keyed by
+	// the method declaration; init blocks key by the InitDecl.
+	MethodVars map[any][]*VarSym
+}
+
+// Program is a fully resolved TJ program.
+type Program struct {
+	Classes     []*Class
+	ClassByName map[string]*Class
+	Methods     []*Method // all declared methods across classes
+	Main        *Method
+	Info        *Info
+	AST         *ast.Program
+}
+
+// Check resolves and type-checks a parsed program. The program must declare
+// a class Main with a static method main().
+func Check(prog *ast.Program) (*Program, error) {
+	c := &checker{
+		p: &Program{
+			ClassByName: make(map[string]*Class),
+			AST:         prog,
+			Info: &Info{
+				ExprTypes:   make(map[ast.Expr]*Type),
+				FieldRefs:   make(map[ast.Expr]*Field),
+				VarRefs:     make(map[ast.Expr]*VarSym),
+				VarDecls:    make(map[*ast.VarStmt]*VarSym),
+				ClassRefs:   make(map[ast.Expr]*Class),
+				CallTargets: make(map[*ast.CallExpr]*CallTarget),
+				NewClasses:  make(map[*ast.NewExpr]*Class),
+				MethodVars:  make(map[any][]*VarSym),
+			},
+		},
+	}
+	if err := c.collect(prog); err != nil {
+		return nil, err
+	}
+	if err := c.checkBodies(); err != nil {
+		return nil, err
+	}
+	main := c.p.ClassByName["Main"]
+	if main == nil {
+		return nil, errf(token.Pos{Line: 1, Col: 1}, "program must declare class Main")
+	}
+	mm := main.MethodByName("main")
+	if mm == nil || !mm.Static || len(mm.Params) != 0 {
+		return nil, errf(main.Decl.Pos, "class Main must declare static func main()")
+	}
+	c.p.Main = mm
+	return c.p, nil
+}
+
+type checker struct {
+	p *Program
+
+	// current method context
+	cls      *Class
+	method   *Method // nil inside init blocks
+	initDecl *ast.InitDecl
+	scopes   []map[string]*VarSym
+	vars     []*VarSym
+	atomic   int // lexical atomic nesting depth
+	loop     int // lexical loop depth
+}
+
+// collect builds class symbols, field layouts, and method tables.
+func (c *checker) collect(prog *ast.Program) error {
+	// Pass 1: class shells.
+	for _, cd := range prog.Classes {
+		if _, dup := c.p.ClassByName[cd.Name]; dup {
+			return errf(cd.Pos, "duplicate class %s", cd.Name)
+		}
+		cl := &Class{
+			Name: cd.Name, Decl: cd, ID: len(c.p.Classes),
+			fieldsByName:  make(map[string]*Field),
+			staticsByName: make(map[string]*Field),
+			methodsByName: make(map[string]*Method),
+		}
+		c.p.Classes = append(c.p.Classes, cl)
+		c.p.ClassByName[cd.Name] = cl
+	}
+	// Pass 2: superclasses (with cycle detection).
+	for _, cl := range c.p.Classes {
+		if cl.Decl.Extends == "" {
+			continue
+		}
+		sup := c.p.ClassByName[cl.Decl.Extends]
+		if sup == nil {
+			return errf(cl.Decl.Pos, "class %s extends unknown class %s", cl.Name, cl.Decl.Extends)
+		}
+		cl.Super = sup
+	}
+	for _, cl := range c.p.Classes {
+		seen := map[*Class]bool{}
+		for s := cl; s != nil; s = s.Super {
+			if seen[s] {
+				return errf(cl.Decl.Pos, "inheritance cycle involving %s", cl.Name)
+			}
+			seen[s] = true
+		}
+	}
+	// Pass 3: fields and methods in topological (superclass-first) order.
+	done := map[*Class]bool{}
+	var layout func(cl *Class) error
+	layout = func(cl *Class) error {
+		if done[cl] {
+			return nil
+		}
+		if cl.Super != nil {
+			if err := layout(cl.Super); err != nil {
+				return err
+			}
+			cl.Fields = append(cl.Fields, cl.Super.Fields...)
+			for k, v := range cl.Super.fieldsByName {
+				cl.fieldsByName[k] = v
+			}
+			for k, v := range cl.Super.methodsByName {
+				cl.methodsByName[k] = v
+			}
+			cl.VTable = append(cl.VTable, cl.Super.VTable...)
+		}
+		for _, fd := range cl.Decl.Fields {
+			ft, err := c.resolveType(fd.Type)
+			if err != nil {
+				return err
+			}
+			if fd.Static {
+				if cl.staticsByName[fd.Name] != nil {
+					return errf(fd.Pos, "duplicate static field %s.%s", cl.Name, fd.Name)
+				}
+				f := &Field{Name: fd.Name, Owner: cl, Slot: len(cl.Statics),
+					Type: ft, Static: true, Final: fd.Final, Volatile: fd.Volatile}
+				cl.Statics = append(cl.Statics, f)
+				cl.staticsByName[fd.Name] = f
+				continue
+			}
+			if cl.fieldsByName[fd.Name] != nil {
+				return errf(fd.Pos, "field %s.%s duplicates or shadows an inherited field", cl.Name, fd.Name)
+			}
+			f := &Field{Name: fd.Name, Owner: cl, Slot: len(cl.Fields),
+				Type: ft, Final: fd.Final, Volatile: fd.Volatile}
+			cl.Fields = append(cl.Fields, f)
+			cl.fieldsByName[fd.Name] = f
+		}
+		declared := map[string]bool{}
+		for _, md := range cl.Decl.Methods {
+			if declared[md.Name] {
+				return errf(md.Pos, "duplicate method %s.%s", cl.Name, md.Name)
+			}
+			declared[md.Name] = true
+			m := &Method{Name: md.Name, Owner: cl, Static: md.Static, Decl: md, Ret: Void, VIndex: -1}
+			for _, p := range md.Params {
+				pt, err := c.resolveType(p.Type)
+				if err != nil {
+					return err
+				}
+				m.Params = append(m.Params, pt)
+				m.ParamNames = append(m.ParamNames, p.Name)
+			}
+			if md.Ret != nil {
+				rt, err := c.resolveType(md.Ret)
+				if err != nil {
+					return err
+				}
+				m.Ret = rt
+			}
+			if prev := cl.methodsByName[md.Name]; prev != nil && prev.Owner != cl {
+				// Override: must match signature and be instance-to-instance.
+				if prev.Static || md.Static {
+					return errf(md.Pos, "%s.%s cannot override/hide static method %s", cl.Name, md.Name, prev.Sig())
+				}
+				if !sameSignature(prev, m) {
+					return errf(md.Pos, "override %s has different signature than %s", m.Sig(), prev.Sig())
+				}
+				m.VIndex = prev.VIndex
+				cl.VTable[m.VIndex] = m
+			} else if !md.Static {
+				m.VIndex = len(cl.VTable)
+				cl.VTable = append(cl.VTable, m)
+			}
+			cl.methodsByName[md.Name] = m
+			cl.Decls = append(cl.Decls, m)
+			c.p.Methods = append(c.p.Methods, m)
+		}
+		cl.Inits = cl.Decl.Inits
+		done[cl] = true
+		return nil
+	}
+	for _, cl := range c.p.Classes {
+		if err := layout(cl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sameSignature(a, b *Method) bool {
+	if len(a.Params) != len(b.Params) || !a.Ret.Equal(b.Ret) {
+		return false
+	}
+	for i := range a.Params {
+		if !a.Params[i].Equal(b.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) resolveType(t *ast.TypeExpr) (*Type, error) {
+	switch t.Kind {
+	case ast.KInt:
+		return Int, nil
+	case ast.KBool:
+		return Bool, nil
+	case ast.KThread:
+		return Thread, nil
+	case ast.KClass:
+		cl := c.p.ClassByName[t.Name]
+		if cl == nil {
+			return nil, errf(t.Pos, "unknown type %s", t.Name)
+		}
+		return &Type{Kind: KClass, Class: cl}, nil
+	case ast.KArray:
+		elem, err := c.resolveType(t.Elem)
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KArray, Elem: elem}, nil
+	}
+	return nil, errf(t.Pos, "bad type expression")
+}

@@ -1,0 +1,229 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(p)
+}
+
+func checkOK(t *testing.T, src string) *Program {
+	t.Helper()
+	tp, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return tp
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error mentioning %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err.Error(), wantSub)
+	}
+}
+
+const mainStub = `class Main { static func main() { } }`
+
+func TestFieldLayoutAndInheritance(t *testing.T) {
+	tp := checkOK(t, `
+class A { var x: int; var link: A; }
+class B extends A { var y: int; }
+`+mainStub)
+	b := tp.ClassByName["B"]
+	if len(b.Fields) != 3 {
+		t.Fatalf("B fields = %d", len(b.Fields))
+	}
+	if f := b.FieldByName("x"); f == nil || f.Slot != 0 || f.Owner.Name != "A" {
+		t.Errorf("inherited field x = %+v", f)
+	}
+	if f := b.FieldByName("y"); f == nil || f.Slot != 2 {
+		t.Errorf("field y = %+v", f)
+	}
+	if !b.IsSubclassOf(tp.ClassByName["A"]) {
+		t.Error("subclass relation lost")
+	}
+}
+
+func TestVTableOverride(t *testing.T) {
+	tp := checkOK(t, `
+class A {
+  func m(): int { return 1; }
+  func n(): int { return 2; }
+}
+class B extends A {
+  func m(): int { return 3; }
+}
+`+mainStub)
+	a, b := tp.ClassByName["A"], tp.ClassByName["B"]
+	if len(a.VTable) != 2 || len(b.VTable) != 2 {
+		t.Fatalf("vtable sizes %d/%d", len(a.VTable), len(b.VTable))
+	}
+	am, bm := a.MethodByName("m"), b.MethodByName("m")
+	if am.VIndex != bm.VIndex {
+		t.Errorf("override got different vtable slot: %d vs %d", am.VIndex, bm.VIndex)
+	}
+	if b.VTable[bm.VIndex] != bm || a.VTable[am.VIndex] != am {
+		t.Error("vtable entries wrong")
+	}
+	if b.MethodByName("n").Owner != a {
+		t.Error("inherited method lost")
+	}
+}
+
+func TestMainRequired(t *testing.T) {
+	checkErr(t, `class A { }`, "class Main")
+	checkErr(t, `class Main { func main() { } }`, "static func main")
+	checkErr(t, `class Main { static func main(x: int) { } }`, "static func main")
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class Main { static func main() { var x = 1 + true; } }`, "arithmetic requires ints"},
+		{`class Main { static func main() { if (1) { } } }`, "must be bool"},
+		{`class Main { static func main() { while (2) { } } }`, "must be bool"},
+		{`class Main { static func main() { var x = true && 1 == 1 && 2; } }`, "requires bools"},
+		{`class Main { static func main() { var x: bool = 3; } }`, "cannot assign"},
+		{`class Main { static func main() { var x = null; } }`, "cannot infer"},
+		{`class Main { static func main() { var x = y; } }`, "undefined: y"},
+		{`class Main { static func main() { var x = 1; var x = 2; } }`, "duplicate variable"},
+		{`class Main { static func main() { return 5; } }`, "returns no value"},
+		{`class Main { static func f(): int { return; } static func main() { } }`, "missing return value"},
+		{`class Main { static func main() { retry; } }`, "retry outside atomic"},
+		{`class Main { static func main() { break; } }`, "break outside loop"},
+		{`class Main { static func main() { continue; } }`, "continue outside loop"},
+		{`class Main { static func main() { this.x = 1; } }`, "this used in a static context"},
+		{`class A { var x: int; } class Main { static func main() { var a = new A(); a.y = 1; } }`, "no field y"},
+		{`class A { } class Main { static func main() { var a = new A(); a.m(); } }`, "no method m"},
+		{`class A { func m() {} } class Main { static func main() { A.m(); } }`, "no static method m"},
+		{`class A { static func s() {} } class Main { static func main() { var a = new A(); a.s(); } }`, "through an instance"},
+		{`class Main { static func main() { var a = new int[3]; var x: int = a; } }`, "cannot assign"},
+		{`class Main { static func main() { var a = new int[3]; a[true] = 1; } }`, "index must be int"},
+		{`class Main { static func main() { var x = 1; x[0] = 2; } }`, "indexing non-array"},
+		{`class Main { static func main() { synchronized (5) { } } }`, "requires an object"},
+		{`class Main { static func main() { atomic { synchronized (Main.o()) { } } } static func o(): Main { return null; } }`, "synchronized inside atomic"},
+		{`class Main { static func main() { var x = len(5); } }`, "len takes one array"},
+		{`class Main { static func main() { join(5); } }`, "join takes one thread"},
+		{`class Main { static func main() { print(null); } }`, "print takes one int or bool"},
+		{`class A { func m(x: int) {} } class Main { static func main() { var a = new A(); a.m(true); } }`, "cannot use bool as int"},
+		{`class A { func m() {} } class Main { static func main() { var a = new A(); a.m(1); } }`, "expects 0 arguments"},
+		{`class Main { static func main() { var t = spawn Main.f(); } static func f(): int { return 1; } }`, "must return void"},
+		{`class A extends B { } class B extends A { } class Main { static func main() { } }`, "inheritance cycle"},
+		{`class A extends Zed { } class Main { static func main() { } }`, "unknown class"},
+		{`class A { var x: int; } class B extends A { var x: int; } class Main { static func main() { } }`, "shadows an inherited field"},
+		{`class A { func m(): int { return 1; } } class B extends A { func m(): bool { return true; } } class Main { static func main() { } }`, "different signature"},
+		{`class A { static func m() {} } class B extends A { func m() {} } class Main { static func main() { } }`, "static method"},
+		{`class A { final var id: int; } class Main { static func main() { var a = new A(); a.id = 5; } }`, "final field"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestSubtypingAssignments(t *testing.T) {
+	checkOK(t, `
+class A { }
+class B extends A { }
+class Main {
+  static var a: A;
+  static func take(x: A) { }
+  static func main() {
+    var b = new B();
+    a = b;                  // subclass to superclass
+    Main.take(b);
+    var x: A = null;        // null to reference
+    a = x;
+    if (a == b) { }         // related classes comparable
+    if (x == null) { }
+  }
+}`)
+	checkErr(t, `
+class A { }
+class B extends A { }
+class Main {
+  static func main() {
+    var a = new A();
+    var b: B = a;
+  }
+}`, "cannot assign")
+}
+
+func TestFinalWriteInsideOwnerAllowed(t *testing.T) {
+	checkOK(t, `
+class A {
+  final var id: int;
+  func setup(v: int) { id = v; }
+}
+class Main { static func main() { var a = new A(); a.setup(3); } }`)
+}
+
+func TestImplicitThisAndStatics(t *testing.T) {
+	tp := checkOK(t, `
+class C {
+  var f: int;
+  static var s: int;
+  func m(): int {
+    f = 1;        // implicit this field
+    s = 2;        // own static
+    return f + s;
+  }
+}
+`+mainStub)
+	c := tp.ClassByName["C"]
+	if c.FieldByName("f") == nil || c.StaticByName("s") == nil {
+		t.Error("field resolution broken")
+	}
+}
+
+func TestInheritedStaticVisible(t *testing.T) {
+	checkOK(t, `
+class A { static var s: int; }
+class B extends A {
+  func m(): int { return s; }
+}
+class Main { static func main() { var x = A.s; x = x; } }`)
+}
+
+func TestTypeStringAndSig(t *testing.T) {
+	tp := checkOK(t, `
+class A { func m(x: int, b: A): A { return b; } }
+`+mainStub)
+	m := tp.ClassByName["A"].MethodByName("m")
+	if got := m.Sig(); got != "A.m(int, A): A" {
+		t.Errorf("Sig = %q", got)
+	}
+	arr := &Type{Kind: KArray, Elem: &Type{Kind: KArray, Elem: Int}}
+	if arr.String() != "int[][]" {
+		t.Errorf("array string = %q", arr.String())
+	}
+	for _, tt := range []*Type{Int, Bool, Thread, Null, Void} {
+		if tt.String() == "?" {
+			t.Error("missing string for scalar type")
+		}
+	}
+}
+
+func TestInfoPopulated(t *testing.T) {
+	tp := checkOK(t, `
+class C { var f: int; func m() { f = 1; var l = f; l = l; } }
+`+mainStub)
+	if len(tp.Info.FieldRefs) == 0 || len(tp.Info.VarRefs) == 0 || len(tp.Info.VarDecls) == 0 {
+		t.Error("resolution maps not populated")
+	}
+	if len(tp.Methods) != 2 {
+		t.Errorf("methods = %d", len(tp.Methods))
+	}
+}

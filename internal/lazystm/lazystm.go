@@ -1,0 +1,493 @@
+// Package lazystm implements a lazy-versioning STM in the style the paper
+// contrasts against (Sections 2.3 and 3.3): transactions buffer their
+// writes privately and publish them to shared memory only after commit.
+// Records are acquired at commit time, the read set is validated, the
+// transaction logically commits, and the buffered updates are then copied
+// back "one at a time in no particular order" before the records are
+// released.
+//
+// The window between the commit point and the completion of write-back is
+// precisely what produces the memory-inconsistency (MI) anomalies of
+// Figure 4 and the privatization problem of Figure 1 under weak atomicity;
+// the ordering read barrier of Section 3.3 (package strong) closes it.
+// Optional Hooks let the litmus tests hold a transaction inside that window
+// deterministically.
+//
+// The write buffer operates at a configurable slot granularity: with
+// Granularity 2 a buffered entry spans two adjacent slots, snapshotting the
+// neighbour's value at buffer-creation time — reproducing the granular
+// lost update (GLU) and granular inconsistent read (GIR) anomalies of
+// Section 2.4.
+package lazystm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/conflict"
+	"repro/internal/objmodel"
+	"repro/internal/txrec"
+)
+
+// MaxGranularity is the largest supported buffering granularity in slots.
+const MaxGranularity = 2
+
+// Hooks are optional test instrumentation points inside the commit window.
+type Hooks struct {
+	// OnAfterCommitPoint runs after the transaction has logically committed
+	// (status set, records held) but before any buffered value reaches
+	// shared memory.
+	OnAfterCommitPoint func(*Txn)
+
+	// OnAfterWriteback runs after the k-th individual slot write-back
+	// (0-based), still before the records are released.
+	OnAfterWriteback func(tx *Txn, k int)
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Granularity is the slot span of one write-buffer entry: 1 or 2.
+	Granularity int
+
+	// Quiescence enables the Section 3.4 ordering guarantee for lazy
+	// versioning: a committing transaction waits until all previously
+	// serialized transactions have finished applying their updates before
+	// completing itself.
+	Quiescence bool
+
+	// Handler receives conflict notifications; nil means a shared Backoff.
+	Handler conflict.Handler
+
+	// SelfAbortAfter bounds conflict-handler invocations per access before
+	// self-abort; zero means 64.
+	SelfAbortAfter int
+
+	// Hooks instrument the commit window (tests only).
+	Hooks Hooks
+}
+
+// Stats aggregates runtime counters.
+type Stats struct {
+	Starts    atomic.Int64
+	Commits   atomic.Int64
+	Aborts    atomic.Int64
+	TxnReads  atomic.Int64
+	TxnWrites atomic.Int64
+}
+
+// Runtime is a lazy-versioning STM instance bound to a heap.
+type Runtime struct {
+	Heap  *objmodel.Heap
+	Stats Stats
+
+	cfg     Config
+	handler conflict.Handler
+	nextID  atomic.Uint64
+
+	// Commit tickets serialize write-back completion in quiescence mode.
+	tickets atomic.Uint64
+	done    atomic.Uint64 // highest ticket whose write-back has completed, contiguously
+	doneMu  sync.Mutex
+	doneCv  *sync.Cond
+}
+
+// New creates a lazy-versioning Runtime over heap.
+func New(heap *objmodel.Heap, cfg Config) *Runtime {
+	if cfg.Granularity == 0 {
+		cfg.Granularity = 1
+	}
+	if cfg.Granularity < 1 || cfg.Granularity > MaxGranularity {
+		panic(fmt.Sprintf("lazystm: unsupported granularity %d", cfg.Granularity))
+	}
+	if cfg.SelfAbortAfter == 0 {
+		cfg.SelfAbortAfter = 64
+	}
+	h := cfg.Handler
+	if h == nil {
+		h = &conflict.Backoff{}
+	}
+	rt := &Runtime{Heap: heap, cfg: cfg, handler: h}
+	rt.doneCv = sync.NewCond(&rt.doneMu)
+	return rt
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ErrAborted aborts the transaction without retry when returned from the
+// body.
+var ErrAborted = errors.New("lazystm: transaction aborted by user")
+
+type signal uint8
+
+const (
+	sigRestart signal = iota + 1
+	sigRetry
+)
+
+type txSignal struct {
+	s  signal
+	tx *Txn
+}
+
+type spanKey struct {
+	obj  *objmodel.Object
+	base int
+}
+
+type spanBuf struct {
+	vals [MaxGranularity]uint64
+	n    int
+}
+
+// Txn is a lazy-versioning transaction descriptor.
+type Txn struct {
+	rt     *Runtime
+	id     uint64
+	status atomic.Uint32 // stm.Status values: 0 active, 1 committed, 2 aborted
+
+	reads map[*objmodel.Object]uint64
+	buf   map[spanKey]*spanBuf
+}
+
+// ID returns the descriptor's owner ID.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+func (rt *Runtime) newTxn() *Txn {
+	return &Txn{
+		rt:    rt,
+		id:    rt.nextID.Add(1),
+		reads: make(map[*objmodel.Object]uint64),
+		buf:   make(map[spanKey]*spanBuf),
+	}
+}
+
+func (tx *Txn) begin() {
+	tx.status.Store(0)
+	clear(tx.reads)
+	clear(tx.buf)
+	tx.rt.Stats.Starts.Add(1)
+}
+
+// Restart aborts and re-executes the transaction.
+func (tx *Txn) Restart() { panic(txSignal{sigRestart, tx}) }
+
+// Retry aborts and blocks until the read set changes, then re-executes.
+func (tx *Txn) Retry() { panic(txSignal{sigRetry, tx}) }
+
+func (tx *Txn) conflictWait(kind conflict.Kind, attempt int, rec txrec.Word) {
+	if attempt >= tx.rt.cfg.SelfAbortAfter {
+		tx.Restart()
+	}
+	tx.rt.handler.HandleConflict(conflict.Info{Kind: kind, Attempt: attempt, Record: rec})
+}
+
+func (tx *Txn) span(slot int) (base int) {
+	return slot &^ (tx.rt.cfg.Granularity - 1)
+}
+
+// Read returns the transaction's view of o's slot: the private buffer if
+// the containing span has been buffered (even when only the *adjacent*
+// slot was written — the granular inconsistent read of Section 2.4),
+// otherwise shared memory under optimistic version validation.
+func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
+	tx.rt.Stats.TxnReads.Add(1)
+	base := tx.span(slot)
+	if sb, ok := tx.buf[spanKey{o, base}]; ok {
+		return sb.vals[slot-base]
+	}
+	for attempt := 0; ; attempt++ {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+			return o.LoadSlot(slot)
+		case txrec.IsExclusive(w), txrec.IsExclusiveAnon(w):
+			// Lazy versioning never reads another transaction's data while
+			// its record is held (there is no dirty data in memory, but a
+			// committer may be writing back).
+			tx.conflictWait(conflict.TxnRead, attempt, w)
+		default:
+			v := o.LoadSlot(slot)
+			if o.Rec.Load() != w {
+				continue
+			}
+			ver := txrec.Version(w)
+			if prev, ok := tx.reads[o]; ok {
+				if prev != ver {
+					tx.Restart()
+				}
+			} else {
+				tx.reads[o] = ver
+			}
+			return v
+		}
+	}
+}
+
+// ReadRef is Read for reference slots.
+func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
+	return objmodel.Ref(tx.Read(o, slot))
+}
+
+// Write buffers a store to o's slot. On first touch of a span the current
+// contents of every slot in the span are snapshotted into the buffer; the
+// snapshot of the *adjacent* slot is what later manufactures the granular
+// lost update when Granularity > 1.
+func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
+	tx.rt.Stats.TxnWrites.Add(1)
+	base := tx.span(slot)
+	key := spanKey{o, base}
+	sb, ok := tx.buf[key]
+	if !ok {
+		sb = &spanBuf{}
+		g := tx.rt.cfg.Granularity
+		for i := 0; i < g && base+i < len(o.Slots); i++ {
+			sb.vals[i] = o.LoadSlot(base + i)
+			sb.n++
+		}
+		tx.buf[key] = sb
+	}
+	sb.vals[slot-base] = v
+}
+
+// WriteRef is Write for reference slots.
+func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
+	tx.Write(o, slot, uint64(r))
+}
+
+// Validate re-checks the read set.
+func (tx *Txn) Validate() bool { return tx.validateExcluding(nil) }
+
+func (tx *Txn) validateExcluding(owned map[*objmodel.Object]uint64) bool {
+	for o, ver := range tx.reads {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+		case txrec.IsShared(w):
+			if txrec.Version(w) != ver {
+				return false
+			}
+		case txrec.IsExclusive(w) && owned != nil:
+			if sv, ok := owned[o]; !ok || sv != ver {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// commit runs the lazy commit protocol: acquire the write set's records in
+// handle order, validate the read set, pass the commit point, write back
+// the buffered spans in no particular order, release the records, and (in
+// quiescence mode) wait for all previously serialized transactions'
+// write-backs to complete.
+func (tx *Txn) commit() bool {
+	// Collect distinct objects in the write set, sorted by handle so
+	// concurrent committers acquire in the same order (no deadlock).
+	objs := make([]*objmodel.Object, 0, len(tx.buf))
+	seen := make(map[*objmodel.Object]bool, len(tx.buf))
+	for key := range tx.buf {
+		if !seen[key.obj] {
+			seen[key.obj] = true
+			objs = append(objs, key.obj)
+		}
+	}
+	sortByRef(objs)
+
+	owned := make(map[*objmodel.Object]uint64, len(objs))
+	release := func(bump bool) {
+		for _, o := range objs {
+			sv, ok := owned[o]
+			if !ok {
+				continue
+			}
+			if bump {
+				o.Rec.ReleaseOwned(sv)
+			} else {
+				o.Rec.Store(txrec.MakeShared(sv))
+			}
+		}
+	}
+
+	for _, o := range objs {
+		if txrec.IsPrivate(o.Rec.Load()) {
+			continue // thread-local: written back without synchronization
+		}
+		for attempt := 0; ; attempt++ {
+			w := o.Rec.Load()
+			if txrec.IsShared(w) {
+				if o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+					owned[o] = txrec.Version(w)
+					break
+				}
+				continue
+			}
+			if attempt >= tx.rt.cfg.SelfAbortAfter {
+				release(false)
+				return false
+			}
+			tx.rt.handler.HandleConflict(conflict.Info{Kind: conflict.TxnWrite, Attempt: attempt, Record: w})
+		}
+	}
+
+	if !tx.validateExcluding(owned) {
+		release(false) // nothing reached memory; restore original versions
+		return false
+	}
+
+	// ----- commit point: the transaction is now serialized. -----
+	tx.status.Store(1)
+	ticket := tx.rt.tickets.Add(1)
+	if h := tx.rt.cfg.Hooks.OnAfterCommitPoint; h != nil {
+		h(tx)
+	}
+
+	// Write back buffered spans. Go map iteration order is randomized,
+	// faithfully modeling "copies buffered values to memory one at a time
+	// in no particular order".
+	k := 0
+	for key, sb := range tx.buf {
+		for i := 0; i < sb.n; i++ {
+			key.obj.StoreSlot(key.base+i, sb.vals[i])
+			if h := tx.rt.cfg.Hooks.OnAfterWriteback; h != nil {
+				h(tx, k)
+			}
+			k++
+		}
+	}
+
+	release(true) // version bump publishes the new state to optimistic readers
+
+	if tx.rt.cfg.Quiescence {
+		tx.rt.completeInOrder(ticket)
+	} else {
+		tx.rt.markDone(ticket)
+	}
+	tx.rt.Stats.Commits.Add(1)
+	return true
+}
+
+// completeInOrder blocks until every transaction with an earlier commit
+// ticket has finished its write-back, then marks this ticket done. This is
+// the lazy-versioning quiescence of Section 3.4: when Atomic returns, all
+// previously serialized transactions' updates are visible.
+func (rt *Runtime) completeInOrder(ticket uint64) {
+	rt.doneMu.Lock()
+	for rt.done.Load() != ticket-1 {
+		rt.doneCv.Wait()
+	}
+	rt.done.Store(ticket)
+	rt.doneCv.Broadcast()
+	rt.doneMu.Unlock()
+}
+
+// markDone advances the completion watermark opportunistically when
+// quiescence is off (tickets may complete out of order; the watermark only
+// tracks the contiguous prefix and is not relied upon).
+func (rt *Runtime) markDone(ticket uint64) {
+	rt.doneMu.Lock()
+	if rt.done.Load() == ticket-1 {
+		rt.done.Store(ticket)
+		rt.doneCv.Broadcast()
+	}
+	rt.doneMu.Unlock()
+}
+
+func (tx *Txn) abort() {
+	tx.status.Store(2)
+	tx.rt.Stats.Aborts.Add(1)
+}
+
+func (rt *Runtime) waitForReadSetChange(snapshot map[*objmodel.Object]uint64) {
+	if len(snapshot) == 0 {
+		return
+	}
+	for a := 0; ; a++ {
+		for o, ver := range snapshot {
+			w := o.Rec.Load()
+			if txrec.IsPrivate(w) {
+				continue
+			}
+			if !txrec.IsShared(w) || txrec.Version(w) != ver {
+				return
+			}
+		}
+		conflict.WaitAttempt(a, 0)
+	}
+}
+
+// Atomic executes body as a lazy-versioning transaction, retrying until it
+// commits. Closed nesting is flattened: a nested Atomic call (parent
+// non-nil) joins the parent transaction, and a body error rolls back
+// nothing (lazy buffers make partial rollback unnecessary for the anomaly
+// studies this variant exists for; the eager runtime implements full
+// nesting).
+func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
+	if parent != nil {
+		return body(parent)
+	}
+	tx := rt.newTxn()
+	for attempt := 0; ; attempt++ {
+		tx.begin()
+		err, sig := rt.run(tx, body)
+		switch sig {
+		case 0:
+			if err != nil {
+				tx.abort()
+				return err
+			}
+			if tx.commit() {
+				return nil
+			}
+			tx.abort()
+		case sigRestart:
+			tx.abort()
+		case sigRetry:
+			snapshot := make(map[*objmodel.Object]uint64, len(tx.reads))
+			for o, v := range tx.reads {
+				snapshot[o] = v
+			}
+			tx.abort()
+			rt.waitForReadSetChange(snapshot)
+		}
+		conflict.WaitAttempt(attempt, 0)
+	}
+}
+
+func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s, ok := r.(txSignal); ok && s.tx == tx {
+			sig = s.s
+			return
+		}
+		if !tx.Validate() {
+			sig = sigRestart
+			return
+		}
+		tx.abort() // discard buffers before propagating the fault
+		panic(r)
+	}()
+	return body(tx), 0
+}
+
+// sortByRef sorts objects by their heap handle (insertion sort; write sets
+// are small).
+func sortByRef(objs []*objmodel.Object) {
+	for i := 1; i < len(objs); i++ {
+		o := objs[i]
+		j := i - 1
+		for j >= 0 && objs[j].Ref() > o.Ref() {
+			objs[j+1] = objs[j]
+			j--
+		}
+		objs[j+1] = o
+	}
+}

@@ -1,0 +1,254 @@
+// Package litmus contains executable versions of the weak-atomicity anomaly
+// programs of Section 2 of the paper (Figures 1–5) and reproduces the
+// Figure 6 matrix: for each anomaly and each execution regime — eager
+// versioning, lazy versioning, lock-based critical sections, and the
+// paper's strongly-atomic system — whether the anomaly can be observed.
+//
+// Each program orchestrates the paper's interleaving with channel handoffs.
+// Handoffs that a strongly-atomic regime intentionally blocks (a barrier
+// waiting on a transaction's record) use a bounded wait, so every program
+// terminates in every regime: if the partner thread cannot make progress
+// inside the window, the window simply closes and the anomaly is not
+// observed — which is exactly the strong-atomicity guarantee under test.
+package litmus
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/lazystm"
+	"repro/internal/objmodel"
+	"repro/internal/stm"
+	"repro/internal/strong"
+)
+
+// Mode is an execution regime from the Figure 6 columns.
+type Mode int
+
+// The Figure 6 columns. Strong is the paper's system: eager versioning plus
+// non-transactional isolation barriers. StrongLazy is the Section 3.3
+// variant: lazy versioning, field-granular buffering, ordering read
+// barriers and full write barriers; it is not a Figure 6 column but must
+// also exhibit no anomalies.
+const (
+	EagerWeak Mode = iota
+	LazyWeak
+	Locks
+	Strong
+	StrongLazy
+)
+
+// AllModes lists the regimes in Figure 6 column order, then StrongLazy.
+var AllModes = []Mode{EagerWeak, LazyWeak, Locks, Strong, StrongLazy}
+
+func (m Mode) String() string {
+	switch m {
+	case EagerWeak:
+		return "eager"
+	case LazyWeak:
+		return "lazy"
+	case Locks:
+		return "locks"
+	case Strong:
+		return "strong"
+	case StrongLazy:
+		return "strong-lazy"
+	default:
+		return "?"
+	}
+}
+
+// handoffTimeout bounds waits that a strongly-atomic regime may block.
+const handoffTimeout = 2 * time.Millisecond
+
+// waitOrTimeout waits for ch or the bounded handoff window.
+func waitOrTimeout(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-time.After(handoffTimeout):
+		return false
+	}
+}
+
+// Env is one fresh execution environment: a heap plus the runtime matching
+// the mode. Every litmus trial builds a new Env so trials are independent.
+type Env struct {
+	Mode Mode
+	Heap *objmodel.Heap
+
+	eager *stm.Runtime
+	lazy  *lazystm.Runtime
+	bar   *strong.Barriers
+	lock  sync.Mutex // Locks mode: the single lock of the original programs
+
+	cell *objmodel.Class
+}
+
+// EnvConfig selects variation points for an Env.
+type EnvConfig struct {
+	// Granularity is the undo-log / write-buffer granularity in slots.
+	// The Strong and StrongLazy regimes note: Strong keeps the requested
+	// granularity (object-level records hide it); StrongLazy forces 1,
+	// because a lazy-versioning STM must buffer at the granularity of the
+	// individual fields updated in a transaction to be strongly atomic
+	// (Section 2.4).
+	Granularity int
+
+	// LazyHooks instrument the lazy commit window (MI programs).
+	LazyHooks lazystm.Hooks
+}
+
+// NewEnv builds an environment for the given regime.
+func NewEnv(mode Mode, cfg EnvConfig) *Env {
+	if cfg.Granularity == 0 {
+		cfg.Granularity = 1
+	}
+	h := objmodel.NewHeap()
+	e := &Env{Mode: mode, Heap: h}
+	e.cell = h.MustDefineClass(objmodel.ClassSpec{
+		Name: "Cell",
+		Fields: []objmodel.Field{
+			{Name: "f"}, {Name: "g"}, {Name: "h"},
+			{Name: "ref", IsRef: true},
+		},
+	})
+	switch mode {
+	case EagerWeak, Locks:
+		e.eager = stm.New(h, stm.Config{Granularity: cfg.Granularity})
+	case Strong:
+		e.eager = stm.New(h, stm.Config{Granularity: cfg.Granularity})
+		e.bar = strong.New(h, false)
+	case LazyWeak:
+		e.lazy = lazystm.New(h, lazystm.Config{Granularity: cfg.Granularity, Hooks: cfg.LazyHooks})
+	case StrongLazy:
+		e.lazy = lazystm.New(h, lazystm.Config{Granularity: 1, Hooks: cfg.LazyHooks})
+		e.bar = strong.New(h, false)
+	}
+	return e
+}
+
+// NewCell allocates a fresh 4-slot object (f, g, h scalar; ref reference).
+func (e *Env) NewCell() *objmodel.Object { return e.Heap.New(e.cell) }
+
+// Slot indexes in the Cell class.
+const (
+	SlotF = iota
+	SlotG
+	SlotH
+	SlotRef
+)
+
+// Accessor is the uniform transactional access interface the litmus bodies
+// are written against.
+type Accessor interface {
+	Read(o *objmodel.Object, slot int) uint64
+	Write(o *objmodel.Object, slot int, v uint64)
+	// Attempt is the 0-based execution attempt of the atomic body.
+	Attempt() int
+	// Restart re-executes the body: a rollback-and-retry under either STM,
+	// and a plain re-execution (no rollback — locks cannot undo) under
+	// Locks, which is how a lock programmer would express a retry loop.
+	Restart()
+}
+
+type eagerAccessor struct {
+	tx      *stm.Txn
+	attempt int
+}
+
+func (a *eagerAccessor) Read(o *objmodel.Object, slot int) uint64     { return a.tx.Read(o, slot) }
+func (a *eagerAccessor) Write(o *objmodel.Object, slot int, v uint64) { a.tx.Write(o, slot, v) }
+func (a *eagerAccessor) Attempt() int                                 { return a.attempt }
+func (a *eagerAccessor) Restart()                                     { a.tx.Restart() }
+
+type lazyAccessor struct {
+	tx      *lazystm.Txn
+	attempt int
+}
+
+func (a *lazyAccessor) Read(o *objmodel.Object, slot int) uint64     { return a.tx.Read(o, slot) }
+func (a *lazyAccessor) Write(o *objmodel.Object, slot int, v uint64) { a.tx.Write(o, slot, v) }
+func (a *lazyAccessor) Attempt() int                                 { return a.attempt }
+func (a *lazyAccessor) Restart()                                     { a.tx.Restart() }
+
+type locksRestart struct{}
+
+type locksAccessor struct {
+	attempt int
+}
+
+func (a *locksAccessor) Read(o *objmodel.Object, slot int) uint64     { return o.LoadSlot(slot) }
+func (a *locksAccessor) Write(o *objmodel.Object, slot int, v uint64) { o.StoreSlot(slot, v) }
+func (a *locksAccessor) Attempt() int                                 { return a.attempt }
+func (a *locksAccessor) Restart()                                     { panic(locksRestart{}) }
+
+// Atomic runs body as an atomic block in the environment's regime.
+func (e *Env) Atomic(body func(a Accessor) error) error {
+	switch e.Mode {
+	case EagerWeak, Strong:
+		attempt := 0
+		return e.eager.Atomic(nil, func(tx *stm.Txn) error {
+			a := &eagerAccessor{tx: tx, attempt: attempt}
+			attempt++
+			return body(a)
+		})
+	case LazyWeak, StrongLazy:
+		attempt := 0
+		return e.lazy.Atomic(nil, func(tx *lazystm.Txn) error {
+			a := &lazyAccessor{tx: tx, attempt: attempt}
+			attempt++
+			return body(a)
+		})
+	case Locks:
+		e.lock.Lock()
+		defer e.lock.Unlock()
+		for attempt := 0; ; attempt++ {
+			err, restarted := runLocksBody(body, attempt)
+			if !restarted {
+				return err
+			}
+		}
+	}
+	panic("litmus: unknown mode")
+}
+
+func runLocksBody(body func(a Accessor) error, attempt int) (err error, restarted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(locksRestart); ok {
+				restarted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return body(&locksAccessor{attempt: attempt}), false
+}
+
+// NTRead performs a non-transactional read in the environment's regime:
+// direct under the weak and lock regimes, through the isolation barrier of
+// Figure 9a under Strong, and through the Section 3.3 ordering barrier
+// under StrongLazy.
+func (e *Env) NTRead(o *objmodel.Object, slot int) uint64 {
+	switch e.Mode {
+	case Strong:
+		return e.bar.Read(o, slot)
+	case StrongLazy:
+		return e.bar.ReadOrdering(o, slot)
+	default:
+		return o.LoadSlot(slot)
+	}
+}
+
+// NTWrite performs a non-transactional write: direct under the weak and
+// lock regimes, through the Figure 9b write barrier under both strong
+// regimes.
+func (e *Env) NTWrite(o *objmodel.Object, slot int, v uint64) {
+	switch e.Mode {
+	case Strong, StrongLazy:
+		e.bar.Write(o, slot, v)
+	default:
+		o.StoreSlot(slot, v)
+	}
+}

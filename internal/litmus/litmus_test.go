@@ -1,0 +1,89 @@
+package litmus
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFigure6Matrix reproduces the paper's Figure 6: each anomaly must be
+// observable exactly in the regimes the paper says it is.
+func TestFigure6Matrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow in -short mode")
+	}
+	results := RunAll(AllModes)
+	ok, mismatch := Matches(results, AllModes)
+	if !ok {
+		t.Errorf("matrix mismatch: %s\n%s", mismatch, FormatMatrix(results, AllModes))
+	}
+}
+
+// Per-anomaly subtests give precise failure attribution and run in
+// parallel.
+func TestAnomalies(t *testing.T) {
+	for _, p := range Programs() {
+		t.Run(p.ID, func(t *testing.T) {
+			p := p
+			t.Parallel()
+			for _, m := range AllModes {
+				got := p.Observed(m)
+				if got != p.Expected[m] {
+					t.Errorf("%s (Figure %s) under %v: observed=%v, paper says %v",
+						p.ID, p.Figure, m, got, p.Expected[m])
+				}
+			}
+		})
+	}
+}
+
+// TestStrongNeverObservesAnything is the paper's core claim in one loop:
+// the Strong column of Figure 6 is all "no". Run with extra trials.
+func TestStrongNeverObservesAnything(t *testing.T) {
+	for _, p := range Programs() {
+		trials := p.Trials
+		if trials < 10 {
+			trials = 10
+		}
+		for i := 0; i < trials; i++ {
+			if p.Run(Strong) {
+				t.Errorf("%s observed under strong atomicity (trial %d)", p.ID, i)
+				break
+			}
+		}
+	}
+}
+
+func TestFormatMatrix(t *testing.T) {
+	results := []Result{{
+		Program:  Programs()[0],
+		Observed: map[Mode]bool{EagerWeak: true, Strong: false},
+	}}
+	out := FormatMatrix(results, []Mode{EagerWeak, Strong})
+	if len(out) == 0 {
+		t.Fatal("empty matrix output")
+	}
+	for _, want := range []string{"NR", "yes", "no", "eager", "strong"} {
+		if !contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func ExampleFormatMatrix() {
+	p := Programs()
+	fmt.Println(p[0].ID, p[0].Figure)
+	// Output: NR 2a
+}

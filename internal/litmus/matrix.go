@@ -1,0 +1,72 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result pairs a Program with its observations per mode.
+type Result struct {
+	Program  Program
+	Observed map[Mode]bool
+}
+
+// RunAll executes every program in the suite under each of the given modes
+// and returns the observation matrix.
+func RunAll(modes []Mode) []Result {
+	var results []Result
+	for _, p := range Programs() {
+		obs := make(map[Mode]bool, len(modes))
+		for _, m := range modes {
+			obs[m] = p.Observed(m)
+		}
+		results = append(results, Result{Program: p, Observed: obs})
+	}
+	return results
+}
+
+// Matches reports whether every observation equals the paper's Figure 6
+// expectation, returning the first mismatch description otherwise.
+func Matches(results []Result, modes []Mode) (bool, string) {
+	for _, r := range results {
+		for _, m := range modes {
+			if r.Observed[m] != r.Program.Expected[m] {
+				return false, fmt.Sprintf("%s under %v: observed=%v expected=%v",
+					r.Program.ID, m, r.Observed[m], r.Program.Expected[m])
+			}
+		}
+	}
+	return true, ""
+}
+
+// FormatMatrix renders the Figure 6 table: one row per anomaly, one column
+// per mode, "yes"/"no" per cell, with the paper's row grouping.
+func FormatMatrix(results []Result, modes []Mode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-7s %-8s", "Non-Txn/Txn", "Anomaly", "Figure")
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %-11s", m)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 27+12*len(modes)))
+	b.WriteByte('\n')
+	lastRow := ""
+	for _, r := range results {
+		row := r.Program.Row
+		if row == lastRow {
+			row = ""
+		} else {
+			lastRow = row
+		}
+		fmt.Fprintf(&b, "%-11s %-7s %-8s", row, r.Program.ID, r.Program.Figure)
+		for _, m := range modes {
+			v := "no"
+			if r.Observed[m] {
+				v = "yes"
+			}
+			fmt.Fprintf(&b, " %-11s", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package opt
+
+import "repro/internal/lang/ir"
+
+// aggregate implements barrier aggregation (Section 6, Figure 14): within a
+// basic block, a run of barriered accesses to the same object is rewritten
+// to acquire the transaction record once (AcquireRec), perform plain
+// accesses, and release once (ReleaseRec). Per the paper, aggregation never
+// crosses basic blocks, never spans function calls, and never covers more
+// than one object; we additionally require at least one store in the run
+// (a read-only run keeps its cheap per-access read barriers) and at least
+// two barriered accesses (otherwise there is nothing to amortize).
+func aggregate(p *ir.Program) (groups, accesses int) {
+	for _, m := range p.Methods {
+		for _, b := range m.Blocks {
+			g, a := aggregateBlock(b)
+			groups += g
+			accesses += a
+		}
+	}
+	return groups, accesses
+}
+
+type aggRun struct {
+	base     int   // base object register
+	members  []int // indexes of barriered accesses in the run
+	hasStore bool
+	first    int // index of first member
+	last     int // index of last member
+}
+
+func aggregateBlock(b *ir.Block) (groups, accesses int) {
+	var runs []aggRun
+	cur := aggRun{base: -1}
+	flush := func() {
+		if cur.base >= 0 && len(cur.members) >= 2 && cur.hasStore {
+			runs = append(runs, cur)
+		}
+		cur = aggRun{base: -1}
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Op {
+		case ir.GetField, ir.SetField, ir.GetElem, ir.SetElem:
+			if in.Atomic || !in.Barrier.Need {
+				// Transactional or already-barrier-free accesses neither
+				// join nor break a run (a plain access is safe inside a
+				// held record)... unless it touches a different object with
+				// a *barrier* need, handled below. Keep scanning.
+				if in.Atomic {
+					flush() // atomic region boundary inside the block
+				}
+				continue
+			}
+			if cur.base == -1 {
+				cur = aggRun{base: in.A, first: i}
+			} else if in.A != cur.base {
+				// A barriered access to a different object ends the run
+				// (aggregated barriers cover a single object).
+				flush()
+				cur = aggRun{base: in.A, first: i}
+			}
+			cur.members = append(cur.members, i)
+			cur.last = i
+			if in.Op.IsStore() {
+				cur.hasStore = true
+			}
+		case ir.GetStatic, ir.SetStatic:
+			// Statics live in a different object (the statics holder);
+			// aggregating across it would span two objects.
+			flush()
+		case ir.ConstInt, ir.Mov, ir.Add, ir.Sub, ir.Mul, ir.Neg, ir.Not,
+			ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.ArrayLen,
+			ir.NewObj, ir.NewArray, ir.Nop:
+			// Pure or allocation instructions are allowed inside a run,
+			// unless they redefine the base register.
+			if cur.base >= 0 && in.Dst == cur.base {
+				flush()
+			}
+		default:
+			// Calls, control flow, monitors, atomic boundaries, prints,
+			// division (can trap), spawn/join, retry: all end the run.
+			flush()
+		}
+	}
+	flush()
+
+	if len(runs) == 0 {
+		return 0, 0
+	}
+	// Rewrite the block with AcquireRec/ReleaseRec inserted around each run,
+	// marking member accesses InAggregate.
+	for _, r := range runs {
+		for _, idx := range r.members {
+			b.Instrs[idx].Barrier.InAggregate = true
+		}
+		accesses += len(r.members)
+	}
+	out := make([]ir.Instr, 0, len(b.Instrs)+2*len(runs))
+	ri := 0
+	for i := range b.Instrs {
+		if ri < len(runs) && i == runs[ri].first {
+			out = append(out, ir.Instr{Op: ir.AcquireRec, Dst: -1, A: runs[ri].base, B: -1,
+				Pos: b.Instrs[i].Pos})
+		}
+		out = append(out, b.Instrs[i])
+		if ri < len(runs) && i == runs[ri].last {
+			out = append(out, ir.Instr{Op: ir.ReleaseRec, Dst: -1, A: runs[ri].base, B: -1,
+				Pos: b.Instrs[i].Pos})
+			ri++
+		}
+	}
+	b.Instrs = out
+	return len(runs), accesses
+}

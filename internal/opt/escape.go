@@ -1,0 +1,170 @@
+package opt
+
+import "repro/internal/lang/ir"
+
+// elimEscape is the intraprocedural static escape analysis of Section 6:
+// "allocated objects begin thread-local and an iterative, forward dataflow
+// analysis finds that objects escape when they are assigned to escaped
+// locations (static variables or fields of escaped objects) or are
+// reachable from method-call arguments."
+//
+// The lattice element is the set of registers that definitely hold a fresh,
+// unescaped allocation. We are slightly more conservative than the paper:
+// storing a fresh object into *any* heap location escapes it (the paper
+// only escapes stores into escaped objects), which is sound and simpler.
+// Merges intersect, so an object is thread-local only if it is on every
+// path — the analysis is path-sensitive in the sense that a barrier is
+// removed per program point, using that point's state.
+func elimEscape(p *ir.Program) int {
+	removed := 0
+	for _, m := range p.Methods {
+		removed += escapeMethod(m)
+	}
+	return removed
+}
+
+type regset []uint64
+
+func newRegset(n int, full bool) regset {
+	s := make(regset, (n+63)/64)
+	if full {
+		for i := range s {
+			s[i] = ^uint64(0)
+		}
+	}
+	return s
+}
+
+func (s regset) get(r int) bool    { return r >= 0 && s[r/64]&(1<<uint(r%64)) != 0 }
+func (s regset) set(r int)         { s[r/64] |= 1 << uint(r%64) }
+func (s regset) clear(r int)       { s[r/64] &^= 1 << uint(r%64) }
+func (s regset) copyFrom(t regset) { copy(s, t) }
+func (s regset) clone() regset     { t := make(regset, len(s)); copy(t, s); return t }
+
+// intersect sets s = s ∩ t, reporting whether s changed.
+func (s regset) intersect(t regset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] & t[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func escapeMethod(m *ir.Method) int {
+	n := m.NumRegs
+	nb := len(m.Blocks)
+	// in[b] is the set of definitely-fresh registers at block entry.
+	// Unvisited blocks start at top (all fresh) so intersection works.
+	in := make([]regset, nb)
+	for i := range in {
+		in[i] = newRegset(n, true)
+	}
+	// Entry: nothing is fresh (parameters come from the caller).
+	in[0] = newRegset(n, false)
+
+	// Iterate to fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range m.Blocks {
+			out := in[b.ID].clone()
+			for i := range b.Instrs {
+				transfer(out, &b.Instrs[i])
+			}
+			for _, succ := range successors(b) {
+				if in[succ].intersect(out) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Removal walk: re-simulate each block, clearing barriers on accesses
+	// whose base register is definitely fresh at that point.
+	removed := 0
+	for _, b := range m.Blocks {
+		state := in[b.ID].clone()
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			if ins.Barrier.Need && !ins.Atomic {
+				base := -1
+				switch ins.Op {
+				case ir.GetField, ir.SetField, ir.GetElem, ir.SetElem:
+					base = ins.A
+				}
+				if base >= 0 && state.get(base) {
+					ins.Barrier.Need = false
+					ins.Barrier.RemovedBy |= ir.ByLocalEscape
+					removed++
+				}
+			}
+			transfer(state, ins)
+		}
+	}
+	return removed
+}
+
+func successors(b *ir.Block) []int {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case ir.Jmp:
+		return []int{t.Targets[0]}
+	case ir.Br:
+		return []int{t.Targets[0], t.Targets[1]}
+	default:
+		return nil
+	}
+}
+
+// transfer applies one instruction's effect to the fresh-register set.
+func transfer(s regset, in *ir.Instr) {
+	switch in.Op {
+	case ir.NewObj, ir.NewArray:
+		s.set(in.Dst)
+		return
+	case ir.Mov:
+		if s.get(in.A) {
+			s.set(in.Dst)
+		} else {
+			s.clear(in.Dst)
+		}
+		return
+	case ir.SetField, ir.SetElem:
+		// Storing a reference into the heap escapes the stored value.
+		if in.IsRef {
+			v := in.B
+			if in.Op == ir.SetElem {
+				v = in.C
+			}
+			s.clear(v)
+		}
+		return
+	case ir.SetStatic:
+		if in.IsRef {
+			s.clear(in.B)
+		}
+		return
+	case ir.CallStatic, ir.CallVirtual, ir.Spawn:
+		// Arguments are reachable from the callee; the paper's analysis
+		// escapes them (aggressive inlining lowers this imprecision; our
+		// interpreter does not inline, so we take the precision hit).
+		for _, a := range in.Args {
+			s.clear(a)
+		}
+		if in.Dst >= 0 {
+			s.clear(in.Dst)
+		}
+		return
+	}
+	if in.Dst >= 0 {
+		// Any other definition produces a non-fresh value.
+		s.clear(in.Dst)
+	}
+}

@@ -1,0 +1,150 @@
+// Package opt implements the barrier optimizations of the paper's JIT
+// (Section 6) and drives the whole-program analyses (Section 5):
+//
+//   - Barrier elimination for immutable (final) fields and for objects the
+//     intraprocedural static escape analysis proves thread-local.
+//   - Barrier aggregation: multiple barriers to the same object in one
+//     basic block combine into a single acquire/release pair (Figure 14).
+//   - The whole-program not-accessed-in-transaction (NAIT) and
+//     thread-local (TL) analyses, applied through package analysis.
+//
+// The pipeline mirrors the paper's measurement levels: "No Opts" runs
+// nothing; "Barrier Elim" runs the elimination passes; "+Barrier Aggr"
+// adds aggregation; "+DEA" is a runtime mode (vm.Mode.DEA), not an IR
+// pass; "+Whole-Prog Opts" adds NAIT and TL.
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/lang/ir"
+)
+
+// Level is a named optimization level matching the paper's figures.
+type Level int
+
+// Optimization levels.
+const (
+	O0NoOpts      Level = iota // all barriers in place
+	O1BarrierElim              // immutable + intraprocedural escape
+	O2Aggregate                // + barrier aggregation
+	O3DEA                      // + dynamic escape analysis (runtime flag)
+	O4WholeProg                // + NAIT and TL whole-program analyses
+)
+
+func (l Level) String() string {
+	switch l {
+	case O0NoOpts:
+		return "NoOpts"
+	case O1BarrierElim:
+		return "BarrierElim"
+	case O2Aggregate:
+		return "+BarrierAggr"
+	case O3DEA:
+		return "+DEA"
+	case O4WholeProg:
+		return "+WholeProgOpts"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Options selects passes explicitly.
+type Options struct {
+	BarrierElim  bool
+	Aggregate    bool
+	WholeProgram bool
+	// Granularity is the version-management granularity in slots; NAIT must
+	// account for it when deciding what a transaction writes (Section 2.4).
+	Granularity int
+
+	// TxnReadElim enables the Section 5.2 extension: in-transaction loads
+	// proven conflict-free bypass the STM read protocol. Weak atomicity
+	// only; implies WholeProgram.
+	TxnReadElim bool
+}
+
+// FromLevel expands a Level into Options. (DEA is a runtime mode; O3DEA
+// enables the same IR passes as O2Aggregate.)
+func FromLevel(l Level, granularity int) Options {
+	return Options{
+		BarrierElim:  l >= O1BarrierElim,
+		Aggregate:    l >= O2Aggregate,
+		WholeProgram: l >= O4WholeProg,
+		Granularity:  granularity,
+	}
+}
+
+// DEAEnabled reports whether the level implies the dynamic escape analysis
+// runtime mode.
+func (l Level) DEAEnabled() bool { return l >= O3DEA }
+
+// Report summarizes what the pipeline did.
+type Report struct {
+	// TotalReads/TotalWrites count non-transactional barriered accesses
+	// after lowering (before any removal), across all methods.
+	TotalReads  int
+	TotalWrites int
+
+	RemovedImmutable   int
+	RemovedEscape      int
+	AggregateGroups    int
+	AggregatedAccesses int
+
+	// Whole-program results (nil unless Options.WholeProgram).
+	WholeProg *analysis.Report
+}
+
+// Run applies the selected passes to p in place and returns a report.
+func Run(p *ir.Program, o Options) *Report {
+	if o.Granularity == 0 {
+		o.Granularity = 1
+	}
+	r := &Report{}
+	for _, m := range p.Methods {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op.IsMemAccess() && !in.Atomic && in.Barrier.Need {
+					if in.Op.IsLoad() {
+						r.TotalReads++
+					} else {
+						r.TotalWrites++
+					}
+				}
+			}
+		}
+	}
+	if o.BarrierElim {
+		r.RemovedImmutable = elimImmutable(p)
+		r.RemovedEscape = elimEscape(p)
+	}
+	if o.WholeProgram || o.TxnReadElim {
+		r.WholeProg = analysis.Run(p, analysis.Options{
+			Granularity: o.Granularity, Apply: true, TxnReadElim: o.TxnReadElim,
+		})
+	}
+	if o.Aggregate {
+		r.AggregateGroups, r.AggregatedAccesses = aggregate(p)
+	}
+	return r
+}
+
+// elimImmutable removes barriers on accesses to final fields: immutable
+// after construction, so no transaction can conflict with them (§6).
+func elimImmutable(p *ir.Program) int {
+	n := 0
+	for _, m := range p.Methods {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op.IsMemAccess() && in.Final && in.Barrier.Need {
+					in.Barrier.Need = false
+					in.Barrier.RemovedBy |= ir.ByImmutable
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,356 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ir"
+	"repro/internal/opt"
+	"repro/internal/tj"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string, o opt.Options) (*ir.Program, *opt.Report) {
+	t.Helper()
+	prog, rep, err := tj.Compile(src, o)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, rep
+}
+
+// countBarriers tallies accesses in non-atomic code by state.
+func countBarriers(p *ir.Program) (active, removed, aggregated int) {
+	for _, m := range p.Methods {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if !in.Op.IsMemAccess() || in.Atomic {
+					continue
+				}
+				switch {
+				case in.Barrier.InAggregate:
+					aggregated++
+				case in.Barrier.Need:
+					active++
+				default:
+					removed++
+				}
+			}
+		}
+	}
+	return
+}
+
+func TestImmutableElimination(t *testing.T) {
+	src := `
+class C {
+  final var id: int;
+  var mut: int;
+  func setup() { id = 1; }
+}
+class Main {
+  static func main() {
+    var c = new C();
+    c.setup();
+    print(c.id + c.mut);
+  }
+}`
+	prog, rep := compile(t, src, opt.Options{BarrierElim: true})
+	if rep.RemovedImmutable < 2 { // id write in setup + id read in main
+		t.Errorf("RemovedImmutable = %d, want >= 2", rep.RemovedImmutable)
+	}
+	found := false
+	for _, m := range prog.Methods {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Final && in.Barrier.RemovedBy&ir.ByImmutable != 0 {
+					found = true
+				}
+				if in.Final && in.Barrier.Need {
+					t.Error("final-field access still needs a barrier")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no immutable removals recorded on instructions")
+	}
+}
+
+func TestEscapeElimination(t *testing.T) {
+	// All accesses are to a freshly allocated, never-escaping object: the
+	// intraprocedural escape analysis must remove them all.
+	src := `
+class P { var x: int; var y: int; }
+class Main {
+  static func main() {
+    var sum = 0;
+    for (var i = 0; i < 10; i++) {
+      var p = new P();
+      p.x = i;
+      p.y = i * 2;
+      sum += p.x + p.y;
+    }
+    print(sum);
+  }
+}`
+	_, rep := compile(t, src, opt.Options{BarrierElim: true})
+	if rep.RemovedEscape < 4 {
+		t.Errorf("RemovedEscape = %d, want >= 4 (2 stores + 2 loads)", rep.RemovedEscape)
+	}
+}
+
+func TestEscapeStopsAtCall(t *testing.T) {
+	src := `
+class P { var x: int; }
+class Main {
+  static func use(p: P) { p.x = 1; }
+  static func main() {
+    var p = new P();
+    p.x = 1;       // removable: p is fresh here
+    Main.use(p);   // p escapes into the call
+    p.x = 2;       // NOT removable intraprocedurally
+    print(p.x);
+  }
+}`
+	prog, _ := compile(t, src, opt.Options{BarrierElim: true})
+	var main *ir.Method
+	for _, m := range prog.Methods {
+		if m.Name == "Main.main" {
+			main = m
+		}
+	}
+	var states []bool
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.SetField {
+				states = append(states, in.Barrier.Need)
+			}
+		}
+	}
+	if len(states) != 2 {
+		t.Fatalf("expected 2 stores in main, found %d", len(states))
+	}
+	if states[0] {
+		t.Error("store before the call should have its barrier removed")
+	}
+	if !states[1] {
+		t.Error("store after the call must keep its barrier")
+	}
+}
+
+func TestEscapeMergeIntersects(t *testing.T) {
+	// p is fresh on one path but escaped on the other: after the merge the
+	// access must keep its barrier.
+	src := `
+class P { var x: int; }
+class Main {
+  static var g: P;
+  static func main() {
+    var p = new P();
+    if (rand(2) == 0) { g = p; }
+    p.x = 1;
+    print(p.x);
+  }
+}`
+	prog, _ := compile(t, src, opt.Options{BarrierElim: true})
+	for _, m := range prog.Methods {
+		if m.Name != "Main.main" {
+			continue
+		}
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.SetField && !in.Barrier.Need {
+					t.Error("escaped-on-one-path store had its barrier removed")
+				}
+			}
+		}
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	src := `
+class C { var x: int; var y: int; var z: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    Main.use(c);
+  }
+  static func use(c: C) {
+    c.x = 0;
+    c.y += 1;
+    c.z = c.x + c.y;
+    print(c.z);
+  }
+}`
+	prog, rep := compile(t, src, opt.Options{Aggregate: true})
+	if rep.AggregateGroups < 1 {
+		t.Fatalf("no aggregate groups formed")
+	}
+	// use(c) has a straight-line run of accesses to c: the block must
+	// contain AcquireRec ... plain accesses ... ReleaseRec.
+	var use *ir.Method
+	for _, m := range prog.Methods {
+		if m.Name == "Main.use" {
+			use = m
+		}
+	}
+	var seq []ir.Op
+	for _, b := range use.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.AcquireRec, ir.ReleaseRec:
+				seq = append(seq, in.Op)
+			}
+			if in.Op.IsMemAccess() && in.Barrier.InAggregate && in.Barrier.Active() {
+				t.Error("aggregated access still executes a standalone barrier")
+			}
+		}
+	}
+	if len(seq) != 2 || seq[0] != ir.AcquireRec || seq[1] != ir.ReleaseRec {
+		t.Errorf("acquire/release sequence = %v", seq)
+	}
+	if rep.AggregatedAccesses < 4 {
+		t.Errorf("AggregatedAccesses = %d, want >= 4", rep.AggregatedAccesses)
+	}
+}
+
+func TestAggregationBrokenByCallAndOtherObject(t *testing.T) {
+	src := `
+class C { var x: int; var y: int; }
+class Main {
+  static func f() {}
+  static func main() {
+    var a = new C();
+    var b = new C();
+    Main.use(a, b);
+  }
+  static func use(a: C, b: C) {
+    a.x = 1;
+    Main.f();  // breaks the run
+    a.y = 2;
+    b.x = 3;   // different object: cannot join a's run
+    a.x = 4;
+    print(b.y);
+  }
+}`
+	_, rep := compile(t, src, opt.Options{Aggregate: true})
+	if rep.AggregateGroups != 0 {
+		t.Errorf("AggregateGroups = %d, want 0 (calls and object switches break every run)", rep.AggregateGroups)
+	}
+}
+
+func TestAggregationReadOnlyRunNotAggregated(t *testing.T) {
+	src := `
+class C { var x: int; var y: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    Main.use(c);
+  }
+  static func use(c: C) {
+    print(c.x + c.y); // reads only: keep per-access read barriers
+  }
+}`
+	_, rep := compile(t, src, opt.Options{Aggregate: true})
+	if rep.AggregateGroups != 0 {
+		t.Errorf("AggregateGroups = %d, want 0 for read-only runs", rep.AggregateGroups)
+	}
+}
+
+// TestOptimizedProgramStillCorrect runs the same racy-free program at every
+// optimization level under strong atomicity and checks identical results.
+func TestOptimizedProgramStillCorrect(t *testing.T) {
+	src := `
+class Node { var v: int; var next: Node; }
+class Stats {
+  final var scale: int;
+  var total: int;
+  func setup(s: int) { scale = s; }
+}
+class Main {
+  static var shared: Stats;
+  static func worker(n: int) {
+    for (var i = 0; i < n; i++) {
+      atomic { shared.total = shared.total + shared.scale; }
+    }
+  }
+  static func main() {
+    shared = new Stats();
+    shared.setup(2);
+    var head: Node = null;
+    for (var i = 0; i < 50; i++) {
+      var nd = new Node();
+      nd.v = i;
+      nd.next = head;
+      head = nd;
+    }
+    var t1 = spawn Main.worker(200);
+    Main.worker(100);
+    join(t1);
+    var s = 0;
+    var cur = head;
+    while (cur != null) { s += cur.v; cur = cur.next; }
+    atomic { s += shared.total; }
+    print(s);
+  }
+}`
+	want := "1825" // 50*49/2 + 300*2
+	for lvl := opt.O0NoOpts; lvl <= opt.O4WholeProg; lvl++ {
+		t.Run(lvl.String(), func(t *testing.T) {
+			prog, _, err := tj.CompileLevel(src, lvl, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mode := vm.Mode{Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true, DEA: lvl.DEAEnabled()}
+			var out strings.Builder
+			m, err := vm.New(prog, mode, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.TrimSpace(out.String()); got != want {
+				t.Errorf("output = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	names := []string{"NoOpts", "BarrierElim", "+BarrierAggr", "+DEA", "+WholeProgOpts"}
+	for i, want := range names {
+		if got := opt.Level(i).String(); got != want {
+			t.Errorf("Level(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if !opt.O3DEA.DEAEnabled() || opt.O2Aggregate.DEAEnabled() {
+		t.Error("DEAEnabled wrong")
+	}
+}
+
+func TestReportTotals(t *testing.T) {
+	src := `
+class C { var x: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    Main.use(c);
+  }
+  static func use(c: C) {
+    c.x = 1;         // write barrier
+    print(c.x);      // read barrier
+    atomic { c.x = 2; } // transactional: not counted
+  }
+}`
+	_, rep := compile(t, src, opt.Options{})
+	if rep.TotalReads != 1 || rep.TotalWrites != 1 {
+		t.Errorf("totals = %d reads / %d writes, want 1/1", rep.TotalReads, rep.TotalWrites)
+	}
+}

@@ -1,0 +1,581 @@
+// Package stm implements the eager-versioning software transactional memory
+// at the core of the paper's system (Section 3): McRT-STM-style optimistic
+// concurrency control using versioning for reads and strict two-phase
+// locking with eager versioning (in-place update + undo log) for writes.
+//
+// Each object's transaction record (package txrec) arbitrates access. A
+// transaction opens an object for reading by sampling its version and
+// validating the whole read set at commit; it opens an object for writing
+// by CAS-ing the record from Shared to Exclusive, updating memory in place,
+// and logging the old value for rollback. Commit validates the read set and
+// releases owned records with incremented versions; abort replays the undo
+// log in reverse and releases with incremented versions so that optimistic
+// readers of intermediate state fail validation.
+//
+// The package also provides the features the paper's system supports:
+// closed nesting (savepoints), open nesting with compensation actions,
+// user-initiated retry, a quiescence mode (Section 3.4), configurable
+// undo-log granularity (to reproduce the Section 2.4 anomalies), and
+// integration with dynamic escape analysis (Section 4): accesses to
+// private objects skip synchronization, and writing a reference into a
+// public object immediately publishes the referenced private subgraph.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/conflict"
+	"repro/internal/objmodel"
+	"repro/internal/txrec"
+)
+
+// Status is the lifecycle state of a transaction attempt.
+type Status uint32
+
+// Transaction statuses.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// MaxGranularity is the largest supported version-management granularity in
+// slots.
+const MaxGranularity = 2
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Granularity is the number of adjacent slots covered by one undo-log
+	// entry: 1 (field-granular, the safe default) or 2 (reproduces the
+	// granular lost update anomaly of Section 2.4).
+	Granularity int
+
+	// Quiescence enables the Section 3.4 privatization mechanism: a
+	// transaction completes only after all transactions concurrently active
+	// at its commit have finished or restarted.
+	Quiescence bool
+
+	// DEA enables dynamic escape analysis cooperation: transactional
+	// accesses to private objects skip record synchronization and undo
+	// logging still applies; transactional writes of references into public
+	// objects publish the referenced subgraph immediately (Section 4).
+	DEA bool
+
+	// Handler receives conflict notifications; nil means a shared Backoff.
+	Handler conflict.Handler
+
+	// SelfAbortAfter is the number of conflict-handler invocations a single
+	// transactional access tolerates before the transaction aborts itself
+	// and restarts (breaking writer-writer deadlocks). Zero means the
+	// default of 64.
+	SelfAbortAfter int
+}
+
+// DefaultSelfAbortAfter is the default Config.SelfAbortAfter.
+const DefaultSelfAbortAfter = 64
+
+// Stats aggregates runtime counters for experiments.
+type Stats struct {
+	Starts      atomic.Int64 // transaction attempts begun
+	Commits     atomic.Int64
+	Aborts      atomic.Int64 // aborts of any cause (conflict, validation, retry)
+	UserRetries atomic.Int64 // user-initiated retry operations
+	TxnReads    atomic.Int64
+	TxnWrites   atomic.Int64
+}
+
+// Runtime is an STM instance bound to a heap.
+type Runtime struct {
+	Heap  *objmodel.Heap
+	Stats Stats
+
+	cfg     Config
+	handler conflict.Handler
+	nextID  atomic.Uint64
+	seq     atomic.Uint64 // global begin/commit sequence for quiescence
+	reg     sync.Map      // id -> *Txn, active-transaction registry
+}
+
+// New creates a Runtime over heap with the given configuration.
+func New(heap *objmodel.Heap, cfg Config) *Runtime {
+	if cfg.Granularity == 0 {
+		cfg.Granularity = 1
+	}
+	if cfg.Granularity < 1 || cfg.Granularity > MaxGranularity {
+		panic(fmt.Sprintf("stm: unsupported granularity %d", cfg.Granularity))
+	}
+	if cfg.SelfAbortAfter == 0 {
+		cfg.SelfAbortAfter = DefaultSelfAbortAfter
+	}
+	h := cfg.Handler
+	if h == nil {
+		h = &conflict.Backoff{}
+	}
+	return &Runtime{Heap: heap, cfg: cfg, handler: h}
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// control-flow signals raised inside transaction bodies.
+type signal uint8
+
+const (
+	sigRestart signal = iota + 1 // conflict or explicit restart: abort and re-execute
+	sigRetry                     // user retry: abort, wait for read set change, re-execute
+)
+
+type txSignal struct {
+	s  signal
+	tx *Txn
+}
+
+// ErrAborted is returned by Atomic when the body requests a permanent abort
+// by returning it: the transaction rolls back and Atomic returns ErrAborted
+// without retrying.
+var ErrAborted = errors.New("stm: transaction aborted by user")
+
+type ownedEntry struct {
+	obj     *objmodel.Object
+	version uint64 // version observed in the Shared word we replaced
+}
+
+type undoEntry struct {
+	obj  *objmodel.Object
+	base int // first slot of the span
+	n    int // number of slots captured
+	vals [MaxGranularity]uint64
+}
+
+type savepoint struct {
+	undoLen   int
+	writesLen int
+	compLen   int
+}
+
+// Txn is a transaction descriptor. A Txn is confined to the goroutine that
+// runs the atomic body; only status and beginSeq are read by other threads.
+type Txn struct {
+	rt       *Runtime
+	id       uint64
+	status   atomic.Uint32
+	beginSeq atomic.Uint64
+
+	reads   map[*objmodel.Object]uint64 // first-read version per object
+	owned   map[*objmodel.Object]uint64 // object -> version saved at acquire
+	writes  []ownedEntry
+	undo    []undoEntry
+	saves   []savepoint
+	comps   []func() // open-nesting compensations, run on abort in reverse
+	attempt int
+}
+
+// ID returns the transaction's owner ID as encoded in acquired records.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// Status returns the descriptor's current status.
+func (tx *Txn) Status() Status { return Status(tx.status.Load()) }
+
+func (rt *Runtime) newTxn() *Txn {
+	tx := &Txn{
+		rt:    rt,
+		id:    rt.nextID.Add(1),
+		reads: make(map[*objmodel.Object]uint64),
+		owned: make(map[*objmodel.Object]uint64),
+	}
+	rt.reg.Store(tx.id, tx)
+	return tx
+}
+
+func (tx *Txn) begin() {
+	tx.status.Store(uint32(Active))
+	tx.beginSeq.Store(tx.rt.seq.Add(1))
+	clear(tx.reads)
+	clear(tx.owned)
+	tx.writes = tx.writes[:0]
+	tx.undo = tx.undo[:0]
+	tx.saves = tx.saves[:0]
+	tx.comps = tx.comps[:0]
+	tx.rt.Stats.Starts.Add(1)
+}
+
+// Restart aborts the transaction and re-executes it from the beginning of
+// the outermost atomic block. Exposed so tests and litmus programs can
+// force the "transaction aborts for some reason" steps of the paper's
+// Figure 3 examples, and used internally when an access discovers the
+// transaction is doomed.
+func (tx *Txn) Restart() {
+	panic(txSignal{sigRestart, tx})
+}
+
+// Retry implements the user-initiated retry operation: the transaction
+// aborts and blocks until some location in its read set changes, then
+// re-executes.
+func (tx *Txn) Retry() {
+	tx.rt.Stats.UserRetries.Add(1)
+	panic(txSignal{sigRetry, tx})
+}
+
+func (tx *Txn) conflictWait(kind conflict.Kind, attempt int, rec txrec.Word) {
+	if attempt >= tx.rt.cfg.SelfAbortAfter {
+		tx.Restart()
+	}
+	tx.rt.handler.HandleConflict(conflict.Info{Kind: kind, Attempt: attempt, Record: rec})
+}
+
+// Read opens object o for reading at slot and returns the value
+// (open-for-read, Section 3.1). Private objects (dynamic escape analysis)
+// are read directly. Reads of objects owned by other transactions or by
+// non-transactional writers invoke the conflict manager and retry.
+func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
+	tx.rt.Stats.TxnReads.Add(1)
+	for attempt := 0; ; attempt++ {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+			// Visible to this thread only; no logging or validation needed.
+			return o.LoadSlot(slot)
+		case txrec.IsExclusive(w):
+			if txrec.Owner(w) == tx.id {
+				return o.LoadSlot(slot)
+			}
+			tx.conflictWait(conflict.TxnRead, attempt, w)
+		case txrec.IsExclusiveAnon(w):
+			// A non-transactional writer holds the record.
+			tx.conflictWait(conflict.TxnRead, attempt, w)
+		default: // shared
+			v := o.LoadSlot(slot)
+			if o.Rec.Load() != w {
+				// Record changed under us; retry the sample.
+				continue
+			}
+			ver := txrec.Version(w)
+			if prev, ok := tx.reads[o]; ok {
+				if prev != ver {
+					// We already read this object at an older version: the
+					// transaction is doomed; abort eagerly.
+					tx.Restart()
+				}
+			} else {
+				tx.reads[o] = ver
+			}
+			return v
+		}
+	}
+}
+
+// ReadRef is Read for reference slots.
+func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
+	return objmodel.Ref(tx.Read(o, slot))
+}
+
+func (tx *Txn) logUndo(o *objmodel.Object, slot int) {
+	g := tx.rt.cfg.Granularity
+	base := slot &^ (g - 1)
+	e := undoEntry{obj: o, base: base}
+	for i := 0; i < g && base+i < len(o.Slots); i++ {
+		e.vals[i] = o.LoadSlot(base + i)
+		e.n++
+	}
+	tx.undo = append(tx.undo, e)
+}
+
+func (tx *Txn) maybePublish(o *objmodel.Object, slot int, v uint64) {
+	if !tx.rt.cfg.DEA || v == 0 || !o.IsRefSlot(slot) {
+		return
+	}
+	// The container is public (callers ensure this); publish the referenced
+	// subgraph immediately — even before commit, a doomed transaction in
+	// another thread may access objects published by this write (Section 4).
+	tx.rt.Heap.PublishRef(objmodel.Ref(v))
+}
+
+// Write opens object o for writing at slot and stores v in place
+// (open-for-write with strict two-phase locking and eager versioning).
+func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
+	tx.rt.Stats.TxnWrites.Add(1)
+	for attempt := 0; ; attempt++ {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+			// Thread-local: no locking, but rollback must still restore it.
+			tx.logUndo(o, slot)
+			o.StoreSlot(slot, v)
+			return
+		case txrec.IsExclusive(w):
+			if txrec.Owner(w) != tx.id {
+				tx.conflictWait(conflict.TxnWrite, attempt, w)
+				continue
+			}
+			tx.logUndo(o, slot)
+			o.StoreSlot(slot, v)
+			tx.maybePublish(o, slot, v)
+			return
+		case txrec.IsExclusiveAnon(w):
+			tx.conflictWait(conflict.TxnWrite, attempt, w)
+		default: // shared: acquire
+			if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+				continue
+			}
+			ver := txrec.Version(w)
+			tx.writes = append(tx.writes, ownedEntry{o, ver})
+			tx.owned[o] = ver
+			if prev, ok := tx.reads[o]; ok && prev != ver {
+				// Object changed between our read and this acquire: doomed.
+				tx.Restart()
+			}
+			tx.logUndo(o, slot)
+			o.StoreSlot(slot, v)
+			tx.maybePublish(o, slot, v)
+			return
+		}
+	}
+}
+
+// WriteRef is Write for reference slots.
+func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
+	tx.Write(o, slot, uint64(r))
+}
+
+// Validate re-checks the read set and reports whether the transaction is
+// still consistent. The VM calls this periodically so that doomed
+// transactions (which have read data speculatively written by others)
+// abort promptly instead of looping or faulting.
+func (tx *Txn) Validate() bool {
+	for o, ver := range tx.reads {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+			// Only this thread could ever have seen it; trivially valid.
+		case txrec.IsShared(w):
+			if txrec.Version(w) != ver {
+				return false
+			}
+		case txrec.IsExclusive(w) && txrec.Owner(w) == tx.id:
+			if tx.owned[o] != ver {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateOrRestart aborts and restarts the transaction if it is doomed.
+func (tx *Txn) ValidateOrRestart() {
+	if !tx.Validate() {
+		tx.Restart()
+	}
+}
+
+func (tx *Txn) rollbackTo(undoLen, writesLen, compLen int) {
+	// Replay the undo log in reverse: later entries may shadow earlier ones,
+	// so reverse order restores the oldest values last.
+	for i := len(tx.undo) - 1; i >= undoLen; i-- {
+		e := tx.undo[i]
+		for j := 0; j < e.n; j++ {
+			e.obj.StoreSlot(e.base+j, e.vals[j])
+		}
+	}
+	tx.undo = tx.undo[:undoLen]
+	// Release records acquired after the savepoint, bumping versions so
+	// optimistic readers of our speculative state fail validation (the
+	// bump is load-bearing: without it, a reader that sampled the record,
+	// read a speculative slot value, and re-checked the record could pass
+	// its double-check against the restored word — an ABA).
+	for i := len(tx.writes) - 1; i >= writesLen; i-- {
+		e := tx.writes[i]
+		e.obj.Rec.ReleaseOwned(e.version)
+		delete(tx.owned, e.obj)
+		// Partial abort: the rollback above restored exactly the values the
+		// enclosing transaction read before this record was acquired, so
+		// refresh its read-set entry to the post-release version — otherwise
+		// the parent would fail validation against its own nested abort and
+		// retry forever.
+		if _, ok := tx.reads[e.obj]; ok {
+			tx.reads[e.obj] = e.version + 1
+		}
+	}
+	tx.writes = tx.writes[:writesLen]
+	// Run open-nesting compensations registered after the savepoint.
+	for i := len(tx.comps) - 1; i >= compLen; i-- {
+		tx.comps[i]()
+	}
+	tx.comps = tx.comps[:compLen]
+}
+
+func (tx *Txn) abort() {
+	tx.rollbackTo(0, 0, 0)
+	tx.status.Store(uint32(Aborted))
+	tx.rt.Stats.Aborts.Add(1)
+}
+
+func (tx *Txn) commit() bool {
+	if !tx.Validate() {
+		return false
+	}
+	tx.status.Store(uint32(Committed))
+	for _, e := range tx.writes {
+		e.obj.Rec.ReleaseOwned(e.version)
+	}
+	tx.rt.Stats.Commits.Add(1)
+	if tx.rt.cfg.Quiescence {
+		tx.quiesce()
+	}
+	return true
+}
+
+// quiesce implements the Section 3.4 privatization guarantee: the committed
+// transaction waits until every transaction that was active at its commit
+// has finished or restarted, so that no doomed transaction can still access
+// data this transaction privatized.
+func (tx *Txn) quiesce() {
+	commitSeq := tx.rt.seq.Add(1)
+	tx.rt.reg.Range(func(_, v any) bool {
+		other := v.(*Txn)
+		if other == tx {
+			return true
+		}
+		for a := 0; Status(other.status.Load()) == Active && other.beginSeq.Load() < commitSeq; a++ {
+			conflict.WaitAttempt(a, 0)
+		}
+		return true
+	})
+}
+
+// waitForReadSetChange blocks until any object in the given read snapshot
+// changes version or becomes owned, implementing the retry operation.
+func (rt *Runtime) waitForReadSetChange(snapshot map[*objmodel.Object]uint64) {
+	if len(snapshot) == 0 {
+		return // retrying with an empty read set would block forever
+	}
+	for a := 0; ; a++ {
+		for o, ver := range snapshot {
+			w := o.Rec.Load()
+			if txrec.IsPrivate(w) {
+				continue
+			}
+			if !txrec.IsShared(w) || txrec.Version(w) != ver {
+				return
+			}
+		}
+		conflict.WaitAttempt(a, 0)
+	}
+}
+
+// Atomic executes body as a transaction. With parent == nil it is a
+// top-level atomic block: the body is (re-)executed until it commits. With
+// a non-nil parent it is a closed-nested block: a savepoint is taken and a
+// body error rolls the parent back to the savepoint (partial abort) while
+// conflicts abort and restart the outermost transaction.
+//
+// The body's error return aborts: ErrAborted (or any wrapped error)
+// discards the transaction's effects and is returned to the caller.
+func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
+	if parent != nil {
+		return rt.nested(parent, body)
+	}
+	tx := rt.newTxn()
+	defer rt.reg.Delete(tx.id)
+	for attempt := 0; ; attempt++ {
+		tx.attempt = attempt
+		tx.begin()
+		err, sig := rt.run(tx, body)
+		switch sig {
+		case 0:
+			if err != nil {
+				tx.abort()
+				return err
+			}
+			if tx.commit() {
+				return nil
+			}
+			tx.abort()
+		case sigRestart:
+			tx.abort()
+		case sigRetry:
+			snapshot := make(map[*objmodel.Object]uint64, len(tx.reads))
+			for o, v := range tx.reads {
+				snapshot[o] = v
+			}
+			tx.abort()
+			rt.waitForReadSetChange(snapshot)
+		}
+		conflict.WaitAttempt(attempt, 0)
+	}
+}
+
+// run executes the body, converting control-flow panics into signals. A
+// foreign panic raised while the transaction is doomed (invalid read set)
+// is treated as a restart — speculative execution on inconsistent data may
+// fault in arbitrary ways, exactly the hazard quiescence-based systems
+// worry about (Section 3.4); a managed runtime converts the fault into an
+// abort.
+func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s, ok := r.(txSignal); ok && s.tx == tx {
+			sig = s.s
+			return
+		}
+		if !tx.Validate() {
+			sig = sigRestart
+			return
+		}
+		// A genuine fault in a consistent transaction: abort (roll back and
+		// release every owned record) before propagating, so other threads
+		// are not left blocking on records owned by a dead transaction.
+		tx.abort()
+		panic(r)
+	}()
+	return body(tx), 0
+}
+
+func (rt *Runtime) nested(parent *Txn, body func(*Txn) error) error {
+	sp := savepoint{
+		undoLen:   len(parent.undo),
+		writesLen: len(parent.writes),
+		compLen:   len(parent.comps),
+	}
+	parent.saves = append(parent.saves, sp)
+	defer func() { parent.saves = parent.saves[:len(parent.saves)-1] }()
+	if err := body(parent); err != nil {
+		// Partial abort: roll the parent back to the savepoint.
+		parent.rollbackTo(sp.undoLen, sp.writesLen, sp.compLen)
+		return err
+	}
+	return nil
+}
+
+// AtomicOpen executes body as an open-nested transaction: an independent
+// transaction that commits (or aborts) immediately, regardless of the
+// enclosing transaction's fate. If parent is non-nil and the open-nested
+// transaction commits, compensation (if non-nil) is registered to run if
+// the parent later aborts.
+func (rt *Runtime) AtomicOpen(parent *Txn, body func(*Txn) error, compensation func()) error {
+	err := rt.Atomic(nil, body)
+	if err == nil && parent != nil && compensation != nil {
+		parent.comps = append(parent.comps, compensation)
+	}
+	return err
+}
+
+// ActiveTransactions returns the number of registered descriptors whose
+// status is Active (for tests and monitoring).
+func (rt *Runtime) ActiveTransactions() int {
+	n := 0
+	rt.reg.Range(func(_, v any) bool {
+		if Status(v.(*Txn).status.Load()) == Active {
+			n++
+		}
+		return true
+	})
+	return n
+}

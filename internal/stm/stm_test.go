@@ -1,0 +1,690 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/objmodel"
+	"repro/internal/txrec"
+)
+
+type fixture struct {
+	heap *objmodel.Heap
+	rt   *Runtime
+	cls  *objmodel.Class
+}
+
+func newFixture(t testing.TB, cfg Config) *fixture {
+	t.Helper()
+	h := objmodel.NewHeap()
+	if cfg.DEA {
+		h.AllocPrivate = true
+	}
+	rt := New(h, cfg)
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name: "Cell",
+		Fields: []objmodel.Field{
+			{Name: "f"}, {Name: "g"}, {Name: "next", IsRef: true},
+		},
+	})
+	return &fixture{heap: h, rt: rt, cls: cls}
+}
+
+func (f *fixture) newCell() *objmodel.Object { return f.heap.New(f.cls) }
+
+func TestCommitBasic(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 41)
+		tx.Write(o, 0, tx.Read(o, 0)+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.LoadSlot(0); got != 42 {
+		t.Errorf("slot0 = %d, want 42", got)
+	}
+	w := o.Rec.Load()
+	if !txrec.IsShared(w) || txrec.Version(w) != 2 {
+		t.Errorf("record after commit = %#x, want shared v2", w)
+	}
+	if f.rt.Stats.Commits.Load() != 1 {
+		t.Errorf("commits = %d", f.rt.Stats.Commits.Load())
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	o.StoreSlot(0, 7)
+	myErr := errors.New("boom")
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 99)
+		return myErr
+	})
+	if !errors.Is(err, myErr) {
+		t.Fatalf("err = %v, want %v", err, myErr)
+	}
+	if got := o.LoadSlot(0); got != 7 {
+		t.Errorf("slot0 = %d after abort, want 7 (rolled back)", got)
+	}
+	w := o.Rec.Load()
+	if !txrec.IsShared(w) {
+		t.Fatalf("record not released after abort: %#x", w)
+	}
+	if txrec.Version(w) != 2 {
+		t.Errorf("abort must bump version; got v%d", txrec.Version(w))
+	}
+	if f.rt.Stats.Aborts.Load() != 1 {
+		t.Errorf("aborts = %d, want 1", f.rt.Stats.Aborts.Load())
+	}
+}
+
+func TestRestartReexecutes(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	runs := 0
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		runs++
+		tx.Write(o, 0, uint64(runs))
+		if runs < 3 {
+			tx.Restart()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Errorf("runs = %d, want 3", runs)
+	}
+	if got := o.LoadSlot(0); got != 3 {
+		t.Errorf("slot0 = %d, want 3", got)
+	}
+	if f.rt.Stats.Aborts.Load() != 2 {
+		t.Errorf("aborts = %d, want 2", f.rt.Stats.Aborts.Load())
+	}
+}
+
+func TestRollbackReverseOrder(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	o.StoreSlot(0, 100)
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 1)
+		tx.Write(o, 0, 2)
+		tx.Write(o, 0, 3)
+		return ErrAborted
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatal(err)
+	}
+	if got := o.LoadSlot(0); got != 100 {
+		t.Errorf("slot0 = %d, want original 100", got)
+	}
+}
+
+// TestCounterAtomicity runs concurrent increment transactions and checks
+// that no update is lost.
+func TestCounterAtomicity(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	const (
+		goroutines = 8
+		iters      = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := f.rt.Atomic(nil, func(tx *Txn) error {
+					tx.Write(o, 0, tx.Read(o, 0)+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.LoadSlot(0); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+}
+
+// TestInvariantPreserved maintains x+y == 0 across transfer transactions
+// while readers check the invariant transactionally.
+func TestInvariantPreserved(t *testing.T) {
+	f := newFixture(t, Config{})
+	x, y := f.newCell(), f.newCell()
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var a, b int64
+				_ = f.rt.Atomic(nil, func(tx *Txn) error {
+					a = int64(tx.Read(x, 0))
+					b = int64(tx.Read(y, 0))
+					return nil
+				})
+				if a+b != 0 {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 400; i++ {
+				_ = f.rt.Atomic(nil, func(tx *Txn) error {
+					tx.Write(x, 0, tx.Read(x, 0)+1)
+					tx.Write(y, 0, tx.Read(y, 0)-1)
+					return nil
+				})
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("%d isolation violations observed", bad.Load())
+	}
+	if x.LoadSlot(0) != 1600 {
+		t.Errorf("x = %d, want 1600", x.LoadSlot(0))
+	}
+}
+
+func TestRetryWaitsForChange(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	done := make(chan uint64)
+	go func() {
+		var got uint64
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			v := tx.Read(o, 0)
+			if v == 0 {
+				tx.Retry()
+			}
+			got = v
+			return nil
+		})
+		done <- got
+	}()
+	// Let the retry engage, then satisfy it from another transaction.
+	for f.rt.Stats.UserRetries.Load() == 0 {
+	}
+	if err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; got != 5 {
+		t.Errorf("retry observed %d, want 5", got)
+	}
+}
+
+func TestClosedNestingPartialAbort(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	inner := errors.New("inner failed")
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 1)
+		if err := f.rt.Atomic(tx, func(tx *Txn) error {
+			tx.Write(o, 0, 2)
+			tx.Write(o, 1, 77)
+			return inner
+		}); !errors.Is(err, inner) {
+			t.Errorf("nested err = %v", err)
+		}
+		// Nested effects must be rolled back, outer effects intact.
+		if got := tx.Read(o, 0); got != 1 {
+			t.Errorf("after nested abort slot0 = %d, want 1", got)
+		}
+		if got := tx.Read(o, 1); got != 0 {
+			t.Errorf("after nested abort slot1 = %d, want 0", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LoadSlot(0) != 1 || o.LoadSlot(1) != 0 {
+		t.Errorf("final state = (%d,%d), want (1,0)", o.LoadSlot(0), o.LoadSlot(1))
+	}
+}
+
+func TestClosedNestingCommit(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 1)
+		return f.rt.Atomic(tx, func(tx *Txn) error {
+			tx.Write(o, 1, 2)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LoadSlot(0) != 1 || o.LoadSlot(1) != 2 {
+		t.Errorf("state = (%d,%d), want (1,2)", o.LoadSlot(0), o.LoadSlot(1))
+	}
+}
+
+func TestOpenNestingCommitsIndependently(t *testing.T) {
+	f := newFixture(t, Config{})
+	o, log := f.newCell(), f.newCell()
+	compensated := false
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 1)
+		// Open-nested action commits immediately.
+		if err := f.rt.AtomicOpen(tx, func(otx *Txn) error {
+			otx.Write(log, 0, otx.Read(log, 0)+1)
+			return nil
+		}, func() { compensated = true }); err != nil {
+			return err
+		}
+		// The open-nested effect must be visible even though the parent has
+		// not committed.
+		if got := log.LoadSlot(0); got != 1 {
+			t.Errorf("open-nested effect not visible: %d", got)
+		}
+		return ErrAborted // parent aborts
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatal(err)
+	}
+	if o.LoadSlot(0) != 0 {
+		t.Error("parent effect survived abort")
+	}
+	if log.LoadSlot(0) != 1 {
+		t.Error("open-nested effect rolled back with parent")
+	}
+	if !compensated {
+		t.Error("compensation did not run on parent abort")
+	}
+}
+
+func TestOpenNestingCompensationSkippedOnCommit(t *testing.T) {
+	f := newFixture(t, Config{})
+	log := f.newCell()
+	compensated := false
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		return f.rt.AtomicOpen(tx, func(otx *Txn) error {
+			otx.Write(log, 0, 1)
+			return nil
+		}, func() { compensated = true })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compensated {
+		t.Error("compensation ran despite parent commit")
+	}
+}
+
+// TestValidationDetectsNonTxnVersionBump simulates a strong-atomicity
+// non-transactional write (acquire-anonymous + release) between a
+// transactional read and commit; the transaction must abort and re-execute.
+func TestValidationDetectsNonTxnVersionBump(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	runs := 0
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		runs++
+		v := tx.Read(o, 0)
+		if runs == 1 {
+			// Simulate the NT write barrier: acquire, store, release(+9).
+			if _, ok := o.Rec.AcquireAnon(); !ok {
+				t.Fatal("acquire failed")
+			}
+			o.StoreSlot(0, 10)
+			o.Rec.ReleaseAnon()
+		}
+		tx.Write(o, 1, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("runs = %d, want 2 (validation failure forces retry)", runs)
+	}
+	if got := o.LoadSlot(1); got != 10 {
+		t.Errorf("slot1 = %d, want 10 (re-execution saw the NT write)", got)
+	}
+}
+
+func TestDoomedReadRestarts(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	runs := 0
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		runs++
+		_ = tx.Read(o, 0)
+		if runs == 1 {
+			// Bump the version outside the transaction.
+			if _, ok := o.Rec.AcquireAnon(); !ok {
+				t.Fatal("acquire failed")
+			}
+			o.Rec.ReleaseAnon()
+			// Second read of the same object at a new version must restart.
+			_ = tx.Read(o, 0)
+			t.Error("doomed second read did not restart")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("runs = %d, want 2", runs)
+	}
+}
+
+// TestForeignPanicWhileDoomedRestarts checks the managed-runtime doomed
+// transaction story: a panic raised while the read set is invalid converts
+// to an abort-and-restart instead of propagating.
+func TestForeignPanicWhileDoomedRestarts(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	runs := 0
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		runs++
+		tx.reads[o] = 999 // forge an invalid read entry: transaction is doomed
+		if runs == 1 {
+			panic(objmodel.ErrNullDeref)
+		}
+		delete(tx.reads, o)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("runs = %d, want 2", runs)
+	}
+}
+
+func TestForeignPanicWhileValidPropagates(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	o.StoreSlot(0, 5)
+	defer func() {
+		if r := recover(); r != "user panic" {
+			t.Errorf("recovered %v, want user panic", r)
+		}
+		if o.LoadSlot(0) != 5 {
+			t.Error("no rollback before propagating panic is acceptable only if slot unchanged")
+		}
+	}()
+	_ = f.rt.Atomic(nil, func(tx *Txn) error {
+		panic("user panic")
+	})
+}
+
+func TestDEAPrivateAccessSkipsLocking(t *testing.T) {
+	f := newFixture(t, Config{DEA: true})
+	o := f.newCell()
+	if !o.IsPrivate() {
+		t.Fatal("object not private at birth")
+	}
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 9)
+		if !o.IsPrivate() {
+			t.Error("private write acquired the record")
+		}
+		if got := tx.Read(o, 0); got != 9 {
+			t.Errorf("read-own-write on private object = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsPrivate() {
+		t.Error("object should remain private after commit")
+	}
+}
+
+func TestDEAPrivateRollback(t *testing.T) {
+	f := newFixture(t, Config{DEA: true})
+	o := f.newCell()
+	o.StoreSlot(0, 3)
+	_ = f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 50)
+		return ErrAborted
+	})
+	if got := o.LoadSlot(0); got != 3 {
+		t.Errorf("private object not rolled back: %d", got)
+	}
+}
+
+// TestDEATxnWritePublishes verifies Section 4's rule: a transactional write
+// of a reference into a public object immediately publishes the referenced
+// private subgraph, before commit.
+func TestDEATxnWritePublishes(t *testing.T) {
+	f := newFixture(t, Config{DEA: true})
+	pub := f.heap.NewPublic(f.cls)
+	priv := f.newCell()
+	child := f.newCell()
+	priv.StoreSlot(2, uint64(child.Ref()))
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.WriteRef(pub, 2, priv.Ref())
+		if priv.IsPrivate() || child.IsPrivate() {
+			t.Error("referenced subgraph not published immediately at the write")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDEAWriteIntoPrivateDoesNotPublish(t *testing.T) {
+	f := newFixture(t, Config{DEA: true})
+	container := f.newCell()
+	child := f.newCell()
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.WriteRef(container, 2, child.Ref())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !child.IsPrivate() {
+		t.Error("write into a private container must not publish the value")
+	}
+}
+
+// TestGranularitySpanUndo checks that with 2-slot granularity an abort
+// restores the *adjacent* slot too — the raw material of the granular lost
+// update anomaly (Section 2.4).
+func TestGranularitySpanUndo(t *testing.T) {
+	f := newFixture(t, Config{Granularity: 2})
+	o := f.newCell()
+	o.StoreSlot(0, 1) // f
+	o.StoreSlot(1, 2) // g
+	barrier := make(chan struct{})
+	resume := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(o, 0, 42) // undo entry captures slots {0,1} = {1,2}
+			close(barrier)
+			<-resume
+			return ErrAborted
+		})
+		close(done)
+	}()
+	<-barrier
+	// A (weakly-atomic) non-transactional write to the adjacent slot g.
+	o.StoreSlot(1, 99)
+	close(resume)
+	<-done
+	if got := o.LoadSlot(1); got != 2 {
+		// The rollback restored g from the 2-slot undo span: the
+		// non-transactional update was lost, as Section 2.4 predicts.
+		t.Fatalf("slot g = %d; expected the granular lost update to restore 2", got)
+	}
+	if got := o.LoadSlot(0); got != 1 {
+		t.Errorf("slot f = %d, want 1", got)
+	}
+}
+
+func TestGranularityOneDoesNotSpan(t *testing.T) {
+	f := newFixture(t, Config{Granularity: 1})
+	o := f.newCell()
+	o.StoreSlot(1, 2)
+	sync1 := make(chan struct{})
+	resume := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(o, 0, 42)
+			close(sync1)
+			<-resume
+			return ErrAborted
+		})
+		close(done)
+	}()
+	<-sync1
+	o.StoreSlot(1, 99)
+	close(resume)
+	<-done
+	if got := o.LoadSlot(1); got != 99 {
+		t.Errorf("slot g = %d, want 99 (field-granular undo must not touch it)", got)
+	}
+}
+
+// TestQuiescenceWaitsForActive: a committed transaction in quiescence mode
+// must not return while another transaction that started earlier is active.
+func TestQuiescenceWaitsForActive(t *testing.T) {
+	f := newFixture(t, Config{Quiescence: true})
+	a, b := f.newCell(), f.newCell()
+	inBody := make(chan struct{})
+	finish := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	push := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // long-running transaction
+		defer wg.Done()
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			_ = tx.Read(a, 0)
+			close(inBody)
+			<-finish
+			return nil
+		})
+		push("long-done")
+	}()
+	go func() { // committer that must quiesce
+		defer wg.Done()
+		<-inBody
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(b, 0, 1)
+			return nil
+		})
+		push("commit-returned")
+	}()
+	go func() {
+		// Release the long transaction after giving the committer a chance
+		// to reach its quiesce wait.
+		<-inBody
+		for f.rt.Stats.Commits.Load() == 0 {
+		}
+		close(finish)
+	}()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "long-done" {
+		t.Errorf("order = %v, want long transaction to finish before quiesced commit returns", order)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	_ = f.rt.Atomic(nil, func(tx *Txn) error {
+		_ = tx.Read(o, 0)
+		tx.Write(o, 0, 1)
+		return nil
+	})
+	if f.rt.Stats.TxnReads.Load() != 1 || f.rt.Stats.TxnWrites.Load() != 1 {
+		t.Errorf("reads/writes = %d/%d, want 1/1",
+			f.rt.Stats.TxnReads.Load(), f.rt.Stats.TxnWrites.Load())
+	}
+	if f.rt.Stats.Starts.Load() != 1 {
+		t.Errorf("starts = %d", f.rt.Stats.Starts.Load())
+	}
+}
+
+func TestActiveTransactions(t *testing.T) {
+	f := newFixture(t, Config{})
+	inBody := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			close(inBody)
+			<-release
+			return nil
+		})
+	}()
+	<-inBody
+	if n := f.rt.ActiveTransactions(); n != 1 {
+		t.Errorf("active = %d, want 1", n)
+	}
+	close(release)
+}
+
+func TestBadGranularityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("granularity 3 accepted")
+		}
+	}()
+	New(objmodel.NewHeap(), Config{Granularity: 3})
+}
+
+func ExampleRuntime_Atomic() {
+	heap := objmodel.NewHeap()
+	rt := New(heap, Config{})
+	acct := heap.MustDefineClass(objmodel.ClassSpec{
+		Name:   "Account",
+		Fields: []objmodel.Field{{Name: "balance"}},
+	})
+	a, b := heap.New(acct), heap.New(acct)
+	a.StoreSlot(0, 100)
+	_ = rt.Atomic(nil, func(tx *Txn) error {
+		amt := uint64(30)
+		tx.Write(a, 0, tx.Read(a, 0)-amt)
+		tx.Write(b, 0, tx.Read(b, 0)+amt)
+		return nil
+	})
+	fmt.Println(a.LoadSlot(0), b.LoadSlot(0))
+	// Output: 70 30
+}

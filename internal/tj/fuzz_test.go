@@ -1,0 +1,108 @@
+package tj
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/lexer"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// Fuzzing the compiler pipeline: any input must either produce a clean
+// error or compile to IR that passes the verifier and (for the seeds)
+// executes without internal faults. Run long with:
+//
+//	go test -fuzz FuzzCompile ./internal/tj
+//
+// In normal test runs only the seed corpus executes.
+
+var fuzzSeeds = []string{
+	``,
+	`class`,
+	`class Main { static func main() { } }`,
+	`class Main { static func main() { print(1+2*3); } }`,
+	`class C { var f: int; }
+class Main { static func main() { var c = new C(); atomic { c.f = 1; } print(c.f); } }`,
+	`class Main { static func main() { var a = new int[4]; for (var i = 0; i < len(a); i++) { a[i] = i; } } }`,
+	`class A { func m(): int { return 1; } }
+class B extends A { func m(): int { return 2; } }
+class Main { static func main() { var x: A = new B(); print(x.m()); } }`,
+	`class Main {
+  static var s: int;
+  static func w() { atomic { s = s + 1; } }
+  static func main() { var t = spawn Main.w(); join(t); print(s); }
+}`,
+	`class Main { static func main() { synchronized (null) { } } }`,
+	`class Main { static func main() { retry; } }`,
+	`class Main { static func main() { var x = 0; while (true) { x++; if (x > 3) { break; } } print(x); } }`,
+	"class Main { static func main() { /* unterminated",
+	`class Main { static func main() { var x = 9999999999999999999999; } }`,
+	`class Main extends Main { static func main() { } }`,
+}
+
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexer.Tokenize(src)
+		if err != nil {
+			return // clean rejection
+		}
+		if len(toks) == 0 {
+			t.Error("tokenize returned no tokens (expected at least EOF)")
+		}
+	})
+}
+
+func FuzzCompile(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, _, err := Compile(src, opt.FromLevel(opt.O4WholeProg, 1))
+		if err != nil {
+			// Internal-error messages indicate pipeline bugs even when the
+			// input is garbage; ordinary front-end errors are fine.
+			if strings.Contains(err.Error(), "internal error") {
+				t.Errorf("pipeline internal error: %v", err)
+			}
+			return
+		}
+		if err := prog.Verify(); err != nil {
+			t.Errorf("verifier rejected compiled fuzz input: %v", err)
+		}
+	})
+}
+
+// FuzzCompileAndRun executes accepted seeds briefly: runtime errors are
+// fine, internal VM panics are not. A step budget keeps infinite loops in
+// fuzz inputs from hanging the fuzzer (spawn-free seeds only run on the
+// main thread, so the budget check suffices).
+func FuzzCompileAndRun(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 || strings.Contains(src, "spawn") ||
+			strings.Contains(src, "while") || strings.Contains(src, "for") ||
+			strings.Contains(src, "retry") {
+			// Unbounded loops and blocking constructs can hang a fuzz
+			// worker; the deterministic test suite covers them.
+			return
+		}
+		prog, _, err := Compile(src, opt.FromLevel(opt.O2Aggregate, 1))
+		if err != nil {
+			return
+		}
+		m, err := vm.New(prog, vm.Mode{Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true}, nil)
+		if err != nil {
+			return
+		}
+		_ = m.Run() // runtime errors are acceptable; panics are not
+	})
+}

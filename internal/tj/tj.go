@@ -1,0 +1,55 @@
+// Package tj is the compiler driver for the TJ language: it wires the
+// front end (lexer, parser, type checker), the IR lowering pass, and the
+// barrier optimization pipeline into one entry point.
+package tj
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ir"
+	"repro/internal/lang/lower"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/types"
+	"repro/internal/opt"
+)
+
+// Frontend parses, checks, and lowers src with no barrier optimization:
+// every non-transactional access keeps its isolation barrier (the paper's
+// "No Opts" configuration).
+func Frontend(src string) (*ir.Program, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := types.Check(astProg)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.Compile(tp)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Verify(); err != nil {
+		return nil, fmt.Errorf("internal error: lowering produced bad IR: %w", err)
+	}
+	return prog, nil
+}
+
+// Compile runs the full pipeline with the given barrier-optimization
+// options, returning the optimized program and the optimization report.
+func Compile(src string, o opt.Options) (*ir.Program, *opt.Report, error) {
+	prog, err := Frontend(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := opt.Run(prog, o)
+	if err := prog.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("internal error: optimization produced bad IR: %w", err)
+	}
+	return prog, report, nil
+}
+
+// CompileLevel is Compile at one of the paper's named optimization levels.
+func CompileLevel(src string, level opt.Level, granularity int) (*ir.Program, *opt.Report, error) {
+	return Compile(src, opt.FromLevel(level, granularity))
+}

@@ -1,0 +1,66 @@
+package tj
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/opt"
+)
+
+const ok = `
+class C { var f: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    c.f = 1;
+    atomic { c.f = 2; }
+    print(c.f);
+  }
+}`
+
+func TestFrontend(t *testing.T) {
+	p, err := Frontend(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Main == nil || len(p.Methods) == 0 {
+		t.Error("incomplete program")
+	}
+}
+
+func TestFrontendErrors(t *testing.T) {
+	if _, err := Frontend("class {"); err == nil || !strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("syntax error not surfaced: %v", err)
+	}
+	if _, err := Frontend("class Main { static func main() { x; } }"); err == nil {
+		t.Error("type error not surfaced")
+	}
+}
+
+func TestCompileLevels(t *testing.T) {
+	for lvl := opt.O0NoOpts; lvl <= opt.O4WholeProg; lvl++ {
+		p, rep, err := CompileLevel(ok, lvl, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		if p == nil || rep == nil {
+			t.Fatalf("%v: nil result", lvl)
+		}
+		if lvl >= opt.O4WholeProg && rep.WholeProg == nil {
+			t.Errorf("%v: whole-program report missing", lvl)
+		}
+		if lvl < opt.O4WholeProg && rep.WholeProg != nil {
+			t.Errorf("%v: unexpected whole-program report", lvl)
+		}
+	}
+}
+
+func TestCompileExplicitOptions(t *testing.T) {
+	_, rep, err := Compile(ok, opt.Options{BarrierElim: true, Granularity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalReads == 0 && rep.TotalWrites == 0 {
+		t.Error("no barriers counted")
+	}
+}

@@ -1,0 +1,277 @@
+package txrec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodingStates(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Word
+		want State
+	}{
+		{"shared v0", MakeShared(0), Shared},
+		{"shared v1", MakeShared(1), Shared},
+		{"shared big", MakeShared(1 << 40), Shared},
+		{"exclusive owner1", MakeExclusive(1), Exclusive},
+		{"exclusive owner big", MakeExclusive(1 << 30), Exclusive},
+		{"exanon v0", MakeExclusiveAnon(0), ExclusiveAnon},
+		{"exanon v7", MakeExclusiveAnon(7), ExclusiveAnon},
+		{"private", PrivateWord, Private},
+	}
+	for _, c := range cases {
+		if got := StateOf(c.w); got != c.want {
+			t.Errorf("%s: StateOf(%#x) = %v, want %v", c.name, c.w, got, c.want)
+		}
+	}
+}
+
+func TestPredicatesMutuallyExclusive(t *testing.T) {
+	words := []Word{
+		MakeShared(0), MakeShared(123), MakeShared(MaxVersion),
+		MakeExclusive(1), MakeExclusive(999),
+		MakeExclusiveAnon(0), MakeExclusiveAnon(42),
+		PrivateWord,
+	}
+	for _, w := range words {
+		n := 0
+		if IsShared(w) {
+			n++
+		}
+		if IsExclusive(w) {
+			n++
+		}
+		if IsExclusiveAnon(w) {
+			n++
+		}
+		if IsPrivate(w) {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("word %#x satisfies %d state predicates, want exactly 1", w, n)
+		}
+	}
+}
+
+func TestVersionRoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		v %= MaxVersion + 1
+		return Version(MakeShared(v)) == v && Version(MakeExclusiveAnon(v)) == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnerRoundTrip(t *testing.T) {
+	if err := quick.Check(func(o uint64) bool {
+		o = o%MaxOwner + 1 // non-zero
+		return Owner(MakeExclusive(o)) == o
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeExclusiveZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MakeExclusive(0) did not panic")
+		}
+	}()
+	MakeExclusive(0)
+}
+
+// TestBitOneConflictCheck verifies the single-bit read-barrier conflict
+// test of Section 3.2: only the Exclusive state conflicts with a
+// non-transactional read.
+func TestBitOneConflictCheck(t *testing.T) {
+	if !ConflictsWithRead(MakeExclusive(5)) {
+		t.Error("exclusive record must conflict with a non-transactional read")
+	}
+	for _, w := range []Word{MakeShared(3), MakeExclusiveAnon(3), PrivateWord} {
+		if ConflictsWithRead(w) {
+			t.Errorf("record %#x (%v) should not conflict with a non-transactional read", w, StateOf(w))
+		}
+	}
+}
+
+// TestBitZeroWriterCheck verifies the footnote's lowest-bit test that
+// detects both transactional and non-transactional concurrent writers.
+func TestBitZeroWriterCheck(t *testing.T) {
+	for _, w := range []Word{MakeExclusive(5), MakeExclusiveAnon(3)} {
+		if !ConflictsWithAnyWriter(w) {
+			t.Errorf("record %#x (%v) should conflict with any writer check", w, StateOf(w))
+		}
+	}
+	for _, w := range []Word{MakeShared(3), PrivateWord} {
+		if ConflictsWithAnyWriter(w) {
+			t.Errorf("record %#x (%v) should not conflict with any writer check", w, StateOf(w))
+		}
+	}
+}
+
+// TestAddNineRelease verifies the arithmetic identity the write barrier
+// relies on: (v<<3|010) + 9 == ((v+1)<<3|011).
+func TestAddNineRelease(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		v %= MaxVersion // leave room for the increment
+		return MakeExclusiveAnon(v)+ReleaseIncrement == MakeShared(v+1)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcquireAnonFromShared(t *testing.T) {
+	var r Rec
+	r.Init(MakeShared(7))
+	prev, ok := r.AcquireAnon()
+	if !ok {
+		t.Fatal("acquire from shared state failed")
+	}
+	if !IsShared(prev) || Version(prev) != 7 {
+		t.Errorf("prev = %#x, want shared v7", prev)
+	}
+	w := r.Load()
+	if !IsExclusiveAnon(w) || Version(w) != 7 {
+		t.Errorf("after acquire: %#x (%v), want exclusive-anonymous v7", w, StateOf(w))
+	}
+	r.ReleaseAnon()
+	w = r.Load()
+	if !IsShared(w) || Version(w) != 8 {
+		t.Errorf("after release: %#x (%v), want shared v8", w, StateOf(w))
+	}
+}
+
+func TestAcquireAnonFromExclusiveFails(t *testing.T) {
+	var r Rec
+	r.Init(MakeExclusive(3))
+	prev, ok := r.AcquireAnon()
+	if ok {
+		t.Fatal("acquire from exclusive state should fail")
+	}
+	if prev != MakeExclusive(3) || r.Load() != MakeExclusive(3) {
+		t.Errorf("exclusive record disturbed: prev %#x now %#x", prev, r.Load())
+	}
+}
+
+func TestAcquireAnonFromExclusiveAnonFails(t *testing.T) {
+	var r Rec
+	r.Init(MakeExclusiveAnon(4))
+	if _, ok := r.AcquireAnon(); ok {
+		t.Fatal("acquire from exclusive-anonymous state should fail")
+	}
+	if got := r.Load(); got != MakeExclusiveAnon(4) {
+		t.Errorf("record disturbed: %#x", got)
+	}
+}
+
+func TestReleaseOwned(t *testing.T) {
+	var r Rec
+	r.Init(MakeExclusive(9))
+	r.ReleaseOwned(41)
+	w := r.Load()
+	if !IsShared(w) || Version(w) != 42 {
+		t.Errorf("after ReleaseOwned: %#x, want shared v42", w)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	var r Rec
+	r.Init(PrivateWord)
+	r.Publish()
+	w := r.Load()
+	if !IsShared(w) || Version(w) != 1 {
+		t.Errorf("after Publish: %#x, want shared v1", w)
+	}
+}
+
+// TestAcquireAnonMutualExclusion hammers one record with concurrent
+// acquire/release loops and checks that exactly one thread holds the record
+// at a time and that the version increases monotonically by the number of
+// successful acquisitions.
+func TestAcquireAnonMutualExclusion(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var r Rec
+	r.Init(MakeShared(0))
+	var holders, maxHolders, acquired struct{ n atomicInt }
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; {
+				if _, ok := r.AcquireAnon(); !ok {
+					continue
+				}
+				h := holders.n.Add(1)
+				if h > 1 {
+					maxHolders.n.Add(1)
+				}
+				acquired.n.Add(1)
+				holders.n.Add(-1)
+				r.ReleaseAnon()
+				i++
+			}
+		}()
+	}
+	wg.Wait()
+	if maxHolders.n.Load() != 0 {
+		t.Errorf("observed %d concurrent-holder violations", maxHolders.n.Load())
+	}
+	w := r.Load()
+	if !IsShared(w) {
+		t.Fatalf("final state %v, want shared", StateOf(w))
+	}
+	if got, want := Version(w), uint64(acquired.n.Load()); got != want {
+		t.Errorf("final version %d, want %d (one bump per acquisition)", got, want)
+	}
+}
+
+type atomicInt struct{ v atomic.Int64 }
+
+func (a *atomicInt) Add(d int64) int64 { return a.v.Add(d) }
+func (a *atomicInt) Load() int64       { return a.v.Load() }
+
+// TestStateOfInvalidPanics checks that corrupted words are rejected.
+func TestStateOfInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StateOf on invalid word did not panic")
+		}
+	}()
+	StateOf(0b111) // low bits 111 but not all-ones
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Shared:        "shared",
+		Exclusive:     "exclusive",
+		ExclusiveAnon: "exclusive-anonymous",
+		Private:       "private",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), str)
+		}
+	}
+	if State(99).String() != "State(99)" {
+		t.Errorf("unknown state string = %q", State(99).String())
+	}
+}
+
+func TestMaxVersionEncodes(t *testing.T) {
+	w := MakeShared(MaxVersion)
+	if w != math.MaxUint64&^4 {
+		// MaxVersion<<3|011 sets every bit except bit 2.
+		t.Errorf("MakeShared(MaxVersion) = %#x", w)
+	}
+	if IsPrivate(w) {
+		t.Error("max-version shared word must not alias the private word")
+	}
+}

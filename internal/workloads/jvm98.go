@@ -1,0 +1,322 @@
+// Package workloads contains the TJ benchmark programs used to reproduce
+// the paper's evaluation (Section 7): a seven-kernel suite standing in for
+// SPEC JVM98 (non-transactional programs for Figures 15–17) and the three
+// multi-threaded transactional benchmarks — Tsp, OO7, and SpecJBB analogs —
+// for Figures 18–20. Each workload mirrors the memory-access *shape* of its
+// original: compress and mpegaudio are array-heavy (mpegaudio on static
+// arrays, which defeats dynamic escape analysis exactly as in the paper);
+// mtrt and javac allocate heavily; db and jess chase heap pointers; jack
+// mixes array scanning with small allocations.
+package workloads
+
+// srcCompress is the _201_compress analog: run-length compression with a
+// hash dictionary over a generated buffer. args: (bufLen, iters).
+const srcCompress = `
+class Compress {
+  static func gen(n: int): int[] {
+    var data = new int[n];
+    var x = 12345;
+    for (var i = 0; i < n; i++) {
+      x = (x * 1103515245 + 12345) % 2147483648;
+      if (x < 0) { x = -x; }
+      data[i] = x % 97 % 16;
+    }
+    return data;
+  }
+  static func compress(data: int[], dict: int[], out: int[]): int {
+    var oi = 0;
+    var prev = -1;
+    var runlen = 0;
+    for (var i = 0; i < len(data); i++) {
+      var c = data[i];
+      if (c == prev) {
+        runlen++;
+      } else {
+        if (runlen > 0) { out[oi] = prev * 512 + runlen; oi++; }
+        prev = c;
+        runlen = 1;
+      }
+      var h = (c * 31 + runlen * 7) % 4096;
+      dict[h] = dict[h] + 1;
+    }
+    out[oi] = prev * 512 + runlen;
+    oi++;
+    var sum = 0;
+    for (var i = 0; i < oi; i++) { sum = (sum + out[i] * (i + 1)) % 1000003; }
+    for (var i = 0; i < 4096; i = i + 256) { sum = (sum + dict[i]) % 1000003; }
+    return sum;
+  }
+  static func run(n: int, iters: int): int {
+    var data = Compress.gen(n);
+    var check = 0;
+    for (var it = 0; it < iters; it++) {
+      var dict = new int[4096];
+      var out = new int[n + 16];
+      check = (check + Compress.compress(data, dict, out)) % 1000003;
+    }
+    return check;
+  }
+}
+class Main {
+  static func main() { print(Compress.run(arg(0), arg(1))); }
+}
+`
+
+// srcDb is the _209_db analog: sorted record table with binary-search
+// lookups and field updates. args: (records, ops).
+const srcDb = `
+class Record { var key: int; var val: int; var tag: int; }
+class Db {
+  static func run(n: int, ops: int): int {
+    var recs = new Record[n];
+    for (var i = 0; i < n; i++) {
+      var r = new Record();
+      r.key = i * 2;
+      r.val = i * 7 % 101;
+      recs[i] = r;
+    }
+    var check = 0;
+    var x = 99;
+    for (var op = 0; op < ops; op++) {
+      x = (x * 1103515245 + 12345) % 2147483648;
+      if (x < 0) { x = -x; }
+      var probe = x % (n * 2);
+      var lo = 0;
+      var hi = n - 1;
+      var found = -1;
+      while (lo <= hi) {
+        var mid = (lo + hi) / 2;
+        var k = recs[mid].key;
+        if (k == probe) { found = mid; break; }
+        if (k < probe) { lo = mid + 1; } else { hi = mid - 1; }
+      }
+      if (found >= 0) {
+        var r = recs[found];
+        r.val = r.val + 1;
+        r.tag = r.tag + op % 7;
+        check = (check + r.val) % 1000003;
+      } else {
+        check = (check + lo) % 1000003;
+      }
+    }
+    return check;
+  }
+}
+class Main {
+  static func main() { print(Db.run(arg(0), arg(1))); }
+}
+`
+
+// srcMpegaudio is the _222_mpegaudio analog: subband filtering over STATIC
+// coefficient and window tables. Static data is public from the start, so
+// dynamic escape analysis cannot remove these barriers — the paper's
+// explanation for mpegaudio's residual overhead. args: (iters).
+const srcMpegaudio = `
+class Filter {
+  static var coef: int[];
+  static var window: int[];
+  static var out: int[];
+  init {
+    coef = new int[512];
+    window = new int[512];
+    out = new int[32];
+    for (var i = 0; i < 512; i++) {
+      coef[i] = (i * 37 + 11) % 256 - 128;
+      window[i] = (i * 17 + 5) % 128;
+    }
+  }
+  static func subband(shift: int): int {
+    for (var s = 0; s < 32; s++) {
+      var acc = 0;
+      for (var k = 0; k < 16; k++) {
+        var idx = (s * 16 + k + shift) % 512;
+        acc = acc + coef[idx] * window[(idx * 3 + 1) % 512];
+      }
+      out[s] = acc % 65536;
+    }
+    var sum = 0;
+    for (var s = 0; s < 32; s++) { sum = (sum + out[s] * (s + 1)) % 1000003; }
+    if (sum < 0) { sum = sum + 1000003; }
+    return sum;
+  }
+  static func run(iters: int): int {
+    var check = 0;
+    for (var i = 0; i < iters; i++) {
+      check = (check + Filter.subband(i % 512)) % 1000003;
+    }
+    return check;
+  }
+}
+class Main {
+  static func main() { print(Filter.run(arg(0))); }
+}
+`
+
+// srcMtrt is the _227_mtrt analog: ray/sphere intersection tests with
+// per-ray temporary vector objects (thread-local allocation that dynamic
+// escape analysis keeps private). args: (spheres, rays).
+const srcMtrt = `
+class Vec { var x: int; var y: int; var z: int; }
+class Sphere { var cx: int; var cy: int; var cz: int; var r2: int; }
+class Rt {
+  static func run(nspheres: int, nrays: int): int {
+    var spheres = new Sphere[nspheres];
+    for (var i = 0; i < nspheres; i++) {
+      var s = new Sphere();
+      s.cx = i * 13 % 200 - 100;
+      s.cy = i * 29 % 200 - 100;
+      s.cz = i * 7 % 150 + 20;
+      s.r2 = (i % 10 + 2) * (i % 10 + 2) * 25;
+      spheres[i] = s;
+    }
+    var hits = 0;
+    var x = 7;
+    for (var ray = 0; ray < nrays; ray++) {
+      var o = new Vec();
+      var d = new Vec();
+      x = (x * 1103515245 + 12345) % 2147483648;
+      if (x < 0) { x = -x; }
+      o.x = x % 41 - 20;
+      o.y = x % 37 - 18;
+      o.z = 0;
+      d.x = x % 11 - 5;
+      d.y = x % 13 - 6;
+      d.z = x % 9 + 1;
+      for (var i = 0; i < nspheres; i++) {
+        var s = spheres[i];
+        var ox = s.cx - o.x;
+        var oy = s.cy - o.y;
+        var oz = s.cz - o.z;
+        var tproj = ox * d.x + oy * d.y + oz * d.z;
+        if (tproj > 0) {
+          var dd = d.x * d.x + d.y * d.y + d.z * d.z;
+          if (dd > 0) {
+            var dist2 = ox * ox + oy * oy + oz * oz - (tproj * tproj) / dd;
+            if (dist2 < s.r2) { hits++; }
+          }
+        }
+      }
+    }
+    return hits;
+  }
+}
+class Main {
+  static func main() { print(Rt.run(arg(0), arg(1))); }
+}
+`
+
+// srcJess is the _202_jess analog: joining facts in working memory (linked
+// lists of small objects). args: (facts, iters).
+const srcJess = `
+class Fact { var a: int; var b: int; var next: Fact; }
+class Jess {
+  static func run(nfacts: int, iters: int): int {
+    var head: Fact = null;
+    for (var i = 0; i < nfacts; i++) {
+      var f = new Fact();
+      f.a = i % 23;
+      f.b = i * 3 % 23;
+      f.next = head;
+      head = f;
+    }
+    var fired = 0;
+    for (var it = 0; it < iters; it++) {
+      var f = head;
+      while (f != null) {
+        var g = head;
+        while (g != null) {
+          if (f.a == g.b && (f.b + it) % 3 == 0) { fired++; }
+          g = g.next;
+        }
+        f = f.next;
+      }
+    }
+    return fired;
+  }
+}
+class Main {
+  static func main() { print(Jess.run(arg(0), arg(1))); }
+}
+`
+
+// srcJack is the _228_jack analog: tokenizing a synthetic input stream into
+// freshly allocated token objects. args: (inputLen, iters).
+const srcJack = `
+class Tok { var kind: int; var val: int; }
+class Jack {
+  static func run(n: int, iters: int): int {
+    var input = new int[n];
+    var x = 3;
+    for (var i = 0; i < n; i++) {
+      x = (x * 1103515245 + 12345) % 2147483648;
+      if (x < 0) { x = -x; }
+      input[i] = x % 30;
+    }
+    var check = 0;
+    for (var it = 0; it < iters; it++) {
+      var i = 0;
+      while (i < n) {
+        var c = input[i];
+        var t = new Tok();
+        if (c < 10) {
+          var v = 0;
+          while (i < n && input[i] < 10) {
+            v = (v * 10 + input[i]) % 100000;
+            i++;
+          }
+          t.kind = 1;
+          t.val = v;
+        } else {
+          t.kind = 2;
+          t.val = c;
+          i++;
+        }
+        check = (check + t.kind * 31 + t.val) % 1000003;
+      }
+    }
+    return check;
+  }
+}
+class Main {
+  static func main() { print(Jack.run(arg(0), arg(1))); }
+}
+`
+
+// srcJavac is the _213_javac analog: building and constant-folding binary
+// expression trees. args: (depth, iters).
+const srcJavac = `
+class Node { var op: int; var val: int; var l: Node; var r: Node; }
+class Javac {
+  static func build(depth: int, seed: int): Node {
+    var e = new Node();
+    if (depth == 0) {
+      e.op = 0;
+      e.val = seed % 100;
+      return e;
+    }
+    e.op = seed % 3 + 1;
+    e.l = Javac.build(depth - 1, (seed * 31 + 7) % 1000000007);
+    e.r = Javac.build(depth - 1, (seed * 17 + 3) % 1000000007);
+    return e;
+  }
+  static func fold(e: Node): int {
+    if (e.op == 0) { return e.val; }
+    var a = Javac.fold(e.l);
+    var b = Javac.fold(e.r);
+    if (e.op == 1) { return (a + b) % 1000003; }
+    if (e.op == 2) { return (a * b + 1) % 1000003; }
+    return (a - b + 1000003) % 1000003;
+  }
+  static func run(depth: int, iters: int): int {
+    var check = 0;
+    for (var i = 0; i < iters; i++) {
+      var e = Javac.build(depth, i + 1);
+      check = (check + Javac.fold(e)) % 1000003;
+    }
+    return check;
+  }
+}
+class Main {
+  static func main() { print(Javac.run(arg(0), arg(1))); }
+}
+`

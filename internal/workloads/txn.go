@@ -1,0 +1,410 @@
+package workloads
+
+// srcTsp is the Tsp benchmark (Figure 18): branch-and-bound traveling
+// salesman. Threads claim starting cities from a shared work counter and
+// share the best-answer-so-far through shared memory. The bound check in
+// the inner search reads the shared best *outside* any transaction — a
+// benign race the paper's strong atomicity must support — while updates go
+// through atomic blocks (or a lock in the Synch configuration).
+// args: (threads, cities, useTxn).
+const srcTsp = `
+class Best { var length: int; }
+class Shared {
+  static var dist: int[];
+  static var n: int;
+  static var best: Best;
+  static var nextStart: int;
+  static var lockObj: Best;
+  static var useTxn: int;
+}
+class Worker {
+  var visited: bool[];
+  func claimStart(): int {
+    var s = 0;
+    if (Shared.useTxn == 1) {
+      atomic {
+        s = Shared.nextStart;
+        if (s < Shared.n - 1) { Shared.nextStart = s + 1; }
+      }
+    } else {
+      synchronized (Shared.lockObj) {
+        s = Shared.nextStart;
+        if (s < Shared.n - 1) { Shared.nextStart = s + 1; }
+      }
+    }
+    if (s >= Shared.n - 1) { return -1; }
+    return s + 1;
+  }
+  func offerTour(total: int) {
+    if (Shared.useTxn == 1) {
+      atomic {
+        if (total < Shared.best.length) { Shared.best.length = total; }
+      }
+    } else {
+      synchronized (Shared.lockObj) {
+        if (total < Shared.best.length) { Shared.best.length = total; }
+      }
+    }
+  }
+  func dfs(city: int, count: int, sofar: int) {
+    if (sofar >= Shared.best.length) { return; }
+    if (count == Shared.n) {
+      offerTour(sofar + Shared.dist[city * Shared.n]);
+      return;
+    }
+    for (var next = 1; next < Shared.n; next++) {
+      if (!visited[next]) {
+        visited[next] = true;
+        dfs(next, count + 1, sofar + Shared.dist[city * Shared.n + next]);
+        visited[next] = false;
+      }
+    }
+  }
+  func search() {
+    visited = new bool[Shared.n];
+    var more = true;
+    while (more) {
+      var second = claimStart();
+      if (second < 0) {
+        more = false;
+      } else {
+        for (var i = 0; i < Shared.n; i++) { visited[i] = false; }
+        visited[0] = true;
+        visited[second] = true;
+        dfs(second, 2, Shared.dist[second]);
+      }
+    }
+  }
+}
+class Main {
+  static func main() {
+    var threads = arg(0);
+    var n = arg(1);
+    Shared.useTxn = arg(2);
+    Shared.n = n;
+    Shared.lockObj = new Best();
+    Shared.best = new Best();
+    Shared.best.length = 1000000000;
+    Shared.dist = new int[n * n];
+    var x = 5;
+    for (var i = 0; i < n; i++) {
+      for (var j = 0; j < n; j++) {
+        if (i != j) {
+          x = (x * 1103515245 + 12345) % 2147483648;
+          var d = x % 90;
+          if (d < 0) { d = -d; }
+          Shared.dist[i * n + j] = d + 10;
+        }
+      }
+    }
+    var ts = new thread[threads - 1];
+    for (var t = 0; t < threads - 1; t++) {
+      var w = new Worker();
+      ts[t] = spawn w.search();
+    }
+    var w0 = new Worker();
+    w0.search();
+    for (var t = 0; t < threads - 1; t++) { join(ts[t]); }
+    print(Shared.best.length);
+  }
+}
+`
+
+// srcOO7 is the OO7 benchmark (Figure 19), with the benchmark's schema
+// shape: an assembly hierarchy whose base assemblies hold composite parts;
+// each composite part has a document and a small graph of atomic parts
+// with connections. Traversals run at root granularity — 80% T1-style
+// read-only traversals, 20% T2-style traversals that update every atomic
+// part — matching the paper's root-locking configuration. The final
+// checksum is deterministic because each thread's operation mix is fixed
+// by its seed. args: (threads, opsPerThread, useTxn, depth, fanout).
+const srcOO7 = `
+class AtomicPart {
+  var x: int;
+  var buildDate: int;
+  var to: AtomicPart[];   // connections
+}
+class Document { var title: int; var length: int; }
+class CompositePart {
+  var doc: Document;
+  var parts: AtomicPart[];
+  var rootPart: AtomicPart;
+}
+class Assembly {
+  var id: int;
+  var subs: Assembly[];          // complex assembly -> sub-assemblies
+  var components: CompositePart[]; // base assembly -> composite parts
+}
+class OO7 {
+  static var root: Assembly;
+  static var lockObj: Assembly;
+  static var useTxn: int;
+  static var fanout: int;
+  static var nextId: int;
+  static func buildComposite(nparts: int): CompositePart {
+    var c = new CompositePart();
+    c.doc = new Document();
+    c.doc.title = nextId;
+    c.doc.length = nparts * 16;
+    c.parts = new AtomicPart[nparts];
+    for (var i = 0; i < nparts; i++) {
+      var a = new AtomicPart();
+      a.x = i + 1;
+      a.buildDate = 20070611 + i;
+      c.parts[i] = a;
+    }
+    for (var i = 0; i < nparts; i++) {
+      var a = c.parts[i];
+      a.to = new AtomicPart[2];
+      a.to[0] = c.parts[(i + 1) % nparts];
+      a.to[1] = c.parts[(i * 3 + 1) % nparts];
+    }
+    c.rootPart = c.parts[0];
+    return c;
+  }
+  static func build(depth: int): Assembly {
+    var asm = new Assembly();
+    nextId = nextId + 1;
+    asm.id = nextId;
+    if (depth > 0) {
+      asm.subs = new Assembly[fanout];
+      for (var i = 0; i < fanout; i++) { asm.subs[i] = OO7.build(depth - 1); }
+    } else {
+      asm.components = new CompositePart[2];
+      for (var i = 0; i < 2; i++) { asm.components[i] = OO7.buildComposite(5); }
+    }
+    return asm;
+  }
+  static func sumComposite(c: CompositePart): int {
+    var s = c.doc.title + c.doc.length;
+    for (var i = 0; i < len(c.parts); i++) {
+      var a = c.parts[i];
+      s = s + a.x + a.to[0].x;
+    }
+    return s % 1000003;
+  }
+  static func sum(asm: Assembly): int {
+    var s = asm.id;
+    if (asm.subs != null) {
+      for (var i = 0; i < len(asm.subs); i++) { s = s + OO7.sum(asm.subs[i]); }
+    }
+    if (asm.components != null) {
+      for (var i = 0; i < len(asm.components); i++) {
+        s = s + OO7.sumComposite(asm.components[i]);
+      }
+    }
+    return s % 1000003;
+  }
+  static func bumpComposite(c: CompositePart, d: int) {
+    for (var i = 0; i < len(c.parts); i++) {
+      var a = c.parts[i];
+      a.x = a.x + d;
+      a.buildDate = a.buildDate + 1;
+    }
+  }
+  static func bump(asm: Assembly, d: int) {
+    if (asm.subs != null) {
+      for (var i = 0; i < len(asm.subs); i++) { OO7.bump(asm.subs[i], d); }
+    }
+    if (asm.components != null) {
+      for (var i = 0; i < len(asm.components); i++) {
+        OO7.bumpComposite(asm.components[i], d);
+      }
+    }
+  }
+}
+class Client {
+  var ops: int;
+  func lookup(): int {
+    var s = 0;
+    if (OO7.useTxn == 1) {
+      atomic { s = OO7.sum(OO7.root); }
+    } else {
+      synchronized (OO7.lockObj) { s = OO7.sum(OO7.root); }
+    }
+    return s;
+  }
+  func update() {
+    if (OO7.useTxn == 1) {
+      atomic { OO7.bump(OO7.root, 1); }
+    } else {
+      synchronized (OO7.lockObj) { OO7.bump(OO7.root, 1); }
+    }
+  }
+  func run() {
+    var acc = 0;
+    for (var i = 0; i < ops; i++) {
+      if (rand(100) < 80) {
+        acc = (acc + lookup()) % 1000003;
+      } else {
+        update();
+      }
+    }
+  }
+}
+class Main {
+  static func main() {
+    var threads = arg(0);
+    var ops = arg(1);
+    OO7.useTxn = arg(2);
+    var depth = arg(3);
+    OO7.fanout = arg(4);
+    OO7.lockObj = new Assembly();
+    OO7.root = OO7.build(depth);
+    var ts = new thread[threads - 1];
+    for (var t = 0; t < threads - 1; t++) {
+      var c = new Client();
+      c.ops = ops;
+      ts[t] = spawn c.run();
+    }
+    var c0 = new Client();
+    c0.ops = ops;
+    c0.run();
+    for (var t = 0; t < threads - 1; t++) { join(ts[t]); }
+    print(OO7.sum(OO7.root));
+  }
+}
+`
+
+// srcJBB is the SpecJBB analog (Figure 20): a wholesale company with one
+// warehouse per terminal thread. New-order and payment transactions touch
+// warehouse-local state; a small fraction touch company-wide totals.
+// Between transactions each terminal does non-transactional "think" work
+// with fresh objects. The final state checksum is deterministic.
+// args: (threads, opsPerTerminal, useTxn, itemsPerWarehouse).
+const srcJBB = `
+class Item { var price: int; var stock: int; var sold: int; }
+class District { var nextOrder: int; var ytd: int; }
+class Warehouse {
+  var items: Item[];
+  var dists: District[];
+  var ytd: int;
+  var lockObj: Item;
+}
+class Company {
+  static var whs: Warehouse[];
+  static var totalOrders: int;
+  static var lockObj: Item;
+  static var useTxn: int;
+  static var nitems: int;
+}
+class Terminal {
+  var wh: Warehouse;
+  var ops: int;
+  var check: int;
+  func doNewOrder(d: District, picks: int[]): int {
+    var w = wh;
+    var norder = d.nextOrder;
+    d.nextOrder = norder + 1;
+    for (var i = 0; i < len(picks); i++) {
+      var it = w.items[picks[i]];
+      it.stock = it.stock - 1;
+      it.sold = it.sold + 1;
+      if (it.stock < 10) { it.stock = it.stock + 91; }
+      d.ytd = (d.ytd + it.price) % 1000003;
+    }
+    w.ytd = w.ytd + 1;
+    return norder;
+  }
+  func newOrder() {
+    var d = wh.dists[rand(len(wh.dists))];
+    var picks = new int[5 + rand(6)];
+    for (var i = 0; i < len(picks); i++) { picks[i] = rand(Company.nitems); }
+    var norder = 0;
+    if (Company.useTxn == 1) {
+      atomic { norder = doNewOrder(d, picks); }
+    } else {
+      synchronized (wh.lockObj) { norder = doNewOrder(d, picks); }
+    }
+    check = (check + norder) % 1000003;
+  }
+  func doPayment(d: District, amt: int) {
+    d.ytd = (d.ytd + amt) % 1000003;
+    wh.ytd = wh.ytd + 1;
+  }
+  func payment() {
+    var d = wh.dists[rand(len(wh.dists))];
+    var amt = 1 + rand(500);
+    if (Company.useTxn == 1) {
+      atomic { doPayment(d, amt); }
+    } else {
+      synchronized (wh.lockObj) { doPayment(d, amt); }
+    }
+  }
+  func companyUpdate() {
+    if (Company.useTxn == 1) {
+      atomic { Company.totalOrders = Company.totalOrders + 1; }
+    } else {
+      synchronized (Company.lockObj) { Company.totalOrders = Company.totalOrders + 1; }
+    }
+  }
+  func think(): int {
+    var acc = 0;
+    for (var i = 0; i < 20; i++) {
+      var it = new Item();
+      it.price = i * 3 + 1;
+      it.stock = i;
+      acc = (acc + it.price * it.stock) % 1000003;
+    }
+    return acc;
+  }
+  func run() {
+    for (var i = 0; i < ops; i++) {
+      var k = rand(100);
+      if (k < 45) {
+        newOrder();
+      } else {
+        if (k < 80) { payment(); } else { check = (check + think()) % 1000003; }
+      }
+      if (k == 7) { companyUpdate(); }
+    }
+  }
+}
+class Main {
+  static func main() {
+    var threads = arg(0);
+    var ops = arg(1);
+    Company.useTxn = arg(2);
+    Company.nitems = arg(3);
+    Company.lockObj = new Item();
+    Company.whs = new Warehouse[threads];
+    for (var t = 0; t < threads; t++) {
+      var w = new Warehouse();
+      w.lockObj = new Item();
+      w.items = new Item[Company.nitems];
+      for (var i = 0; i < Company.nitems; i++) {
+        var it = new Item();
+        it.price = i % 97 + 1;
+        it.stock = 100;
+        w.items[i] = it;
+      }
+      w.dists = new District[10];
+      for (var i = 0; i < 10; i++) { w.dists[i] = new District(); }
+      Company.whs[t] = w;
+    }
+    var terms = new Terminal[threads];
+    for (var t = 0; t < threads; t++) {
+      var tm = new Terminal();
+      tm.wh = Company.whs[t];
+      tm.ops = ops;
+      terms[t] = tm;
+    }
+    var ts = new thread[threads - 1];
+    for (var t = 1; t < threads; t++) { ts[t - 1] = spawn terms[t].run(); }
+    terms[0].run();
+    for (var t = 0; t < threads - 1; t++) { join(ts[t]); }
+    var total = Company.totalOrders;
+    for (var t = 0; t < threads; t++) {
+      var w = Company.whs[t];
+      total = (total + w.ytd + terms[t].check) % 1000003;
+      for (var i = 0; i < 10; i++) {
+        total = (total + w.dists[i].ytd + w.dists[i].nextOrder) % 1000003;
+      }
+      for (var i = 0; i < Company.nitems; i = i + 17) {
+        total = (total + w.items[i].stock * 3 + w.items[i].sold) % 1000003;
+      }
+    }
+    print(total);
+  }
+}
+`

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ir"
+	"repro/internal/opt"
+	"repro/internal/tj"
+	"repro/internal/vm"
+)
+
+// Kind classifies a workload.
+type Kind uint8
+
+// Workload kinds.
+const (
+	NonTxn Kind = iota // single-threaded, no transactions (JVM98 suite)
+	Txn                // multi-threaded transactional benchmark
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name   string
+	Kind   Kind
+	Source string
+
+	// CheckArgs are small arguments for correctness tests.
+	CheckArgs []int64
+
+	// BenchArgs builds arguments for a benchmark run. For Txn workloads the
+	// useTxn flag selects atomic blocks (true) or synchronized (false);
+	// scale stretches the work.
+	BenchArgs func(threads, scale int, useTxn bool) []int64
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// JVM98 returns the seven-kernel non-transactional suite (Figures 15–17).
+func JVM98() []Workload {
+	return []Workload{
+		{
+			Name: "compress", Kind: NonTxn, Source: srcCompress,
+			CheckArgs: []int64{2000, 3},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{8192, int64(60 * scale)} },
+		},
+		{
+			Name: "jess", Kind: NonTxn, Source: srcJess,
+			CheckArgs: []int64{50, 4},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{120, int64(100 * scale)} },
+		},
+		{
+			Name: "db", Kind: NonTxn, Source: srcDb,
+			CheckArgs: []int64{500, 2000},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{2048, int64(150000 * scale)} },
+		},
+		{
+			Name: "javac", Kind: NonTxn, Source: srcJavac,
+			CheckArgs: []int64{6, 20},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{10, int64(60 * scale)} },
+		},
+		{
+			Name: "mpegaudio", Kind: NonTxn, Source: srcMpegaudio,
+			CheckArgs: []int64{50},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{int64(1500 * scale)} },
+		},
+		{
+			Name: "mtrt", Kind: NonTxn, Source: srcMtrt,
+			CheckArgs: []int64{40, 500},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{64, int64(6000 * scale)} },
+		},
+		{
+			Name: "jack", Kind: NonTxn, Source: srcJack,
+			CheckArgs: []int64{800, 5},
+			BenchArgs: func(_, scale int, _ bool) []int64 { return []int64{4096, int64(60 * scale)} },
+		},
+	}
+}
+
+// Tsp returns the traveling-salesman benchmark (Figure 18).
+func Tsp() Workload {
+	return Workload{
+		Name: "tsp", Kind: Txn, Source: srcTsp,
+		CheckArgs: []int64{3, 8, 1},
+		BenchArgs: func(threads, scale int, useTxn bool) []int64 {
+			n := int64(9)
+			if scale > 1 {
+				n = 10
+			}
+			return []int64{int64(threads), n, b2i(useTxn)}
+		},
+	}
+}
+
+// OO7 returns the OO7 database-traversal benchmark (Figure 19).
+func OO7() Workload {
+	return Workload{
+		Name: "oo7", Kind: Txn, Source: srcOO7,
+		CheckArgs: []int64{3, 30, 1, 2, 3},
+		BenchArgs: func(threads, scale int, useTxn bool) []int64 {
+			return []int64{int64(threads), int64(25 * scale), b2i(useTxn), 3, 4}
+		},
+	}
+}
+
+// JBB returns the SpecJBB-analog benchmark (Figure 20).
+func JBB() Workload {
+	return Workload{
+		Name: "jbb", Kind: Txn, Source: srcJBB,
+		CheckArgs: []int64{3, 60, 1, 64},
+		BenchArgs: func(threads, scale int, useTxn bool) []int64 {
+			return []int64{int64(threads), int64(800 * scale), b2i(useTxn), 256}
+		},
+	}
+}
+
+// TxnSuite returns the three transactional benchmarks.
+func TxnSuite() []Workload { return []Workload{Tsp(), OO7(), JBB()} }
+
+// All returns every workload.
+func All() []Workload { return append(JVM98(), TxnSuite()...) }
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Compile compiles a workload at an optimization level.
+func (w Workload) Compile(level opt.Level, granularity int) (*ir.Program, *opt.Report, error) {
+	return tj.CompileLevel(w.Source, level, granularity)
+}
+
+// CompileOptions compiles a workload with explicit pass options.
+func (w Workload) CompileOptions(o opt.Options) (*ir.Program, *opt.Report, error) {
+	return tj.Compile(w.Source, o)
+}
+
+// Run executes a compiled workload and returns its printed output
+// (whitespace-trimmed) and the VM for statistics inspection.
+func Run(prog *ir.Program, mode vm.Mode) (string, *vm.VM, error) {
+	var out strings.Builder
+	m, err := vm.New(prog, mode, &out)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := m.Run(); err != nil {
+		return "", m, err
+	}
+	return strings.TrimSpace(out.String()), m, nil
+}

@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// modesForKind returns the execution modes a workload must agree across.
+func modesForKind(k Kind, args []int64) []vm.Mode {
+	base := []vm.Mode{
+		{Sync: vm.SyncLock, Args: args, Seed: 11},
+		{Sync: vm.SyncSTM, Versioning: vm.Eager, Args: args, Seed: 11},
+		{Sync: vm.SyncSTM, Versioning: vm.Lazy, Args: args, Seed: 11},
+		{Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true, Args: args, Seed: 11},
+		{Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true, DEA: true, Args: args, Seed: 11},
+		{Sync: vm.SyncSTM, Versioning: vm.Lazy, Strong: true, Args: args, Seed: 11},
+	}
+	return base
+}
+
+// lockArgs rewrites a Txn workload's args to the synchronized variant.
+func lockArgs(args []int64) []int64 {
+	out := append([]int64(nil), args...)
+	out[2] = 0
+	return out
+}
+
+// TestWorkloadsAgreeAcrossModes compiles every workload at O0 and checks
+// that all execution modes produce identical output — the deterministic
+// checksums make cross-mode agreement a strong end-to-end correctness
+// check of both STMs, the barriers, and the lock runtime.
+func TestWorkloadsAgreeAcrossModes(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, _, err := w.Compile(opt.O0NoOpts, 1)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			args := w.CheckArgs
+			want := ""
+			for i, mode := range modesForKind(w.Kind, args) {
+				if w.Kind == Txn && mode.Sync == vm.SyncLock {
+					mode.Args = lockArgs(args)
+				}
+				got, _, err := Run(prog, mode)
+				if err != nil {
+					t.Fatalf("mode %d: %v", i, err)
+				}
+				if i == 0 {
+					want = got
+					if want == "" {
+						t.Fatal("no output")
+					}
+					continue
+				}
+				if got != want {
+					t.Errorf("mode %d output %q, want %q", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsAgreeAcrossOptLevels runs each workload at every
+// optimization level under the full strong system and checks that barrier
+// removal and aggregation never change results.
+func TestWorkloadsAgreeAcrossOptLevels(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			want := ""
+			for lvl := opt.O0NoOpts; lvl <= opt.O4WholeProg; lvl++ {
+				prog, _, err := w.Compile(lvl, 1)
+				if err != nil {
+					t.Fatalf("%v: compile: %v", lvl, err)
+				}
+				mode := vm.Mode{
+					Sync: vm.SyncSTM, Versioning: vm.Eager,
+					Strong: true, DEA: lvl.DEAEnabled(),
+					Args: w.CheckArgs, Seed: 11,
+				}
+				got, _, err := Run(prog, mode)
+				if err != nil {
+					t.Fatalf("%v: run: %v", lvl, err)
+				}
+				if lvl == opt.O0NoOpts {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%v output %q, want %q", lvl, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestNAITRemovesEverythingInJVM98 reproduces the paper's Section 7 claim:
+// "for non-transactional programs not-accessed-in-transaction analysis
+// removes all the barriers".
+func TestNAITRemovesEverythingInJVM98(t *testing.T) {
+	for _, w := range JVM98() {
+		_, rep, err := w.Compile(opt.O4WholeProg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		wp := rep.WholeProg
+		if wp.NAITReads != wp.TotalReads || wp.NAITWrites != wp.TotalWrites {
+			t.Errorf("%s: NAIT removed %d/%d reads, %d/%d writes; want all",
+				w.Name, wp.NAITReads, wp.TotalReads, wp.NAITWrites, wp.TotalWrites)
+		}
+	}
+}
+
+// TestTxnWorkloadsKeepSomeBarriers: the transactional benchmarks access
+// shared data both ways, so NAIT must keep some barriers (e.g. Tsp's
+// non-transactional bound check against the transactionally-updated best).
+func TestTxnWorkloadsKeepSomeBarriers(t *testing.T) {
+	for _, w := range TxnSuite() {
+		_, rep, err := w.Compile(opt.O4WholeProg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		wp := rep.WholeProg
+		removed := wp.UnionReads + wp.UnionWrites
+		total := wp.TotalReads + wp.TotalWrites
+		if removed == total {
+			t.Errorf("%s: all %d barriers removed; expected residual barriers on txn-shared data", w.Name, total)
+		}
+		if removed == 0 {
+			t.Errorf("%s: no barriers removed; NAIT should still remove txn-free accesses", w.Name)
+		}
+	}
+}
+
+// TestBarrierCountsDropAcrossLevels: each level should strictly not
+// increase the number of active barriers.
+func TestBarrierCountsDropAcrossLevels(t *testing.T) {
+	for _, w := range All() {
+		prev := -1
+		for lvl := opt.O0NoOpts; lvl <= opt.O4WholeProg; lvl++ {
+			prog, _, err := w.Compile(lvl, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			active := 0
+			for _, m := range prog.Methods {
+				for _, b := range m.Blocks {
+					for i := range b.Instrs {
+						in := &b.Instrs[i]
+						if in.Op.IsMemAccess() && !in.Atomic && in.Barrier.Active() {
+							active++
+						}
+					}
+				}
+			}
+			if prev >= 0 && active > prev {
+				t.Errorf("%s: active barriers grew from %d to %d at %v", w.Name, prev, active, lvl)
+			}
+			prev = active
+		}
+	}
+}
+
+// TestTxnWorkloadsScaleThreads smoke-tests thread counts 1, 2, 4 for the
+// transactional suite under strong atomicity: same final answer whatever
+// the parallelism, since outputs are interleaving-independent.
+func TestTxnWorkloadsScaleThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping scaling smoke test in -short mode")
+	}
+	for _, w := range TxnSuite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, _, err := w.Compile(opt.O2Aggregate, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ""
+			for _, threads := range []int{1, 2, 4} {
+				args := append([]int64(nil), w.CheckArgs...)
+				args[0] = int64(threads)
+				got, _, err := Run(prog, vm.Mode{
+					Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true,
+					Args: args, Seed: 11,
+				})
+				if err != nil {
+					t.Fatalf("threads=%d: %v", threads, err)
+				}
+				if w.Name != "tsp" {
+					// OO7 and JBB scale total work with the thread count, so
+					// outputs differ across thread counts by design; instead
+					// verify determinism: a second identical run must agree.
+					again, _, err := Run(prog, vm.Mode{
+						Sync: vm.SyncSTM, Versioning: vm.Eager, Strong: true,
+						Args: args, Seed: 11,
+					})
+					if err != nil {
+						t.Fatalf("threads=%d rerun: %v", threads, err)
+					}
+					if again != got {
+						t.Errorf("threads=%d nondeterministic: %q then %q", threads, got, again)
+					}
+					continue
+				}
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("threads=%d output %q, want %q", threads, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("tsp"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
