@@ -13,12 +13,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/lang/ir"
+	"repro/internal/lazystm"
 	"repro/internal/litmus"
 	"repro/internal/objmodel"
 	"repro/internal/opt"
@@ -252,6 +254,75 @@ func BenchmarkTxnReadOnly(b *testing.B) {
 	}
 	sinkU64 = s
 }
+
+// BenchmarkTxnEmptyCommit isolates pure transaction overhead: descriptor
+// acquisition, registry begin/end, commit, stats flush. With descriptor
+// pooling this is allocation-free — run with -benchmem to verify 0
+// allocs/op.
+func BenchmarkTxnEmptyCommit(b *testing.B) {
+	h, _, _ := barrierFixture(b, false)
+	rt := stm.New(h, stm.Config{})
+	nop := func(tx *stm.Txn) error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Atomic(nil, nop)
+	}
+}
+
+// BenchmarkLazyTxnSmall is the lazy-runtime analogue of
+// BenchmarkTxnReadWriteCommit: buffer a write, read it back, commit with
+// write-back. Also allocation-free in steady state.
+func BenchmarkLazyTxnSmall(b *testing.B) {
+	h, o, _ := barrierFixture(b, false)
+	rt := lazystm.New(h, lazystm.Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Atomic(nil, func(tx *lazystm.Txn) error {
+			tx.Write(o, 0, tx.Read(o, 0)+1)
+			return nil
+		})
+	}
+}
+
+// ---- Parallel STM hot-path throughput ----
+//
+// These benchmarks drive the STM runtimes' Go API under concurrent load —
+// read-heavy, write-heavy, and mixed transaction mixes at 1, 2, 4, and
+// GOMAXPROCS goroutines — measuring how open-for-read/write, commit, and
+// descriptor churn scale with thread count (the property the paper's
+// Section 7 evaluation hinges on). The same sweep is available as
+// formatted tables or JSON via `stmbench -fig par [-json]`.
+
+func parallelGoroutineCounts() []int {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func benchParallelTxns(b *testing.B, workload string, readPct int) {
+	for _, g := range parallelGoroutineCounts() {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			b.ReportAllocs()
+			res, err := bench.RunParallel(bench.ParallelSpec{
+				Workload:   workload,
+				Versioning: "eager",
+				Goroutines: g,
+				ReadPct:    readPct,
+				Txns:       b.N,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Aborts)/float64(b.N), "aborts/op")
+		})
+	}
+}
+
+func BenchmarkParallelReadHeavy(b *testing.B)  { benchParallelTxns(b, "read-heavy", 90) }
+func BenchmarkParallelMixed(b *testing.B)      { benchParallelTxns(b, "mixed", 50) }
+func BenchmarkParallelWriteHeavy(b *testing.B) { benchParallelTxns(b, "write-heavy", 10) }
 
 // BenchmarkInterpreterDispatch calibrates the substrate: how many IR
 // instructions per second the VM interprets (context for the damped

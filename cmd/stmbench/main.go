@@ -9,13 +9,21 @@
 //	stmbench -fig 18           Tsp scalability
 //	stmbench -fig 19           OO7 scalability
 //	stmbench -fig 20           JBB scalability
+//	stmbench -fig par          parallel STM hot-path throughput sweep
 //	stmbench -fig all          everything
 //
 // Flags -scale and -maxthreads stretch the workloads; -reps controls timed
-// repetitions per configuration.
+// repetitions per configuration. The parallel sweep drives the STM
+// runtimes' Go API directly (read-heavy/write-heavy/mixed at growing
+// goroutine counts); with -json its results are emitted as a JSON array
+// (benchmark name, config, ns/op, commits, aborts) suitable for tracking a
+// BENCH_*.json perf trajectory across revisions:
+//
+//	stmbench -fig par -json > BENCH_par.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +38,12 @@ func main() {
 	// Benchmarks allocate heavily and time short runs; relax the collector
 	// so GC pauses do not dominate the measurements.
 	debug.SetGCPercent(400)
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 13, 15, 16, 17, 18, 19, 20 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 13, 15, 16, 17, 18, 19, 20, par or all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	maxThreads := flag.Int("maxthreads", bench.MaxThreads(), "largest thread count in scalability sweeps")
 	reps := flag.Int("reps", bench.Reps, "timed repetitions per configuration")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (parallel sweep)")
+	parTxns := flag.Int("partxns", 100_000, "transactions per parallel-throughput configuration")
 	flag.Parse()
 	bench.Reps = *reps
 
@@ -95,4 +105,24 @@ func main() {
 	scaling("18", "Figure 18", workloads.Tsp())
 	scaling("19", "Figure 19", workloads.OO7())
 	scaling("20", "Figure 20", workloads.JBB())
+
+	run("par", func() error {
+		// Sweep 1, 2, 4, ... goroutines; at least up to 4 even on small
+		// hosts so oversubscription behavior is visible.
+		maxG := *maxThreads
+		if maxG < 4 {
+			maxG = 4
+		}
+		results, err := bench.RunParallelSweep(bench.ParallelSpecs(maxG, *parTxns))
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		}
+		fmt.Print(bench.FormatParallel(results))
+		return nil
+	})
 }

@@ -1,0 +1,281 @@
+package bench
+
+// Parallel STM throughput sweeps. Unlike the figure reproductions in this
+// package, which drive whole TJ programs through the interpreter, these
+// benchmarks hit the STM runtimes' Go API directly: they exist to measure
+// the hot path itself (open-for-read/write, commit, descriptor churn) as
+// thread count grows, so interpreter dispatch cost does not damp the
+// signal. Three canonical mixes — read-heavy, write-heavy, mixed — run at
+// 1, 2, 4, ... GOMAXPROCS goroutines over both the eager and lazy
+// runtimes. Results are JSON-serializable so cmd/stmbench -json can emit a
+// machine-readable perf trajectory.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lazystm"
+	"repro/internal/objmodel"
+	"repro/internal/stm"
+)
+
+// ParallelSpec configures one parallel throughput measurement.
+type ParallelSpec struct {
+	Workload   string `json:"workload"`   // read-heavy, write-heavy, mixed
+	Versioning string `json:"versioning"` // eager or lazy
+	Goroutines int    `json:"goroutines"`
+	Objects    int    `json:"objects"`     // size of the shared object pool
+	OpsPerTxn  int    `json:"ops_per_txn"` // accesses per transaction
+	ReadPct    int    `json:"read_pct"`    // share of accesses that are reads
+	Txns       int    `json:"txns"`        // committed transactions demanded, total
+}
+
+// ParallelResult is one measurement, flattened for JSON output.
+type ParallelResult struct {
+	ParallelSpec
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	NsPerTxn   float64 `json:"ns_per_op"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	Commits    int64   `json:"commits"`
+	Aborts     int64   `json:"aborts"`
+}
+
+// parallelDefaults fills zero fields of a spec.
+func (s *ParallelSpec) defaults() {
+	if s.Objects <= 0 {
+		s.Objects = 1024
+	}
+	if s.OpsPerTxn <= 0 {
+		s.OpsPerTxn = 8
+	}
+	if s.Goroutines <= 0 {
+		s.Goroutines = 1
+	}
+	if s.Txns <= 0 {
+		s.Txns = 100_000
+	}
+	if s.Versioning == "" {
+		s.Versioning = "eager"
+	}
+}
+
+// parallelFixture builds the shared object pool.
+func parallelFixture(n int) (*objmodel.Heap, []*objmodel.Object) {
+	h := objmodel.NewHeap()
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name: "PCell",
+		Fields: []objmodel.Field{
+			{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"},
+		},
+	})
+	objs := make([]*objmodel.Object, n)
+	for i := range objs {
+		objs[i] = h.New(cls)
+	}
+	return h, objs
+}
+
+// splitmix advances a SplitMix64 state and returns the next value.
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RunParallel executes one parallel throughput measurement and returns the
+// result. Txns transactions are split across Goroutines workers; each
+// transaction performs OpsPerTxn reads/writes on pseudo-randomly chosen
+// objects according to ReadPct.
+func RunParallel(spec ParallelSpec) (ParallelResult, error) {
+	spec.defaults()
+	h, objs := parallelFixture(spec.Objects)
+
+	var body func(rng *uint64) // one transaction
+	var commits, aborts func() int64
+	switch spec.Versioning {
+	case "eager":
+		rt := stm.New(h, stm.Config{})
+		body = func(rng *uint64) {
+			_ = rt.Atomic(nil, func(tx *stm.Txn) error {
+				r := *rng
+				for i := 0; i < spec.OpsPerTxn; i++ {
+					r += 0x9e3779b97f4a7c15
+					z := (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9
+					o := objs[z%uint64(len(objs))]
+					slot := int(z>>32) & 3
+					if int(z>>40%100) < spec.ReadPct {
+						_ = tx.Read(o, slot)
+					} else {
+						tx.Write(o, slot, z)
+					}
+				}
+				return nil
+			})
+		}
+		commits = rt.Stats.Commits.Load
+		aborts = rt.Stats.Aborts.Load
+	case "lazy":
+		rt := lazystm.New(h, lazystm.Config{})
+		body = func(rng *uint64) {
+			_ = rt.Atomic(nil, func(tx *lazystm.Txn) error {
+				r := *rng
+				for i := 0; i < spec.OpsPerTxn; i++ {
+					r += 0x9e3779b97f4a7c15
+					z := (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9
+					o := objs[z%uint64(len(objs))]
+					slot := int(z>>32) & 3
+					if int(z>>40%100) < spec.ReadPct {
+						_ = tx.Read(o, slot)
+					} else {
+						tx.Write(o, slot, z)
+					}
+				}
+				return nil
+			})
+		}
+		commits = rt.Stats.Commits.Load
+		aborts = rt.Stats.Aborts.Load
+	default:
+		return ParallelResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < spec.Goroutines; g++ {
+		n := spec.Txns / spec.Goroutines
+		if g < spec.Txns%spec.Goroutines {
+			n++
+		}
+		wg.Add(1)
+		go func(seed uint64, n int) {
+			defer wg.Done()
+			rng := seed*2862933555777941757 + 3037000493
+			for i := 0; i < n; i++ {
+				splitmix(&rng)
+				body(&rng)
+			}
+		}(uint64(g+1), n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := ParallelResult{
+		ParallelSpec: spec,
+		ElapsedNs:    elapsed.Nanoseconds(),
+		NsPerTxn:     float64(elapsed.Nanoseconds()) / float64(spec.Txns),
+		Commits:      commits(),
+		Aborts:       aborts(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.TxnsPerSec = float64(spec.Txns) / secs
+	}
+	return res, nil
+}
+
+// ParallelMixes are the canonical workload mixes.
+var ParallelMixes = []struct {
+	Name    string
+	ReadPct int
+}{
+	{"read-heavy", 90},
+	{"mixed", 50},
+	{"write-heavy", 10},
+}
+
+// GoroutineSweep returns 1, 2, 4, ... up to max, always including max
+// itself (so a 6-core host measures 1, 2, 4, 6).
+func GoroutineSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for g := 1; g < max; g *= 2 {
+		out = append(out, g)
+	}
+	return append(out, max)
+}
+
+// ParallelSpecs enumerates the full sweep: each mix on each runtime at each
+// goroutine count, with txns transactions per measurement.
+func ParallelSpecs(maxGoroutines, txns int) []ParallelSpec {
+	var specs []ParallelSpec
+	for _, versioning := range []string{"eager", "lazy"} {
+		for _, mix := range ParallelMixes {
+			for _, g := range GoroutineSweep(maxGoroutines) {
+				specs = append(specs, ParallelSpec{
+					Workload:   mix.Name,
+					Versioning: versioning,
+					Goroutines: g,
+					ReadPct:    mix.ReadPct,
+					Txns:       txns,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// RunParallelSweep runs every spec and returns the results.
+func RunParallelSweep(specs []ParallelSpec) ([]ParallelResult, error) {
+	results := make([]ParallelResult, 0, len(specs))
+	for _, spec := range specs {
+		res, err := RunParallel(spec)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// DefaultParallelGoroutines is the default top of the goroutine sweep.
+func DefaultParallelGoroutines() int { return runtime.GOMAXPROCS(0) }
+
+// FormatParallel renders results as a table: one row per mix/runtime, one
+// column per goroutine count, txns/sec in each cell.
+func FormatParallel(results []ParallelResult) string {
+	type key struct{ workload, versioning string }
+	cols := make(map[int]bool)
+	cells := make(map[key]map[int]ParallelResult)
+	var order []key
+	for _, r := range results {
+		k := key{r.Workload, r.Versioning}
+		if cells[k] == nil {
+			cells[k] = make(map[int]ParallelResult)
+			order = append(order, k)
+		}
+		cells[k][r.Goroutines] = r
+		cols[r.Goroutines] = true
+	}
+	var gs []int
+	for g := 1; g <= 1<<20; g++ {
+		if cols[g] {
+			gs = append(gs, g)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel STM throughput (txns/sec; aborts in parens)\n")
+	fmt.Fprintf(&b, "%-24s", "workload/runtime")
+	for _, g := range gs {
+		fmt.Fprintf(&b, " %14dg", g)
+	}
+	b.WriteByte('\n')
+	for _, k := range order {
+		fmt.Fprintf(&b, "%-24s", k.workload+"/"+k.versioning)
+		for _, g := range gs {
+			r, ok := cells[k][g]
+			if !ok {
+				fmt.Fprintf(&b, " %15s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9s (%s)", human(int64(r.TxnsPerSec)), human(r.Aborts))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Kind classifies the access that hit a conflict.
@@ -57,9 +59,12 @@ type Handler interface {
 	HandleConflict(Info)
 }
 
-// Stats counts conflict events per kind.
+// Stats counts conflict events per kind. The counters are sharded across
+// cache lines: conflicts are by construction the moments when many threads
+// converge on the same object, so a single shared counter here would
+// serialize exactly the threads that are already contending.
 type Stats struct {
-	counts [4]atomic.Int64
+	counts [4]stats.Counter
 }
 
 // Count returns the number of conflicts of kind k handled so far.
@@ -123,10 +128,17 @@ func WaitAttempt(attempt int, maxSleep time.Duration) {
 
 var spinSink atomic.Int64
 
+// spin burns roughly n iterations of local work. The loop body is plain
+// arithmetic with a single atomic store of the result at the end: spinning
+// threads must not hammer a shared cache line (an atomic add per iteration
+// would make the backoff itself a contention point), but the result has to
+// reach a global so the compiler cannot delete the loop.
 func spin(n int) {
+	s := int64(1)
 	for i := 0; i < n; i++ {
-		spinSink.Add(1)
+		s += s<<1 ^ int64(i)
 	}
+	spinSink.Store(s)
 }
 
 // Panic is a handler that raises a RaceError, the "throw an exception"

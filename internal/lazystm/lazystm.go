@@ -18,6 +18,11 @@
 // neighbour's value at buffer-creation time — reproducing the granular
 // lost update (GLU) and granular inconsistent read (GIR) anomalies of
 // Section 2.4.
+//
+// Like the eager runtime, the hot path is contention- and allocation-free
+// in steady state: statistics are descriptor-local until commit/abort,
+// descriptors (and their write-buffer maps and commit scratch) are pooled,
+// and read sets use the inline-array fast path of package objset.
 package lazystm
 
 import (
@@ -28,6 +33,8 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/objmodel"
+	"repro/internal/objset"
+	"repro/internal/stats"
 	"repro/internal/txrec"
 )
 
@@ -68,13 +75,14 @@ type Config struct {
 	Hooks Hooks
 }
 
-// Stats aggregates runtime counters.
+// Stats aggregates runtime counters. Counters are sharded (package stats)
+// and fed from descriptor-local deltas flushed at commit/abort.
 type Stats struct {
-	Starts    atomic.Int64
-	Commits   atomic.Int64
-	Aborts    atomic.Int64
-	TxnReads  atomic.Int64
-	TxnWrites atomic.Int64
+	Starts    stats.Counter
+	Commits   stats.Counter
+	Aborts    stats.Counter
+	TxnReads  stats.Counter
+	TxnWrites stats.Counter
 }
 
 // Runtime is a lazy-versioning STM instance bound to a heap.
@@ -85,6 +93,7 @@ type Runtime struct {
 	cfg     Config
 	handler conflict.Handler
 	nextID  atomic.Uint64
+	pool    sync.Pool // idle *Txn descriptors
 
 	// Commit tickets serialize write-back completion in quiescence mode.
 	tickets atomic.Uint64
@@ -142,33 +151,70 @@ type spanBuf struct {
 	n    int
 }
 
-// Txn is a lazy-versioning transaction descriptor.
+// Txn is a lazy-versioning transaction descriptor. Pooled across Atomic
+// calls; user code must not retain one past the body.
 type Txn struct {
 	rt     *Runtime
 	id     uint64
 	status atomic.Uint32 // stm.Status values: 0 active, 1 committed, 2 aborted
 
-	reads map[*objmodel.Object]uint64
-	buf   map[spanKey]*spanBuf
+	reads objset.VerSet
+	buf   map[spanKey]spanBuf // buffered spans, by value: no per-span allocation
+
+	// Commit scratch, reused across attempts and pooled incarnations.
+	objs  []*objmodel.Object
+	owned objset.VerSet
+
+	// Statistics deltas flushed at commit/abort.
+	nStarts int64
+	nReads  int64
+	nWrites int64
 }
 
 // ID returns the descriptor's owner ID.
 func (tx *Txn) ID() uint64 { return tx.id }
 
-func (rt *Runtime) newTxn() *Txn {
-	return &Txn{
-		rt:    rt,
-		id:    rt.nextID.Add(1),
-		reads: make(map[*objmodel.Object]uint64),
-		buf:   make(map[spanKey]*spanBuf),
+func (rt *Runtime) getTxn() *Txn {
+	tx, _ := rt.pool.Get().(*Txn)
+	if tx == nil {
+		tx = &Txn{rt: rt, buf: make(map[spanKey]spanBuf)}
 	}
+	tx.id = rt.nextID.Add(1)
+	return tx
+}
+
+func (rt *Runtime) putTxn(tx *Txn) {
+	tx.reads.Reset()
+	tx.owned.Reset()
+	clear(tx.buf)
+	clear(tx.objs)
+	tx.objs = tx.objs[:0]
+	rt.pool.Put(tx)
 }
 
 func (tx *Txn) begin() {
 	tx.status.Store(0)
-	clear(tx.reads)
+	tx.reads.Reset()
 	clear(tx.buf)
-	tx.rt.Stats.Starts.Add(1)
+	tx.nStarts++
+}
+
+// flushStats drains descriptor-local counters into the sharded aggregates.
+func (tx *Txn) flushStats() {
+	s := &tx.rt.Stats
+	hint := int(tx.id)
+	if tx.nStarts != 0 {
+		s.Starts.AddShard(hint, tx.nStarts)
+		tx.nStarts = 0
+	}
+	if tx.nReads != 0 {
+		s.TxnReads.AddShard(hint, tx.nReads)
+		tx.nReads = 0
+	}
+	if tx.nWrites != 0 {
+		s.TxnWrites.AddShard(hint, tx.nWrites)
+		tx.nWrites = 0
+	}
 }
 
 // Restart aborts and re-executes the transaction.
@@ -193,10 +239,12 @@ func (tx *Txn) span(slot int) (base int) {
 // slot was written — the granular inconsistent read of Section 2.4),
 // otherwise shared memory under optimistic version validation.
 func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
-	tx.rt.Stats.TxnReads.Add(1)
+	tx.nReads++
 	base := tx.span(slot)
-	if sb, ok := tx.buf[spanKey{o, base}]; ok {
-		return sb.vals[slot-base]
+	if len(tx.buf) > 0 {
+		if sb, ok := tx.buf[spanKey{o, base}]; ok {
+			return sb.vals[slot-base]
+		}
 	}
 	for attempt := 0; ; attempt++ {
 		w := o.Rec.Load()
@@ -214,12 +262,12 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 				continue
 			}
 			ver := txrec.Version(w)
-			if prev, ok := tx.reads[o]; ok {
+			if prev, ok := tx.reads.Get(o); ok {
 				if prev != ver {
 					tx.Restart()
 				}
 			} else {
-				tx.reads[o] = ver
+				tx.reads.Put(o, ver)
 			}
 			return v
 		}
@@ -236,20 +284,19 @@ func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
 // snapshot of the *adjacent* slot is what later manufactures the granular
 // lost update when Granularity > 1.
 func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
-	tx.rt.Stats.TxnWrites.Add(1)
+	tx.nWrites++
 	base := tx.span(slot)
 	key := spanKey{o, base}
 	sb, ok := tx.buf[key]
 	if !ok {
-		sb = &spanBuf{}
 		g := tx.rt.cfg.Granularity
 		for i := 0; i < g && base+i < len(o.Slots); i++ {
 			sb.vals[i] = o.LoadSlot(base + i)
 			sb.n++
 		}
-		tx.buf[key] = sb
 	}
 	sb.vals[slot-base] = v
+	tx.buf[key] = sb
 }
 
 // WriteRef is Write for reference slots.
@@ -260,24 +307,43 @@ func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
 // Validate re-checks the read set.
 func (tx *Txn) Validate() bool { return tx.validateExcluding(nil) }
 
-func (tx *Txn) validateExcluding(owned map[*objmodel.Object]uint64) bool {
-	for o, ver := range tx.reads {
+func (tx *Txn) validateExcluding(owned *objset.VerSet) bool {
+	ok := true
+	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
 		w := o.Rec.Load()
 		switch {
 		case txrec.IsPrivate(w):
 		case txrec.IsShared(w):
 			if txrec.Version(w) != ver {
-				return false
+				ok = false
 			}
 		case txrec.IsExclusive(w) && owned != nil:
-			if sv, ok := owned[o]; !ok || sv != ver {
-				return false
+			if sv, has := owned.Get(o); !has || sv != ver {
+				ok = false
 			}
 		default:
-			return false
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// release restores the records of every object acquired by this commit
+// attempt; with bump the version is incremented (publishing new state),
+// without it the original shared word is restored.
+func (tx *Txn) release(bump bool) {
+	for _, o := range tx.objs {
+		sv, ok := tx.owned.Get(o)
+		if !ok {
+			continue
+		}
+		if bump {
+			o.Rec.ReleaseOwned(sv)
+		} else {
+			o.Rec.Store(txrec.MakeShared(sv))
 		}
 	}
-	return true
 }
 
 // commit runs the lazy commit protocol: acquire the write set's records in
@@ -287,33 +353,26 @@ func (tx *Txn) validateExcluding(owned map[*objmodel.Object]uint64) bool {
 // write-backs to complete.
 func (tx *Txn) commit() bool {
 	// Collect distinct objects in the write set, sorted by handle so
-	// concurrent committers acquire in the same order (no deadlock).
-	objs := make([]*objmodel.Object, 0, len(tx.buf))
-	seen := make(map[*objmodel.Object]bool, len(tx.buf))
+	// concurrent committers acquire in the same order (no deadlock). The
+	// scratch slice and owned set live on the descriptor, so a steady-state
+	// commit allocates nothing.
+	tx.objs = tx.objs[:0]
 	for key := range tx.buf {
-		if !seen[key.obj] {
-			seen[key.obj] = true
-			objs = append(objs, key.obj)
-		}
-	}
-	sortByRef(objs)
-
-	owned := make(map[*objmodel.Object]uint64, len(objs))
-	release := func(bump bool) {
-		for _, o := range objs {
-			sv, ok := owned[o]
-			if !ok {
-				continue
-			}
-			if bump {
-				o.Rec.ReleaseOwned(sv)
-			} else {
-				o.Rec.Store(txrec.MakeShared(sv))
+		dup := false
+		for _, o := range tx.objs {
+			if o == key.obj {
+				dup = true
+				break
 			}
 		}
+		if !dup {
+			tx.objs = append(tx.objs, key.obj)
+		}
 	}
+	sortByRef(tx.objs)
+	tx.owned.Reset()
 
-	for _, o := range objs {
+	for _, o := range tx.objs {
 		if txrec.IsPrivate(o.Rec.Load()) {
 			continue // thread-local: written back without synchronization
 		}
@@ -321,21 +380,21 @@ func (tx *Txn) commit() bool {
 			w := o.Rec.Load()
 			if txrec.IsShared(w) {
 				if o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
-					owned[o] = txrec.Version(w)
+					tx.owned.Put(o, txrec.Version(w))
 					break
 				}
 				continue
 			}
 			if attempt >= tx.rt.cfg.SelfAbortAfter {
-				release(false)
+				tx.release(false)
 				return false
 			}
 			tx.rt.handler.HandleConflict(conflict.Info{Kind: conflict.TxnWrite, Attempt: attempt, Record: w})
 		}
 	}
 
-	if !tx.validateExcluding(owned) {
-		release(false) // nothing reached memory; restore original versions
+	if !tx.validateExcluding(&tx.owned) {
+		tx.release(false) // nothing reached memory; restore original versions
 		return false
 	}
 
@@ -360,14 +419,15 @@ func (tx *Txn) commit() bool {
 		}
 	}
 
-	release(true) // version bump publishes the new state to optimistic readers
+	tx.release(true) // version bump publishes the new state to optimistic readers
 
 	if tx.rt.cfg.Quiescence {
 		tx.rt.completeInOrder(ticket)
 	} else {
 		tx.rt.markDone(ticket)
 	}
-	tx.rt.Stats.Commits.Add(1)
+	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+	tx.flushStats()
 	return true
 }
 
@@ -399,22 +459,32 @@ func (rt *Runtime) markDone(ticket uint64) {
 
 func (tx *Txn) abort() {
 	tx.status.Store(2)
-	tx.rt.Stats.Aborts.Add(1)
+	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
+	tx.flushStats()
 }
 
-func (rt *Runtime) waitForReadSetChange(snapshot map[*objmodel.Object]uint64) {
-	if len(snapshot) == 0 {
+// waitForReadSetChange blocks until something in the aborted transaction's
+// read set changes. The read set is waited on in place (it survives abort;
+// begin resets it on re-execution), avoiding the per-retry snapshot copy.
+func (rt *Runtime) waitForReadSetChange(rs *objset.VerSet) {
+	if rs.Len() == 0 {
 		return
 	}
 	for a := 0; ; a++ {
-		for o, ver := range snapshot {
+		changed := false
+		rs.Range(func(o *objmodel.Object, ver uint64) bool {
 			w := o.Rec.Load()
 			if txrec.IsPrivate(w) {
-				continue
+				return true
 			}
 			if !txrec.IsShared(w) || txrec.Version(w) != ver {
-				return
+				changed = true
+				return false
 			}
+			return true
+		})
+		if changed {
+			return
 		}
 		conflict.WaitAttempt(a, 0)
 	}
@@ -430,7 +500,8 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 	if parent != nil {
 		return body(parent)
 	}
-	tx := rt.newTxn()
+	tx := rt.getTxn()
+	defer rt.putTxn(tx)
 	for attempt := 0; ; attempt++ {
 		tx.begin()
 		err, sig := rt.run(tx, body)
@@ -447,12 +518,8 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 		case sigRestart:
 			tx.abort()
 		case sigRetry:
-			snapshot := make(map[*objmodel.Object]uint64, len(tx.reads))
-			for o, v := range tx.reads {
-				snapshot[o] = v
-			}
 			tx.abort()
-			rt.waitForReadSetChange(snapshot)
+			rt.waitForReadSetChange(&tx.reads)
 		}
 		conflict.WaitAttempt(attempt, 0)
 	}

@@ -1,0 +1,140 @@
+// Package objset provides a small object→version map with an inline-array
+// fast path for the STM runtimes' read and owned sets.
+//
+// Profiling of the Section 7 workloads shows most transactions touch only a
+// handful of distinct objects, so a Go map per transaction pays its
+// allocation, hashing, and cache-miss costs for nothing. A VerSet stores up
+// to inlineSize entries in fixed arrays inside the descriptor (linear scan,
+// no allocation, no hashing) and promotes to a real map only when a
+// transaction's footprint exceeds that — and once a descriptor has paid for
+// the spill map it keeps it across resets, so pooled descriptors stay
+// allocation-free in steady state.
+package objset
+
+import "repro/internal/objmodel"
+
+// inlineSize is the footprint up to which entries stay in the inline
+// arrays. Eight covers the overwhelming majority of transactions in the
+// paper's workloads while keeping the linear probe within one or two cache
+// lines.
+const inlineSize = 8
+
+// VerSet maps *objmodel.Object to a uint64 version. The zero value is an
+// empty set ready for use. Not safe for concurrent mutation; the STM
+// descriptors that embed it are goroutine-confined.
+type VerSet struct {
+	keys [inlineSize]*objmodel.Object
+	vals [inlineSize]uint64
+	n    int
+	// m holds the entries once spilled (authoritative iff spilled). It is
+	// retained, empty, across Reset so promotion is a one-time cost per
+	// descriptor.
+	m       map[*objmodel.Object]uint64
+	spilled bool
+}
+
+// Len returns the number of entries.
+func (s *VerSet) Len() int {
+	if s.spilled {
+		return len(s.m)
+	}
+	return s.n
+}
+
+// Get returns the version stored for o.
+func (s *VerSet) Get(o *objmodel.Object) (uint64, bool) {
+	if s.spilled {
+		v, ok := s.m[o]
+		return v, ok
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == o {
+			return s.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates o's version.
+func (s *VerSet) Put(o *objmodel.Object, v uint64) {
+	if s.spilled {
+		s.m[o] = v
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == o {
+			s.vals[i] = v
+			return
+		}
+	}
+	if s.n < inlineSize {
+		s.keys[s.n] = o
+		s.vals[s.n] = v
+		s.n++
+		return
+	}
+	s.spill()
+	s.m[o] = v
+}
+
+// spill migrates the inline entries into the map.
+func (s *VerSet) spill() {
+	if s.m == nil {
+		s.m = make(map[*objmodel.Object]uint64, 2*inlineSize)
+	}
+	for i := 0; i < s.n; i++ {
+		s.m[s.keys[i]] = s.vals[i]
+		s.keys[i] = nil
+	}
+	s.n = 0
+	s.spilled = true
+}
+
+// Delete removes o if present.
+func (s *VerSet) Delete(o *objmodel.Object) {
+	if s.spilled {
+		delete(s.m, o)
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == o {
+			s.n--
+			s.keys[i] = s.keys[s.n]
+			s.vals[i] = s.vals[s.n]
+			s.keys[s.n] = nil
+			return
+		}
+	}
+}
+
+// Range calls f for each entry until f returns false. Iteration order is
+// unspecified.
+func (s *VerSet) Range(f func(*objmodel.Object, uint64) bool) {
+	if s.spilled {
+		for o, v := range s.m {
+			if !f(o, v) {
+				return
+			}
+		}
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if !f(s.keys[i], s.vals[i]) {
+			return
+		}
+	}
+}
+
+// Reset empties the set. Inline object pointers are cleared so a pooled
+// descriptor does not pin dead objects; the spill map, if any, is cleared
+// but kept allocated for reuse.
+func (s *VerSet) Reset() {
+	if s.spilled {
+		clear(s.m)
+		s.spilled = false
+	}
+	for i := 0; i < s.n; i++ {
+		s.keys[i] = nil
+	}
+	s.n = 0
+}

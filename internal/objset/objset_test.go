@@ -1,0 +1,165 @@
+package objset
+
+import (
+	"testing"
+
+	"repro/internal/objmodel"
+)
+
+func testObjects(t *testing.T, n int) []*objmodel.Object {
+	t.Helper()
+	h := objmodel.NewHeap()
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name:   "C",
+		Fields: []objmodel.Field{{Name: "f"}},
+	})
+	objs := make([]*objmodel.Object, n)
+	for i := range objs {
+		objs[i] = h.New(cls)
+	}
+	return objs
+}
+
+func TestInlinePutGetUpdate(t *testing.T) {
+	objs := testObjects(t, inlineSize)
+	var s VerSet
+	for i, o := range objs {
+		s.Put(o, uint64(i))
+	}
+	if s.Len() != inlineSize {
+		t.Fatalf("Len = %d, want %d", s.Len(), inlineSize)
+	}
+	if s.spilled {
+		t.Fatal("spilled at exactly inlineSize entries")
+	}
+	for i, o := range objs {
+		v, ok := s.Get(o)
+		if !ok || v != uint64(i) {
+			t.Errorf("Get(objs[%d]) = %d,%v, want %d,true", i, v, ok, i)
+		}
+	}
+	s.Put(objs[3], 99)
+	if v, _ := s.Get(objs[3]); v != 99 {
+		t.Errorf("after update Get = %d, want 99", v)
+	}
+	if s.Len() != inlineSize {
+		t.Errorf("update changed Len to %d", s.Len())
+	}
+}
+
+func TestSpillAndPromote(t *testing.T) {
+	objs := testObjects(t, inlineSize*3)
+	var s VerSet
+	for i, o := range objs {
+		s.Put(o, uint64(i))
+	}
+	if !s.spilled {
+		t.Fatal("did not spill past inlineSize entries")
+	}
+	if s.Len() != len(objs) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(objs))
+	}
+	for i, o := range objs {
+		if v, ok := s.Get(o); !ok || v != uint64(i) {
+			t.Errorf("Get(objs[%d]) = %d,%v after spill", i, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for _, n := range []int{inlineSize, inlineSize * 2} {
+		objs := testObjects(t, n)
+		var s VerSet
+		for i, o := range objs {
+			s.Put(o, uint64(i))
+		}
+		s.Delete(objs[0])
+		s.Delete(objs[n/2])
+		if s.Len() != n-2 {
+			t.Errorf("n=%d: Len = %d after two deletes, want %d", n, s.Len(), n-2)
+		}
+		if _, ok := s.Get(objs[0]); ok {
+			t.Errorf("n=%d: deleted entry still present", n)
+		}
+		for i, o := range objs {
+			if i == 0 || i == n/2 {
+				continue
+			}
+			if v, ok := s.Get(o); !ok || v != uint64(i) {
+				t.Errorf("n=%d: survivor objs[%d] = %d,%v", n, i, v, ok)
+			}
+		}
+		// Deleting an absent key is a no-op.
+		s.Delete(objs[0])
+		if s.Len() != n-2 {
+			t.Errorf("n=%d: delete of absent key changed Len", n)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	objs := testObjects(t, inlineSize+4)
+	var s VerSet
+	want := make(map[*objmodel.Object]uint64)
+	for i, o := range objs {
+		s.Put(o, uint64(i))
+		want[o] = uint64(i)
+	}
+	got := make(map[*objmodel.Object]uint64)
+	s.Range(func(o *objmodel.Object, v uint64) bool {
+		got[o] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for o, v := range want {
+		if got[o] != v {
+			t.Errorf("Range saw %d for an entry, want %d", got[o], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	s.Range(func(*objmodel.Object, uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early-terminated Range visited %d, want 3", count)
+	}
+}
+
+func TestResetReturnsToInline(t *testing.T) {
+	objs := testObjects(t, inlineSize*2)
+	var s VerSet
+	for i, o := range objs {
+		s.Put(o, uint64(i))
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", s.Len())
+	}
+	if s.spilled {
+		t.Fatal("still spilled after Reset")
+	}
+	for i := range s.keys {
+		if s.keys[i] != nil {
+			t.Fatalf("inline slot %d not cleared by Reset", i)
+		}
+	}
+	// Refill within inline capacity: must not consult the stale map.
+	for i := 0; i < inlineSize; i++ {
+		s.Put(objs[i], uint64(100 + i))
+	}
+	if s.spilled {
+		t.Error("refill within inline capacity spilled")
+	}
+	for i := 0; i < inlineSize; i++ {
+		if v, ok := s.Get(objs[i]); !ok || v != uint64(100+i) {
+			t.Errorf("after reset+refill Get(objs[%d]) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := s.Get(objs[inlineSize]); ok {
+		t.Error("entry from before Reset leaked through the retained map")
+	}
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAddLoad(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero Counter loads %d", c.Load())
+	}
+	c.Add(5)
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Errorf("Load = %d, want 3", got)
+	}
+}
+
+func TestAddShardMasksHint(t *testing.T) {
+	var c Counter
+	// Hints far outside [0, NumShards) must still land somewhere.
+	for _, hint := range []int{0, 1, NumShards, NumShards * 7, 1 << 30, -1} {
+		c.AddShard(hint, 1)
+	}
+	if got := c.Load(); got != 6 {
+		t.Errorf("Load = %d, want 6", got)
+	}
+}
+
+func TestParallelAdds(t *testing.T) {
+	var c Counter
+	const goroutines = 8
+	const iters = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.AddShard(g*31+i, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*iters {
+		t.Errorf("Load = %d, want %d", got, goroutines*iters)
+	}
+}

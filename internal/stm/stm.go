@@ -19,6 +19,14 @@
 // integration with dynamic escape analysis (Section 4): accesses to
 // private objects skip synchronization, and writing a reference into a
 // public object immediately publishes the referenced private subgraph.
+//
+// The hot path is engineered to scale with thread count (the property the
+// paper's Section 7 results hinge on): statistics are accumulated in plain
+// per-descriptor counters and flushed into sharded aggregates only at
+// commit/abort, descriptors are pooled so a top-level Atomic allocates
+// nothing in steady state, read/owned sets use an inline-array fast path
+// (package objset), and the active-transaction registry is a fixed sharded
+// slot array so begin/end cost one CAS and one store.
 package stm
 
 import (
@@ -29,6 +37,8 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/objmodel"
+	"repro/internal/objset"
+	"repro/internal/stats"
 	"repro/internal/txrec"
 )
 
@@ -77,14 +87,73 @@ type Config struct {
 // DefaultSelfAbortAfter is the default Config.SelfAbortAfter.
 const DefaultSelfAbortAfter = 64
 
-// Stats aggregates runtime counters for experiments.
+// Stats aggregates runtime counters for experiments. Each counter is
+// sharded across cache lines (package stats); transactions accumulate
+// deltas in descriptor-local fields and flush them at commit/abort, so no
+// per-access global atomic exists anywhere on the hot path.
 type Stats struct {
-	Starts      atomic.Int64 // transaction attempts begun
-	Commits     atomic.Int64
-	Aborts      atomic.Int64 // aborts of any cause (conflict, validation, retry)
-	UserRetries atomic.Int64 // user-initiated retry operations
-	TxnReads    atomic.Int64
-	TxnWrites   atomic.Int64
+	Starts      stats.Counter // transaction attempts begun
+	Commits     stats.Counter
+	Aborts      stats.Counter // aborts of any cause (conflict, validation, retry)
+	UserRetries stats.Counter // user-initiated retry operations
+	TxnReads    stats.Counter
+	TxnWrites   stats.Counter
+}
+
+// regSlots is the capacity of the fixed active-transaction slot array.
+// Power of two. More than regSlots concurrently active transactions spill
+// into a sync.Map overflow (correct but slower; unreachable in the paper's
+// thread sweeps).
+const regSlots = 256
+
+// regSlot is one registry slot, padded to a cache line so neighbouring
+// claims and releases do not false-share.
+type regSlot struct {
+	p atomic.Pointer[Txn]
+	_ [56]byte
+}
+
+// registry tracks in-flight transaction descriptors. Claiming is a CAS
+// into an id-hashed slot with linear probing; releasing is a single nil
+// store. Scans (quiescence, ActiveTransactions) walk the array without
+// allocating — unlike the sync.Map it replaces, whose Store/Delete
+// allocated on every transaction and whose Range boxed every entry.
+type registry struct {
+	slots    [regSlots]regSlot
+	overflow sync.Map // id -> *Txn, only when the slot array is full
+}
+
+func (r *registry) add(tx *Txn) {
+	h := int(tx.id)
+	for i := 0; i < regSlots; i++ {
+		s := &r.slots[(h+i)&(regSlots-1)]
+		if s.p.Load() == nil && s.p.CompareAndSwap(nil, tx) {
+			tx.slot = (h + i) & (regSlots - 1)
+			return
+		}
+	}
+	tx.slot = -1
+	r.overflow.Store(tx.id, tx)
+}
+
+func (r *registry) remove(tx *Txn) {
+	if tx.slot >= 0 {
+		r.slots[tx.slot].p.Store(nil)
+		return
+	}
+	r.overflow.Delete(tx.id)
+}
+
+// forEach calls f for every registered descriptor until f returns false.
+func (r *registry) forEach(f func(*Txn) bool) {
+	for i := range r.slots {
+		if tx := r.slots[i].p.Load(); tx != nil {
+			if !f(tx) {
+				return
+			}
+		}
+	}
+	r.overflow.Range(func(_, v any) bool { return f(v.(*Txn)) })
 }
 
 // Runtime is an STM instance bound to a heap.
@@ -96,7 +165,8 @@ type Runtime struct {
 	handler conflict.Handler
 	nextID  atomic.Uint64
 	seq     atomic.Uint64 // global begin/commit sequence for quiescence
-	reg     sync.Map      // id -> *Txn, active-transaction registry
+	reg     registry      // active-transaction registry
+	pool    sync.Pool     // idle *Txn descriptors
 }
 
 // New creates a Runtime over heap with the given configuration.
@@ -158,19 +228,29 @@ type savepoint struct {
 
 // Txn is a transaction descriptor. A Txn is confined to the goroutine that
 // runs the atomic body; only status and beginSeq are read by other threads.
+// Descriptors are pooled: outside an Atomic call a descriptor may be reused
+// by any goroutine, so user code must not retain one past the body.
 type Txn struct {
 	rt       *Runtime
 	id       uint64
+	slot     int // registry slot index, -1 when in overflow
 	status   atomic.Uint32
 	beginSeq atomic.Uint64
 
-	reads   map[*objmodel.Object]uint64 // first-read version per object
-	owned   map[*objmodel.Object]uint64 // object -> version saved at acquire
+	reads   objset.VerSet // first-read version per object
+	owned   objset.VerSet // object -> version saved at acquire
 	writes  []ownedEntry
 	undo    []undoEntry
 	saves   []savepoint
 	comps   []func() // open-nesting compensations, run on abort in reverse
 	attempt int
+
+	// Statistics deltas accumulated without synchronization and flushed to
+	// the runtime's sharded counters at commit/abort.
+	nStarts  int64
+	nReads   int64
+	nWrites  int64
+	nRetries int64
 }
 
 // ID returns the transaction's owner ID as encoded in acquired records.
@@ -179,27 +259,70 @@ func (tx *Txn) ID() uint64 { return tx.id }
 // Status returns the descriptor's current status.
 func (tx *Txn) Status() Status { return Status(tx.status.Load()) }
 
-func (rt *Runtime) newTxn() *Txn {
-	tx := &Txn{
-		rt:    rt,
-		id:    rt.nextID.Add(1),
-		reads: make(map[*objmodel.Object]uint64),
-		owned: make(map[*objmodel.Object]uint64),
+// getTxn fetches a pooled descriptor (or allocates the first time), assigns
+// a fresh owner ID, and registers it. The fresh ID per top-level Atomic
+// keeps record-ownership comparisons ABA-free across descriptor reuse.
+func (rt *Runtime) getTxn() *Txn {
+	tx, _ := rt.pool.Get().(*Txn)
+	if tx == nil {
+		tx = &Txn{rt: rt}
 	}
-	rt.reg.Store(tx.id, tx)
+	tx.id = rt.nextID.Add(1)
+	rt.reg.add(tx)
 	return tx
+}
+
+// putTxn unregisters the descriptor, drops every object reference it holds
+// (so pooled descriptors never pin dead heap objects or leak state into
+// their next incarnation), and returns it to the pool.
+func (rt *Runtime) putTxn(tx *Txn) {
+	rt.reg.remove(tx)
+	tx.reads.Reset()
+	tx.owned.Reset()
+	clear(tx.writes)
+	tx.writes = tx.writes[:0]
+	clear(tx.undo)
+	tx.undo = tx.undo[:0]
+	clear(tx.comps)
+	tx.comps = tx.comps[:0]
+	tx.saves = tx.saves[:0]
+	rt.pool.Put(tx)
 }
 
 func (tx *Txn) begin() {
 	tx.status.Store(uint32(Active))
 	tx.beginSeq.Store(tx.rt.seq.Add(1))
-	clear(tx.reads)
-	clear(tx.owned)
+	tx.reads.Reset()
+	tx.owned.Reset()
 	tx.writes = tx.writes[:0]
 	tx.undo = tx.undo[:0]
 	tx.saves = tx.saves[:0]
 	tx.comps = tx.comps[:0]
-	tx.rt.Stats.Starts.Add(1)
+	tx.nStarts++
+}
+
+// flushStats drains the descriptor-local counters into the sharded
+// aggregates. Called at commit and abort — the transaction boundaries where
+// other threads may legitimately observe the totals.
+func (tx *Txn) flushStats() {
+	s := &tx.rt.Stats
+	hint := int(tx.id)
+	if tx.nStarts != 0 {
+		s.Starts.AddShard(hint, tx.nStarts)
+		tx.nStarts = 0
+	}
+	if tx.nReads != 0 {
+		s.TxnReads.AddShard(hint, tx.nReads)
+		tx.nReads = 0
+	}
+	if tx.nWrites != 0 {
+		s.TxnWrites.AddShard(hint, tx.nWrites)
+		tx.nWrites = 0
+	}
+	if tx.nRetries != 0 {
+		s.UserRetries.AddShard(hint, tx.nRetries)
+		tx.nRetries = 0
+	}
 }
 
 // Restart aborts the transaction and re-executes it from the beginning of
@@ -215,7 +338,7 @@ func (tx *Txn) Restart() {
 // aborts and blocks until some location in its read set changes, then
 // re-executes.
 func (tx *Txn) Retry() {
-	tx.rt.Stats.UserRetries.Add(1)
+	tx.nRetries++
 	panic(txSignal{sigRetry, tx})
 }
 
@@ -231,7 +354,7 @@ func (tx *Txn) conflictWait(kind conflict.Kind, attempt int, rec txrec.Word) {
 // are read directly. Reads of objects owned by other transactions or by
 // non-transactional writers invoke the conflict manager and retry.
 func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
-	tx.rt.Stats.TxnReads.Add(1)
+	tx.nReads++
 	for attempt := 0; ; attempt++ {
 		w := o.Rec.Load()
 		switch {
@@ -253,14 +376,14 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 				continue
 			}
 			ver := txrec.Version(w)
-			if prev, ok := tx.reads[o]; ok {
+			if prev, ok := tx.reads.Get(o); ok {
 				if prev != ver {
 					// We already read this object at an older version: the
 					// transaction is doomed; abort eagerly.
 					tx.Restart()
 				}
 			} else {
-				tx.reads[o] = ver
+				tx.reads.Put(o, ver)
 			}
 			return v
 		}
@@ -296,7 +419,7 @@ func (tx *Txn) maybePublish(o *objmodel.Object, slot int, v uint64) {
 // Write opens object o for writing at slot and stores v in place
 // (open-for-write with strict two-phase locking and eager versioning).
 func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
-	tx.rt.Stats.TxnWrites.Add(1)
+	tx.nWrites++
 	for attempt := 0; ; attempt++ {
 		w := o.Rec.Load()
 		switch {
@@ -322,8 +445,8 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			}
 			ver := txrec.Version(w)
 			tx.writes = append(tx.writes, ownedEntry{o, ver})
-			tx.owned[o] = ver
-			if prev, ok := tx.reads[o]; ok && prev != ver {
+			tx.owned.Put(o, ver)
+			if prev, ok := tx.reads.Get(o); ok && prev != ver {
 				// Object changed between our read and this acquire: doomed.
 				tx.Restart()
 			}
@@ -345,24 +468,26 @@ func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
 // transactions (which have read data speculatively written by others)
 // abort promptly instead of looping or faulting.
 func (tx *Txn) Validate() bool {
-	for o, ver := range tx.reads {
+	ok := true
+	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
 		w := o.Rec.Load()
 		switch {
 		case txrec.IsPrivate(w):
 			// Only this thread could ever have seen it; trivially valid.
 		case txrec.IsShared(w):
 			if txrec.Version(w) != ver {
-				return false
+				ok = false
 			}
 		case txrec.IsExclusive(w) && txrec.Owner(w) == tx.id:
-			if tx.owned[o] != ver {
-				return false
+			if ov, _ := tx.owned.Get(o); ov != ver {
+				ok = false
 			}
 		default:
-			return false
+			ok = false
 		}
-	}
-	return true
+		return ok
+	})
+	return ok
 }
 
 // ValidateOrRestart aborts and restarts the transaction if it is doomed.
@@ -390,14 +515,14 @@ func (tx *Txn) rollbackTo(undoLen, writesLen, compLen int) {
 	for i := len(tx.writes) - 1; i >= writesLen; i-- {
 		e := tx.writes[i]
 		e.obj.Rec.ReleaseOwned(e.version)
-		delete(tx.owned, e.obj)
+		tx.owned.Delete(e.obj)
 		// Partial abort: the rollback above restored exactly the values the
 		// enclosing transaction read before this record was acquired, so
 		// refresh its read-set entry to the post-release version — otherwise
 		// the parent would fail validation against its own nested abort and
 		// retry forever.
-		if _, ok := tx.reads[e.obj]; ok {
-			tx.reads[e.obj] = e.version + 1
+		if _, ok := tx.reads.Get(e.obj); ok {
+			tx.reads.Put(e.obj, e.version+1)
 		}
 	}
 	tx.writes = tx.writes[:writesLen]
@@ -411,7 +536,8 @@ func (tx *Txn) rollbackTo(undoLen, writesLen, compLen int) {
 func (tx *Txn) abort() {
 	tx.rollbackTo(0, 0, 0)
 	tx.status.Store(uint32(Aborted))
-	tx.rt.Stats.Aborts.Add(1)
+	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
+	tx.flushStats()
 }
 
 func (tx *Txn) commit() bool {
@@ -422,7 +548,8 @@ func (tx *Txn) commit() bool {
 	for _, e := range tx.writes {
 		e.obj.Rec.ReleaseOwned(e.version)
 	}
-	tx.rt.Stats.Commits.Add(1)
+	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+	tx.flushStats()
 	if tx.rt.cfg.Quiescence {
 		tx.quiesce()
 	}
@@ -433,10 +560,13 @@ func (tx *Txn) commit() bool {
 // transaction waits until every transaction that was active at its commit
 // has finished or restarted, so that no doomed transaction can still access
 // data this transaction privatized.
+//
+// A scanned descriptor may be recycled mid-wait; that is benign, because a
+// later incarnation begins with a sequence number above commitSeq and so
+// falls out of the wait condition.
 func (tx *Txn) quiesce() {
 	commitSeq := tx.rt.seq.Add(1)
-	tx.rt.reg.Range(func(_, v any) bool {
-		other := v.(*Txn)
+	tx.rt.reg.forEach(func(other *Txn) bool {
 		if other == tx {
 			return true
 		}
@@ -447,21 +577,29 @@ func (tx *Txn) quiesce() {
 	})
 }
 
-// waitForReadSetChange blocks until any object in the given read snapshot
-// changes version or becomes owned, implementing the retry operation.
-func (rt *Runtime) waitForReadSetChange(snapshot map[*objmodel.Object]uint64) {
-	if len(snapshot) == 0 {
+// waitForReadSetChange blocks until any object in the given read set
+// changes version or becomes owned, implementing the retry operation. The
+// caller passes the aborted transaction's own read set (which survives
+// abort and is reset only on the next begin), so no snapshot copy is made.
+func (rt *Runtime) waitForReadSetChange(rs *objset.VerSet) {
+	if rs.Len() == 0 {
 		return // retrying with an empty read set would block forever
 	}
 	for a := 0; ; a++ {
-		for o, ver := range snapshot {
+		changed := false
+		rs.Range(func(o *objmodel.Object, ver uint64) bool {
 			w := o.Rec.Load()
 			if txrec.IsPrivate(w) {
-				continue
+				return true
 			}
 			if !txrec.IsShared(w) || txrec.Version(w) != ver {
-				return
+				changed = true
+				return false
 			}
+			return true
+		})
+		if changed {
+			return
 		}
 		conflict.WaitAttempt(a, 0)
 	}
@@ -479,8 +617,8 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 	if parent != nil {
 		return rt.nested(parent, body)
 	}
-	tx := rt.newTxn()
-	defer rt.reg.Delete(tx.id)
+	tx := rt.getTxn()
+	defer rt.putTxn(tx)
 	for attempt := 0; ; attempt++ {
 		tx.attempt = attempt
 		tx.begin()
@@ -498,12 +636,11 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 		case sigRestart:
 			tx.abort()
 		case sigRetry:
-			snapshot := make(map[*objmodel.Object]uint64, len(tx.reads))
-			for o, v := range tx.reads {
-				snapshot[o] = v
-			}
 			tx.abort()
-			rt.waitForReadSetChange(snapshot)
+			// The read set survives abort (begin resets it on the next
+			// attempt), so wait on it in place instead of copying it into a
+			// fresh snapshot map on every retry.
+			rt.waitForReadSetChange(&tx.reads)
 		}
 		conflict.WaitAttempt(attempt, 0)
 	}
@@ -568,11 +705,12 @@ func (rt *Runtime) AtomicOpen(parent *Txn, body func(*Txn) error, compensation f
 }
 
 // ActiveTransactions returns the number of registered descriptors whose
-// status is Active (for tests and monitoring).
+// status is Active (for tests and monitoring). Scans the sharded slot
+// array without allocating.
 func (rt *Runtime) ActiveTransactions() int {
 	n := 0
-	rt.reg.Range(func(_, v any) bool {
-		if Status(v.(*Txn).status.Load()) == Active {
+	rt.reg.forEach(func(tx *Txn) bool {
+		if Status(tx.status.Load()) == Active {
 			n++
 		}
 		return true

@@ -413,11 +413,11 @@ func TestForeignPanicWhileDoomedRestarts(t *testing.T) {
 	runs := 0
 	err := f.rt.Atomic(nil, func(tx *Txn) error {
 		runs++
-		tx.reads[o] = 999 // forge an invalid read entry: transaction is doomed
+		tx.reads.Put(o, 999) // forge an invalid read entry: transaction is doomed
 		if runs == 1 {
 			panic(objmodel.ErrNullDeref)
 		}
-		delete(tx.reads, o)
+		tx.reads.Delete(o)
 		return nil
 	})
 	if err != nil {
