@@ -3,11 +3,19 @@
 package cmd_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/objmodel"
+	"repro/internal/stm"
+	"repro/internal/trace"
 )
 
 func buildTool(t *testing.T, name string) string {
@@ -103,6 +111,126 @@ func TestAnomaliesTool(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "match the paper's Figure 6") {
 		t.Errorf("anomalies output:\n%s", out)
+	}
+}
+
+// TestStmtopTool serves a metrics registry from the test process and points
+// a freshly built stmtop at it: registry → HTTP → CLI rendering end to end,
+// without racing against a benchmark's lifetime.
+func TestStmtopTool(t *testing.T) {
+	stmtop := buildTool(t, "stmtop")
+
+	h := objmodel.NewHeap()
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name:   "TopCell",
+		Fields: []objmodel.Field{{Name: "n"}},
+	})
+	o := h.New(cls)
+	rt := stm.New(h, stm.Config{})
+	rt.SetTracer(trace.New(trace.Config{ShardCapacity: 256}))
+	for i := 0; i < 25; i++ {
+		if err := rt.Atomic(nil, func(tx *stm.Txn) error {
+			tx.Write(o, 0, tx.Read(o, 0)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One deterministic conflict so the hotspot table has an entry: a
+	// competing committed write between two reads dooms the first attempt.
+	attempt := 0
+	if err := rt.Atomic(nil, func(tx *stm.Txn) error {
+		attempt++
+		_ = tx.Read(o, 0)
+		if attempt == 1 {
+			done := make(chan error, 1)
+			go func() {
+				done <- rt.Atomic(nil, func(tx2 *stm.Txn) error {
+					tx2.Write(o, 0, tx2.Read(o, 0)+1)
+					return nil
+				})
+			}()
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+			_ = tx.Read(o, 0)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	reg.RegisterSTM("cmdtest/eager", rt)
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	out, err := exec.Command(stmtop, "-once", "-addr", srv.Addr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmtop: %v\n%s", err, out)
+	}
+	for _, want := range []string{"RUNTIME", "cmdtest/eager", "eager", "26", "commit latency", "hot objects"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stmtop output missing %q:\n%s", want, out)
+		}
+	}
+	// Polling mode against a live endpoint: two frames, then exit.
+	out, err = exec.Command(stmtop, "-addr", srv.Addr, "-n", "2", "-interval", "50ms").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmtop -n 2: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "commits/s") {
+		t.Errorf("polling frame missing rate columns:\n%s", out)
+	}
+
+	// An unreachable endpoint must fail loudly, not hang.
+	if out, err := exec.Command(stmtop, "-once", "-addr", "127.0.0.1:1").CombinedOutput(); err == nil {
+		t.Errorf("stmtop succeeded against a dead endpoint:\n%s", out)
+	}
+}
+
+// TestStmbenchTraceJSON runs the parallel sweep at a tiny scale with
+// tracing and a metrics endpoint enabled, checking that stdout stays a
+// machine-readable JSON array (with the new abort/retry counts) and the
+// trace summary lands on stderr.
+func TestStmbenchTraceJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel sweep is slow")
+	}
+	stmbench := buildTool(t, "stmbench")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	bench := exec.Command(stmbench, "-fig", "par", "-json", "-trace",
+		"-metrics-addr", addr, "-partxns", "2000", "-maxthreads", "2")
+	var benchOut, benchErr bytes.Buffer
+	bench.Stdout, bench.Stderr = &benchOut, &benchErr
+	if err := bench.Run(); err != nil {
+		t.Fatalf("stmbench: %v\nstderr: %s", err, benchErr.String())
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(benchOut.Bytes(), &results); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, benchOut.String())
+	}
+	if len(results) == 0 {
+		t.Fatal("empty parallel sweep results")
+	}
+	for _, key := range []string{"commits", "aborts", "retries", "starts"} {
+		if _, ok := results[0][key]; !ok {
+			t.Errorf("JSON result missing %q: %v", key, results[0])
+		}
+	}
+	for _, want := range []string{"serving http://", "trace:", "commit latency"} {
+		if !strings.Contains(benchErr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, benchErr.String())
+		}
 	}
 }
 

@@ -20,6 +20,14 @@
 // BENCH_*.json perf trajectory across revisions:
 //
 //	stmbench -fig par -json > BENCH_par.json
+//
+// Observability: -trace enables the event tracer on the parallel sweep's
+// runtimes and prints conflict attribution (hottest objects) and latency
+// percentiles afterwards; -metrics-addr serves the live /metrics endpoint
+// (internal/metrics) while the sweep runs, for cmd/stmtop to poll:
+//
+//	stmbench -fig par -trace
+//	stmbench -fig par -metrics-addr localhost:9190 &  stmtop -addr localhost:9190
 package main
 
 import (
@@ -30,6 +38,10 @@ import (
 	"runtime/debug"
 
 	"repro/internal/bench"
+	"repro/internal/lazystm"
+	"repro/internal/metrics"
+	"repro/internal/stm"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -44,8 +56,26 @@ func main() {
 	reps := flag.Int("reps", bench.Reps, "timed repetitions per configuration")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (parallel sweep)")
 	parTxns := flag.Int("partxns", 100_000, "transactions per parallel-throughput configuration")
+	traceOn := flag.Bool("trace", false, "enable the event tracer on the parallel sweep; print hotspots and latency percentiles")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live /metrics endpoint (for cmd/stmtop) on host:port while running")
 	flag.Parse()
 	bench.Reps = *reps
+
+	var reg *metrics.Registry
+	var tracer *trace.Tracer
+	if *metricsAddr != "" || *traceOn {
+		tracer = trace.New(trace.Config{})
+	}
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		srv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics\n", srv.Addr)
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -113,16 +143,62 @@ func main() {
 		if maxG < 4 {
 			maxG = 4
 		}
-		results, err := bench.RunParallelSweep(bench.ParallelSpecs(maxG, *parTxns))
+		var opts []bench.ParallelOption
+		if tracer != nil {
+			opts = append(opts, bench.WithTracer(tracer))
+		}
+		if reg != nil {
+			// Each measurement creates a fresh runtime; re-register it under
+			// a stable name so stmtop always sees the one currently running.
+			opts = append(opts,
+				bench.WithEagerRuntime(func(rt *stm.Runtime) { reg.RegisterSTM("par/eager", rt) }),
+				bench.WithLazyRuntime(func(rt *lazystm.Runtime) { reg.RegisterLazy("par/lazy", rt) }),
+			)
+		}
+		results, err := bench.RunParallelSweep(bench.ParallelSpecs(maxG, *parTxns), opts...)
 		if err != nil {
 			return err
 		}
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			return enc.Encode(results)
+			if err := enc.Encode(results); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(bench.FormatParallel(results))
 		}
-		fmt.Print(bench.FormatParallel(results))
+		if *traceOn && tracer != nil {
+			printTraceSummary(tracer)
+		}
 		return nil
 	})
+}
+
+// printTraceSummary renders the sweep-wide conflict attribution and latency
+// profile the tracer accumulated (to stderr, keeping -json stdout clean).
+func printTraceSummary(t *trace.Tracer) {
+	snap := t.Snapshot(10)
+	w := os.Stderr
+	fmt.Fprintf(w, "\ntrace: %d events recorded (%d beyond ring capacity)\n", snap.Events, snap.Dropped)
+	fmt.Fprintf(w, "trace: commits %d, aborts %d, conflicts %d\n",
+		snap.ByKind["commit"], snap.ByKind["abort"], snap.ByKind["conflict"])
+	if len(snap.Hotspots) > 0 {
+		fmt.Fprintf(w, "trace: hottest objects (aborts/conflicts):")
+		for _, h := range snap.Hotspots {
+			fmt.Fprintf(w, "  #%d %d/%d", h.Obj, h.Aborts, h.Conflicts)
+		}
+		fmt.Fprintln(w)
+	}
+	cl := snap.CommitLatency
+	fmt.Fprintf(w, "trace: commit latency p50 %dns  p95 %dns  p99 %dns  mean %.0fns (n=%d)\n",
+		cl.P50Ns, cl.P95Ns, cl.P99Ns, cl.MeanNs, cl.Count)
+	if snap.AbortToRetry.Count > 0 {
+		fmt.Fprintf(w, "trace: abort-to-retry gap p50 %dns  p99 %dns (n=%d)\n",
+			snap.AbortToRetry.P50Ns, snap.AbortToRetry.P99Ns, snap.AbortToRetry.Count)
+	}
+	if snap.QuiesceWait.Count > 0 {
+		fmt.Fprintf(w, "trace: quiescence wait p50 %dns  p99 %dns (n=%d)\n",
+			snap.QuiesceWait.P50Ns, snap.QuiesceWait.P99Ns, snap.QuiesceWait.Count)
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/lazystm"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
+	"repro/internal/trace"
 )
 
 // ParallelSpec configures one parallel throughput measurement.
@@ -33,14 +34,47 @@ type ParallelSpec struct {
 	Txns       int    `json:"txns"`        // committed transactions demanded, total
 }
 
-// ParallelResult is one measurement, flattened for JSON output.
+// ParallelResult is one measurement, flattened for JSON output. Alongside
+// throughput it carries the conflict profile — starts, aborts, and retries
+// (attempts that had to re-execute) — so a BENCH_*.json trajectory tracks
+// contention behavior, not just ops/sec.
 type ParallelResult struct {
 	ParallelSpec
 	ElapsedNs  int64   `json:"elapsed_ns"`
 	NsPerTxn   float64 `json:"ns_per_op"`
 	TxnsPerSec float64 `json:"txns_per_sec"`
+	Starts     int64   `json:"starts"`
 	Commits    int64   `json:"commits"`
 	Aborts     int64   `json:"aborts"`
+	Retries    int64   `json:"retries"` // re-executed attempts: starts - commits
+}
+
+// ParallelOption customizes RunParallel beyond the JSON-serializable spec
+// (observability hooks; the spec stays a plain config record).
+type ParallelOption func(*parallelOpts)
+
+type parallelOpts struct {
+	tracer  *trace.Tracer
+	onEager func(*stm.Runtime)
+	onLazy  func(*lazystm.Runtime)
+}
+
+// WithTracer installs t on the runtime each measurement creates, so a
+// sweep's conflicts, hotspots, and latency histograms accumulate into one
+// tracer.
+func WithTracer(t *trace.Tracer) ParallelOption {
+	return func(o *parallelOpts) { o.tracer = t }
+}
+
+// WithEagerRuntime calls f with each eager runtime a measurement creates,
+// before any transaction runs (metrics registration and the like).
+func WithEagerRuntime(f func(*stm.Runtime)) ParallelOption {
+	return func(o *parallelOpts) { o.onEager = f }
+}
+
+// WithLazyRuntime is WithEagerRuntime for the lazy runtime.
+func WithLazyRuntime(f func(*lazystm.Runtime)) ParallelOption {
+	return func(o *parallelOpts) { o.onLazy = f }
 }
 
 // parallelDefaults fills zero fields of a spec.
@@ -91,15 +125,25 @@ func splitmix(s *uint64) uint64 {
 // result. Txns transactions are split across Goroutines workers; each
 // transaction performs OpsPerTxn reads/writes on pseudo-randomly chosen
 // objects according to ReadPct.
-func RunParallel(spec ParallelSpec) (ParallelResult, error) {
+func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, error) {
 	spec.defaults()
+	var po parallelOpts
+	for _, opt := range opts {
+		opt(&po)
+	}
 	h, objs := parallelFixture(spec.Objects)
 
 	var body func(rng *uint64) // one transaction
-	var commits, aborts func() int64
+	var snapshot func() (starts, commits, aborts int64)
 	switch spec.Versioning {
 	case "eager":
 		rt := stm.New(h, stm.Config{})
+		if po.tracer != nil {
+			rt.SetTracer(po.tracer)
+		}
+		if po.onEager != nil {
+			po.onEager(rt)
+		}
 		body = func(rng *uint64) {
 			_ = rt.Atomic(nil, func(tx *stm.Txn) error {
 				r := *rng
@@ -117,10 +161,18 @@ func RunParallel(spec ParallelSpec) (ParallelResult, error) {
 				return nil
 			})
 		}
-		commits = rt.Stats.Commits.Load
-		aborts = rt.Stats.Aborts.Load
+		snapshot = func() (int64, int64, int64) {
+			s := rt.Stats.Snapshot()
+			return s.Starts, s.Commits, s.Aborts
+		}
 	case "lazy":
 		rt := lazystm.New(h, lazystm.Config{})
+		if po.tracer != nil {
+			rt.SetTracer(po.tracer)
+		}
+		if po.onLazy != nil {
+			po.onLazy(rt)
+		}
 		body = func(rng *uint64) {
 			_ = rt.Atomic(nil, func(tx *lazystm.Txn) error {
 				r := *rng
@@ -138,8 +190,10 @@ func RunParallel(spec ParallelSpec) (ParallelResult, error) {
 				return nil
 			})
 		}
-		commits = rt.Stats.Commits.Load
-		aborts = rt.Stats.Aborts.Load
+		snapshot = func() (int64, int64, int64) {
+			s := rt.Stats.Snapshot()
+			return s.Starts, s.Commits, s.Aborts
+		}
 	default:
 		return ParallelResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
 	}
@@ -164,12 +218,15 @@ func RunParallel(spec ParallelSpec) (ParallelResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	starts, commits, aborts := snapshot()
 	res := ParallelResult{
 		ParallelSpec: spec,
 		ElapsedNs:    elapsed.Nanoseconds(),
 		NsPerTxn:     float64(elapsed.Nanoseconds()) / float64(spec.Txns),
-		Commits:      commits(),
-		Aborts:       aborts(),
+		Starts:       starts,
+		Commits:      commits,
+		Aborts:       aborts,
+		Retries:      starts - commits,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.TxnsPerSec = float64(spec.Txns) / secs
@@ -220,11 +277,12 @@ func ParallelSpecs(maxGoroutines, txns int) []ParallelSpec {
 	return specs
 }
 
-// RunParallelSweep runs every spec and returns the results.
-func RunParallelSweep(specs []ParallelSpec) ([]ParallelResult, error) {
+// RunParallelSweep runs every spec and returns the results. Options apply
+// to every measurement.
+func RunParallelSweep(specs []ParallelSpec, opts ...ParallelOption) ([]ParallelResult, error) {
 	results := make([]ParallelResult, 0, len(specs))
 	for _, spec := range specs {
-		res, err := RunParallel(spec)
+		res, err := RunParallel(spec, opts...)
 		if err != nil {
 			return nil, err
 		}

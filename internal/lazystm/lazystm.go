@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/conflict"
 	"repro/internal/objmodel"
 	"repro/internal/objset"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/txrec"
 )
 
@@ -85,6 +87,27 @@ type Stats struct {
 	TxnWrites stats.Counter
 }
 
+// StatsSnapshot is a point-in-time copy of every Stats counter as plain
+// values, read in one call.
+type StatsSnapshot struct {
+	Starts    int64 `json:"starts"`
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	TxnReads  int64 `json:"txn_reads"`
+	TxnWrites int64 `json:"txn_writes"`
+}
+
+// Snapshot sums every counter's shards (not an atomic cut across counters).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:    s.Starts.Load(),
+		Commits:   s.Commits.Load(),
+		Aborts:    s.Aborts.Load(),
+		TxnReads:  s.TxnReads.Load(),
+		TxnWrites: s.TxnWrites.Load(),
+	}
+}
+
 // Runtime is a lazy-versioning STM instance bound to a heap.
 type Runtime struct {
 	Heap  *objmodel.Heap
@@ -94,6 +117,7 @@ type Runtime struct {
 	handler conflict.Handler
 	nextID  atomic.Uint64
 	pool    sync.Pool // idle *Txn descriptors
+	tracer  atomic.Pointer[trace.Tracer]
 
 	// Commit tickets serialize write-back completion in quiescence mode.
 	tickets atomic.Uint64
@@ -124,6 +148,14 @@ func New(heap *objmodel.Heap, cfg Config) *Runtime {
 
 // Config returns the runtime's configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// SetTracer installs (or, with nil, removes) the event tracer. Descriptors
+// sample it when a top-level Atomic begins; with no tracer installed every
+// emission point is one nil check.
+func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tracer.Store(t) }
+
+// Tracer returns the installed tracer, or nil.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 
 // ErrAborted aborts the transaction without retry when returned from the
 // body.
@@ -169,6 +201,13 @@ type Txn struct {
 	nStarts int64
 	nReads  int64
 	nWrites int64
+
+	// Tracing state (see the eager runtime): tr sampled per Atomic, nil
+	// disables every emission point; blameObj attributes pending aborts.
+	tr       *trace.Tracer
+	blameObj uint64
+	beginAt  time.Time
+	abortAt  time.Time
 }
 
 // ID returns the descriptor's owner ID.
@@ -180,6 +219,9 @@ func (rt *Runtime) getTxn() *Txn {
 		tx = &Txn{rt: rt, buf: make(map[spanKey]spanBuf)}
 	}
 	tx.id = rt.nextID.Add(1)
+	tx.tr = rt.tracer.Load()
+	tx.blameObj = 0
+	tx.abortAt = time.Time{}
 	return tx
 }
 
@@ -197,6 +239,14 @@ func (tx *Txn) begin() {
 	tx.reads.Reset()
 	clear(tx.buf)
 	tx.nStarts++
+	if tr := tx.tr; tr != nil {
+		tx.beginAt = time.Now()
+		if !tx.abortAt.IsZero() {
+			tr.ObserveAbortGap(tx.beginAt.Sub(tx.abortAt))
+			tx.abortAt = time.Time{}
+		}
+		tr.Record(trace.EvBegin, tx.id, 0, 0, 0)
+	}
 }
 
 // flushStats drains descriptor-local counters into the sharded aggregates.
@@ -221,10 +271,21 @@ func (tx *Txn) flushStats() {
 func (tx *Txn) Restart() { panic(txSignal{sigRestart, tx}) }
 
 // Retry aborts and blocks until the read set changes, then re-executes.
-func (tx *Txn) Retry() { panic(txSignal{sigRetry, tx}) }
+func (tx *Txn) Retry() {
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvRetry, tx.id, 0, 0, 0)
+	}
+	panic(txSignal{sigRetry, tx})
+}
 
-func (tx *Txn) conflictWait(kind conflict.Kind, attempt int, rec txrec.Word) {
+func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int, rec txrec.Word) {
+	if tr := tx.tr; tr != nil {
+		ref := uint64(o.Ref())
+		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
+		tr.Hot().BumpConflict(ref)
+	}
 	if attempt >= tx.rt.cfg.SelfAbortAfter {
+		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
 	tx.rt.handler.HandleConflict(conflict.Info{Kind: kind, Attempt: attempt, Record: rec})
@@ -243,6 +304,9 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 	base := tx.span(slot)
 	if len(tx.buf) > 0 {
 		if sb, ok := tx.buf[spanKey{o, base}]; ok {
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, 0)
+			}
 			return sb.vals[slot-base]
 		}
 	}
@@ -255,7 +319,7 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 			// Lazy versioning never reads another transaction's data while
 			// its record is held (there is no dirty data in memory, but a
 			// committer may be writing back).
-			tx.conflictWait(conflict.TxnRead, attempt, w)
+			tx.conflictWait(o, conflict.TxnRead, attempt, w)
 		default:
 			v := o.LoadSlot(slot)
 			if o.Rec.Load() != w {
@@ -264,10 +328,14 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 			ver := txrec.Version(w)
 			if prev, ok := tx.reads.Get(o); ok {
 				if prev != ver {
+					tx.blameObj = uint64(o.Ref())
 					tx.Restart()
 				}
 			} else {
 				tx.reads.Put(o, ver)
+			}
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, ver)
 			}
 			return v
 		}
@@ -297,6 +365,9 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 	}
 	sb.vals[slot-base] = v
 	tx.buf[key] = sb
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, 0)
+	}
 }
 
 // WriteRef is Write for reference slots.
@@ -305,10 +376,16 @@ func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
 }
 
 // Validate re-checks the read set.
-func (tx *Txn) Validate() bool { return tx.validateExcluding(nil) }
+func (tx *Txn) Validate() bool {
+	ok, _ := tx.validateExcluding(nil)
+	return ok
+}
 
-func (tx *Txn) validateExcluding(owned *objset.VerSet) bool {
+// validateExcluding re-checks the read set; on failure it also reports the
+// handle of the first inconsistent object, for conflict attribution.
+func (tx *Txn) validateExcluding(owned *objset.VerSet) (bool, uint64) {
 	ok := true
+	var bad uint64
 	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
 		w := o.Rec.Load()
 		switch {
@@ -324,9 +401,12 @@ func (tx *Txn) validateExcluding(owned *objset.VerSet) bool {
 		default:
 			ok = false
 		}
+		if !ok {
+			bad = uint64(o.Ref())
+		}
 		return ok
 	})
-	return ok
+	return ok, bad
 }
 
 // release restores the records of every object acquired by this commit
@@ -381,11 +461,20 @@ func (tx *Txn) commit() bool {
 			if txrec.IsShared(w) {
 				if o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
 					tx.owned.Put(o, txrec.Version(w))
+					if tr := tx.tr; tr != nil {
+						tr.Record(trace.EvLockAcquire, tx.id, uint64(o.Ref()), 0, txrec.Version(w))
+					}
 					break
 				}
 				continue
 			}
+			if tr := tx.tr; tr != nil {
+				ref := uint64(o.Ref())
+				tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
+				tr.Hot().BumpConflict(ref)
+			}
 			if attempt >= tx.rt.cfg.SelfAbortAfter {
+				tx.blameObj = uint64(o.Ref())
 				tx.release(false)
 				return false
 			}
@@ -393,7 +482,8 @@ func (tx *Txn) commit() bool {
 		}
 	}
 
-	if !tx.validateExcluding(&tx.owned) {
+	if ok, bad := tx.validateExcluding(&tx.owned); !ok {
+		tx.blameObj = bad
 		tx.release(false) // nothing reached memory; restore original versions
 		return false
 	}
@@ -422,11 +512,21 @@ func (tx *Txn) commit() bool {
 	tx.release(true) // version bump publishes the new state to optimistic readers
 
 	if tx.rt.cfg.Quiescence {
-		tx.rt.completeInOrder(ticket)
+		if tr := tx.tr; tr != nil {
+			start := time.Now()
+			tx.rt.completeInOrder(ticket)
+			tr.ObserveQuiesce(time.Since(start))
+		} else {
+			tx.rt.completeInOrder(ticket)
+		}
 	} else {
 		tx.rt.markDone(ticket)
 	}
 	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvCommit, tx.id, 0, 0, 0)
+		tr.ObserveCommit(time.Since(tx.beginAt))
+	}
 	tx.flushStats()
 	return true
 }
@@ -460,6 +560,14 @@ func (rt *Runtime) markDone(ticket uint64) {
 func (tx *Txn) abort() {
 	tx.status.Store(2)
 	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvAbort, tx.id, tx.blameObj, 0, 0)
+		if tx.blameObj != 0 {
+			tr.Hot().BumpAbort(tx.blameObj)
+		}
+		tx.abortAt = time.Now()
+	}
+	tx.blameObj = 0
 	tx.flushStats()
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lazystm
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package lazystm
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation adds allocations that invalidate exact alloc-count
+// assertions.
+const raceEnabled = true

@@ -34,11 +34,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/conflict"
 	"repro/internal/objmodel"
 	"repro/internal/objset"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/txrec"
 )
 
@@ -98,6 +100,31 @@ type Stats struct {
 	UserRetries stats.Counter // user-initiated retry operations
 	TxnReads    stats.Counter
 	TxnWrites   stats.Counter
+}
+
+// StatsSnapshot is a point-in-time copy of every Stats counter as plain
+// values, so callers (benchmarks, exporters) read them in one call instead
+// of hand-enumerating .Load() per field.
+type StatsSnapshot struct {
+	Starts      int64 `json:"starts"`
+	Commits     int64 `json:"commits"`
+	Aborts      int64 `json:"aborts"`
+	UserRetries int64 `json:"user_retries"`
+	TxnReads    int64 `json:"txn_reads"`
+	TxnWrites   int64 `json:"txn_writes"`
+}
+
+// Snapshot sums every counter's shards. Like Counter.Load it is not an
+// atomic cut across counters, which is the usual statistics contract.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:      s.Starts.Load(),
+		Commits:     s.Commits.Load(),
+		Aborts:      s.Aborts.Load(),
+		UserRetries: s.UserRetries.Load(),
+		TxnReads:    s.TxnReads.Load(),
+		TxnWrites:   s.TxnWrites.Load(),
+	}
 }
 
 // regSlots is the capacity of the fixed active-transaction slot array.
@@ -167,7 +194,17 @@ type Runtime struct {
 	seq     atomic.Uint64 // global begin/commit sequence for quiescence
 	reg     registry      // active-transaction registry
 	pool    sync.Pool     // idle *Txn descriptors
+	tracer  atomic.Pointer[trace.Tracer]
 }
+
+// SetTracer installs (or, with nil, removes) the event tracer. Descriptors
+// sample the tracer when a top-level Atomic begins, so transactions already
+// in flight keep their previous setting. With no tracer installed the hot
+// path pays one nil check per emission point and nothing else.
+func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tracer.Store(t) }
+
+// Tracer returns the installed tracer, or nil.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 
 // New creates a Runtime over heap with the given configuration.
 func New(heap *objmodel.Heap, cfg Config) *Runtime {
@@ -251,6 +288,16 @@ type Txn struct {
 	nReads   int64
 	nWrites  int64
 	nRetries int64
+
+	// Tracing state. tr is sampled from the runtime once per top-level
+	// Atomic; nil (the default) disables every emission point behind one
+	// predictable branch. blameObj is the handle of the object a pending
+	// abort is attributed to; beginAt/abortAt feed the commit-latency and
+	// abort-to-retry histograms.
+	tr       *trace.Tracer
+	blameObj uint64
+	beginAt  time.Time
+	abortAt  time.Time
 }
 
 // ID returns the transaction's owner ID as encoded in acquired records.
@@ -268,6 +315,9 @@ func (rt *Runtime) getTxn() *Txn {
 		tx = &Txn{rt: rt}
 	}
 	tx.id = rt.nextID.Add(1)
+	tx.tr = rt.tracer.Load()
+	tx.blameObj = 0
+	tx.abortAt = time.Time{}
 	rt.reg.add(tx)
 	return tx
 }
@@ -299,6 +349,14 @@ func (tx *Txn) begin() {
 	tx.saves = tx.saves[:0]
 	tx.comps = tx.comps[:0]
 	tx.nStarts++
+	if tr := tx.tr; tr != nil {
+		tx.beginAt = time.Now()
+		if !tx.abortAt.IsZero() {
+			tr.ObserveAbortGap(tx.beginAt.Sub(tx.abortAt))
+			tx.abortAt = time.Time{}
+		}
+		tr.Record(trace.EvBegin, tx.id, 0, 0, 0)
+	}
 }
 
 // flushStats drains the descriptor-local counters into the sharded
@@ -339,11 +397,20 @@ func (tx *Txn) Restart() {
 // re-executes.
 func (tx *Txn) Retry() {
 	tx.nRetries++
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvRetry, tx.id, 0, 0, 0)
+	}
 	panic(txSignal{sigRetry, tx})
 }
 
-func (tx *Txn) conflictWait(kind conflict.Kind, attempt int, rec txrec.Word) {
+func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int, rec txrec.Word) {
+	if tr := tx.tr; tr != nil {
+		ref := uint64(o.Ref())
+		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
+		tr.Hot().BumpConflict(ref)
+	}
 	if attempt >= tx.rt.cfg.SelfAbortAfter {
+		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
 	tx.rt.handler.HandleConflict(conflict.Info{Kind: kind, Attempt: attempt, Record: rec})
@@ -363,12 +430,15 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 			return o.LoadSlot(slot)
 		case txrec.IsExclusive(w):
 			if txrec.Owner(w) == tx.id {
+				if tr := tx.tr; tr != nil {
+					tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, 0)
+				}
 				return o.LoadSlot(slot)
 			}
-			tx.conflictWait(conflict.TxnRead, attempt, w)
+			tx.conflictWait(o, conflict.TxnRead, attempt, w)
 		case txrec.IsExclusiveAnon(w):
 			// A non-transactional writer holds the record.
-			tx.conflictWait(conflict.TxnRead, attempt, w)
+			tx.conflictWait(o, conflict.TxnRead, attempt, w)
 		default: // shared
 			v := o.LoadSlot(slot)
 			if o.Rec.Load() != w {
@@ -380,10 +450,14 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 				if prev != ver {
 					// We already read this object at an older version: the
 					// transaction is doomed; abort eagerly.
+					tx.blameObj = uint64(o.Ref())
 					tx.Restart()
 				}
 			} else {
 				tx.reads.Put(o, ver)
+			}
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, ver)
 			}
 			return v
 		}
@@ -430,15 +504,18 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			return
 		case txrec.IsExclusive(w):
 			if txrec.Owner(w) != tx.id {
-				tx.conflictWait(conflict.TxnWrite, attempt, w)
+				tx.conflictWait(o, conflict.TxnWrite, attempt, w)
 				continue
 			}
 			tx.logUndo(o, slot)
 			o.StoreSlot(slot, v)
 			tx.maybePublish(o, slot, v)
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, 0)
+			}
 			return
 		case txrec.IsExclusiveAnon(w):
-			tx.conflictWait(conflict.TxnWrite, attempt, w)
+			tx.conflictWait(o, conflict.TxnWrite, attempt, w)
 		default: // shared: acquire
 			if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
 				continue
@@ -446,13 +523,20 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			ver := txrec.Version(w)
 			tx.writes = append(tx.writes, ownedEntry{o, ver})
 			tx.owned.Put(o, ver)
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvLockAcquire, tx.id, uint64(o.Ref()), slot, ver)
+			}
 			if prev, ok := tx.reads.Get(o); ok && prev != ver {
 				// Object changed between our read and this acquire: doomed.
+				tx.blameObj = uint64(o.Ref())
 				tx.Restart()
 			}
 			tx.logUndo(o, slot)
 			o.StoreSlot(slot, v)
 			tx.maybePublish(o, slot, v)
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, ver)
+			}
 			return
 		}
 	}
@@ -468,7 +552,15 @@ func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
 // transactions (which have read data speculatively written by others)
 // abort promptly instead of looping or faulting.
 func (tx *Txn) Validate() bool {
+	ok, _ := tx.validate()
+	return ok
+}
+
+// validate re-checks the read set; on failure it also reports the handle
+// of the first inconsistent object, for conflict attribution.
+func (tx *Txn) validate() (bool, uint64) {
 	ok := true
+	var bad uint64
 	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
 		w := o.Rec.Load()
 		switch {
@@ -485,14 +577,18 @@ func (tx *Txn) Validate() bool {
 		default:
 			ok = false
 		}
+		if !ok {
+			bad = uint64(o.Ref())
+		}
 		return ok
 	})
-	return ok
+	return ok, bad
 }
 
 // ValidateOrRestart aborts and restarts the transaction if it is doomed.
 func (tx *Txn) ValidateOrRestart() {
-	if !tx.Validate() {
+	if ok, bad := tx.validate(); !ok {
+		tx.blameObj = bad
 		tx.Restart()
 	}
 }
@@ -537,11 +633,20 @@ func (tx *Txn) abort() {
 	tx.rollbackTo(0, 0, 0)
 	tx.status.Store(uint32(Aborted))
 	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvAbort, tx.id, tx.blameObj, 0, 0)
+		if tx.blameObj != 0 {
+			tr.Hot().BumpAbort(tx.blameObj)
+		}
+		tx.abortAt = time.Now()
+	}
+	tx.blameObj = 0
 	tx.flushStats()
 }
 
 func (tx *Txn) commit() bool {
-	if !tx.Validate() {
+	if ok, bad := tx.validate(); !ok {
+		tx.blameObj = bad
 		return false
 	}
 	tx.status.Store(uint32(Committed))
@@ -549,9 +654,19 @@ func (tx *Txn) commit() bool {
 		e.obj.Rec.ReleaseOwned(e.version)
 	}
 	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvCommit, tx.id, 0, 0, 0)
+		tr.ObserveCommit(time.Since(tx.beginAt))
+	}
 	tx.flushStats()
 	if tx.rt.cfg.Quiescence {
-		tx.quiesce()
+		if tr := tx.tr; tr != nil {
+			start := time.Now()
+			tx.quiesce()
+			tr.ObserveQuiesce(time.Since(start))
+		} else {
+			tx.quiesce()
+		}
 	}
 	return true
 }

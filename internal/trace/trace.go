@@ -1,0 +1,248 @@
+// Package trace is the STM's observability substrate: a low-overhead event
+// recorder both runtimes (internal/stm, internal/lazystm) emit into when a
+// Tracer is installed on them.
+//
+// The paper's evaluation (Section 7) lives and dies on knowing *why*
+// transactions abort and where contention concentrates; end-of-run
+// aggregate counters cannot answer that. A Tracer records a bounded
+// per-transaction event history — begin, read, write, lock-acquire,
+// conflict, abort, retry, commit, each carrying the object handle and
+// record version observed — into sharded ring buffers, and derives three
+// live views from the stream:
+//
+//   - conflict attribution: a sharded hotspot table mapping object handle
+//     to conflict and abort counts, so "which objects cause my aborts" is
+//     one Top(n) call;
+//   - latency histograms (log-bucketed, cache-line-padded) for commit
+//     latency, abort-to-retry gaps, and quiescence waits;
+//   - a JSON-serializable Snapshot combining counters, hotspots, and
+//     histogram percentiles (consumed by internal/metrics and cmd/stmtop).
+//
+// Cost model: the runtimes guard every emission behind a single nil check
+// on a descriptor-cached *Tracer, so the disabled path costs one
+// predictable branch and stays allocation-free. The enabled path takes a
+// timestamp and a short per-shard critical section; shards are selected by
+// a goroutine-affine hint, so concurrent transactions rarely contend on
+// the same ring.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Kind discriminates transaction lifecycle events.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	EvBegin       Kind = iota // transaction attempt started
+	EvRead                    // open-for-read succeeded
+	EvWrite                   // transactional store (in place or buffered)
+	EvLockAcquire             // transaction record CAS-ed to Exclusive
+	EvConflict                // conflict handler invoked against an owned record
+	EvAbort                   // attempt rolled back (Obj = blamed object, if known)
+	EvRetry                   // user-initiated retry
+	EvCommit                  // attempt committed
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"begin", "read", "write", "lock-acquire", "conflict", "abort", "retry", "commit",
+}
+
+// String returns the kind's wire name (used as JSON keys in snapshots).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one step of one transaction's history.
+type Event struct {
+	Kind Kind   `json:"kind"`
+	Txn  uint64 `json:"txn"`            // transaction owner ID
+	Obj  uint64 `json:"obj,omitempty"`  // heap handle; 0 = not object-specific
+	Slot int    `json:"slot"`           // slot index; meaningful for reads/writes
+	Ver  uint64 `json:"ver,omitempty"`  // record version observed at the step
+	Unix int64  `json:"unix_ns"`        // wall-clock timestamp, nanoseconds
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// ShardCapacity is the number of events each ring shard retains before
+	// overwriting its oldest entries. Zero means DefaultShardCapacity.
+	ShardCapacity int
+
+	// Shards is the number of independent ring shards (rounded up to a
+	// power of two). Zero means DefaultShards.
+	Shards int
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultShardCapacity = 4096
+	DefaultShards        = 16
+)
+
+// ring is one event ring shard. A mutex (not a lock-free scheme) keeps the
+// recorder trivially race-free for live readers; the goroutine-affine shard
+// choice keeps the lock all but uncontended.
+type ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever recorded into this shard
+	_     [24]byte // keep neighbouring shards' hot fields off one line
+}
+
+func (r *ring) record(ev Event) {
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = ev
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot appends the shard's retained events, oldest first.
+func (r *ring) snapshot(dst []Event) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.total <= n {
+		return append(dst, r.buf[:r.total]...)
+	}
+	start := r.total % n
+	dst = append(dst, r.buf[start:]...)
+	return append(dst, r.buf[:start]...)
+}
+
+// Tracer records transaction events and aggregates the derived views. All
+// methods are safe for concurrent use. The zero Tracer is not usable; call
+// New.
+type Tracer struct {
+	rings []ring
+	mask  uint64
+
+	byKind [numKinds]stats.Counter
+
+	hot       Hotspots
+	commitLat Histogram
+	abortGap  Histogram
+	quiesce   Histogram
+}
+
+// New creates a Tracer. Total retained history is Shards×ShardCapacity
+// events; older events are overwritten, never blocking a recorder.
+func New(cfg Config) *Tracer {
+	if cfg.ShardCapacity <= 0 {
+		cfg.ShardCapacity = DefaultShardCapacity
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	t := &Tracer{rings: make([]ring, pow), mask: uint64(pow - 1)}
+	for i := range t.rings {
+		t.rings[i].buf = make([]Event, cfg.ShardCapacity)
+	}
+	return t
+}
+
+// Record appends an event, stamped with the current time, to the
+// goroutine-affine ring shard.
+func (t *Tracer) Record(k Kind, txn, obj uint64, slot int, ver uint64) {
+	ev := Event{Kind: k, Txn: txn, Obj: obj, Slot: slot, Ver: ver, Unix: time.Now().UnixNano()}
+	t.byKind[k].Add(1)
+	t.rings[uint64(stats.Hint())&t.mask].record(ev)
+}
+
+// Hot returns the conflict-attribution table.
+func (t *Tracer) Hot() *Hotspots { return &t.hot }
+
+// CommitLatency is the histogram of begin-to-commit durations.
+func (t *Tracer) CommitLatency() *Histogram { return &t.commitLat }
+
+// AbortGap is the histogram of abort-to-next-begin (retry) gaps.
+func (t *Tracer) AbortGap() *Histogram { return &t.abortGap }
+
+// QuiesceWait is the histogram of post-commit quiescence wait durations.
+func (t *Tracer) QuiesceWait() *Histogram { return &t.quiesce }
+
+// ObserveCommit records one begin-to-commit latency.
+func (t *Tracer) ObserveCommit(d time.Duration) { t.commitLat.Observe(d.Nanoseconds()) }
+
+// ObserveAbortGap records one abort-to-retry gap.
+func (t *Tracer) ObserveAbortGap(d time.Duration) { t.abortGap.Observe(d.Nanoseconds()) }
+
+// ObserveQuiesce records one quiescence wait.
+func (t *Tracer) ObserveQuiesce(d time.Duration) { t.quiesce.Observe(d.Nanoseconds()) }
+
+// Count returns how many events of kind k have been recorded (including
+// events since overwritten in the rings).
+func (t *Tracer) Count(k Kind) int64 { return t.byKind[k].Load() }
+
+// Events returns the retained event history, oldest first (merged across
+// shards by timestamp). The slice is a copy; recording continues unblocked.
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for i := range t.rings {
+		out = t.rings[i].snapshot(out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Unix < out[j].Unix })
+	return out
+}
+
+// Recorded returns the total events recorded and how many of those have
+// been overwritten (dropped from the retained history).
+func (t *Tracer) Recorded() (total, dropped int64) {
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.mu.Lock()
+		total += int64(r.total)
+		if n := uint64(len(r.buf)); r.total > n {
+			dropped += int64(r.total - n)
+		}
+		r.mu.Unlock()
+	}
+	return total, dropped
+}
+
+// Snapshot summarizes the tracer's derived views for export: per-kind event
+// counts, the topN hottest objects, and histogram summaries. It is cheap
+// relative to Events (no event copy) and JSON-serializable.
+func (t *Tracer) Snapshot(topN int) Snapshot {
+	total, dropped := t.Recorded()
+	byKind := make(map[string]int64, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		if n := t.byKind[k].Load(); n != 0 {
+			byKind[k.String()] = n
+		}
+	}
+	return Snapshot{
+		Events:        total,
+		Dropped:       dropped,
+		ByKind:        byKind,
+		Hotspots:      t.hot.Top(topN),
+		CommitLatency: t.commitLat.Snapshot(),
+		AbortToRetry:  t.abortGap.Snapshot(),
+		QuiesceWait:   t.quiesce.Snapshot(),
+	}
+}
+
+// Snapshot is the JSON-serializable summary served by internal/metrics.
+type Snapshot struct {
+	Events        int64             `json:"events"`
+	Dropped       int64             `json:"dropped,omitempty"`
+	ByKind        map[string]int64  `json:"by_kind,omitempty"`
+	Hotspots      []HotspotEntry    `json:"hotspots,omitempty"`
+	CommitLatency HistogramSnapshot `json:"commit_latency"`
+	AbortToRetry  HistogramSnapshot `json:"abort_to_retry"`
+	QuiesceWait   HistogramSnapshot `json:"quiesce_wait"`
+}
