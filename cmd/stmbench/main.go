@@ -38,6 +38,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/bench"
+	"repro/internal/conflict"
 	"repro/internal/lazystm"
 	"repro/internal/metrics"
 	"repro/internal/stm"
@@ -58,8 +59,14 @@ func main() {
 	parTxns := flag.Int("partxns", 100_000, "transactions per parallel-throughput configuration")
 	traceOn := flag.Bool("trace", false, "enable the event tracer on the parallel sweep; print hotspots and latency percentiles")
 	metricsAddr := flag.String("metrics-addr", "", "serve the live /metrics endpoint (for cmd/stmtop) on host:port while running")
+	policy := flag.String("policy", "", "contention policy for the parallel sweep: "+
+		fmt.Sprintf("%v", conflict.PolicyNames)+" (default backoff)")
 	flag.Parse()
 	bench.Reps = *reps
+	if _, err := conflict.ByName(*policy); err != nil {
+		fmt.Fprintf(os.Stderr, "stmbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	var reg *metrics.Registry
 	var tracer *trace.Tracer
@@ -155,7 +162,11 @@ func main() {
 				bench.WithLazyRuntime(func(rt *lazystm.Runtime) { reg.RegisterLazy("par/lazy", rt) }),
 			)
 		}
-		results, err := bench.RunParallelSweep(bench.ParallelSpecs(maxG, *parTxns), opts...)
+		specs := bench.ParallelSpecs(maxG, *parTxns)
+		for i := range specs {
+			specs[i].Policy = *policy
+		}
+		results, err := bench.RunParallelSweep(specs, opts...)
 		if err != nil {
 			return err
 		}

@@ -17,16 +17,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/conflict"
 	"repro/internal/lazystm"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
 
 // ParallelSpec configures one parallel throughput measurement.
 type ParallelSpec struct {
-	Workload   string `json:"workload"`   // read-heavy, write-heavy, mixed
-	Versioning string `json:"versioning"` // eager or lazy
+	Workload   string `json:"workload"`         // read-heavy, write-heavy, mixed
+	Versioning string `json:"versioning"`       // eager or lazy
+	Policy     string `json:"policy,omitempty"` // contention policy (conflict.ByName); empty = backoff
 	Goroutines int    `json:"goroutines"`
 	Objects    int    `json:"objects"`     // size of the shared object pool
 	OpsPerTxn  int    `json:"ops_per_txn"` // accesses per transaction
@@ -46,7 +49,9 @@ type ParallelResult struct {
 	Starts     int64   `json:"starts"`
 	Commits    int64   `json:"commits"`
 	Aborts     int64   `json:"aborts"`
-	Retries    int64   `json:"retries"` // re-executed attempts: starts - commits
+	Retries    int64   `json:"retries"`               // re-executed attempts: starts - commits
+	SelfAborts int64   `json:"self_aborts,omitempty"` // policy SelfAbort decisions
+	Dooms      int64   `json:"dooms,omitempty"`       // policy AbortOther decisions that landed
 }
 
 // ParallelOption customizes RunParallel beyond the JSON-serializable spec
@@ -133,69 +138,34 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 	}
 	h, objs := parallelFixture(spec.Objects)
 
-	var body func(rng *uint64) // one transaction
-	var snapshot func() (starts, commits, aborts int64)
+	pol, err := conflict.ByName(spec.Policy)
+	if err != nil {
+		return ParallelResult{}, fmt.Errorf("bench: %w", err)
+	}
+	common := stmapi.CommonConfig{Handler: pol}
+
+	// Both runtimes are driven through the uniform stmapi surface; the
+	// concrete-typed hooks still fire for callers that need runtime-specific
+	// wiring (metrics registration).
+	var api stmapi.Runtime
 	switch spec.Versioning {
 	case "eager":
-		rt := stm.New(h, stm.Config{})
-		if po.tracer != nil {
-			rt.SetTracer(po.tracer)
-		}
+		rt := stm.New(h, stm.Config{CommonConfig: common})
 		if po.onEager != nil {
 			po.onEager(rt)
 		}
-		body = func(rng *uint64) {
-			_ = rt.Atomic(nil, func(tx *stm.Txn) error {
-				r := *rng
-				for i := 0; i < spec.OpsPerTxn; i++ {
-					r += 0x9e3779b97f4a7c15
-					z := (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9
-					o := objs[z%uint64(len(objs))]
-					slot := int(z>>32) & 3
-					if int(z>>40%100) < spec.ReadPct {
-						_ = tx.Read(o, slot)
-					} else {
-						tx.Write(o, slot, z)
-					}
-				}
-				return nil
-			})
-		}
-		snapshot = func() (int64, int64, int64) {
-			s := rt.Stats.Snapshot()
-			return s.Starts, s.Commits, s.Aborts
-		}
+		api = rt.API()
 	case "lazy":
-		rt := lazystm.New(h, lazystm.Config{})
-		if po.tracer != nil {
-			rt.SetTracer(po.tracer)
-		}
+		rt := lazystm.New(h, lazystm.Config{CommonConfig: common})
 		if po.onLazy != nil {
 			po.onLazy(rt)
 		}
-		body = func(rng *uint64) {
-			_ = rt.Atomic(nil, func(tx *lazystm.Txn) error {
-				r := *rng
-				for i := 0; i < spec.OpsPerTxn; i++ {
-					r += 0x9e3779b97f4a7c15
-					z := (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9
-					o := objs[z%uint64(len(objs))]
-					slot := int(z>>32) & 3
-					if int(z>>40%100) < spec.ReadPct {
-						_ = tx.Read(o, slot)
-					} else {
-						tx.Write(o, slot, z)
-					}
-				}
-				return nil
-			})
-		}
-		snapshot = func() (int64, int64, int64) {
-			s := rt.Stats.Snapshot()
-			return s.Starts, s.Commits, s.Aborts
-		}
+		api = rt.API()
 	default:
 		return ParallelResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	}
+	if po.tracer != nil {
+		api.SetTracer(po.tracer)
 	}
 
 	var wg sync.WaitGroup
@@ -209,24 +179,44 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 		go func(seed uint64, n int) {
 			defer wg.Done()
 			rng := seed*2862933555777941757 + 3037000493
+			// One body closure per worker, not per transaction: it escapes
+			// through the stmapi interface call, and a per-transaction
+			// allocation here would mask the runtimes' zero-alloc hot path.
+			body := func(tx stmapi.Txn) error {
+				r := rng
+				for i := 0; i < spec.OpsPerTxn; i++ {
+					r += 0x9e3779b97f4a7c15
+					z := (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9
+					o := objs[z%uint64(len(objs))]
+					slot := int(z>>32) & 3
+					if int(z>>40%100) < spec.ReadPct {
+						_ = tx.Read(o, slot)
+					} else {
+						tx.Write(o, slot, z)
+					}
+				}
+				return nil
+			}
 			for i := 0; i < n; i++ {
 				splitmix(&rng)
-				body(&rng)
+				_ = api.Atomic(body)
 			}
 		}(uint64(g+1), n)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	starts, commits, aborts := snapshot()
+	s := api.Stats()
 	res := ParallelResult{
 		ParallelSpec: spec,
 		ElapsedNs:    elapsed.Nanoseconds(),
 		NsPerTxn:     float64(elapsed.Nanoseconds()) / float64(spec.Txns),
-		Starts:       starts,
-		Commits:      commits,
-		Aborts:       aborts,
-		Retries:      starts - commits,
+		Starts:       s.Starts,
+		Commits:      s.Commits,
+		Aborts:       s.Aborts,
+		Retries:      s.Starts - s.Commits,
+		SelfAborts:   s.SelfAborts,
+		Dooms:        s.DoomsIssued,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.TxnsPerSec = float64(spec.Txns) / secs

@@ -46,11 +46,26 @@ func (k Kind) String() string {
 	}
 }
 
-// Info describes one conflict event passed to a Handler.
+// Info describes one conflict event passed to a Handler or Policy.
+//
+// The Self/Owner fields exist for policies that arbitrate between the two
+// transactions rather than blindly backing off. Transaction IDs are
+// assigned from a runtime-monotonic counter once per top-level atomic
+// block (they survive internal retries), so they double as age stamps:
+// a smaller ID is an older transaction. Zero means "unknown" — a conflict
+// raised by a non-transactional barrier has no Self, and a record owned by
+// an anonymous (non-transactional) writer has no Owner.
 type Info struct {
 	Kind    Kind
 	Attempt int    // 0-based retry attempt for this access
 	Record  uint64 // transaction-record word observed
+
+	Self     uint64 // contender's transaction ID (age stamp); 0 outside a transaction
+	SelfPrio int64  // contender's accumulated priority (Karma policies)
+
+	Owner       uint64 // owning transaction's ID, if Record is transactionally owned
+	OwnerPrio   int64  // owner's accumulated priority, valid only if OwnerActive
+	OwnerActive bool   // owner's descriptor was found live in the registry
 }
 
 // Handler decides what to do about a conflict. Returning normally means

@@ -25,6 +25,7 @@ import (
 	"repro/internal/objmodel"
 	"repro/internal/opt"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/strong"
 	"repro/internal/tj"
 	"repro/internal/vm"
@@ -99,13 +100,17 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		Heap: h,
 		Eager: stm.New(h, stm.Config{
-			Granularity: cfg.granularity(),
-			Quiescence:  cfg.Quiescence && cfg.Versioning == Eager,
-			DEA:         cfg.DEA,
+			CommonConfig: stmapi.CommonConfig{
+				Granularity: cfg.granularity(),
+				Quiescence:  cfg.Quiescence && cfg.Versioning == Eager,
+			},
+			DEA: cfg.DEA,
 		}),
 		Lazy: lazystm.New(h, lazystm.Config{
-			Granularity: cfg.granularity(),
-			Quiescence:  cfg.Quiescence && cfg.Versioning == Lazy,
+			CommonConfig: stmapi.CommonConfig{
+				Granularity: cfg.granularity(),
+				Quiescence:  cfg.Quiescence && cfg.Versioning == Lazy,
+			},
 		}),
 		Barriers: strong.New(h, cfg.DEA),
 		cfg:      cfg,

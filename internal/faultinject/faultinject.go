@@ -1,0 +1,213 @@
+// Package faultinject provides deterministic, seedable fault injection for
+// the STM runtimes. An Injector is installed on a runtime the same way a
+// tracer is — an atomic pointer sampled once per top-level atomic block —
+// so with no injector installed every injection point costs one predictable
+// nil check and nothing else.
+//
+// Injection points sit at the stages of the commit protocol where an abort
+// is hardest to get right: around record acquisition, entering commit
+// validation, and inside the commit window before records are released.
+// Three actions are supported:
+//
+//	Delay  sleep at the point, widening race windows that are normally
+//	       nanoseconds long (the litmus programs' best friend)
+//	Abort  doom the attempt: the runtime runs its ordinary abort path
+//	       (undo-log replay / buffer discard, record release) and retries
+//	Crash  simulate the thread dying at the point: the runtime performs the
+//	       cleanup a managed runtime would perform for a crashed thread —
+//	       rolling back and releasing if before the commit point, finishing
+//	       the release if after — and then panics with Crash{}, which
+//	       propagates to the Atomic caller
+//
+// Determinism: every decision is a pure function of (Seed, point, arrival
+// index at that point). Two runs with the same seed and the same per-point
+// arrival interleavings fire identically; a single-threaded test fires
+// reproducibly by construction. Rules select arrivals either periodically
+// (Every) or by seeded hash (Rate), never from global RNG state.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point is an injection site in a runtime's transaction lifecycle.
+type Point uint8
+
+// Injection points. Both runtimes fire the subset that exists in their
+// protocol (the eager runtime has no write-back, for instance).
+const (
+	// PreAcquire fires before each attempt to CAS a record to Exclusive.
+	PreAcquire Point = iota
+	// PostAcquire fires immediately after a record acquisition succeeds.
+	PostAcquire
+	// PreValidate fires on entering commit-time read-set validation.
+	PreValidate
+	// PostCommitPoint fires after the transaction has logically committed
+	// but before its records are released (for the lazy runtime: after
+	// write-back, before release — the paper's Figure 4 window).
+	PostCommitPoint
+	// PreRelease fires before abort releases the records it rolled back
+	// under (the doom sites' common exit).
+	PreRelease
+	// NumPoints is the number of injection points.
+	NumPoints
+)
+
+var pointNames = [NumPoints]string{
+	"pre-acquire", "post-acquire", "pre-validate", "post-commit-point", "pre-release",
+}
+
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// Action is what an armed rule does when it fires.
+type Action uint8
+
+// Actions. None means the point passes through untouched.
+const (
+	None Action = iota
+	Delay
+	Abort
+	Crash
+)
+
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Abort:
+		return "abort"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// CrashError is the panic value raised at a Crash injection. It unwinds
+// through the runtime's cleanup (which releases every owned record first)
+// to the Atomic caller.
+type CrashError struct {
+	Point Point
+	Txn   uint64
+}
+
+func (c CrashError) Error() string {
+	return fmt.Sprintf("faultinject: injected crash at %v (txn %d)", c.Point, c.Txn)
+}
+
+// Rule arms one injection point. A rule fires on an arrival if the
+// periodic selector matches (Every) or the seeded hash selects it (Rate);
+// with both zero the rule fires on every arrival.
+type Rule struct {
+	Point  Point
+	Action Action
+
+	// Every fires on arrivals 0, Every, 2·Every, ... at the point
+	// (1 = every arrival). Zero defers to Rate.
+	Every uint64
+
+	// Rate fires a seeded-pseudorandom fraction of arrivals, in
+	// 1/1024ths (Rate=512 ≈ half). Ignored when Every is set.
+	Rate uint64
+
+	// Sleep is the Delay action's duration; zero means 50µs.
+	Sleep time.Duration
+}
+
+// DefaultSleep is the Delay action's duration when Rule.Sleep is zero.
+const DefaultSleep = 50 * time.Microsecond
+
+// Injector evaluates rules at injection points. Safe for concurrent use;
+// construct with New.
+type Injector struct {
+	seed  uint64
+	rules [NumPoints][]Rule
+
+	arrivals [NumPoints]atomic.Uint64 // arrival index per point
+	fired    [NumPoints][4]atomic.Int64
+}
+
+// New builds an Injector from a seed and rules. Rules on the same point
+// are evaluated in order; the first that fires wins the arrival.
+func New(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{seed: seed}
+	for _, r := range rules {
+		if r.Point >= NumPoints {
+			panic(fmt.Sprintf("faultinject: invalid point %d", r.Point))
+		}
+		in.rules[r.Point] = append(in.rules[r.Point], r)
+	}
+	return in
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective mix whose
+// low bits are uniform, keyed here by seed and arrival index.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fire evaluates the point's rules against this arrival and performs any
+// Delay itself; the caller maps Abort and Crash onto its own abort/cleanup
+// machinery (only the runtime knows how to roll back from each stage).
+// With no rule armed on the point it costs one atomic add.
+func (in *Injector) Fire(p Point, txID uint64) Action {
+	n := in.arrivals[p].Add(1) - 1
+	rules := in.rules[p]
+	if len(rules) == 0 {
+		return None
+	}
+	for _, r := range rules {
+		fire := false
+		switch {
+		case r.Every > 0:
+			fire = n%r.Every == 0
+		case r.Rate > 0:
+			fire = splitmix64(in.seed^uint64(p)<<32^n)&1023 < r.Rate
+		default:
+			fire = true
+		}
+		if !fire {
+			continue
+		}
+		in.fired[p][r.Action].Add(1)
+		if r.Action == Delay {
+			d := r.Sleep
+			if d <= 0 {
+				d = DefaultSleep
+			}
+			time.Sleep(d)
+			return Delay
+		}
+		return r.Action
+	}
+	return None
+}
+
+// Arrivals returns how many times point p has been reached.
+func (in *Injector) Arrivals(p Point) uint64 { return in.arrivals[p].Load() }
+
+// Fired returns how many times action a has fired at point p.
+func (in *Injector) Fired(p Point, a Action) int64 { return in.fired[p][a].Load() }
+
+// TotalFired sums every non-None firing across all points.
+func (in *Injector) TotalFired() int64 {
+	var t int64
+	for p := Point(0); p < NumPoints; p++ {
+		for a := Delay; a <= Crash; a++ {
+			t += in.fired[p][a].Load()
+		}
+	}
+	return t
+}

@@ -1,0 +1,34 @@
+package lazystm
+
+import (
+	"context"
+
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+	"repro/internal/trace"
+)
+
+// API returns the runtime-agnostic driver view of rt (see the eager
+// runtime's adapter: the body re-wrap stays non-escaping, preserving the
+// zero-allocation steady state).
+func (rt *Runtime) API() stmapi.Runtime { return apiRuntime{rt} }
+
+type apiRuntime struct{ rt *Runtime }
+
+func (a apiRuntime) Name() string         { return "lazy" }
+func (a apiRuntime) Heap() *objmodel.Heap { return a.rt.Heap }
+func (a apiRuntime) Stats() stmapi.StatsSnapshot {
+	return a.rt.Stats.Snapshot()
+}
+
+func (a apiRuntime) Atomic(body func(stmapi.Txn) error) error {
+	return a.rt.Atomic(nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) AtomicCtx(ctx context.Context, body func(stmapi.Txn) error) error {
+	return a.rt.AtomicCtx(ctx, nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) SetTracer(t *trace.Tracer) { a.rt.SetTracer(t) }
+func (a apiRuntime) Tracer() *trace.Tracer     { return a.rt.Tracer() }
+func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions() }

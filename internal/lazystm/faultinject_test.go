@@ -1,0 +1,193 @@
+package lazystm
+
+// Fault-injection tests for the lazy runtime: injected aborts in the
+// commit-time acquire/validate sequence must discard buffers and restore
+// records; injected crashes must perform stage-appropriate cleanup; a crash
+// inside the Figure 4 window must complete its ticket so the ordering chain
+// never stalls.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+	"repro/internal/txrec"
+)
+
+var abortPoints = []faultinject.Point{
+	faultinject.PreAcquire,
+	faultinject.PostAcquire,
+	faultinject.PreValidate,
+}
+
+func runTransfers(t *testing.T, f *fixture, accounts []*objmodel.Object, goroutines, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*2862933555777941757 + 3037000493
+			for i := 0; i < n; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				from := accounts[rng%uint64(len(accounts))]
+				to := accounts[(rng>>8)%uint64(len(accounts))]
+				if from == to {
+					continue
+				}
+				if err := f.rt.Atomic(nil, func(tx *Txn) error {
+					a := tx.Read(from, 0)
+					b := tx.Read(to, 0)
+					tx.Write(from, 0, a-1)
+					tx.Write(to, 0, b+1)
+					return nil
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}
+
+func TestInjectedAbortsPreserveInvariants(t *testing.T) {
+	for _, p := range abortPoints {
+		t.Run(p.String(), func(t *testing.T) {
+			f := newFixture(t, Config{})
+			in := faultinject.New(uint64(p)+1, faultinject.Rule{
+				Point: p, Action: faultinject.Abort, Rate: 256,
+			})
+			f.rt.SetInjector(in)
+			const accounts, balance = 8, 1000
+			objs := make([]*objmodel.Object, accounts)
+			for i := range objs {
+				objs[i] = f.heap.New(f.cls)
+				objs[i].StoreSlot(0, balance)
+			}
+			runTransfers(t, f, objs, 4, 300)
+
+			if in.Fired(p, faultinject.Abort) == 0 {
+				t.Fatalf("injector never fired at %v", p)
+			}
+			var sum uint64
+			for i, o := range objs {
+				if w := o.Rec.Load(); !txrec.IsShared(w) {
+					t.Errorf("account %d record %#x not back to Shared", i, w)
+				}
+				sum += o.LoadSlot(0)
+			}
+			if sum != accounts*balance {
+				t.Errorf("total balance %d, want %d (buffered writes leaked or lost)", sum, accounts*balance)
+			}
+			if n := f.rt.ActiveTransactions(); n != 0 {
+				t.Errorf("active transactions = %d, want 0", n)
+			}
+		})
+	}
+}
+
+func TestInjectedCrashCleansUpPerStage(t *testing.T) {
+	crashPoints := []struct {
+		point     faultinject.Point
+		committed bool
+	}{
+		{faultinject.PreAcquire, false},
+		{faultinject.PostAcquire, false},
+		{faultinject.PreValidate, false},
+		{faultinject.PostCommitPoint, true},
+	}
+	for _, c := range crashPoints {
+		t.Run(c.point.String(), func(t *testing.T) {
+			f := newFixture(t, Config{})
+			f.rt.SetInjector(faultinject.New(1, faultinject.Rule{
+				Point: c.point, Action: faultinject.Crash,
+			}))
+			o := f.heap.New(f.cls)
+			o.StoreSlot(0, 10)
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						ce, ok := r.(faultinject.CrashError)
+						if !ok {
+							panic(r)
+						}
+						err = ce
+					}
+				}()
+				return f.rt.Atomic(nil, func(tx *Txn) error {
+					tx.Write(o, 0, 20)
+					return nil
+				})
+			}()
+			var ce faultinject.CrashError
+			if !errors.As(err, &ce) || ce.Point != c.point {
+				t.Fatalf("err = %v, want CrashError at %v", err, c.point)
+			}
+			if w := o.Rec.Load(); !txrec.IsShared(w) {
+				t.Fatalf("record %#x not released after crash", w)
+			}
+			want := uint64(10)
+			if c.committed {
+				want = 20
+			}
+			if got := o.LoadSlot(0); got != want {
+				t.Fatalf("slot 0 = %d, want %d", got, want)
+			}
+			if n := f.rt.ActiveTransactions(); n != 0 {
+				t.Fatalf("active transactions = %d, want 0", n)
+			}
+			f.rt.SetInjector(nil)
+			if err := f.rt.Atomic(nil, func(tx *Txn) error {
+				tx.Write(o, 1, 1)
+				return nil
+			}); err != nil {
+				t.Fatalf("post-crash transaction: %v", err)
+			}
+		})
+	}
+}
+
+func TestCrashInCommitWindowDoesNotStallOrdering(t *testing.T) {
+	// A committer dying inside the Figure 4 window (post-commit-point,
+	// records held) must complete its write-back ticket during cleanup;
+	// otherwise every later in-order committer waits forever.
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
+	f.rt.SetInjector(faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PostCommitPoint, Action: faultinject.Crash, Every: 1 << 62,
+	}))
+	o := f.heap.New(f.cls)
+	func() {
+		defer func() { recover() }() // the injected CrashError
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(o, 0, 1)
+			return nil
+		})
+	}()
+	f.rt.SetInjector(nil)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(o, 1, 2)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("successor transaction: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("ordering chain stalled behind the crashed committer")
+	}
+	if got := o.LoadSlot(0); got != 1 {
+		t.Fatalf("slot 0 = %d, want 1 (crash was post-commit-point)", got)
+	}
+}

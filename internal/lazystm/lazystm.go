@@ -26,22 +26,35 @@
 package lazystm
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/conflict"
+	"repro/internal/faultinject"
 	"repro/internal/objmodel"
 	"repro/internal/objset"
 	"repro/internal/stats"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 	"repro/internal/txrec"
 )
 
 // MaxGranularity is the largest supported buffering granularity in slots.
-const MaxGranularity = 2
+const MaxGranularity = stmapi.MaxGranularity
+
+// Status is the lifecycle state of a transaction attempt (shared with the
+// eager runtime through stmapi).
+type Status = stmapi.Status
+
+// Transaction statuses.
+const (
+	Active    = stmapi.Active
+	Committed = stmapi.Committed
+	Aborted   = stmapi.Aborted
+)
 
 // Hooks are optional test instrumentation points inside the commit window.
 type Hooks struct {
@@ -55,23 +68,11 @@ type Hooks struct {
 	OnAfterWriteback func(tx *Txn, k int)
 }
 
-// Config parameterizes a Runtime.
+// Config parameterizes a Runtime. The cross-runtime knobs (Granularity,
+// Quiescence, Handler, SelfAbortAfter) live in the embedded
+// stmapi.CommonConfig; Hooks are lazy-specific.
 type Config struct {
-	// Granularity is the slot span of one write-buffer entry: 1 or 2.
-	Granularity int
-
-	// Quiescence enables the Section 3.4 ordering guarantee for lazy
-	// versioning: a committing transaction waits until all previously
-	// serialized transactions have finished applying their updates before
-	// completing itself.
-	Quiescence bool
-
-	// Handler receives conflict notifications; nil means a shared Backoff.
-	Handler conflict.Handler
-
-	// SelfAbortAfter bounds conflict-handler invocations per access before
-	// self-abort; zero means 64.
-	SelfAbortAfter int
+	stmapi.CommonConfig
 
 	// Hooks instrument the commit window (tests only).
 	Hooks Hooks
@@ -80,32 +81,96 @@ type Config struct {
 // Stats aggregates runtime counters. Counters are sharded (package stats)
 // and fed from descriptor-local deltas flushed at commit/abort.
 type Stats struct {
-	Starts    stats.Counter
-	Commits   stats.Counter
-	Aborts    stats.Counter
-	TxnReads  stats.Counter
-	TxnWrites stats.Counter
+	Starts      stats.Counter
+	Commits     stats.Counter
+	Aborts      stats.Counter
+	UserRetries stats.Counter
+	TxnReads    stats.Counter
+	TxnWrites   stats.Counter
+	SelfAborts  stats.Counter // contention-policy SelfAbort decisions taken
+	DoomsIssued stats.Counter // contention-policy AbortOther decisions that marked a victim
 }
 
-// StatsSnapshot is a point-in-time copy of every Stats counter as plain
-// values, read in one call.
-type StatsSnapshot struct {
-	Starts    int64 `json:"starts"`
-	Commits   int64 `json:"commits"`
-	Aborts    int64 `json:"aborts"`
-	TxnReads  int64 `json:"txn_reads"`
-	TxnWrites int64 `json:"txn_writes"`
-}
+// StatsSnapshot is a point-in-time copy of every Stats counter, shared with
+// the eager runtime through stmapi.
+type StatsSnapshot = stmapi.StatsSnapshot
 
 // Snapshot sums every counter's shards (not an atomic cut across counters).
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Starts:    s.Starts.Load(),
-		Commits:   s.Commits.Load(),
-		Aborts:    s.Aborts.Load(),
-		TxnReads:  s.TxnReads.Load(),
-		TxnWrites: s.TxnWrites.Load(),
+		Starts:      s.Starts.Load(),
+		Commits:     s.Commits.Load(),
+		Aborts:      s.Aborts.Load(),
+		UserRetries: s.UserRetries.Load(),
+		TxnReads:    s.TxnReads.Load(),
+		TxnWrites:   s.TxnWrites.Load(),
+		SelfAborts:  s.SelfAborts.Load(),
+		DoomsIssued: s.DoomsIssued.Load(),
 	}
+}
+
+// regSlots is the capacity of the fixed active-transaction slot array
+// (mirrors the eager runtime's registry; kept concrete per runtime so the
+// hot path stays monomorphic).
+const regSlots = 256
+
+type regSlot struct {
+	p atomic.Pointer[Txn]
+	_ [56]byte
+}
+
+// registry tracks in-flight descriptors: CAS-claimed id-hashed slots with a
+// sync.Map overflow. It serves ActiveTransactions and the contention
+// policies' owner-by-ID lookups.
+type registry struct {
+	slots    [regSlots]regSlot
+	overflow sync.Map // id -> *Txn
+}
+
+func (r *registry) add(tx *Txn) {
+	h := int(tx.id)
+	for i := 0; i < regSlots; i++ {
+		s := &r.slots[(h+i)&(regSlots-1)]
+		if s.p.Load() == nil && s.p.CompareAndSwap(nil, tx) {
+			tx.slot = (h + i) & (regSlots - 1)
+			return
+		}
+	}
+	tx.slot = -1
+	r.overflow.Store(tx.id, tx)
+}
+
+func (r *registry) remove(tx *Txn) {
+	if tx.slot >= 0 {
+		r.slots[tx.slot].p.Store(nil)
+		return
+	}
+	r.overflow.Delete(tx.id)
+}
+
+func (r *registry) forEach(f func(*Txn) bool) {
+	for i := range r.slots {
+		if tx := r.slots[i].p.Load(); tx != nil {
+			if !f(tx) {
+				return
+			}
+		}
+	}
+	r.overflow.Range(func(_, v any) bool { return f(v.(*Txn)) })
+}
+
+// findStamp returns the live descriptor whose current incarnation ID is id,
+// or nil (see the eager runtime: the stamp check filters descriptor reuse).
+func (r *registry) findStamp(id uint64) *Txn {
+	var found *Txn
+	r.forEach(func(tx *Txn) bool {
+		if tx.stamp.Load() == id {
+			found = tx
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // Runtime is a lazy-versioning STM instance bound to a heap.
@@ -113,35 +178,38 @@ type Runtime struct {
 	Heap  *objmodel.Heap
 	Stats Stats
 
-	cfg     Config
-	handler conflict.Handler
-	nextID  atomic.Uint64
-	pool    sync.Pool // idle *Txn descriptors
-	tracer  atomic.Pointer[trace.Tracer]
+	cfg      Config
+	handler  conflict.Handler
+	policy   conflict.Policy
+	nextID   atomic.Uint64
+	reg      registry
+	pool     sync.Pool // idle *Txn descriptors
+	tracer   atomic.Pointer[trace.Tracer]
+	injector atomic.Pointer[faultinject.Injector]
 
-	// Commit tickets serialize write-back completion in quiescence mode.
+	// Commit tickets order write-back completion for quiescence mode. done
+	// is the contiguous completion watermark; tickets completed out of order
+	// (including by cancelled waiters) park in pending until the watermark
+	// reaches them, so an abandoned wait can never stall the chain.
 	tickets atomic.Uint64
-	done    atomic.Uint64 // highest ticket whose write-back has completed, contiguously
+	done    atomic.Uint64
+	pending map[uint64]struct{}
 	doneMu  sync.Mutex
 	doneCv  *sync.Cond
 }
 
-// New creates a lazy-versioning Runtime over heap.
+// New creates a lazy-versioning Runtime over heap. Invalid configurations
+// are rejected with a panic, matching the eager runtime.
 func New(heap *objmodel.Heap, cfg Config) *Runtime {
-	if cfg.Granularity == 0 {
-		cfg.Granularity = 1
-	}
-	if cfg.Granularity < 1 || cfg.Granularity > MaxGranularity {
-		panic(fmt.Sprintf("lazystm: unsupported granularity %d", cfg.Granularity))
-	}
-	if cfg.SelfAbortAfter == 0 {
-		cfg.SelfAbortAfter = 64
+	if err := cfg.Normalize(); err != nil {
+		panic("lazystm: " + err.Error())
 	}
 	h := cfg.Handler
 	if h == nil {
 		h = &conflict.Backoff{}
 	}
-	rt := &Runtime{Heap: heap, cfg: cfg, handler: h}
+	rt := &Runtime{Heap: heap, cfg: cfg, handler: h, policy: conflict.AsPolicy(h)}
+	rt.pending = make(map[uint64]struct{})
 	rt.doneCv = sync.NewCond(&rt.doneMu)
 	return rt
 }
@@ -157,6 +225,10 @@ func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tracer.Store(t) }
 // Tracer returns the installed tracer, or nil.
 func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 
+// SetInjector installs (or, with nil, removes) a fault injector, sampled
+// once per top-level Atomic like the tracer.
+func (rt *Runtime) SetInjector(in *faultinject.Injector) { rt.injector.Store(in) }
+
 // ErrAborted aborts the transaction without retry when returned from the
 // body.
 var ErrAborted = errors.New("lazystm: transaction aborted by user")
@@ -166,6 +238,7 @@ type signal uint8
 const (
 	sigRestart signal = iota + 1
 	sigRetry
+	sigCancel // context cancelled: abort and return ctx.Err()
 )
 
 type txSignal struct {
@@ -186,9 +259,11 @@ type spanBuf struct {
 // Txn is a lazy-versioning transaction descriptor. Pooled across Atomic
 // calls; user code must not retain one past the body.
 type Txn struct {
-	rt     *Runtime
-	id     uint64
-	status atomic.Uint32 // stm.Status values: 0 active, 1 committed, 2 aborted
+	rt      *Runtime
+	id      uint64
+	slot    int           // registry slot index, -1 when in overflow
+	status  atomic.Uint32 // Status values
+	attempt int
 
 	reads objset.VerSet
 	buf   map[spanKey]spanBuf // buffered spans, by value: no per-span allocation
@@ -197,10 +272,27 @@ type Txn struct {
 	objs  []*objmodel.Object
 	owned objset.VerSet
 
+	// Arbitration state (see the eager runtime): stamp is the cross-thread
+	// readable ID, doomed the advisory abort-other flag, karma the invested
+	// work for priority policies.
+	stamp  atomic.Uint64
+	doomed atomic.Bool
+	karma  atomic.Int64
+
+	// ctx is the cancellation context installed by AtomicCtx; nil for plain
+	// Atomic.
+	ctx context.Context
+
+	// fi is the fault injector sampled at getTxn.
+	fi *faultinject.Injector
+
 	// Statistics deltas flushed at commit/abort.
-	nStarts int64
-	nReads  int64
-	nWrites int64
+	nStarts     int64
+	nReads      int64
+	nWrites     int64
+	nRetries    int64
+	nSelfAborts int64
+	nDooms      int64
 
 	// Tracing state (see the eager runtime): tr sampled per Atomic, nil
 	// disables every emission point; blameObj attributes pending aborts.
@@ -213,6 +305,13 @@ type Txn struct {
 // ID returns the descriptor's owner ID.
 func (tx *Txn) ID() uint64 { return tx.id }
 
+// Status returns the descriptor's current status.
+func (tx *Txn) Status() Status { return Status(tx.status.Load()) }
+
+// Attempt returns the 0-based retry attempt of the current top-level
+// execution.
+func (tx *Txn) Attempt() int { return tx.attempt }
+
 func (rt *Runtime) getTxn() *Txn {
 	tx, _ := rt.pool.Get().(*Txn)
 	if tx == nil {
@@ -220,22 +319,31 @@ func (rt *Runtime) getTxn() *Txn {
 	}
 	tx.id = rt.nextID.Add(1)
 	tx.tr = rt.tracer.Load()
+	tx.fi = rt.injector.Load()
 	tx.blameObj = 0
 	tx.abortAt = time.Time{}
+	tx.doomed.Store(false)
+	tx.karma.Store(0)
+	tx.stamp.Store(tx.id) // publish before the registry makes tx reachable
+	rt.reg.add(tx)
 	return tx
 }
 
 func (rt *Runtime) putTxn(tx *Txn) {
+	rt.reg.remove(tx)
 	tx.reads.Reset()
 	tx.owned.Reset()
 	clear(tx.buf)
 	clear(tx.objs)
 	tx.objs = tx.objs[:0]
+	tx.ctx = nil
+	tx.fi = nil
 	rt.pool.Put(tx)
 }
 
 func (tx *Txn) begin() {
-	tx.status.Store(0)
+	tx.status.Store(uint32(Active))
+	tx.doomed.Store(false)
 	tx.reads.Reset()
 	clear(tx.buf)
 	tx.nStarts++
@@ -265,6 +373,18 @@ func (tx *Txn) flushStats() {
 		s.TxnWrites.AddShard(hint, tx.nWrites)
 		tx.nWrites = 0
 	}
+	if tx.nRetries != 0 {
+		s.UserRetries.AddShard(hint, tx.nRetries)
+		tx.nRetries = 0
+	}
+	if tx.nSelfAborts != 0 {
+		s.SelfAborts.AddShard(hint, tx.nSelfAborts)
+		tx.nSelfAborts = 0
+	}
+	if tx.nDooms != 0 {
+		s.DoomsIssued.AddShard(hint, tx.nDooms)
+		tx.nDooms = 0
+	}
 }
 
 // Restart aborts and re-executes the transaction.
@@ -272,10 +392,49 @@ func (tx *Txn) Restart() { panic(txSignal{sigRestart, tx}) }
 
 // Retry aborts and blocks until the read set changes, then re-executes.
 func (tx *Txn) Retry() {
+	tx.nRetries++
 	if tr := tx.tr; tr != nil {
 		tr.Record(trace.EvRetry, tx.id, 0, 0, 0)
 	}
 	panic(txSignal{sigRetry, tx})
+}
+
+// resolveConflict builds the arbitration Info for a conflict on o and asks
+// the policy. AbortOther dooming is performed here; the caller maps Wait and
+// SelfAbort onto its own control flow (panic-restart inside the body,
+// release-and-fail inside commit).
+func (tx *Txn) resolveConflict(o *objmodel.Object, kind conflict.Kind, attempt int, rec txrec.Word) conflict.Decision {
+	tx.karma.Add(1)
+	info := conflict.Info{
+		Kind: kind, Attempt: attempt, Record: rec,
+		Self: tx.id, SelfPrio: tx.karma.Load(),
+	}
+	if txrec.IsExclusive(rec) {
+		info.Owner = txrec.Owner(rec)
+		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+			info.OwnerActive = true
+			info.OwnerPrio = victim.karma.Load()
+		}
+	}
+	d := tx.rt.policy.Resolve(info)
+	switch d {
+	case conflict.SelfAbort:
+		tx.nSelfAborts++
+		if tr := tx.tr; tr != nil {
+			tr.Record(trace.EvSelfAbort, tx.id, uint64(o.Ref()), 0, 0)
+		}
+	case conflict.AbortOther:
+		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+			victim.doomed.Store(true)
+			tx.nDooms++
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, info.Owner)
+			}
+		}
+		// Let the victim notice the doom and release before re-probing.
+		conflict.WaitAttempt(attempt, 0)
+	}
+	return d
 }
 
 func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int, rec txrec.Word) {
@@ -284,11 +443,21 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
 		tr.Hot().BumpConflict(ref)
 	}
+	if tx.ctx != nil && tx.ctx.Err() != nil {
+		panic(txSignal{sigCancel, tx})
+	}
+	if tx.doomed.Load() {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
 	if attempt >= tx.rt.cfg.SelfAbortAfter {
 		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
-	tx.rt.handler.HandleConflict(conflict.Info{Kind: kind, Attempt: attempt, Record: rec})
+	if tx.resolveConflict(o, kind, attempt, rec) == conflict.SelfAbort {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
 }
 
 func (tx *Txn) span(slot int) (base int) {
@@ -301,6 +470,16 @@ func (tx *Txn) span(slot int) (base int) {
 // otherwise shared memory under optimistic version validation.
 func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 	tx.nReads++
+	if tx.doomed.Load() {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
+	if tx.ctx != nil && tx.ctx.Err() != nil {
+		// Every access is a cancellation point, so a context cancelled
+		// mid-body (in particular a nested block's scoped context) is
+		// noticed without needing a conflict to arise first.
+		panic(txSignal{sigCancel, tx})
+	}
 	base := tx.span(slot)
 	if len(tx.buf) > 0 {
 		if sb, ok := tx.buf[spanKey{o, base}]; ok {
@@ -353,6 +532,13 @@ func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
 // lost update when Granularity > 1.
 func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 	tx.nWrites++
+	if tx.doomed.Load() {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
+	if tx.ctx != nil && tx.ctx.Err() != nil {
+		panic(txSignal{sigCancel, tx}) // accesses are cancellation points
+	}
 	base := tx.span(slot)
 	key := spanKey{o, base}
 	sb, ok := tx.buf[key]
@@ -431,7 +617,14 @@ func (tx *Txn) release(bump bool) {
 // the buffered spans in no particular order, release the records, and (in
 // quiescence mode) wait for all previously serialized transactions'
 // write-backs to complete.
-func (tx *Txn) commit() bool {
+//
+// ok=false means the attempt aborts and retries. A non-nil error is only
+// possible after the commit point, when cancellation abandoned the
+// quiescence wait (the commit itself is durable).
+func (tx *Txn) commit() (ok bool, err error) {
+	if tx.doomed.Load() {
+		return false, nil
+	}
 	// Collect distinct objects in the write set, sorted by handle so
 	// concurrent committers acquire in the same order (no deadlock). The
 	// scratch slice and owned set live on the descriptor, so a steady-state
@@ -459,10 +652,34 @@ func (tx *Txn) commit() bool {
 		for attempt := 0; ; attempt++ {
 			w := o.Rec.Load()
 			if txrec.IsShared(w) {
+				if fi := tx.fi; fi != nil {
+					switch fi.Fire(faultinject.PreAcquire, tx.id) {
+					case faultinject.Abort:
+						tx.blameObj = uint64(o.Ref())
+						tx.release(false)
+						return false, nil
+					case faultinject.Crash:
+						tx.release(false)
+						tx.crash(faultinject.PreAcquire)
+					}
+				}
 				if o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
 					tx.owned.Put(o, txrec.Version(w))
 					if tr := tx.tr; tr != nil {
 						tr.Record(trace.EvLockAcquire, tx.id, uint64(o.Ref()), 0, txrec.Version(w))
+					}
+					if fi := tx.fi; fi != nil {
+						switch fi.Fire(faultinject.PostAcquire, tx.id) {
+						case faultinject.Abort:
+							tx.blameObj = uint64(o.Ref())
+							tx.release(false)
+							return false, nil
+						case faultinject.Crash:
+							// Nothing has reached shared memory; a crashed
+							// committer's records are restored unchanged.
+							tx.release(false)
+							tx.crash(faultinject.PostAcquire)
+						}
 					}
 					break
 				}
@@ -473,23 +690,49 @@ func (tx *Txn) commit() bool {
 				tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
 				tr.Hot().BumpConflict(ref)
 			}
-			if attempt >= tx.rt.cfg.SelfAbortAfter {
+			if tx.ctx != nil && tx.ctx.Err() != nil {
+				// Cancelled mid-acquire: fail the commit; the atomic loop's
+				// entry check converts the failure into ctx.Err().
+				tx.release(false)
+				return false, nil
+			}
+			if tx.doomed.Load() || attempt >= tx.rt.cfg.SelfAbortAfter {
 				tx.blameObj = uint64(o.Ref())
 				tx.release(false)
-				return false
+				return false, nil
 			}
-			tx.rt.handler.HandleConflict(conflict.Info{Kind: conflict.TxnWrite, Attempt: attempt, Record: w})
+			if tx.resolveConflict(o, conflict.TxnWrite, attempt, w) == conflict.SelfAbort {
+				tx.blameObj = uint64(o.Ref())
+				tx.release(false)
+				return false, nil
+			}
 		}
 	}
 
-	if ok, bad := tx.validateExcluding(&tx.owned); !ok {
+	// A doom that landed while we were acquiring is honored up to the commit
+	// point; past it the victim has won the race and simply commits.
+	if tx.doomed.Load() {
+		tx.release(false)
+		return false, nil
+	}
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PreValidate, tx.id) {
+		case faultinject.Abort:
+			tx.release(false)
+			return false, nil
+		case faultinject.Crash:
+			tx.release(false)
+			tx.crash(faultinject.PreValidate)
+		}
+	}
+	if vok, bad := tx.validateExcluding(&tx.owned); !vok {
 		tx.blameObj = bad
 		tx.release(false) // nothing reached memory; restore original versions
-		return false
+		return false, nil
 	}
 
 	// ----- commit point: the transaction is now serialized. -----
-	tx.status.Store(1)
+	tx.status.Store(uint32(Committed))
 	ticket := tx.rt.tickets.Add(1)
 	if h := tx.rt.cfg.Hooks.OnAfterCommitPoint; h != nil {
 		h(tx)
@@ -509,18 +752,31 @@ func (tx *Txn) commit() bool {
 		}
 	}
 
+	if fi := tx.fi; fi != nil && fi.Fire(faultinject.PostCommitPoint, tx.id) == faultinject.Crash {
+		// The Figure 4 window: logically committed, write-back done, records
+		// still held. A dying thread's cleanup releases with a version bump
+		// and completes the ticket so the ordering chain never stalls.
+		tx.release(true)
+		tx.rt.markComplete(ticket)
+		tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+		tx.flushStats()
+		panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
+	}
+
 	tx.release(true) // version bump publishes the new state to optimistic readers
 
+	// Our own write-back is complete regardless of how long predecessors
+	// take, so the ticket is marked before any waiting: a successor never
+	// waits on a transaction that has already finished its stores.
+	tx.rt.markComplete(ticket)
 	if tx.rt.cfg.Quiescence {
 		if tr := tx.tr; tr != nil {
 			start := time.Now()
-			tx.rt.completeInOrder(ticket)
+			err = tx.rt.awaitOrder(tx.ctx, ticket)
 			tr.ObserveQuiesce(time.Since(start))
 		} else {
-			tx.rt.completeInOrder(ticket)
+			err = tx.rt.awaitOrder(tx.ctx, ticket)
 		}
-	} else {
-		tx.rt.markDone(ticket)
 	}
 	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
 	if tr := tx.tr; tr != nil {
@@ -528,37 +784,73 @@ func (tx *Txn) commit() bool {
 		tr.ObserveCommit(time.Since(tx.beginAt))
 	}
 	tx.flushStats()
-	return true
+	return true, err
 }
 
-// completeInOrder blocks until every transaction with an earlier commit
-// ticket has finished its write-back, then marks this ticket done. This is
-// the lazy-versioning quiescence of Section 3.4: when Atomic returns, all
-// previously serialized transactions' updates are visible.
-func (rt *Runtime) completeInOrder(ticket uint64) {
+// crash performs the abort bookkeeping for a simulated thread death inside
+// commit (the caller has already restored the records) and panics with
+// CrashError.
+func (tx *Txn) crash(p faultinject.Point) {
+	tx.fi = nil // the bookkeeping below must not re-enter injection
+	tx.abort()
+	panic(faultinject.CrashError{Point: p, Txn: tx.id})
+}
+
+// markComplete records that ticket's write-back has finished and advances
+// the contiguous completion watermark past every parked ticket it unblocks.
+// Completion is decoupled from waiting so that a waiter abandoning its wait
+// (cancellation, crash injection) can never stall later tickets — the
+// failure mode of the previous in-order-only scheme.
+func (rt *Runtime) markComplete(ticket uint64) {
 	rt.doneMu.Lock()
-	for rt.done.Load() != ticket-1 {
-		rt.doneCv.Wait()
+	rt.pending[ticket] = struct{}{}
+	for {
+		next := rt.done.Load() + 1
+		if _, ok := rt.pending[next]; !ok {
+			break
+		}
+		delete(rt.pending, next)
+		rt.done.Store(next)
 	}
-	rt.done.Store(ticket)
 	rt.doneCv.Broadcast()
 	rt.doneMu.Unlock()
 }
 
-// markDone advances the completion watermark opportunistically when
-// quiescence is off (tickets may complete out of order; the watermark only
-// tracks the contiguous prefix and is not relied upon).
-func (rt *Runtime) markDone(ticket uint64) {
-	rt.doneMu.Lock()
-	if rt.done.Load() == ticket-1 {
-		rt.done.Store(ticket)
-		rt.doneCv.Broadcast()
+// awaitOrder blocks until the completion watermark reaches ticket — i.e.
+// every transaction serialized before it has finished applying its updates
+// (the lazy-versioning quiescence of Section 3.4). A cancelled context
+// abandons the wait and returns its error; the caller's commit is already
+// durable.
+func (rt *Runtime) awaitOrder(ctx context.Context, ticket uint64) error {
+	if ctx != nil {
+		// Wake the cond-var wait when the context fires; without this a
+		// waiter could sleep past its deadline until the next Broadcast.
+		stop := context.AfterFunc(ctx, func() {
+			rt.doneMu.Lock()
+			rt.doneCv.Broadcast()
+			rt.doneMu.Unlock()
+		})
+		defer stop()
 	}
-	rt.doneMu.Unlock()
+	rt.doneMu.Lock()
+	defer rt.doneMu.Unlock()
+	for rt.done.Load() < ticket {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rt.doneCv.Wait()
+	}
+	return nil
 }
 
 func (tx *Txn) abort() {
-	tx.status.Store(2)
+	// Invested work converts into priority for the next attempt (Karma).
+	if tx.nReads+tx.nWrites > 0 {
+		tx.karma.Add(tx.nReads + tx.nWrites)
+	}
+	tx.status.Store(uint32(Aborted))
 	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
 	if tr := tx.tr; tr != nil {
 		tr.Record(trace.EvAbort, tx.id, tx.blameObj, 0, 0)
@@ -574,11 +866,16 @@ func (tx *Txn) abort() {
 // waitForReadSetChange blocks until something in the aborted transaction's
 // read set changes. The read set is waited on in place (it survives abort;
 // begin resets it on re-execution), avoiding the per-retry snapshot copy.
-func (rt *Runtime) waitForReadSetChange(rs *objset.VerSet) {
+func (rt *Runtime) waitForReadSetChange(ctx context.Context, rs *objset.VerSet) error {
 	if rs.Len() == 0 {
-		return
+		return nil
 	}
 	for a := 0; ; a++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		changed := false
 		rs.Range(func(o *objmodel.Object, ver uint64) bool {
 			w := o.Rec.Load()
@@ -592,7 +889,7 @@ func (rt *Runtime) waitForReadSetChange(rs *objset.VerSet) {
 			return true
 		})
 		if changed {
-			return
+			return nil
 		}
 		conflict.WaitAttempt(a, 0)
 	}
@@ -608,9 +905,68 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 	if parent != nil {
 		return body(parent)
 	}
+	return rt.atomic(nil, body)
+}
+
+// AtomicCtx is Atomic with deadline/cancellation support, mirroring the
+// eager runtime: an already-cancelled context returns ctx.Err() without
+// executing the body; cancellation before the commit point discards the
+// write buffer and returns ctx.Err(); cancellation during the post-commit
+// ordering wait returns ctx.Err() with the effects already committed.
+//
+// Nested calls are flattened like Atomic. A non-nil ctx on a nested call
+// governs the nested block only: cancellation surfaces as the block's error
+// return (no buffered state is rolled back, matching the flattened model),
+// and the enclosing body decides how to proceed.
+func (rt *Runtime) AtomicCtx(ctx context.Context, parent *Txn, body func(*Txn) error) error {
+	if parent != nil {
+		return rt.nestedCtx(ctx, parent, body)
+	}
+	return rt.atomic(ctx, body)
+}
+
+func (rt *Runtime) nestedCtx(ctx context.Context, parent *Txn, body func(*Txn) error) (err error) {
+	if ctx == nil {
+		return body(parent) // inherit the enclosing context
+	}
+	if e := ctx.Err(); e != nil {
+		return e
+	}
+	prev := parent.ctx
+	parent.ctx = ctx
+	defer func() {
+		parent.ctx = prev
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s, ok := r.(txSignal); ok && s.tx == parent && s.s == sigCancel {
+			if prev == nil || prev.Err() == nil {
+				err = ctx.Err()
+				return
+			}
+		}
+		panic(r)
+	}()
+	return body(parent)
+}
+
+func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	tx := rt.getTxn()
+	tx.ctx = ctx
 	defer rt.putTxn(tx)
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		tx.attempt = attempt
 		tx.begin()
 		err, sig := rt.run(tx, body)
 		switch sig {
@@ -619,18 +975,40 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 				tx.abort()
 				return err
 			}
-			if tx.commit() {
-				return nil
+			committed, cerr := tx.commit()
+			if committed {
+				return cerr
 			}
 			tx.abort()
 		case sigRestart:
 			tx.abort()
 		case sigRetry:
 			tx.abort()
-			rt.waitForReadSetChange(&tx.reads)
+			if werr := rt.waitForReadSetChange(ctx, &tx.reads); werr != nil {
+				return werr
+			}
+		case sigCancel:
+			tx.abort()
+			if ctx != nil {
+				return ctx.Err()
+			}
+			return context.Canceled // unreachable: sigCancel requires a ctx
 		}
 		conflict.WaitAttempt(attempt, 0)
 	}
+}
+
+// ActiveTransactions returns the number of registered descriptors whose
+// status is Active (API parity with the eager runtime).
+func (rt *Runtime) ActiveTransactions() int {
+	n := 0
+	rt.reg.forEach(func(tx *Txn) bool {
+		if Status(tx.status.Load()) == Active {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {

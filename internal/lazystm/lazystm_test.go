@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/objmodel"
+	"repro/internal/stmapi"
 	"repro/internal/txrec"
 )
 
@@ -160,7 +161,7 @@ func TestCommitWindowVisible(t *testing.T) {
 // slot f snapshots slot g; a later in-transaction read of g is served from
 // the stale buffer.
 func TestGranularSnapshotServesStaleNeighbour(t *testing.T) {
-	f := newFixture(t, Config{Granularity: 2})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Granularity: 2}})
 	o := f.heap.New(f.cls)
 	o.StoreSlot(1, 10) // g
 	err := f.rt.Atomic(nil, func(tx *Txn) error {
@@ -185,7 +186,7 @@ func TestGranularSnapshotServesStaleNeighbour(t *testing.T) {
 // lost update: the 2-slot write-back restores the snapshotted neighbour,
 // erasing an intervening update.
 func TestGranularWritebackOverwritesNeighbour(t *testing.T) {
-	f := newFixture(t, Config{Granularity: 2})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Granularity: 2}})
 	o := f.heap.New(f.cls)
 	o.StoreSlot(1, 10)
 	inBody := make(chan struct{})
@@ -211,7 +212,7 @@ func TestGranularWritebackOverwritesNeighbour(t *testing.T) {
 }
 
 func TestGranularityOneWritebackDoesNotSpan(t *testing.T) {
-	f := newFixture(t, Config{Granularity: 1})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Granularity: 1}})
 	o := f.heap.New(f.cls)
 	o.StoreSlot(1, 10)
 	inBody := make(chan struct{})
@@ -242,7 +243,7 @@ func TestGranularityOneWritebackDoesNotSpan(t *testing.T) {
 // TestQuiescenceOrdersCompletion: with quiescence, when Atomic returns all
 // earlier-serialized transactions' write-backs are complete.
 func TestQuiescenceOrdersCompletion(t *testing.T) {
-	f := newFixture(t, Config{Quiescence: true})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
 	o := f.heap.New(f.cls)
 	x := f.heap.New(f.cls)
 	const n = 50
@@ -384,5 +385,5 @@ func TestLazyBadGranularityPanics(t *testing.T) {
 			t.Error("granularity 5 accepted")
 		}
 	}()
-	New(objmodel.NewHeap(), Config{Granularity: 5})
+	New(objmodel.NewHeap(), Config{CommonConfig: stmapi.CommonConfig{Granularity: 5}})
 }

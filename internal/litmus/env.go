@@ -13,12 +13,16 @@
 package litmus
 
 import (
+	"context"
+	"os"
 	"sync"
 	"time"
 
+	"repro/internal/conflict"
 	"repro/internal/lazystm"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/strong"
 )
 
@@ -77,13 +81,18 @@ type Env struct {
 	Mode Mode
 	Heap *objmodel.Heap
 
-	eager *stm.Runtime
-	lazy  *lazystm.Runtime
-	bar   *strong.Barriers
-	lock  sync.Mutex // Locks mode: the single lock of the original programs
+	rt   stmapi.Runtime // the STM driving the transactional regimes; nil under Locks
+	bar  *strong.Barriers
+	lock sync.Mutex // Locks mode: the single lock of the original programs
 
 	cell *objmodel.Class
 }
+
+// PolicyEnvVar names the environment variable consulted (when
+// EnvConfig.Policy is empty) for the contention policy litmus environments
+// run under, so CI can sweep the whole suite per policy without plumbing a
+// flag through every test.
+const PolicyEnvVar = "STM_CONFLICT_POLICY"
 
 // EnvConfig selects variation points for an Env.
 type EnvConfig struct {
@@ -95,6 +104,10 @@ type EnvConfig struct {
 	// (Section 2.4).
 	Granularity int
 
+	// Policy names the contention policy (conflict.ByName); empty consults
+	// PolicyEnvVar and falls back to the default backoff.
+	Policy string
+
 	// LazyHooks instrument the lazy commit window (MI programs).
 	LazyHooks lazystm.Hooks
 }
@@ -104,6 +117,15 @@ func NewEnv(mode Mode, cfg EnvConfig) *Env {
 	if cfg.Granularity == 0 {
 		cfg.Granularity = 1
 	}
+	name := cfg.Policy
+	if name == "" {
+		name = os.Getenv(PolicyEnvVar)
+	}
+	pol, err := conflict.ByName(name)
+	if err != nil {
+		panic("litmus: " + err.Error())
+	}
+	common := stmapi.CommonConfig{Granularity: cfg.Granularity, Handler: pol}
 	h := objmodel.NewHeap()
 	e := &Env{Mode: mode, Heap: h}
 	e.cell = h.MustDefineClass(objmodel.ClassSpec{
@@ -115,18 +137,23 @@ func NewEnv(mode Mode, cfg EnvConfig) *Env {
 	})
 	switch mode {
 	case EagerWeak, Locks:
-		e.eager = stm.New(h, stm.Config{Granularity: cfg.Granularity})
+		e.rt = stm.New(h, stm.Config{CommonConfig: common}).API()
 	case Strong:
-		e.eager = stm.New(h, stm.Config{Granularity: cfg.Granularity})
+		e.rt = stm.New(h, stm.Config{CommonConfig: common}).API()
 		e.bar = strong.New(h, false)
 	case LazyWeak:
-		e.lazy = lazystm.New(h, lazystm.Config{Granularity: cfg.Granularity, Hooks: cfg.LazyHooks})
+		e.rt = lazystm.New(h, lazystm.Config{CommonConfig: common, Hooks: cfg.LazyHooks}).API()
 	case StrongLazy:
-		e.lazy = lazystm.New(h, lazystm.Config{Granularity: 1, Hooks: cfg.LazyHooks})
+		common.Granularity = 1
+		e.rt = lazystm.New(h, lazystm.Config{CommonConfig: common, Hooks: cfg.LazyHooks}).API()
 		e.bar = strong.New(h, false)
 	}
 	return e
 }
+
+// Runtime exposes the environment's STM through the runtime-agnostic API
+// (nil under Locks), for tests that drive it directly.
+func (e *Env) Runtime() stmapi.Runtime { return e.rt }
 
 // NewCell allocates a fresh 4-slot object (f, g, h scalar; ref reference).
 func (e *Env) NewCell() *objmodel.Object { return e.Heap.New(e.cell) }
@@ -152,25 +179,17 @@ type Accessor interface {
 	Restart()
 }
 
-type eagerAccessor struct {
-	tx      *stm.Txn
-	attempt int
+// stmAccessor adapts either runtime's transaction to Accessor through the
+// stmapi.Txn interface — one implementation where the eager/lazy split used
+// to require two.
+type stmAccessor struct {
+	tx stmapi.Txn
 }
 
-func (a *eagerAccessor) Read(o *objmodel.Object, slot int) uint64     { return a.tx.Read(o, slot) }
-func (a *eagerAccessor) Write(o *objmodel.Object, slot int, v uint64) { a.tx.Write(o, slot, v) }
-func (a *eagerAccessor) Attempt() int                                 { return a.attempt }
-func (a *eagerAccessor) Restart()                                     { a.tx.Restart() }
-
-type lazyAccessor struct {
-	tx      *lazystm.Txn
-	attempt int
-}
-
-func (a *lazyAccessor) Read(o *objmodel.Object, slot int) uint64     { return a.tx.Read(o, slot) }
-func (a *lazyAccessor) Write(o *objmodel.Object, slot int, v uint64) { a.tx.Write(o, slot, v) }
-func (a *lazyAccessor) Attempt() int                                 { return a.attempt }
-func (a *lazyAccessor) Restart()                                     { a.tx.Restart() }
+func (a *stmAccessor) Read(o *objmodel.Object, slot int) uint64     { return a.tx.Read(o, slot) }
+func (a *stmAccessor) Write(o *objmodel.Object, slot int, v uint64) { a.tx.Write(o, slot, v) }
+func (a *stmAccessor) Attempt() int                                 { return a.tx.Attempt() }
+func (a *stmAccessor) Restart()                                     { a.tx.Restart() }
 
 type locksRestart struct{}
 
@@ -185,20 +204,22 @@ func (a *locksAccessor) Restart()                                     { panic(lo
 
 // Atomic runs body as an atomic block in the environment's regime.
 func (e *Env) Atomic(body func(a Accessor) error) error {
+	return e.AtomicCtx(nil, body)
+}
+
+// AtomicCtx is Atomic under a cancellation context (nil behaves like
+// Atomic). The Locks regime has no cancellation points and ignores ctx once
+// the lock is held.
+func (e *Env) AtomicCtx(ctx context.Context, body func(a Accessor) error) error {
 	switch e.Mode {
-	case EagerWeak, Strong:
-		attempt := 0
-		return e.eager.Atomic(nil, func(tx *stm.Txn) error {
-			a := &eagerAccessor{tx: tx, attempt: attempt}
-			attempt++
-			return body(a)
-		})
-	case LazyWeak, StrongLazy:
-		attempt := 0
-		return e.lazy.Atomic(nil, func(tx *lazystm.Txn) error {
-			a := &lazyAccessor{tx: tx, attempt: attempt}
-			attempt++
-			return body(a)
+	case EagerWeak, Strong, LazyWeak, StrongLazy:
+		if ctx == nil {
+			return e.rt.Atomic(func(tx stmapi.Txn) error {
+				return body(&stmAccessor{tx})
+			})
+		}
+		return e.rt.AtomicCtx(ctx, func(tx stmapi.Txn) error {
+			return body(&stmAccessor{tx})
 		})
 	case Locks:
 		e.lock.Lock()

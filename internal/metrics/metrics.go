@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/lazystm"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
 
@@ -63,20 +64,19 @@ func (r *Registry) Register(name string, c Collector) {
 	r.mu.Unlock()
 }
 
-// RegisterSTM exports an eager-versioning runtime under name.
-func (r *Registry) RegisterSTM(name string, rt *stm.Runtime) {
+// RegisterRuntime exports any stmapi.Runtime under name. The counter set is
+// whatever the runtime's Stats().Fields() enumerates, so new counters (policy
+// self-aborts, dooms) appear in every exporter without touching this package.
+func (r *Registry) RegisterRuntime(name string, rt stmapi.Runtime) {
 	r.Register(name, func() RuntimeSnapshot {
-		s := rt.Stats.Snapshot()
+		s := rt.Stats()
+		stats := make(map[string]int64)
+		for _, f := range s.Fields() {
+			stats[f.Name] = f.Value
+		}
 		snap := RuntimeSnapshot{
-			Name: name, Kind: "eager", UnixNs: time.Now().UnixNano(),
-			Stats: map[string]int64{
-				"starts":       s.Starts,
-				"commits":      s.Commits,
-				"aborts":       s.Aborts,
-				"user_retries": s.UserRetries,
-				"txn_reads":    s.TxnReads,
-				"txn_writes":   s.TxnWrites,
-			},
+			Name: name, Kind: rt.Name(), UnixNs: time.Now().UnixNano(),
+			Stats: stats,
 		}
 		if t := rt.Tracer(); t != nil {
 			ts := t.Snapshot(HotspotTopN)
@@ -86,26 +86,14 @@ func (r *Registry) RegisterSTM(name string, rt *stm.Runtime) {
 	})
 }
 
+// RegisterSTM exports an eager-versioning runtime under name.
+func (r *Registry) RegisterSTM(name string, rt *stm.Runtime) {
+	r.RegisterRuntime(name, rt.API())
+}
+
 // RegisterLazy exports a lazy-versioning runtime under name.
 func (r *Registry) RegisterLazy(name string, rt *lazystm.Runtime) {
-	r.Register(name, func() RuntimeSnapshot {
-		s := rt.Stats.Snapshot()
-		snap := RuntimeSnapshot{
-			Name: name, Kind: "lazy", UnixNs: time.Now().UnixNano(),
-			Stats: map[string]int64{
-				"starts":     s.Starts,
-				"commits":    s.Commits,
-				"aborts":     s.Aborts,
-				"txn_reads":  s.TxnReads,
-				"txn_writes": s.TxnWrites,
-			},
-		}
-		if t := rt.Tracer(); t != nil {
-			ts := t.Snapshot(HotspotTopN)
-			snap.Trace = &ts
-		}
-		return snap
-	})
+	r.RegisterRuntime(name, rt.API())
 }
 
 // Snapshot collects every registered runtime, in registration order.

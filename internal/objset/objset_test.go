@@ -149,7 +149,7 @@ func TestResetReturnsToInline(t *testing.T) {
 	}
 	// Refill within inline capacity: must not consult the stale map.
 	for i := 0; i < inlineSize; i++ {
-		s.Put(objs[i], uint64(100 + i))
+		s.Put(objs[i], uint64(100+i))
 	}
 	if s.spilled {
 		t.Error("refill within inline capacity spilled")

@@ -1,0 +1,35 @@
+package stm
+
+import (
+	"context"
+
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+	"repro/internal/trace"
+)
+
+// API returns the runtime-agnostic driver view of rt. The adapter is a
+// value wrapper: Atomic/AtomicCtx re-wrap the body in a concrete-typed
+// closure that does not escape, so driving the runtime through stmapi keeps
+// the zero-allocation steady state of calling it directly.
+func (rt *Runtime) API() stmapi.Runtime { return apiRuntime{rt} }
+
+type apiRuntime struct{ rt *Runtime }
+
+func (a apiRuntime) Name() string         { return "eager" }
+func (a apiRuntime) Heap() *objmodel.Heap { return a.rt.Heap }
+func (a apiRuntime) Stats() stmapi.StatsSnapshot {
+	return a.rt.Stats.Snapshot()
+}
+
+func (a apiRuntime) Atomic(body func(stmapi.Txn) error) error {
+	return a.rt.Atomic(nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) AtomicCtx(ctx context.Context, body func(stmapi.Txn) error) error {
+	return a.rt.AtomicCtx(ctx, nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) SetTracer(t *trace.Tracer) { a.rt.SetTracer(t) }
+func (a apiRuntime) Tracer() *trace.Tracer     { return a.rt.Tracer() }
+func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions() }

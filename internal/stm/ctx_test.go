@@ -1,0 +1,264 @@
+package stm
+
+// Cancellation-edge tests for AtomicCtx: entry, mid-body, conflict waits,
+// retry waits, post-commit quiescence, and nested-block inheritance.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/stmapi"
+)
+
+func TestAtomicCtxPreCancelledSkipsBody(t *testing.T) {
+	f := newFixture(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := f.rt.AtomicCtx(ctx, nil, func(tx *Txn) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatalf("body executed under an already-cancelled context")
+	}
+	if s := f.rt.Stats.Snapshot(); s.Starts != 0 {
+		t.Fatalf("starts = %d, want 0 (no attempt should begin)", s.Starts)
+	}
+}
+
+func TestAtomicCtxNilBehavesLikeAtomic(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	if err := f.rt.AtomicCtx(nil, nil, func(tx *Txn) error {
+		tx.Write(o, 0, 42)
+		return nil
+	}); err != nil {
+		t.Fatalf("AtomicCtx(nil): %v", err)
+	}
+	if got := o.LoadSlot(0); got != 42 {
+		t.Fatalf("slot 0 = %d, want 42", got)
+	}
+}
+
+func TestAtomicCtxCancelMidBodyRollsBack(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	ctx, cancel := context.WithCancel(context.Background())
+	err := f.rt.AtomicCtx(ctx, nil, func(tx *Txn) error {
+		tx.Write(o, 0, 99)
+		cancel()
+		// The next cancellation point notices: force one by restarting (the
+		// re-execution loop checks ctx before every attempt).
+		tx.Restart()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := o.LoadSlot(0); got != 0 {
+		t.Fatalf("slot 0 = %d, want 0 (write rolled back)", got)
+	}
+	if n := f.rt.ActiveTransactions(); n != 0 {
+		t.Fatalf("active transactions = %d, want 0", n)
+	}
+}
+
+func TestAtomicCtxDeadlineInConflictWait(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	release := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(o, 1, 7)
+			close(acquired)
+			<-release
+			return nil
+		})
+	}()
+	<-acquired
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := f.rt.AtomicCtx(ctx, nil, func(tx *Txn) error {
+		tx.Write(o, 0, 1) // blocks in conflictWait on the held record
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("cancellation took %v; conflict wait did not observe ctx", time.Since(start))
+	}
+	if got := o.LoadSlot(0); got != 0 {
+		t.Fatalf("slot 0 = %d, want 0", got)
+	}
+	if n := f.rt.ActiveTransactions(); n != 1 { // only the parked holder
+		t.Fatalf("active transactions = %d, want 1", n)
+	}
+}
+
+func TestAtomicCtxDeadlineInRetryWait(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := f.rt.AtomicCtx(ctx, nil, func(tx *Txn) error {
+		_ = tx.Read(o, 0)
+		tx.Retry() // nothing ever writes o: the wait must end via ctx
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAtomicCtxCancelDuringQuiescence(t *testing.T) {
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
+	o := f.newCell()
+
+	// Park a transaction that began before our commit and stays Active, so
+	// the committer's quiescence wait cannot finish on its own. It touches a
+	// disjoint object: quiescence waits on every overlapping-in-time
+	// transaction regardless of data.
+	other := f.newCell()
+	inBody := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = f.rt.Atomic(nil, func(tx *Txn) error {
+			_ = tx.Read(other, 1)
+			close(inBody)
+			<-release
+			return nil
+		})
+	}()
+	<-inBody
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := f.rt.AtomicCtx(ctx, nil, func(tx *Txn) error {
+		tx.Write(o, 0, 5)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Past the commit point the effects are durable even though the
+	// privatization wait was abandoned.
+	if got := o.LoadSlot(0); got != 5 {
+		t.Fatalf("slot 0 = %d, want 5 (commit is durable)", got)
+	}
+	if s := f.rt.Stats.Snapshot(); s.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", s.Commits)
+	}
+}
+
+func TestNestedAtomicCtxScopedCancellation(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	var nestedErr error
+	err := f.rt.Atomic(nil, func(tx *Txn) error {
+		tx.Write(o, 0, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+		nestedErr = f.rt.AtomicCtx(ctx, tx, func(tx *Txn) error {
+			tx.Write(o, 1, 2)
+			cancel()
+			_ = tx.Read(o, 1) // accesses are cancellation points
+			return nil
+		})
+		// The nested cancellation is scoped: the outer body continues.
+		tx.Write(o, 2, 3)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("outer Atomic: %v", err)
+	}
+	if !errors.Is(nestedErr, context.Canceled) {
+		t.Fatalf("nested err = %v, want context.Canceled", nestedErr)
+	}
+	if got := o.LoadSlot(0); got != 1 {
+		t.Fatalf("slot 0 = %d, want 1 (outer write kept)", got)
+	}
+	if got := o.LoadSlot(1); got != 0 {
+		t.Fatalf("slot 1 = %d, want 0 (nested write rolled back)", got)
+	}
+	if got := o.LoadSlot(2); got != 3 {
+		t.Fatalf("slot 2 = %d, want 3 (outer continued after nested cancel)", got)
+	}
+}
+
+func TestNestedAtomicCtxNilInheritsOuterContext(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	ctx, cancel := context.WithCancel(context.Background())
+	err := f.rt.AtomicCtx(ctx, nil, func(tx *Txn) error {
+		return f.rt.AtomicCtx(nil, tx, func(tx *Txn) error {
+			tx.Write(o, 0, 1)
+			cancel()
+			_ = tx.Read(o, 0) // outer ctx governs: the whole block unwinds
+			return nil
+		})
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := o.LoadSlot(0); got != 0 {
+		t.Fatalf("slot 0 = %d, want 0", got)
+	}
+}
+
+func TestNestedAtomicCtxOuterCancelWinsOverScope(t *testing.T) {
+	f := newFixture(t, Config{})
+	o := f.newCell()
+	outer, cancelOuter := context.WithCancel(context.Background())
+	err := f.rt.AtomicCtx(outer, nil, func(tx *Txn) error {
+		inner, cancelInner := context.WithCancel(context.Background())
+		defer cancelInner()
+		return f.rt.AtomicCtx(inner, tx, func(tx *Txn) error {
+			tx.Write(o, 0, 1)
+			cancelOuter()
+			cancelInner()
+			_ = tx.Read(o, 0)
+			return nil
+		})
+	})
+	// Both contexts are cancelled; the outer one wins and unwinds the whole
+	// transaction rather than being absorbed as a nested-block error.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := o.LoadSlot(0); got != 0 {
+		t.Fatalf("slot 0 = %d, want 0 (full rollback)", got)
+	}
+}
+
+func TestAtomicCtxAPIAdapter(t *testing.T) {
+	f := newFixture(t, Config{})
+	api := f.rt.API()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := api.AtomicCtx(ctx, func(tx stmapi.Txn) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("api.AtomicCtx pre-cancelled: err=%v ran=%v", err, ran)
+	}
+	o := f.newCell()
+	if err := api.AtomicCtx(context.Background(), func(tx stmapi.Txn) error {
+		tx.Write(o, 0, 11)
+		return nil
+	}); err != nil {
+		t.Fatalf("api.AtomicCtx: %v", err)
+	}
+	if got := o.LoadSlot(0); got != 11 {
+		t.Fatalf("slot 0 = %d, want 11", got)
+	}
+}

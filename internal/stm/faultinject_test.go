@@ -1,0 +1,251 @@
+package stm
+
+// Fault-injection tests: inject aborts at every doom site under concurrency
+// and assert the invariants that make abort safe — no lost undo entries
+// (money is conserved), records return to Shared, quiescence never hangs —
+// and inject crashes at each point asserting the stage-appropriate cleanup.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+	"repro/internal/txrec"
+)
+
+// abortPoints are the sites where an injected Abort exercises the ordinary
+// doom/restart machinery (PreRelease aborts on the abort path itself are
+// meaningless; PostCommitPoint cannot abort past the commit point).
+var abortPoints = []faultinject.Point{
+	faultinject.PreAcquire,
+	faultinject.PostAcquire,
+	faultinject.PreValidate,
+}
+
+// runTransfers drives a concurrent transfer workload: G goroutines, each
+// committing n transactions moving one unit between two pseudo-random
+// accounts. Total balance is invariant iff rollback replays every undo
+// entry.
+func runTransfers(t *testing.T, f *fixture, accounts []*objmodel.Object, goroutines, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*2862933555777941757 + 3037000493
+			for i := 0; i < n; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				from := accounts[rng%uint64(len(accounts))]
+				to := accounts[(rng>>8)%uint64(len(accounts))]
+				if from == to {
+					continue
+				}
+				if err := f.rt.Atomic(nil, func(tx *Txn) error {
+					a := tx.Read(from, 0)
+					b := tx.Read(to, 0)
+					tx.Write(from, 0, a-1)
+					tx.Write(to, 0, b+1)
+					return nil
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}
+
+func TestInjectedAbortsPreserveInvariants(t *testing.T) {
+	for _, p := range abortPoints {
+		t.Run(p.String(), func(t *testing.T) {
+			f := newFixture(t, Config{})
+			in := faultinject.New(uint64(p)+1, faultinject.Rule{
+				Point: p, Action: faultinject.Abort, Rate: 256,
+			})
+			f.rt.SetInjector(in)
+			const accounts, balance = 8, 1000
+			objs := make([]*objmodel.Object, accounts)
+			for i := range objs {
+				objs[i] = f.newCell()
+				objs[i].StoreSlot(0, balance)
+			}
+			runTransfers(t, f, objs, 4, 300)
+
+			if in.Fired(p, faultinject.Abort) == 0 {
+				t.Fatalf("injector never fired at %v; test exercised nothing", p)
+			}
+			var sum uint64
+			for i, o := range objs {
+				if w := o.Rec.Load(); !txrec.IsShared(w) {
+					t.Errorf("account %d record %#x not back to Shared", i, w)
+				}
+				sum += o.LoadSlot(0)
+			}
+			if sum != accounts*balance {
+				t.Errorf("total balance %d, want %d (undo entries lost)", sum, accounts*balance)
+			}
+			if n := f.rt.ActiveTransactions(); n != 0 {
+				t.Errorf("active transactions = %d, want 0", n)
+			}
+			s := f.rt.Stats.Snapshot()
+			if s.Aborts == 0 {
+				t.Errorf("no aborts recorded despite %d injected", in.Fired(p, faultinject.Abort))
+			}
+		})
+	}
+}
+
+func TestInjectedAbortsWithQuiescenceNeverHang(t *testing.T) {
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
+	rules := make([]faultinject.Rule, len(abortPoints))
+	for i, p := range abortPoints {
+		rules[i] = faultinject.Rule{Point: p, Action: faultinject.Abort, Rate: 128}
+	}
+	in := faultinject.New(7, rules...)
+	f.rt.SetInjector(in)
+	objs := make([]*objmodel.Object, 4)
+	for i := range objs {
+		objs[i] = f.newCell()
+		objs[i].StoreSlot(0, 100)
+	}
+	// Completing at all (inside the test timeout) is the assertion: a
+	// doomed transaction must never leave the quiescence scan spinning.
+	runTransfers(t, f, objs, 4, 200)
+	if in.TotalFired() == 0 {
+		t.Fatalf("injector never fired")
+	}
+	if n := f.rt.ActiveTransactions(); n != 0 {
+		t.Fatalf("active transactions = %d, want 0", n)
+	}
+}
+
+func TestInjectedCrashCleansUpPerStage(t *testing.T) {
+	crashPoints := []struct {
+		point     faultinject.Point
+		committed bool // effects durable after the crash?
+	}{
+		{faultinject.PreAcquire, false},
+		{faultinject.PostAcquire, false},
+		{faultinject.PreValidate, false},
+		{faultinject.PostCommitPoint, true},
+	}
+	for _, c := range crashPoints {
+		t.Run(c.point.String(), func(t *testing.T) {
+			f := newFixture(t, Config{})
+			f.rt.SetInjector(faultinject.New(1, faultinject.Rule{
+				Point: c.point, Action: faultinject.Crash,
+			}))
+			o := f.newCell()
+			o.StoreSlot(0, 10)
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						ce, ok := r.(faultinject.CrashError)
+						if !ok {
+							panic(r)
+						}
+						err = ce
+					}
+				}()
+				return f.rt.Atomic(nil, func(tx *Txn) error {
+					tx.Write(o, 0, 20)
+					return nil
+				})
+			}()
+			var ce faultinject.CrashError
+			if !errors.As(err, &ce) || ce.Point != c.point {
+				t.Fatalf("err = %v, want CrashError at %v", err, c.point)
+			}
+			if w := o.Rec.Load(); !txrec.IsShared(w) {
+				t.Fatalf("record %#x not released after crash", w)
+			}
+			want := uint64(10)
+			if c.committed {
+				want = 20
+			}
+			if got := o.LoadSlot(0); got != want {
+				t.Fatalf("slot 0 = %d, want %d", got, want)
+			}
+			if n := f.rt.ActiveTransactions(); n != 0 {
+				t.Fatalf("active transactions = %d, want 0", n)
+			}
+			// The record must be usable by later transactions.
+			f.rt.SetInjector(nil)
+			if err := f.rt.Atomic(nil, func(tx *Txn) error {
+				tx.Write(o, 1, 1)
+				return nil
+			}); err != nil {
+				t.Fatalf("post-crash transaction: %v", err)
+			}
+		})
+	}
+}
+
+func TestInjectedCrashOnAbortPath(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.rt.SetInjector(faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PreRelease, Action: faultinject.Crash,
+	}))
+	o := f.newCell()
+	o.StoreSlot(0, 10)
+	boom := fmt.Errorf("user abort")
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				ce, ok := r.(faultinject.CrashError)
+				if !ok {
+					panic(r)
+				}
+				err = ce
+			}
+		}()
+		return f.rt.Atomic(nil, func(tx *Txn) error {
+			tx.Write(o, 0, 20)
+			return boom // abort path: PreRelease fires inside abort()
+		})
+	}()
+	var ce faultinject.CrashError
+	if !errors.As(err, &ce) || ce.Point != faultinject.PreRelease {
+		t.Fatalf("err = %v, want CrashError at pre-release", err)
+	}
+	if w := o.Rec.Load(); !txrec.IsShared(w) {
+		t.Fatalf("record %#x not released after abort-path crash", w)
+	}
+	if got := o.LoadSlot(0); got != 10 {
+		t.Fatalf("slot 0 = %d, want 10 (rolled back)", got)
+	}
+}
+
+func TestInjectedDelayWidensRaceWindows(t *testing.T) {
+	// Delay is behavioral grease for the litmus programs; here just assert
+	// it neither aborts nor corrupts anything.
+	f := newFixture(t, Config{})
+	in := faultinject.New(3, faultinject.Rule{
+		Point: faultinject.PostAcquire, Action: faultinject.Delay, Every: 4, Sleep: 1,
+	})
+	f.rt.SetInjector(in)
+	objs := make([]*objmodel.Object, 4)
+	for i := range objs {
+		objs[i] = f.newCell()
+		objs[i].StoreSlot(0, 100)
+	}
+	runTransfers(t, f, objs, 2, 100)
+	var sum uint64
+	for _, o := range objs {
+		sum += o.LoadSlot(0)
+	}
+	if sum != 400 {
+		t.Fatalf("total balance %d, want 400", sum)
+	}
+	if in.Fired(faultinject.PostAcquire, faultinject.Delay) == 0 {
+		t.Fatalf("delay never fired")
+	}
+}

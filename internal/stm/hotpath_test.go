@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/objmodel"
+	"repro/internal/stmapi"
 )
 
 // TestPooledDescriptorClean verifies that a descriptor fetched from the
@@ -154,7 +155,7 @@ func TestStatsFlushParallel(t *testing.T) {
 // concurrently active transactions. The final count proves isolation held;
 // an empty registry at the end proves begin/end stayed balanced.
 func TestQuiescenceShardedRegistry(t *testing.T) {
-	f := newFixture(t, Config{Quiescence: true})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
 	o := f.newCell()
 	const goroutines = 8
 	const iters = 100

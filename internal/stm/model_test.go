@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/objmodel"
+	"repro/internal/stmapi"
 	"repro/internal/txrec"
 )
 
@@ -214,7 +215,7 @@ func TestRandomTransfersPreserveSum(t *testing.T) {
 // (unbarriered!) accesses afterwards — the Section 3.4 guarantee — even
 // while doomed transactions are still running.
 func TestQuiescencePrivatizationStress(t *testing.T) {
-	fx := newFixture(t, Config{Quiescence: true})
+	fx := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
 	holder := fx.newCell() // slot 2 (ref) points at the current item
 	const rounds = 150
 	var violations int

@@ -30,64 +30,52 @@
 package stm
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/conflict"
+	"repro/internal/faultinject"
 	"repro/internal/objmodel"
 	"repro/internal/objset"
 	"repro/internal/stats"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 	"repro/internal/txrec"
 )
 
-// Status is the lifecycle state of a transaction attempt.
-type Status uint32
+// Status is the lifecycle state of a transaction attempt (shared with the
+// lazy runtime through stmapi, so the numeric encodings agree).
+type Status = stmapi.Status
 
 // Transaction statuses.
 const (
-	Active Status = iota
-	Committed
-	Aborted
+	Active    = stmapi.Active
+	Committed = stmapi.Committed
+	Aborted   = stmapi.Aborted
 )
 
 // MaxGranularity is the largest supported version-management granularity in
 // slots.
-const MaxGranularity = 2
+const MaxGranularity = stmapi.MaxGranularity
 
-// Config parameterizes a Runtime.
+// Config parameterizes a Runtime. The cross-runtime knobs (Granularity,
+// Quiescence, Handler, SelfAbortAfter) live in the embedded
+// stmapi.CommonConfig; DEA is eager-specific.
 type Config struct {
-	// Granularity is the number of adjacent slots covered by one undo-log
-	// entry: 1 (field-granular, the safe default) or 2 (reproduces the
-	// granular lost update anomaly of Section 2.4).
-	Granularity int
-
-	// Quiescence enables the Section 3.4 privatization mechanism: a
-	// transaction completes only after all transactions concurrently active
-	// at its commit have finished or restarted.
-	Quiescence bool
+	stmapi.CommonConfig
 
 	// DEA enables dynamic escape analysis cooperation: transactional
 	// accesses to private objects skip record synchronization and undo
 	// logging still applies; transactional writes of references into public
 	// objects publish the referenced subgraph immediately (Section 4).
 	DEA bool
-
-	// Handler receives conflict notifications; nil means a shared Backoff.
-	Handler conflict.Handler
-
-	// SelfAbortAfter is the number of conflict-handler invocations a single
-	// transactional access tolerates before the transaction aborts itself
-	// and restarts (breaking writer-writer deadlocks). Zero means the
-	// default of 64.
-	SelfAbortAfter int
 }
 
 // DefaultSelfAbortAfter is the default Config.SelfAbortAfter.
-const DefaultSelfAbortAfter = 64
+const DefaultSelfAbortAfter = stmapi.DefaultSelfAbortAfter
 
 // Stats aggregates runtime counters for experiments. Each counter is
 // sharded across cache lines (package stats); transactions accumulate
@@ -100,19 +88,14 @@ type Stats struct {
 	UserRetries stats.Counter // user-initiated retry operations
 	TxnReads    stats.Counter
 	TxnWrites   stats.Counter
+	SelfAborts  stats.Counter // contention-policy SelfAbort decisions taken
+	DoomsIssued stats.Counter // contention-policy AbortOther decisions that marked a victim
 }
 
 // StatsSnapshot is a point-in-time copy of every Stats counter as plain
-// values, so callers (benchmarks, exporters) read them in one call instead
-// of hand-enumerating .Load() per field.
-type StatsSnapshot struct {
-	Starts      int64 `json:"starts"`
-	Commits     int64 `json:"commits"`
-	Aborts      int64 `json:"aborts"`
-	UserRetries int64 `json:"user_retries"`
-	TxnReads    int64 `json:"txn_reads"`
-	TxnWrites   int64 `json:"txn_writes"`
-}
+// values, shared with the lazy runtime through stmapi so drivers consume
+// either runtime's statistics uniformly.
+type StatsSnapshot = stmapi.StatsSnapshot
 
 // Snapshot sums every counter's shards. Like Counter.Load it is not an
 // atomic cut across counters, which is the usual statistics contract.
@@ -124,6 +107,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		UserRetries: s.UserRetries.Load(),
 		TxnReads:    s.TxnReads.Load(),
 		TxnWrites:   s.TxnWrites.Load(),
+		SelfAborts:  s.SelfAborts.Load(),
+		DoomsIssued: s.DoomsIssued.Load(),
 	}
 }
 
@@ -183,18 +168,38 @@ func (r *registry) forEach(f func(*Txn) bool) {
 	r.overflow.Range(func(_, v any) bool { return f(v.(*Txn)) })
 }
 
+// findStamp returns the live descriptor whose current incarnation ID is id,
+// or nil. Descriptors are pooled, so a pointer read from a slot may belong
+// to a later transaction by the time its stamp is loaded; the stamp check
+// filters that race (IDs are never reused), making the lookup safe — at
+// worst it misses a departing transaction, which callers treat as "owner no
+// longer active".
+func (r *registry) findStamp(id uint64) *Txn {
+	var found *Txn
+	r.forEach(func(tx *Txn) bool {
+		if tx.stamp.Load() == id {
+			found = tx
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // Runtime is an STM instance bound to a heap.
 type Runtime struct {
 	Heap  *objmodel.Heap
 	Stats Stats
 
-	cfg     Config
-	handler conflict.Handler
-	nextID  atomic.Uint64
-	seq     atomic.Uint64 // global begin/commit sequence for quiescence
-	reg     registry      // active-transaction registry
-	pool    sync.Pool     // idle *Txn descriptors
-	tracer  atomic.Pointer[trace.Tracer]
+	cfg      Config
+	handler  conflict.Handler
+	policy   conflict.Policy // handler adapted (or asserted) to the policy interface
+	nextID   atomic.Uint64
+	seq      atomic.Uint64 // global begin/commit sequence for quiescence
+	reg      registry      // active-transaction registry
+	pool     sync.Pool     // idle *Txn descriptors
+	tracer   atomic.Pointer[trace.Tracer]
+	injector atomic.Pointer[faultinject.Injector]
 }
 
 // SetTracer installs (or, with nil, removes) the event tracer. Descriptors
@@ -206,22 +211,24 @@ func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tracer.Store(t) }
 // Tracer returns the installed tracer, or nil.
 func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 
-// New creates a Runtime over heap with the given configuration.
+// SetInjector installs (or, with nil, removes) a fault injector. Like the
+// tracer it is sampled once per top-level Atomic and guarded by a single nil
+// check per injection point, so the uninstrumented hot path is unchanged.
+func (rt *Runtime) SetInjector(in *faultinject.Injector) { rt.injector.Store(in) }
+
+// New creates a Runtime over heap with the given configuration. Invalid
+// configurations (granularity outside [1, MaxGranularity], negative
+// self-abort threshold) are rejected here with a panic rather than
+// misbehaving later.
 func New(heap *objmodel.Heap, cfg Config) *Runtime {
-	if cfg.Granularity == 0 {
-		cfg.Granularity = 1
-	}
-	if cfg.Granularity < 1 || cfg.Granularity > MaxGranularity {
-		panic(fmt.Sprintf("stm: unsupported granularity %d", cfg.Granularity))
-	}
-	if cfg.SelfAbortAfter == 0 {
-		cfg.SelfAbortAfter = DefaultSelfAbortAfter
+	if err := cfg.Normalize(); err != nil {
+		panic("stm: " + err.Error())
 	}
 	h := cfg.Handler
 	if h == nil {
 		h = &conflict.Backoff{}
 	}
-	return &Runtime{Heap: heap, cfg: cfg, handler: h}
+	return &Runtime{Heap: heap, cfg: cfg, handler: h, policy: conflict.AsPolicy(h)}
 }
 
 // Config returns the runtime's configuration.
@@ -233,6 +240,7 @@ type signal uint8
 const (
 	sigRestart signal = iota + 1 // conflict or explicit restart: abort and re-execute
 	sigRetry                     // user retry: abort, wait for read set change, re-execute
+	sigCancel                    // context cancelled: abort and return ctx.Err()
 )
 
 type txSignal struct {
@@ -282,12 +290,31 @@ type Txn struct {
 	comps   []func() // open-nesting compensations, run on abort in reverse
 	attempt int
 
+	// Arbitration state. stamp mirrors id but is readable cross-thread
+	// (contention policies look up an owner's descriptor by ID); doomed is
+	// the advisory abort-other flag a winning transaction sets — the victim
+	// notices at its next access, conflict wait, or commit and restarts;
+	// karma accumulates invested work across aborted attempts of the same
+	// atomic block for priority-based policies.
+	stamp  atomic.Uint64
+	doomed atomic.Bool
+	karma  atomic.Int64
+
+	// ctx is the cancellation context installed by AtomicCtx; nil for plain
+	// Atomic, in which case no cancellation checks run anywhere.
+	ctx context.Context
+
+	// fi is the fault injector sampled at getTxn (nil-check hook like tr).
+	fi *faultinject.Injector
+
 	// Statistics deltas accumulated without synchronization and flushed to
 	// the runtime's sharded counters at commit/abort.
-	nStarts  int64
-	nReads   int64
-	nWrites  int64
-	nRetries int64
+	nStarts     int64
+	nReads      int64
+	nWrites     int64
+	nRetries    int64
+	nSelfAborts int64
+	nDooms      int64
 
 	// Tracing state. tr is sampled from the runtime once per top-level
 	// Atomic; nil (the default) disables every emission point behind one
@@ -306,6 +333,10 @@ func (tx *Txn) ID() uint64 { return tx.id }
 // Status returns the descriptor's current status.
 func (tx *Txn) Status() Status { return Status(tx.status.Load()) }
 
+// Attempt returns the 0-based retry attempt of the current top-level
+// execution (0 on the first try).
+func (tx *Txn) Attempt() int { return tx.attempt }
+
 // getTxn fetches a pooled descriptor (or allocates the first time), assigns
 // a fresh owner ID, and registers it. The fresh ID per top-level Atomic
 // keeps record-ownership comparisons ABA-free across descriptor reuse.
@@ -316,8 +347,14 @@ func (rt *Runtime) getTxn() *Txn {
 	}
 	tx.id = rt.nextID.Add(1)
 	tx.tr = rt.tracer.Load()
+	tx.fi = rt.injector.Load()
 	tx.blameObj = 0
 	tx.abortAt = time.Time{}
+	tx.doomed.Store(false)
+	tx.karma.Store(0)
+	// Publish the stamp before the descriptor becomes reachable through the
+	// registry, so policy lookups never observe a stale incarnation's ID.
+	tx.stamp.Store(tx.id)
 	rt.reg.add(tx)
 	return tx
 }
@@ -336,11 +373,14 @@ func (rt *Runtime) putTxn(tx *Txn) {
 	clear(tx.comps)
 	tx.comps = tx.comps[:0]
 	tx.saves = tx.saves[:0]
+	tx.ctx = nil
+	tx.fi = nil
 	rt.pool.Put(tx)
 }
 
 func (tx *Txn) begin() {
 	tx.status.Store(uint32(Active))
+	tx.doomed.Store(false) // a doom aimed at a finished attempt is consumed
 	tx.beginSeq.Store(tx.rt.seq.Add(1))
 	tx.reads.Reset()
 	tx.owned.Reset()
@@ -381,6 +421,14 @@ func (tx *Txn) flushStats() {
 		s.UserRetries.AddShard(hint, tx.nRetries)
 		tx.nRetries = 0
 	}
+	if tx.nSelfAborts != 0 {
+		s.SelfAborts.AddShard(hint, tx.nSelfAborts)
+		tx.nSelfAborts = 0
+	}
+	if tx.nDooms != 0 {
+		s.DoomsIssued.AddShard(hint, tx.nDooms)
+		tx.nDooms = 0
+	}
 }
 
 // Restart aborts the transaction and re-executes it from the beginning of
@@ -409,11 +457,67 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
 		tr.Hot().BumpConflict(ref)
 	}
+	if tx.ctx != nil && tx.ctx.Err() != nil {
+		panic(txSignal{sigCancel, tx})
+	}
+	if tx.doomed.Load() {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
 	if attempt >= tx.rt.cfg.SelfAbortAfter {
 		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
-	tx.rt.handler.HandleConflict(conflict.Info{Kind: kind, Attempt: attempt, Record: rec})
+	tx.karma.Add(1) // enduring a conflict earns priority under Karma-style policies
+	info := conflict.Info{
+		Kind: kind, Attempt: attempt, Record: rec,
+		Self: tx.id, SelfPrio: tx.karma.Load(),
+	}
+	if txrec.IsExclusive(rec) {
+		info.Owner = txrec.Owner(rec)
+		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+			info.OwnerActive = true
+			info.OwnerPrio = victim.karma.Load()
+		}
+	}
+	switch tx.rt.policy.Resolve(info) {
+	case conflict.Wait:
+		// The policy performed its own backoff; re-probe the record.
+	case conflict.SelfAbort:
+		tx.nSelfAborts++
+		if tr := tx.tr; tr != nil {
+			tr.Record(trace.EvSelfAbort, tx.id, uint64(o.Ref()), 0, 0)
+		}
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	case conflict.AbortOther:
+		if tx.rt.doom(info.Owner) {
+			tx.nDooms++
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, info.Owner)
+			}
+		}
+		// Give the victim a beat to notice the doom and release before the
+		// barrier re-probes the record.
+		conflict.WaitAttempt(attempt, 0)
+	}
+}
+
+// doom marks the live transaction with the given ID for abort-other: its
+// doom flag is set and it restarts at its next access, conflict wait, or
+// commit. Purely advisory — the victim's own thread performs the rollback,
+// so the txrec state machine never sees a forcible release. Reports whether
+// a live descriptor was marked (false means the owner already finished, in
+// which case the record is released or about to be).
+func (rt *Runtime) doom(id uint64) bool {
+	if id == 0 {
+		return false
+	}
+	if victim := rt.reg.findStamp(id); victim != nil {
+		victim.doomed.Store(true)
+		return true
+	}
+	return false
 }
 
 // Read opens object o for reading at slot and returns the value
@@ -422,6 +526,16 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 // non-transactional writers invoke the conflict manager and retry.
 func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 	tx.nReads++
+	if tx.doomed.Load() {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
+	if tx.ctx != nil && tx.ctx.Err() != nil {
+		// Every access is a cancellation point, so a context cancelled
+		// mid-body (in particular a nested block's scoped context) is
+		// noticed without needing a conflict to arise first.
+		panic(txSignal{sigCancel, tx})
+	}
 	for attempt := 0; ; attempt++ {
 		w := o.Rec.Load()
 		switch {
@@ -494,6 +608,13 @@ func (tx *Txn) maybePublish(o *objmodel.Object, slot int, v uint64) {
 // (open-for-write with strict two-phase locking and eager versioning).
 func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 	tx.nWrites++
+	if tx.doomed.Load() {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
+	if tx.ctx != nil && tx.ctx.Err() != nil {
+		panic(txSignal{sigCancel, tx}) // accesses are cancellation points
+	}
 	for attempt := 0; ; attempt++ {
 		w := o.Rec.Load()
 		switch {
@@ -517,6 +638,17 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 		case txrec.IsExclusiveAnon(w):
 			tx.conflictWait(o, conflict.TxnWrite, attempt, w)
 		default: // shared: acquire
+			if fi := tx.fi; fi != nil {
+				switch fi.Fire(faultinject.PreAcquire, tx.id) {
+				case faultinject.Abort:
+					tx.blameObj = uint64(o.Ref())
+					tx.Restart()
+				case faultinject.Crash:
+					// Simulated thread death before the CAS: nothing is owned
+					// for this object yet; run's recover performs the abort.
+					panic(faultinject.CrashError{Point: faultinject.PreAcquire, Txn: tx.id})
+				}
+			}
 			if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
 				continue
 			}
@@ -536,6 +668,21 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			tx.maybePublish(o, slot, v)
 			if tr := tx.tr; tr != nil {
 				tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, ver)
+			}
+			if fi := tx.fi; fi != nil {
+				switch fi.Fire(faultinject.PostAcquire, tx.id) {
+				case faultinject.Abort:
+					// The record is ours and the old value is logged; the
+					// ordinary restart path replays the undo entry and
+					// releases with a version bump.
+					tx.blameObj = uint64(o.Ref())
+					tx.Restart()
+				case faultinject.Crash:
+					// Crash while owning a record mid-update: run's recover
+					// aborts (rollback + release) before propagating, exactly
+					// the cleanup a managed runtime performs for a dead thread.
+					panic(faultinject.CrashError{Point: faultinject.PostAcquire, Txn: tx.id})
+				}
 			}
 			return
 		}
@@ -630,6 +777,20 @@ func (tx *Txn) rollbackTo(undoLen, writesLen, compLen int) {
 }
 
 func (tx *Txn) abort() {
+	if fi := tx.fi; fi != nil && fi.Fire(faultinject.PreRelease, tx.id) == faultinject.Crash {
+		// Crash on the abort path itself: complete the cleanup (with
+		// injection disarmed, or the recursive abort would re-fire) so every
+		// owned record is released, then surface the crash.
+		tx.fi = nil
+		tx.abort()
+		panic(faultinject.CrashError{Point: faultinject.PreRelease, Txn: tx.id})
+	}
+	// Work invested by the failed attempt converts into priority for the
+	// next one (Karma-style policies): reads and writes not yet flushed
+	// belong to this attempt.
+	if tx.nReads+tx.nWrites > 0 {
+		tx.karma.Add(tx.nReads + tx.nWrites)
+	}
 	tx.rollbackTo(0, 0, 0)
 	tx.status.Store(uint32(Aborted))
 	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
@@ -644,12 +805,41 @@ func (tx *Txn) abort() {
 	tx.flushStats()
 }
 
-func (tx *Txn) commit() bool {
+// commit attempts to commit. ok=false means the attempt must abort and
+// retry. A non-nil error is only possible after the commit point (the
+// transaction's effects are durable) when a cancellation abandoned the
+// post-commit quiescence wait; the caller returns it without retrying.
+func (tx *Txn) commit() (ok bool, err error) {
+	if tx.doomed.Load() {
+		return false, nil
+	}
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PreValidate, tx.id) {
+		case faultinject.Abort:
+			return false, nil
+		case faultinject.Crash:
+			// Thread dies entering validation: roll back and release
+			// everything (the managed-runtime cleanup), then surface it.
+			tx.abort()
+			panic(faultinject.CrashError{Point: faultinject.PreValidate, Txn: tx.id})
+		}
+	}
 	if ok, bad := tx.validate(); !ok {
 		tx.blameObj = bad
-		return false
+		return false, nil
 	}
 	tx.status.Store(uint32(Committed))
+	if fi := tx.fi; fi != nil && fi.Fire(faultinject.PostCommitPoint, tx.id) == faultinject.Crash {
+		// Past the commit point the transaction is logically committed; a
+		// dying thread's records are released exactly as commit would have
+		// released them, never rolled back.
+		for _, e := range tx.writes {
+			e.obj.Rec.ReleaseOwned(e.version)
+		}
+		tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+		tx.flushStats()
+		panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
+	}
 	for _, e := range tx.writes {
 		e.obj.Rec.ReleaseOwned(e.version)
 	}
@@ -662,13 +852,13 @@ func (tx *Txn) commit() bool {
 	if tx.rt.cfg.Quiescence {
 		if tr := tx.tr; tr != nil {
 			start := time.Now()
-			tx.quiesce()
+			err = tx.quiesce()
 			tr.ObserveQuiesce(time.Since(start))
 		} else {
-			tx.quiesce()
+			err = tx.quiesce()
 		}
 	}
-	return true
+	return true, err
 }
 
 // quiesce implements the Section 3.4 privatization guarantee: the committed
@@ -679,28 +869,43 @@ func (tx *Txn) commit() bool {
 // A scanned descriptor may be recycled mid-wait; that is benign, because a
 // later incarnation begins with a sequence number above commitSeq and so
 // falls out of the wait condition.
-func (tx *Txn) quiesce() {
+// A cancelled context abandons the wait and returns its error: the commit
+// itself is already durable, only the privatization guarantee is waived for
+// this caller (documented on AtomicCtx).
+func (tx *Txn) quiesce() error {
 	commitSeq := tx.rt.seq.Add(1)
+	var err error
 	tx.rt.reg.forEach(func(other *Txn) bool {
 		if other == tx {
 			return true
 		}
 		for a := 0; Status(other.status.Load()) == Active && other.beginSeq.Load() < commitSeq; a++ {
+			if tx.ctx != nil {
+				if err = tx.ctx.Err(); err != nil {
+					return false
+				}
+			}
 			conflict.WaitAttempt(a, 0)
 		}
 		return true
 	})
+	return err
 }
 
 // waitForReadSetChange blocks until any object in the given read set
 // changes version or becomes owned, implementing the retry operation. The
 // caller passes the aborted transaction's own read set (which survives
 // abort and is reset only on the next begin), so no snapshot copy is made.
-func (rt *Runtime) waitForReadSetChange(rs *objset.VerSet) {
+func (rt *Runtime) waitForReadSetChange(ctx context.Context, rs *objset.VerSet) error {
 	if rs.Len() == 0 {
-		return // retrying with an empty read set would block forever
+		return nil // retrying with an empty read set would block forever
 	}
 	for a := 0; ; a++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		changed := false
 		rs.Range(func(o *objmodel.Object, ver uint64) bool {
 			w := o.Rec.Load()
@@ -714,7 +919,7 @@ func (rt *Runtime) waitForReadSetChange(rs *objset.VerSet) {
 			return true
 		})
 		if changed {
-			return
+			return nil
 		}
 		conflict.WaitAttempt(a, 0)
 	}
@@ -732,9 +937,46 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 	if parent != nil {
 		return rt.nested(parent, body)
 	}
+	return rt.atomic(nil, body)
+}
+
+// AtomicCtx is Atomic with deadline/cancellation support. The context is
+// checked on entry (an already-cancelled context returns ctx.Err() without
+// executing the body), before every re-execution, inside conflict waits,
+// during retry's read-set wait, and during post-commit quiescence waits.
+// Cancellation before the commit point aborts the attempt (undo-log replay,
+// record release with version bump) and returns ctx.Err(); cancellation
+// detected during the post-commit quiescence wait returns ctx.Err() with
+// the transaction's effects already committed — the error then only means
+// the privatization guarantee was not awaited.
+//
+// With a non-nil parent, a nil ctx inherits the enclosing transaction's
+// context; a non-nil ctx governs just the nested block — its cancellation
+// partially aborts to the savepoint and AtomicCtx returns ctx.Err() to the
+// enclosing body, which decides whether to continue. A nil ctx with a nil
+// parent behaves exactly like Atomic, paying zero cancellation checks.
+func (rt *Runtime) AtomicCtx(ctx context.Context, parent *Txn, body func(*Txn) error) error {
+	if parent != nil {
+		return rt.nestedCtx(ctx, parent, body)
+	}
+	return rt.atomic(ctx, body)
+}
+
+func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	tx := rt.getTxn()
+	tx.ctx = ctx
 	defer rt.putTxn(tx)
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		tx.attempt = attempt
 		tx.begin()
 		err, sig := rt.run(tx, body)
@@ -744,8 +986,9 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 				tx.abort()
 				return err
 			}
-			if tx.commit() {
-				return nil
+			committed, cerr := tx.commit()
+			if committed {
+				return cerr
 			}
 			tx.abort()
 		case sigRestart:
@@ -755,7 +998,15 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 			// The read set survives abort (begin resets it on the next
 			// attempt), so wait on it in place instead of copying it into a
 			// fresh snapshot map on every retry.
-			rt.waitForReadSetChange(&tx.reads)
+			if werr := rt.waitForReadSetChange(ctx, &tx.reads); werr != nil {
+				return werr
+			}
+		case sigCancel:
+			tx.abort()
+			if ctx != nil {
+				return ctx.Err()
+			}
+			return context.Canceled // unreachable: sigCancel requires a ctx
 		}
 		conflict.WaitAttempt(attempt, 0)
 	}
@@ -802,6 +1053,52 @@ func (rt *Runtime) nested(parent *Txn, body func(*Txn) error) error {
 		// Partial abort: roll the parent back to the savepoint.
 		parent.rollbackTo(sp.undoLen, sp.writesLen, sp.compLen)
 		return err
+	}
+	return nil
+}
+
+// nestedCtx runs a closed-nested block under its own context. While the
+// block runs, cancellation checks consult the child context; callers who
+// want the enclosing context to also cut the nested block short should
+// derive the child from it (context.WithTimeout(parentCtx, ...)).
+func (rt *Runtime) nestedCtx(ctx context.Context, parent *Txn, body func(*Txn) error) (err error) {
+	if ctx == nil {
+		return rt.nested(parent, body) // inherit the enclosing context
+	}
+	if e := ctx.Err(); e != nil {
+		return e
+	}
+	sp := savepoint{
+		undoLen:   len(parent.undo),
+		writesLen: len(parent.writes),
+		compLen:   len(parent.comps),
+	}
+	prev := parent.ctx
+	parent.ctx = ctx
+	parent.saves = append(parent.saves, sp)
+	defer func() {
+		parent.saves = parent.saves[:len(parent.saves)-1]
+		parent.ctx = prev
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s, ok := r.(txSignal); ok && s.tx == parent && s.s == sigCancel {
+			if prev == nil || prev.Err() == nil {
+				// The cancellation is scoped to this nested block: partial
+				// abort to the savepoint and report it as the block's error.
+				parent.rollbackTo(sp.undoLen, sp.writesLen, sp.compLen)
+				err = ctx.Err()
+				return
+			}
+			// The enclosing context is cancelled too; let the outer level
+			// handle it (full abort).
+		}
+		panic(r)
+	}()
+	if berr := body(parent); berr != nil {
+		parent.rollbackTo(sp.undoLen, sp.writesLen, sp.compLen)
+		return berr
 	}
 	return nil
 }

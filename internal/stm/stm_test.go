@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/objmodel"
+	"repro/internal/stmapi"
 	"repro/internal/txrec"
 )
 
@@ -523,7 +524,7 @@ func TestDEAWriteIntoPrivateDoesNotPublish(t *testing.T) {
 // restores the *adjacent* slot too — the raw material of the granular lost
 // update anomaly (Section 2.4).
 func TestGranularitySpanUndo(t *testing.T) {
-	f := newFixture(t, Config{Granularity: 2})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Granularity: 2}})
 	o := f.newCell()
 	o.StoreSlot(0, 1) // f
 	o.StoreSlot(1, 2) // g
@@ -555,7 +556,7 @@ func TestGranularitySpanUndo(t *testing.T) {
 }
 
 func TestGranularityOneDoesNotSpan(t *testing.T) {
-	f := newFixture(t, Config{Granularity: 1})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Granularity: 1}})
 	o := f.newCell()
 	o.StoreSlot(1, 2)
 	sync1 := make(chan struct{})
@@ -582,7 +583,7 @@ func TestGranularityOneDoesNotSpan(t *testing.T) {
 // TestQuiescenceWaitsForActive: a committed transaction in quiescence mode
 // must not return while another transaction that started earlier is active.
 func TestQuiescenceWaitsForActive(t *testing.T) {
-	f := newFixture(t, Config{Quiescence: true})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
 	a, b := f.newCell(), f.newCell()
 	inBody := make(chan struct{})
 	finish := make(chan struct{})
@@ -667,7 +668,7 @@ func TestBadGranularityPanics(t *testing.T) {
 			t.Error("granularity 3 accepted")
 		}
 	}()
-	New(objmodel.NewHeap(), Config{Granularity: 3})
+	New(objmodel.NewHeap(), Config{CommonConfig: stmapi.CommonConfig{Granularity: 3}})
 }
 
 func ExampleRuntime_Atomic() {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
 
@@ -224,7 +225,7 @@ func TestHotspotAttributionSkewedWrites(t *testing.T) {
 // TestTraceRetryAndQuiescence covers the retry event and the quiescence
 // wait histogram.
 func TestTraceRetryAndQuiescence(t *testing.T) {
-	f := newFixture(t, Config{Quiescence: true})
+	f := newFixture(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
 	tr := trace.New(trace.Config{ShardCapacity: 1024})
 	f.rt.SetTracer(tr)
 	o := f.newCell()

@@ -1,0 +1,208 @@
+// Package stmapi defines the runtime-agnostic transactional memory API
+// implemented by both STM runtimes (internal/stm, eager versioning;
+// internal/lazystm, lazy versioning).
+//
+// Historically every driver — the bench sweeps, the litmus harness,
+// cmd/stmbench — carried a hand-written pair of code paths, one per
+// runtime, switching on a versioning string. This package collapses that
+// duplication: Runtime and Txn are small interfaces both runtimes satisfy
+// (each exposes an adapter via its API() method), CommonConfig is the
+// shared configuration surface both runtimes embed in their Config structs,
+// and StatsSnapshot is the shared counter snapshot both runtimes report.
+//
+// The interfaces are for *drivers* — harnesses, benchmarks, exporters,
+// tools that must treat the runtimes uniformly. Hot loops that care about
+// the last nanosecond keep using the concrete runtime APIs; an interface
+// call costs a dynamic dispatch that the concrete path does not.
+package stmapi
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/conflict"
+	"repro/internal/objmodel"
+	"repro/internal/trace"
+)
+
+// Status is the lifecycle state of a transaction attempt. Both runtimes
+// alias their Status type to this one, so the numeric encodings agree.
+type Status uint32
+
+// Transaction statuses.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", uint32(s))
+	}
+}
+
+// MaxGranularity is the largest version-management granularity either
+// runtime supports (in slots).
+const MaxGranularity = 2
+
+// DefaultSelfAbortAfter is the default CommonConfig.SelfAbortAfter.
+const DefaultSelfAbortAfter = 64
+
+// CommonConfig is the configuration surface shared by both runtimes. Each
+// runtime's Config embeds it (and adds its own fields: DEA for eager,
+// commit-window Hooks for lazy).
+type CommonConfig struct {
+	// Granularity is the number of adjacent slots covered by one undo-log
+	// entry (eager) or write-buffer span (lazy): 1 (field-granular, the
+	// safe default) or 2 (reproduces the Section 2.4 granular anomalies).
+	Granularity int
+
+	// Quiescence enables the Section 3.4 ordering guarantee: a transaction
+	// completes only after the transactions it must not overtake have
+	// finished (active-set drain for eager, write-back serialization for
+	// lazy).
+	Quiescence bool
+
+	// Handler receives conflict notifications; nil means a shared
+	// conflict.Backoff. A Handler that also implements conflict.Policy may
+	// additionally direct the runtime to self-abort or doom the contended
+	// record's owner (see internal/conflict).
+	Handler conflict.Handler
+
+	// SelfAbortAfter is the number of conflict-handler invocations a single
+	// transactional access tolerates before the transaction aborts itself
+	// and restarts (breaking writer-writer deadlocks). Zero means
+	// DefaultSelfAbortAfter.
+	SelfAbortAfter int
+}
+
+// Normalize fills defaulted fields in place and validates the result: the
+// zero value of every field is a valid "use the default" request, anything
+// else must be in range. It is called by both runtimes' New.
+func (c *CommonConfig) Normalize() error {
+	if c.Granularity == 0 {
+		c.Granularity = 1
+	}
+	if c.Granularity < 1 || c.Granularity > MaxGranularity {
+		return fmt.Errorf("stmapi: unsupported granularity %d (want 1..%d)", c.Granularity, MaxGranularity)
+	}
+	if c.SelfAbortAfter == 0 {
+		c.SelfAbortAfter = DefaultSelfAbortAfter
+	}
+	if c.SelfAbortAfter < 0 {
+		return fmt.Errorf("stmapi: negative SelfAbortAfter %d", c.SelfAbortAfter)
+	}
+	return nil
+}
+
+// StatsSnapshot is a point-in-time copy of a runtime's counters as plain
+// values. Counters that a runtime does not track (UserRetries before the
+// lazy runtime grew retry accounting, for instance) are simply zero.
+type StatsSnapshot struct {
+	Starts      int64 `json:"starts"`
+	Commits     int64 `json:"commits"`
+	Aborts      int64 `json:"aborts"`
+	UserRetries int64 `json:"user_retries"`
+	TxnReads    int64 `json:"txn_reads"`
+	TxnWrites   int64 `json:"txn_writes"`
+
+	// SelfAborts and DoomsIssued are contention-policy outcomes: attempts
+	// that aborted themselves on a policy's SelfAbort decision, and doom
+	// requests issued against a visible owner on AbortOther decisions.
+	SelfAborts  int64 `json:"policy_self_aborts,omitempty"`
+	DoomsIssued int64 `json:"policy_dooms,omitempty"`
+}
+
+// Fields enumerates the snapshot as name→value pairs, in a stable order,
+// for exporters that render counters generically (internal/metrics).
+func (s StatsSnapshot) Fields() []struct {
+	Name  string
+	Value int64
+} {
+	return []struct {
+		Name  string
+		Value int64
+	}{
+		{"starts", s.Starts},
+		{"commits", s.Commits},
+		{"aborts", s.Aborts},
+		{"user_retries", s.UserRetries},
+		{"txn_reads", s.TxnReads},
+		{"txn_writes", s.TxnWrites},
+		{"policy_self_aborts", s.SelfAborts},
+		{"policy_dooms", s.DoomsIssued},
+	}
+}
+
+// Txn is the transactional access interface inside an atomic block. Both
+// *stm.Txn and *lazystm.Txn satisfy it directly.
+type Txn interface {
+	// ID returns the transaction's owner ID as encoded in acquired records.
+	// IDs are assigned once per top-level Atomic from a runtime-monotonic
+	// counter, so they double as age stamps: smaller ID = older.
+	ID() uint64
+
+	// Status returns the descriptor's current status.
+	Status() Status
+
+	// Attempt is the 0-based execution attempt of the atomic body.
+	Attempt() int
+
+	// Read opens o for reading at slot and returns the value.
+	Read(o *objmodel.Object, slot int) uint64
+
+	// Write opens o for writing at slot and stores v (in place for eager
+	// versioning, buffered for lazy).
+	Write(o *objmodel.Object, slot int, v uint64)
+
+	// ReadRef and WriteRef are the reference-slot variants.
+	ReadRef(o *objmodel.Object, slot int) objmodel.Ref
+	WriteRef(o *objmodel.Object, slot int, r objmodel.Ref)
+
+	// Retry aborts and blocks until some location in the read set changes,
+	// then re-executes the body.
+	Retry()
+
+	// Restart aborts and re-executes the body immediately.
+	Restart()
+}
+
+// Runtime is the uniform driver-facing surface of an STM runtime. Obtain
+// one from a concrete runtime's API() method.
+type Runtime interface {
+	// Name identifies the versioning policy: "eager" or "lazy".
+	Name() string
+
+	// Heap returns the managed heap the runtime is bound to.
+	Heap() *objmodel.Heap
+
+	// Atomic executes body as a top-level transaction, re-executing until
+	// it commits. A body error aborts (rolls back) and is returned.
+	Atomic(body func(Txn) error) error
+
+	// AtomicCtx is Atomic with deadline/cancellation: a cancelled or
+	// expired context aborts the transaction (rolling back any effects)
+	// and returns ctx.Err(). An already-cancelled context returns
+	// immediately without executing the body.
+	AtomicCtx(ctx context.Context, body func(Txn) error) error
+
+	// Stats snapshots the runtime's counters.
+	Stats() StatsSnapshot
+
+	// SetTracer installs (or, with nil, removes) the event tracer.
+	SetTracer(t *trace.Tracer)
+
+	// Tracer returns the installed tracer, or nil.
+	Tracer() *trace.Tracer
+
+	// ActiveTransactions returns the number of in-flight transactions.
+	ActiveTransactions() int
+}

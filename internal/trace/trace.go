@@ -47,11 +47,14 @@ const (
 	EvAbort                   // attempt rolled back (Obj = blamed object, if known)
 	EvRetry                   // user-initiated retry
 	EvCommit                  // attempt committed
+	EvSelfAbort               // contention policy decided SelfAbort (Obj = contended object)
+	EvDoom                    // contention policy doomed the owner (Obj = contended object, Ver = victim ID)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"begin", "read", "write", "lock-acquire", "conflict", "abort", "retry", "commit",
+	"self-abort", "doom",
 }
 
 // String returns the kind's wire name (used as JSON keys in snapshots).
@@ -65,11 +68,11 @@ func (k Kind) String() string {
 // Event is one step of one transaction's history.
 type Event struct {
 	Kind Kind   `json:"kind"`
-	Txn  uint64 `json:"txn"`            // transaction owner ID
-	Obj  uint64 `json:"obj,omitempty"`  // heap handle; 0 = not object-specific
-	Slot int    `json:"slot"`           // slot index; meaningful for reads/writes
-	Ver  uint64 `json:"ver,omitempty"`  // record version observed at the step
-	Unix int64  `json:"unix_ns"`        // wall-clock timestamp, nanoseconds
+	Txn  uint64 `json:"txn"`           // transaction owner ID
+	Obj  uint64 `json:"obj,omitempty"` // heap handle; 0 = not object-specific
+	Slot int    `json:"slot"`          // slot index; meaningful for reads/writes
+	Ver  uint64 `json:"ver,omitempty"` // record version observed at the step
+	Unix int64  `json:"unix_ns"`       // wall-clock timestamp, nanoseconds
 }
 
 // Config parameterizes a Tracer.
@@ -95,7 +98,7 @@ const (
 type ring struct {
 	mu    sync.Mutex
 	buf   []Event
-	total uint64 // events ever recorded into this shard
+	total uint64   // events ever recorded into this shard
 	_     [24]byte // keep neighbouring shards' hot fields off one line
 }
 

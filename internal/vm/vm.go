@@ -27,6 +27,7 @@ import (
 	"repro/internal/lazystm"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/strong"
 )
 
@@ -152,13 +153,17 @@ func New(prog *ir.Program, mode Mode, out io.Writer) (*VM, error) {
 		typeByRT: make(map[*objmodel.Class]*types.Class),
 	}
 	v.Eager = stm.New(heap, stm.Config{
-		Granularity: mode.Granularity,
-		Quiescence:  mode.Quiescence && mode.Versioning == Eager,
-		DEA:         mode.DEA,
+		CommonConfig: stmapi.CommonConfig{
+			Granularity: mode.Granularity,
+			Quiescence:  mode.Quiescence && mode.Versioning == Eager,
+		},
+		DEA: mode.DEA,
 	})
 	v.Lazy = lazystm.New(heap, lazystm.Config{
-		Granularity: mode.Granularity,
-		Quiescence:  mode.Quiescence && mode.Versioning == Lazy,
+		CommonConfig: stmapi.CommonConfig{
+			Granularity: mode.Granularity,
+			Quiescence:  mode.Quiescence && mode.Versioning == Lazy,
+		},
 	})
 	v.Bar = strong.New(heap, mode.DEA)
 	if mode.CountBarriers {
