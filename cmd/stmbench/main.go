@@ -10,6 +10,7 @@
 //	stmbench -fig 19           OO7 scalability
 //	stmbench -fig 20           JBB scalability
 //	stmbench -fig par          parallel STM hot-path throughput sweep
+//	stmbench -fig crash        crash-recovery robustness run (orphan injection)
 //	stmbench -fig all          everything
 //
 // Flags -scale and -maxthreads stretch the workloads; -reps controls timed
@@ -51,7 +52,7 @@ func main() {
 	// Benchmarks allocate heavily and time short runs; relax the collector
 	// so GC pauses do not dominate the measurements.
 	debug.SetGCPercent(400)
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 13, 15, 16, 17, 18, 19, 20, par or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 13, 15, 16, 17, 18, 19, 20, par, crash or all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	maxThreads := flag.Int("maxthreads", bench.MaxThreads(), "largest thread count in scalability sweeps")
 	reps := flag.Int("reps", bench.Reps, "timed repetitions per configuration")
@@ -60,10 +61,13 @@ func main() {
 	traceOn := flag.Bool("trace", false, "enable the event tracer on the parallel sweep; print hotspots and latency percentiles")
 	metricsAddr := flag.String("metrics-addr", "", "serve the live /metrics endpoint (for cmd/stmtop) on host:port while running")
 	policy := flag.String("policy", "", "contention policy for the parallel sweep: "+
-		fmt.Sprintf("%v", conflict.PolicyNames)+" (default backoff)")
+		fmt.Sprintf("%v", conflict.PolicyNames)+" (empty consults $"+conflict.PolicyEnv+", default backoff)")
+	seed := flag.Uint64("seed", 1, "fault-injection seed for the crash figure")
 	flag.Parse()
 	bench.Reps = *reps
-	if _, err := conflict.ByName(*policy); err != nil {
+	// Fail fast on an unknown policy — from the flag or from the
+	// STM_CONFLICT_POLICY environment variable — before any figure runs.
+	if _, err := conflict.ByNameOrEnv(*policy); err != nil {
 		fmt.Fprintf(os.Stderr, "stmbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -182,6 +186,24 @@ func main() {
 		if *traceOn && tracer != nil {
 			printTraceSummary(tracer)
 		}
+		return nil
+	})
+
+	run("crash", func() error {
+		results, err := bench.RunCrashSweep(bench.CrashSpecs(*seed))
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(results); encErr != nil && err == nil {
+				err = encErr
+			}
+		} else {
+			fmt.Print(bench.FormatCrash(results))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println("all crash runs conserved balances and restored every record")
 		return nil
 	})
 }

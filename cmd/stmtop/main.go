@@ -102,6 +102,18 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 		}
 		fmt.Fprintf(&b, "%-18s %-6s %12s %12s %7.1f%% %12s %12s\n",
 			s.Name, s.Kind, big(commits), big(aborts), abortPct, big(reads), big(writes))
+		// Robustness line: shown only once recovery or irrevocability has
+		// fired, so quiet runtimes keep the compact classic view.
+		steals := counter(s, prevByName, "reaper_steals")
+		escal := counter(s, prevByName, "escalations")
+		if steals > 0 || escal > 0 || s.Stats["irrevocable_txns"] > 0 {
+			fmt.Fprintf(&b, "  recovery: steals%s %s  escalations%s %s  irrevocable %d",
+				unit, big(steals), unit, big(escal), s.Stats["irrevocable_txns"])
+			if n := s.Stats["irrevocable_txns"]; n > 0 {
+				fmt.Fprintf(&b, " (avg hold %s)", ns(s.Stats["irrevocable_ns"]/n))
+			}
+			b.WriteByte('\n')
+		}
 		if t := s.Trace; t != nil {
 			cl := t.CommitLatency
 			fmt.Fprintf(&b, "  commit latency: p50 %s  p95 %s  p99 %s  (n=%d)",
@@ -111,6 +123,9 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 			}
 			if t.QuiesceWait.Count > 0 {
 				fmt.Fprintf(&b, "   quiesce p50 %s", ns(t.QuiesceWait.P50Ns))
+			}
+			if t.IrrevocableHold.Count > 0 {
+				fmt.Fprintf(&b, "   irrev hold p50 %s", ns(t.IrrevocableHold.P50Ns))
 			}
 			b.WriteByte('\n')
 			if len(t.Hotspots) > 0 {

@@ -132,3 +132,28 @@ func TestScalingSmoke(t *testing.T) {
 		t.Error("table missing workload name")
 	}
 }
+
+func TestRunCrashInvariants(t *testing.T) {
+	for _, v := range []string{"eager", "lazy"} {
+		res, err := RunCrash(CrashSpec{
+			Versioning:    v,
+			Workers:       4,
+			Accounts:      16,
+			TxnsPerWorker: 200,
+			CrashRate:     10, // ~1% per point: plenty of deaths in a short run
+			Seed:          3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !res.BalanceConserved || !res.RecordsShared {
+			t.Fatalf("%s: invariants violated: %+v", v, res)
+		}
+		if res.Orphans == 0 {
+			t.Errorf("%s: no orphans injected; the run exercised nothing", v)
+		}
+		if res.ReaperSteals == 0 {
+			t.Errorf("%s: orphans died but none were reclaimed", v)
+		}
+	}
+}

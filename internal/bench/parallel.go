@@ -138,7 +138,7 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 	}
 	h, objs := parallelFixture(spec.Objects)
 
-	pol, err := conflict.ByName(spec.Policy)
+	pol, err := conflict.ByNameOrEnv(spec.Policy)
 	if err != nil {
 		return ParallelResult{}, fmt.Errorf("bench: %w", err)
 	}

@@ -66,6 +66,13 @@ type Info struct {
 	Owner       uint64 // owning transaction's ID, if Record is transactionally owned
 	OwnerPrio   int64  // owner's accumulated priority, valid only if OwnerActive
 	OwnerActive bool   // owner's descriptor was found live in the registry
+
+	// OwnerIrrevocable reports that the owner holds the runtime's
+	// irrevocable token. Arbitrating policies must yield (Wait) rather than
+	// decide AbortOther: an irrevocable transaction cannot be doomed (the
+	// runtime would refuse anyway), so an AbortOther decision against it
+	// would spin issuing dooms that never land.
+	OwnerIrrevocable bool
 }
 
 // Handler decides what to do about a conflict. Returning normally means

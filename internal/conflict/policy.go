@@ -28,6 +28,7 @@ package conflict
 
 import (
 	"fmt"
+	"os"
 	"time"
 )
 
@@ -121,10 +122,15 @@ func (t *Timestamp) HandleConflict(info Info) {
 	WaitAttempt(info.Attempt, t.MaxSleep)
 }
 
-// Resolve implements Policy: older wins.
+// Resolve implements Policy: older wins — except an irrevocable owner,
+// which outranks age (it can never be doomed; the contender yields).
 func (t *Timestamp) Resolve(info Info) Decision {
 	t.Stats.record(info.Kind)
 	if info.Self == 0 || info.Owner == 0 || !info.OwnerActive {
+		WaitAttempt(info.Attempt, t.MaxSleep)
+		return Wait
+	}
+	if info.OwnerIrrevocable {
 		WaitAttempt(info.Attempt, t.MaxSleep)
 		return Wait
 	}
@@ -164,6 +170,11 @@ func (k *Karma) Resolve(info Info) Decision {
 		WaitAttempt(info.Attempt, k.MaxSleep)
 		return Wait
 	}
+	if info.OwnerIrrevocable {
+		// No karma total outranks the irrevocable token; yield.
+		WaitAttempt(info.Attempt, k.MaxSleep)
+		return Wait
+	}
 	rank := info.SelfPrio + int64(info.Attempt)
 	switch {
 	case rank > info.OwnerPrio:
@@ -194,4 +205,21 @@ func ByName(name string) (Policy, error) {
 	default:
 		return nil, fmt.Errorf("conflict: unknown policy %q (have %v)", name, PolicyNames)
 	}
+}
+
+// PolicyEnv names the environment variable that selects a contention policy
+// when no explicit name is given, so CI matrices and ad-hoc runs sweep
+// policies without plumbing a flag through every entry point.
+const PolicyEnv = "STM_CONFLICT_POLICY"
+
+// ByNameOrEnv resolves name like ByName, except an empty name consults
+// PolicyEnv first (an empty variable still means the default backoff). An
+// unknown name — flag or environment — is an error listing the valid
+// policies; every entry point must surface it rather than silently falling
+// through to the default.
+func ByNameOrEnv(name string) (Policy, error) {
+	if name == "" {
+		name = os.Getenv(PolicyEnv)
+	}
+	return ByName(name)
 }

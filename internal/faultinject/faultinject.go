@@ -7,17 +7,23 @@
 // Injection points sit at the stages of the commit protocol where an abort
 // is hardest to get right: around record acquisition, entering commit
 // validation, and inside the commit window before records are released.
-// Three actions are supported:
+// Four actions are supported:
 //
-//	Delay  sleep at the point, widening race windows that are normally
-//	       nanoseconds long (the litmus programs' best friend)
-//	Abort  doom the attempt: the runtime runs its ordinary abort path
-//	       (undo-log replay / buffer discard, record release) and retries
-//	Crash  simulate the thread dying at the point: the runtime performs the
-//	       cleanup a managed runtime would perform for a crashed thread —
-//	       rolling back and releasing if before the commit point, finishing
-//	       the release if after — and then panics with Crash{}, which
-//	       propagates to the Atomic caller
+//	Delay   sleep at the point, widening race windows that are normally
+//	        nanoseconds long (the litmus programs' best friend)
+//	Abort   doom the attempt: the runtime runs its ordinary abort path
+//	        (undo-log replay / buffer discard, record release) and retries
+//	Crash   simulate the thread dying at the point: the runtime performs the
+//	        cleanup a managed runtime would perform for a crashed thread —
+//	        rolling back and releasing if before the commit point, finishing
+//	        the release if after — and then panics with Crash{}, which
+//	        propagates to the Atomic caller
+//	Orphan  simulate the thread dying with NO cleanup: the runtime marks the
+//	        descriptor dead and panics with OrphanError, leaving every
+//	        acquired record held and the undo log / write buffer in place.
+//	        The transaction's records stay Exclusive until internal/recovery
+//	        (or an inline-stealing waiter) reclaims them — the failure mode
+//	        the reaper exists to fix
 //
 // Determinism: every decision is a pure function of (Seed, point, arrival
 // index at that point). Two runs with the same seed and the same per-point
@@ -55,6 +61,10 @@ const (
 	NumPoints
 )
 
+// Points lists every injection point in protocol order, for callers arming
+// a rule at each point.
+var Points = []Point{PreAcquire, PostAcquire, PreValidate, PostCommitPoint, PreRelease}
+
 var pointNames = [NumPoints]string{
 	"pre-acquire", "post-acquire", "pre-validate", "post-commit-point", "pre-release",
 }
@@ -75,6 +85,10 @@ const (
 	Delay
 	Abort
 	Crash
+	Orphan
+
+	// numActions sizes the per-action counters.
+	numActions
 )
 
 func (a Action) String() string {
@@ -87,6 +101,8 @@ func (a Action) String() string {
 		return "abort"
 	case Crash:
 		return "crash"
+	case Orphan:
+		return "orphan"
 	default:
 		return fmt.Sprintf("Action(%d)", uint8(a))
 	}
@@ -102,6 +118,19 @@ type CrashError struct {
 
 func (c CrashError) Error() string {
 	return fmt.Sprintf("faultinject: injected crash at %v (txn %d)", c.Point, c.Txn)
+}
+
+// OrphanError is the panic value raised at an Orphan injection. Unlike
+// CrashError nothing is cleaned up first: the descriptor is marked dead and
+// abandoned with its records still Exclusive. Waiters stay blocked until the
+// reaper (or a stealing waiter) reclaims them.
+type OrphanError struct {
+	Point Point
+	Txn   uint64
+}
+
+func (o OrphanError) Error() string {
+	return fmt.Sprintf("faultinject: goroutine orphaned at %v (txn %d, records left held)", o.Point, o.Txn)
 }
 
 // Rule arms one injection point. A rule fires on an arrival if the
@@ -133,7 +162,7 @@ type Injector struct {
 	rules [NumPoints][]Rule
 
 	arrivals [NumPoints]atomic.Uint64 // arrival index per point
-	fired    [NumPoints][4]atomic.Int64
+	fired    [NumPoints][numActions]atomic.Int64
 }
 
 // New builds an Injector from a seed and rules. Rules on the same point
@@ -205,7 +234,7 @@ func (in *Injector) Fired(p Point, a Action) int64 { return in.fired[p][a].Load(
 func (in *Injector) TotalFired() int64 {
 	var t int64
 	for p := Point(0); p < NumPoints; p++ {
-		for a := Delay; a <= Crash; a++ {
+		for a := Delay; a < numActions; a++ {
 			t += in.fired[p][a].Load()
 		}
 	}

@@ -99,6 +99,29 @@ func TestDelayPerformsSleep(t *testing.T) {
 	}
 }
 
+func TestOrphanFiresAndCounts(t *testing.T) {
+	in := New(0, Rule{Point: PostCommitPoint, Action: Orphan, Every: 2})
+	if a := in.Fire(PostCommitPoint, 1); a != Orphan {
+		t.Fatalf("arrival 0: got %v, want Orphan", a)
+	}
+	if a := in.Fire(PostCommitPoint, 1); a != None {
+		t.Fatalf("arrival 1: got %v, want None", a)
+	}
+	if in.Fired(PostCommitPoint, Orphan) != 1 {
+		t.Fatalf("fired = %d, want 1", in.Fired(PostCommitPoint, Orphan))
+	}
+	if in.TotalFired() != 1 {
+		t.Fatalf("TotalFired = %d, want 1", in.TotalFired())
+	}
+	if Orphan.String() != "orphan" {
+		t.Fatalf("Orphan.String() = %q", Orphan.String())
+	}
+	e := OrphanError{Point: PostCommitPoint, Txn: 9}
+	if e.Error() == "" || e.Point != PostCommitPoint {
+		t.Fatalf("bad OrphanError: %v", e)
+	}
+}
+
 func TestInvalidPointPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

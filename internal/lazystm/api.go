@@ -29,6 +29,10 @@ func (a apiRuntime) AtomicCtx(ctx context.Context, body func(stmapi.Txn) error) 
 	return a.rt.AtomicCtx(ctx, nil, func(tx *Txn) error { return body(tx) })
 }
 
+func (a apiRuntime) AtomicIrrevocable(body func(stmapi.Txn) error) error {
+	return a.rt.AtomicIrrevocable(nil, func(tx *Txn) error { return body(tx) })
+}
+
 func (a apiRuntime) SetTracer(t *trace.Tracer) { a.rt.SetTracer(t) }
 func (a apiRuntime) Tracer() *trace.Tracer     { return a.rt.Tracer() }
 func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions() }

@@ -89,6 +89,12 @@ type Stats struct {
 	TxnWrites   stats.Counter
 	SelfAborts  stats.Counter // contention-policy SelfAbort decisions taken
 	DoomsIssued stats.Counter // contention-policy AbortOther decisions that marked a victim
+
+	// Robustness counters (recovery and irrevocability).
+	ReaperSteals    stats.Counter // dead transactions reclaimed (reaper or inline waiter steal)
+	Escalations     stats.Counter // atomic blocks escalated to irrevocable after K aborts
+	IrrevocableTxns stats.Counter // transactions that finished while irrevocable
+	IrrevocableNs   stats.Counter // cumulative irrevocable-token hold time, nanoseconds
 }
 
 // StatsSnapshot is a point-in-time copy of every Stats counter, shared with
@@ -106,6 +112,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TxnWrites:   s.TxnWrites.Load(),
 		SelfAborts:  s.SelfAborts.Load(),
 		DoomsIssued: s.DoomsIssued.Load(),
+
+		ReaperSteals:    s.ReaperSteals.Load(),
+		Escalations:     s.Escalations.Load(),
+		IrrevocableTxns: s.IrrevocableTxns.Load(),
+		IrrevocableNs:   s.IrrevocableNs.Load(),
 	}
 }
 
@@ -196,6 +207,10 @@ type Runtime struct {
 	pending map[uint64]struct{}
 	doneMu  sync.Mutex
 	doneCv  *sync.Cond
+
+	// irrevToken is the runtime's single irrevocable-transaction token: the
+	// owner ID of the current irrevocable transaction, 0 when free.
+	irrevToken atomic.Uint64
 }
 
 // New creates a lazy-versioning Runtime over heap. Invalid configurations
@@ -279,6 +294,25 @@ type Txn struct {
 	doomed atomic.Bool
 	karma  atomic.Int64
 
+	// Recovery state (see the eager runtime): hb is the reaper's epoch
+	// heartbeat, dead the death certificate whose release-store publishes the
+	// descriptor's final state (buffer, owned set, ticket) to reclaimers,
+	// reaping the single-reclaimer election. ticket is the commit ticket,
+	// kept on the descriptor so a reaper can complete an orphan's write-back
+	// ordering slot.
+	hb      atomic.Uint64
+	dead    atomic.Bool
+	reaping atomic.Bool
+	ticket  uint64
+
+	// Irrevocability state: irrevocable is the owner-goroutine-local flag,
+	// irrevStamp its cross-thread mirror, irrevAt the token acquire time.
+	// While irrevocable, reads acquire records pessimistically; tx.objs and
+	// tx.owned then track holdings from the body onward, not just the commit.
+	irrevocable bool
+	irrevStamp  atomic.Bool
+	irrevAt     time.Time
+
 	// ctx is the cancellation context installed by AtomicCtx; nil for plain
 	// Atomic.
 	ctx context.Context
@@ -324,6 +358,10 @@ func (rt *Runtime) getTxn() *Txn {
 	tx.abortAt = time.Time{}
 	tx.doomed.Store(false)
 	tx.karma.Store(0)
+	tx.dead.Store(false)
+	tx.reaping.Store(false)
+	tx.irrevocable = false
+	tx.irrevStamp.Store(false)
 	tx.stamp.Store(tx.id) // publish before the registry makes tx reachable
 	rt.reg.add(tx)
 	return tx
@@ -344,6 +382,8 @@ func (rt *Runtime) putTxn(tx *Txn) {
 func (tx *Txn) begin() {
 	tx.status.Store(uint32(Active))
 	tx.doomed.Store(false)
+	tx.hb.Add(1) // heartbeat: the reaper sees a fresh epoch
+	tx.ticket = 0
 	tx.reads.Reset()
 	clear(tx.buf)
 	tx.nStarts++
@@ -412,8 +452,15 @@ func (tx *Txn) resolveConflict(o *objmodel.Object, kind conflict.Kind, attempt i
 	if txrec.IsExclusive(rec) {
 		info.Owner = txrec.Owner(rec)
 		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+			if victim.dead.Load() {
+				// The owner's goroutine died holding the record: steal it and
+				// have the caller re-probe instead of arbitrating with a corpse.
+				tx.rt.reapTxn(victim)
+				return conflict.Wait
+			}
 			info.OwnerActive = true
 			info.OwnerPrio = victim.karma.Load()
+			info.OwnerIrrevocable = victim.irrevStamp.Load()
 		}
 	}
 	d := tx.rt.policy.Resolve(info)
@@ -424,7 +471,7 @@ func (tx *Txn) resolveConflict(o *objmodel.Object, kind conflict.Kind, attempt i
 			tr.Record(trace.EvSelfAbort, tx.id, uint64(o.Ref()), 0, 0)
 		}
 	case conflict.AbortOther:
-		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil && !victim.irrevStamp.Load() {
 			victim.doomed.Store(true)
 			tx.nDooms++
 			if tr := tx.tr; tr != nil {
@@ -438,10 +485,17 @@ func (tx *Txn) resolveConflict(o *objmodel.Object, kind conflict.Kind, attempt i
 }
 
 func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int, rec txrec.Word) {
+	tx.hb.Add(1) // slow path: prove liveness to the reaper while we wait
 	if tr := tx.tr; tr != nil {
 		ref := uint64(o.Ref())
 		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
 		tr.Hot().BumpConflict(ref)
+	}
+	if tx.irrevocable {
+		// Irrevocable transactions never restart and never lose: doom any
+		// live owner (dead ones are reaped) and wait for the record to free.
+		tx.irrevClaim(o, rec, attempt)
+		return
 	}
 	if tx.ctx != nil && tx.ctx.Err() != nil {
 		panic(txSignal{sigCancel, tx})
@@ -460,6 +514,27 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 	}
 }
 
+// irrevClaim is the irrevocable transaction's conflict step: reap a dead
+// owner, doom a live one (the token is singular, so the owner is never
+// itself irrevocable), then wait for the record to free.
+func (tx *Txn) irrevClaim(o *objmodel.Object, rec txrec.Word, attempt int) {
+	if txrec.IsExclusive(rec) {
+		if victim := tx.rt.reg.findStamp(txrec.Owner(rec)); victim != nil && victim != tx {
+			if victim.dead.Load() {
+				tx.rt.reapTxn(victim)
+				return
+			}
+			if victim.doomed.CompareAndSwap(false, true) {
+				tx.nDooms++
+				if tr := tx.tr; tr != nil {
+					tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, txrec.Owner(rec))
+				}
+			}
+		}
+	}
+	conflict.WaitAttempt(attempt, 0)
+}
+
 func (tx *Txn) span(slot int) (base int) {
 	return slot &^ (tx.rt.cfg.Granularity - 1)
 }
@@ -470,11 +545,11 @@ func (tx *Txn) span(slot int) (base int) {
 // otherwise shared memory under optimistic version validation.
 func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 	tx.nReads++
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
-	if tx.ctx != nil && tx.ctx.Err() != nil {
+	if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
 		// Every access is a cancellation point, so a context cancelled
 		// mid-body (in particular a nested block's scoped context) is
 		// noticed without needing a conflict to arise first.
@@ -495,11 +570,33 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 		case txrec.IsPrivate(w):
 			return o.LoadSlot(slot)
 		case txrec.IsExclusive(w), txrec.IsExclusiveAnon(w):
+			if txrec.IsExclusive(w) && txrec.Owner(w) == tx.id {
+				// Our own pessimistic hold (irrevocable mode): the slot value
+				// in memory is ours to read — write-back has not happened, so
+				// it is the pre-transaction value unless buffered (handled
+				// above).
+				return o.LoadSlot(slot)
+			}
 			// Lazy versioning never reads another transaction's data while
 			// its record is held (there is no dirty data in memory, but a
 			// committer may be writing back).
 			tx.conflictWait(o, conflict.TxnRead, attempt, w)
 		default:
+			if tx.irrevocable {
+				// Pessimistic read: acquire the record so nothing can ever
+				// invalidate it (no abort is legal past the switch).
+				if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+					continue
+				}
+				ver := txrec.Version(w)
+				tx.owned.Put(o, ver)
+				tx.objs = append(tx.objs, o)
+				tx.reads.Put(o, ver)
+				if tr := tx.tr; tr != nil {
+					tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, ver)
+				}
+				return o.LoadSlot(slot)
+			}
 			v := o.LoadSlot(slot)
 			if o.Rec.Load() != w {
 				continue
@@ -532,11 +629,11 @@ func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
 // lost update when Granularity > 1.
 func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 	tx.nWrites++
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
-	if tx.ctx != nil && tx.ctx.Err() != nil {
+	if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
 		panic(txSignal{sigCancel, tx}) // accesses are cancellation points
 	}
 	base := tx.span(slot)
@@ -595,9 +692,11 @@ func (tx *Txn) validateExcluding(owned *objset.VerSet) (bool, uint64) {
 	return ok, bad
 }
 
-// release restores the records of every object acquired by this commit
-// attempt; with bump the version is incremented (publishing new state),
-// without it the original shared word is restored.
+// release restores the records of every object acquired by this attempt;
+// with bump the version is incremented (publishing new state), without it
+// the original shared word is restored. The holdings are cleared afterwards:
+// a descriptor that later dies as an orphan must not present records it no
+// longer owns to the reaper.
 func (tx *Txn) release(bump bool) {
 	for _, o := range tx.objs {
 		sv, ok := tx.owned.Get(o)
@@ -610,6 +709,8 @@ func (tx *Txn) release(bump bool) {
 			o.Rec.Store(txrec.MakeShared(sv))
 		}
 	}
+	tx.owned.Reset()
+	tx.objs = tx.objs[:0]
 }
 
 // commit runs the lazy commit protocol: acquire the write set's records in
@@ -622,14 +723,19 @@ func (tx *Txn) release(bump bool) {
 // possible after the commit point, when cancellation abandoned the
 // quiescence wait (the commit itself is durable).
 func (tx *Txn) commit() (ok bool, err error) {
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		return false, nil
 	}
 	// Collect distinct objects in the write set, sorted by handle so
 	// concurrent committers acquire in the same order (no deadlock). The
 	// scratch slice and owned set live on the descriptor, so a steady-state
-	// commit allocates nothing.
-	tx.objs = tx.objs[:0]
+	// commit allocates nothing. An irrevocable transaction arrives already
+	// holding its pessimistically-read records in objs/owned; those are kept
+	// (acquisition below skips them) and the write set is merged in.
+	if !tx.irrevocable {
+		tx.objs = tx.objs[:0]
+		tx.owned.Reset()
+	}
 	for key := range tx.buf {
 		dup := false
 		for _, o := range tx.objs {
@@ -643,11 +749,13 @@ func (tx *Txn) commit() (ok bool, err error) {
 		}
 	}
 	sortByRef(tx.objs)
-	tx.owned.Reset()
 
 	for _, o := range tx.objs {
 		if txrec.IsPrivate(o.Rec.Load()) {
 			continue // thread-local: written back without synchronization
+		}
+		if _, mine := tx.owned.Get(o); mine {
+			continue // already held by the irrevocable switch or a read
 		}
 		for attempt := 0; ; attempt++ {
 			w := o.Rec.Load()
@@ -655,12 +763,20 @@ func (tx *Txn) commit() (ok bool, err error) {
 				if fi := tx.fi; fi != nil {
 					switch fi.Fire(faultinject.PreAcquire, tx.id) {
 					case faultinject.Abort:
-						tx.blameObj = uint64(o.Ref())
-						tx.release(false)
-						return false, nil
+						if !tx.irrevocable {
+							tx.blameObj = uint64(o.Ref())
+							tx.release(false)
+							return false, nil
+						}
 					case faultinject.Crash:
-						tx.release(false)
-						tx.crash(faultinject.PreAcquire)
+						if !tx.irrevocable {
+							tx.release(false)
+							tx.crash(faultinject.PreAcquire)
+						}
+					case faultinject.Orphan:
+						// Dies mid-acquire: records taken so far stay held
+						// (owned records them) until a reaper steals them.
+						tx.die(faultinject.PreAcquire)
 					}
 				}
 				if o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
@@ -671,14 +787,20 @@ func (tx *Txn) commit() (ok bool, err error) {
 					if fi := tx.fi; fi != nil {
 						switch fi.Fire(faultinject.PostAcquire, tx.id) {
 						case faultinject.Abort:
-							tx.blameObj = uint64(o.Ref())
-							tx.release(false)
-							return false, nil
+							if !tx.irrevocable {
+								tx.blameObj = uint64(o.Ref())
+								tx.release(false)
+								return false, nil
+							}
 						case faultinject.Crash:
-							// Nothing has reached shared memory; a crashed
-							// committer's records are restored unchanged.
-							tx.release(false)
-							tx.crash(faultinject.PostAcquire)
+							if !tx.irrevocable {
+								// Nothing has reached shared memory; a crashed
+								// committer's records are restored unchanged.
+								tx.release(false)
+								tx.crash(faultinject.PostAcquire)
+							}
+						case faultinject.Orphan:
+							tx.die(faultinject.PostAcquire)
 						}
 					}
 					break
@@ -689,6 +811,13 @@ func (tx *Txn) commit() (ok bool, err error) {
 				ref := uint64(o.Ref())
 				tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
 				tr.Hot().BumpConflict(ref)
+			}
+			tx.hb.Add(1) // contended acquire: prove liveness to the reaper
+			if tx.irrevocable {
+				// No fail path is legal: doom a live owner, reap a dead one,
+				// and re-probe until the record frees.
+				tx.irrevClaim(o, w, attempt)
+				continue
 			}
 			if tx.ctx != nil && tx.ctx.Err() != nil {
 				// Cancelled mid-acquire: fail the commit; the atomic loop's
@@ -711,21 +840,34 @@ func (tx *Txn) commit() (ok bool, err error) {
 
 	// A doom that landed while we were acquiring is honored up to the commit
 	// point; past it the victim has won the race and simply commits.
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		tx.release(false)
 		return false, nil
 	}
 	if fi := tx.fi; fi != nil {
 		switch fi.Fire(faultinject.PreValidate, tx.id) {
 		case faultinject.Abort:
-			tx.release(false)
-			return false, nil
+			if !tx.irrevocable {
+				tx.release(false)
+				return false, nil
+			}
 		case faultinject.Crash:
-			tx.release(false)
-			tx.crash(faultinject.PreValidate)
+			if !tx.irrevocable {
+				tx.release(false)
+				tx.crash(faultinject.PreValidate)
+			}
+		case faultinject.Orphan:
+			// Dies entering validation holding its whole write set: the
+			// canonical lazy orphan — buffers never reach memory.
+			tx.die(faultinject.PreValidate)
 		}
 	}
 	if vok, bad := tx.validateExcluding(&tx.owned); !vok {
+		if tx.irrevocable {
+			// Structurally impossible: every read-set entry has been
+			// Exclusive(self) since the switch.
+			panic("lazystm: irrevocable transaction failed validation")
+		}
 		tx.blameObj = bad
 		tx.release(false) // nothing reached memory; restore original versions
 		return false, nil
@@ -734,6 +876,7 @@ func (tx *Txn) commit() (ok bool, err error) {
 	// ----- commit point: the transaction is now serialized. -----
 	tx.status.Store(uint32(Committed))
 	ticket := tx.rt.tickets.Add(1)
+	tx.ticket = ticket // published by dead's release-store if we die an orphan
 	if h := tx.rt.cfg.Hooks.OnAfterCommitPoint; h != nil {
 		h(tx)
 	}
@@ -752,15 +895,36 @@ func (tx *Txn) commit() (ok bool, err error) {
 		}
 	}
 
-	if fi := tx.fi; fi != nil && fi.Fire(faultinject.PostCommitPoint, tx.id) == faultinject.Crash {
-		// The Figure 4 window: logically committed, write-back done, records
-		// still held. A dying thread's cleanup releases with a version bump
-		// and completes the ticket so the ordering chain never stalls.
-		tx.release(true)
-		tx.rt.markComplete(ticket)
-		tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
-		tx.flushStats()
-		panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PostCommitPoint, tx.id) {
+		case faultinject.Crash:
+			// The Figure 4 window: logically committed, write-back done, records
+			// still held. A dying thread's cleanup releases with a version bump
+			// and completes the ticket so the ordering chain never stalls.
+			tx.release(true)
+			tx.rt.markComplete(ticket)
+			tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+			tx.flushStats()
+			panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
+		case faultinject.Orphan:
+			// Dies in the Figure 4 window with NO cleanup: records stay held
+			// and the ticket chain stalls until the reaper releases (bumping —
+			// the write-back is in memory) and completes the ticket.
+			tx.die(faultinject.PostCommitPoint)
+		}
+	}
+
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PreRelease, tx.id) {
+		case faultinject.Crash:
+			tx.release(true)
+			tx.rt.markComplete(ticket)
+			tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+			tx.flushStats()
+			panic(faultinject.CrashError{Point: faultinject.PreRelease, Txn: tx.id})
+		case faultinject.Orphan:
+			tx.die(faultinject.PreRelease)
+		}
 	}
 
 	tx.release(true) // version bump publishes the new state to optimistic readers
@@ -769,6 +933,7 @@ func (tx *Txn) commit() (ok bool, err error) {
 	// take, so the ticket is marked before any waiting: a successor never
 	// waits on a transaction that has already finished its stores.
 	tx.rt.markComplete(ticket)
+	tx.dropIrrevocable() // records released: surrender the token before any ordering wait
 	if tx.rt.cfg.Quiescence {
 		if tr := tx.tr; tr != nil {
 			start := time.Now()
@@ -846,6 +1011,13 @@ func (rt *Runtime) awaitOrder(ctx context.Context, ticket uint64) error {
 }
 
 func (tx *Txn) abort() {
+	if tx.irrevocable {
+		// Contract violation (the body returned an error after the switch),
+		// but the pessimistic read locks must still be released — unchanged,
+		// nothing was written back — and the token surrendered.
+		tx.release(false)
+		tx.dropIrrevocable()
+	}
 	// Invested work converts into priority for the next attempt (Karma).
 	if tx.nReads+tx.nWrites > 0 {
 		tx.karma.Add(tx.nReads + tx.nWrites)
@@ -905,7 +1077,32 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 	if parent != nil {
 		return body(parent)
 	}
-	return rt.atomic(nil, body)
+	return rt.atomic(nil, body, rt.escalateFrom())
+}
+
+// AtomicIrrevocable executes body as an irrevocable transaction (see the
+// eager runtime: singular token, pessimistic reads after the switch, no
+// abort possible past it — safe for I/O). Nested calls are flattened: the
+// enclosing transaction itself becomes irrevocable. Returns
+// stmapi.ErrIrrevocableDisabled on a NoIrrevocable runtime.
+func (rt *Runtime) AtomicIrrevocable(parent *Txn, body func(*Txn) error) error {
+	if rt.cfg.NoIrrevocable {
+		return stmapi.ErrIrrevocableDisabled
+	}
+	if parent != nil {
+		parent.BecomeIrrevocable()
+		return body(parent)
+	}
+	return rt.atomic(nil, body, 0)
+}
+
+// escalateFrom converts the configured escalation threshold into the atomic
+// loop's irrevFrom parameter (-1 = never escalate).
+func (rt *Runtime) escalateFrom() int {
+	if rt.cfg.EscalateAfter > 0 {
+		return rt.cfg.EscalateAfter
+	}
+	return -1
 }
 
 // AtomicCtx is Atomic with deadline/cancellation support, mirroring the
@@ -922,7 +1119,7 @@ func (rt *Runtime) AtomicCtx(ctx context.Context, parent *Txn, body func(*Txn) e
 	if parent != nil {
 		return rt.nestedCtx(ctx, parent, body)
 	}
-	return rt.atomic(ctx, body)
+	return rt.atomic(ctx, body, rt.escalateFrom())
 }
 
 func (rt *Runtime) nestedCtx(ctx context.Context, parent *Txn, body func(*Txn) error) (err error) {
@@ -951,7 +1148,10 @@ func (rt *Runtime) nestedCtx(ctx context.Context, parent *Txn, body func(*Txn) e
 	return body(parent)
 }
 
-func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
+// atomic is the top-level execution loop. irrevFrom is the attempt index
+// from which the body runs irrevocably (0 = AtomicIrrevocable, EscalateAfter
+// for graceful degradation, -1 = never).
+func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error, irrevFrom int) error {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -959,7 +1159,7 @@ func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
 	}
 	tx := rt.getTxn()
 	tx.ctx = ctx
-	defer rt.putTxn(tx)
+	defer rt.finish(tx)
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -968,7 +1168,19 @@ func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
 		}
 		tx.attempt = attempt
 		tx.begin()
-		err, sig := rt.run(tx, body)
+		runBody := body
+		if irrevFrom >= 0 && attempt >= irrevFrom {
+			// Switch right after begin, while the read set is empty and
+			// nothing is buffered: the token acquire cannot deadlock and the
+			// read-set upgrade is trivial. Closure allocates on this cold
+			// path only.
+			escalated := irrevFrom > 0
+			runBody = func(tx *Txn) error {
+				tx.becomeIrrevocable(escalated)
+				return body(tx)
+			}
+		}
+		err, sig := rt.run(tx, runBody)
 		switch sig {
 		case 0:
 			if err != nil {
@@ -1017,11 +1229,18 @@ func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {
 		if r == nil {
 			return
 		}
+		if tx.dead.Load() {
+			// Died at an Orphan injection point: no cleanup may run — records
+			// stay held for the reaper, the descriptor is never pooled.
+			panic(r)
+		}
 		if s, ok := r.(txSignal); ok && s.tx == tx {
 			sig = s.s
 			return
 		}
-		if !tx.Validate() {
+		// Validate treating self-owned records as consistent: an irrevocable
+		// transaction's pessimistic read locks must not read as foreign.
+		if ok, _ := tx.validateExcluding(&tx.owned); !ok {
 			sig = sigRestart
 			return
 		}

@@ -1,0 +1,216 @@
+// Orphaned-transaction recovery and irrevocable mode for the lazy runtime.
+// See internal/stm/recovery.go for the shared design; the lazy differences:
+//
+//   - An orphan that died before its commit point never wrote to shared
+//     memory (updates live in its private buffer), so reclaiming it only
+//     restores the acquired records to their original Shared words — no
+//     version bump, no undo replay. Discarding the buffer is free.
+//
+//   - An orphan that died past the commit point has completed its write-back
+//     (write-back precedes every post-commit injection point), so the reaper
+//     releases with a version bump and completes the orphan's commit ticket,
+//     unblocking the write-back ordering chain quiescing committers wait on.
+//
+//   - Irrevocable transactions acquire records for their reads during the
+//     body (tx.objs/tx.owned track holdings from the switch onward); commit
+//     keeps those holdings and merges the write set in.
+package lazystm
+
+import (
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/recovery"
+	"repro/internal/trace"
+	"repro/internal/txrec"
+)
+
+// die terminates the goroutine's transactional life with no cleanup. The
+// dead store is the death certificate gating all stealing; it must be the
+// last thing the dying goroutine does to the descriptor.
+func (tx *Txn) die(p faultinject.Point) {
+	tx.dead.Store(true)
+	panic(faultinject.OrphanError{Point: p, Txn: tx.id})
+}
+
+// finish returns the descriptor to the pool unless the transaction died: a
+// dead descriptor is left for the reaper and never reused.
+func (rt *Runtime) finish(tx *Txn) {
+	if tx.dead.Load() {
+		return
+	}
+	rt.putTxn(tx)
+}
+
+// reapTxn steals a dead transaction's records (same two gates as the eager
+// runtime: confirmed death plus the single-reclaimer CAS). Uncommitted
+// orphans have their records restored to the original Shared words — their
+// buffered writes never reached memory, so there is nothing to undo and no
+// version to burn. Committed orphans (died inside the commit window, after
+// write-back) are released with a version bump and their ticket completed so
+// the ordering chain cannot stall. Returns false if tx is not confirmed dead
+// or another reclaimer won.
+func (rt *Runtime) reapTxn(tx *Txn) bool {
+	if !tx.dead.Load() || !tx.reaping.CompareAndSwap(false, true) {
+		return false
+	}
+	id := tx.id
+	committed := Status(tx.status.Load()) == Committed
+	for _, o := range tx.objs {
+		sv, ok := tx.owned.Get(o)
+		if !ok {
+			continue // write-set entry the orphan never got to acquire
+		}
+		if committed {
+			o.Rec.ReleaseOwned(sv)
+		} else {
+			o.Rec.Store(txrec.MakeShared(sv))
+		}
+	}
+	if committed {
+		if tx.ticket != 0 {
+			rt.markComplete(tx.ticket)
+		}
+		rt.Stats.Commits.AddShard(int(id), 1)
+	} else {
+		tx.status.Store(uint32(Aborted))
+		rt.Stats.Aborts.AddShard(int(id), 1)
+	}
+	if tx.irrevStamp.Load() {
+		rt.irrevToken.CompareAndSwap(id, 0)
+	}
+	rt.Stats.ReaperSteals.AddShard(int(id), 1)
+	tx.flushStats()
+	if tr := rt.tracer.Load(); tr != nil {
+		tr.Record(trace.EvSteal, 0, 0, 0, id)
+	}
+	rt.reg.remove(tx)
+	return true
+}
+
+// Recovery exposes the runtime to a recovery.Reaper.
+func (rt *Runtime) Recovery() recovery.Target { return lazyTarget{rt} }
+
+type lazyTarget struct{ rt *Runtime }
+
+func (t lazyTarget) Name() string { return "lazy" }
+
+func (t lazyTarget) VisitTxns(f func(recovery.TxnInfo)) {
+	t.rt.reg.forEach(func(tx *Txn) bool {
+		f(recovery.TxnInfo{
+			ID:          tx.stamp.Load(),
+			Beat:        tx.hb.Load(),
+			Status:      Status(tx.status.Load()),
+			Dead:        tx.dead.Load(),
+			Irrevocable: tx.irrevStamp.Load(),
+		})
+		return true
+	})
+}
+
+func (t lazyTarget) Reclaim(id uint64) bool {
+	victim := t.rt.reg.findStamp(id)
+	if victim == nil {
+		return false
+	}
+	return t.rt.reapTxn(victim)
+}
+
+// IsIrrevocable reports whether the transaction has switched to irrevocable
+// mode.
+func (tx *Txn) IsIrrevocable() bool { return tx.irrevocable }
+
+// BecomeIrrevocable switches the transaction to irrevocable mode (see the
+// eager runtime for the full contract: singular token, read-set lock
+// upgrade, restart while still legal, no abort/restart/retry afterwards).
+// Panics on a NoIrrevocable runtime.
+func (tx *Txn) BecomeIrrevocable() { tx.becomeIrrevocable(false) }
+
+func (tx *Txn) becomeIrrevocable(escalated bool) {
+	if tx.irrevocable {
+		return
+	}
+	rt := tx.rt
+	if rt.cfg.NoIrrevocable {
+		panic("lazystm: BecomeIrrevocable on a runtime configured with NoIrrevocable")
+	}
+	for a := 0; !rt.irrevToken.CompareAndSwap(0, tx.id); a++ {
+		// Pre-switch we are still an ordinary transaction: honor dooms and
+		// cancellation so token waiters cannot deadlock with the holder.
+		if tx.doomed.Load() {
+			tx.Restart()
+		}
+		if tx.ctx != nil && tx.ctx.Err() != nil {
+			panic(txSignal{sigCancel, tx})
+		}
+		tx.hb.Add(1)
+		conflict.WaitAttempt(a, 0)
+	}
+	if !tx.lockReadSet() {
+		// A read-set entry went stale before the switch: put everything back
+		// (nothing was written — restore, don't bump), surrender the token,
+		// and restart while aborting is still legal.
+		tx.release(false)
+		rt.irrevToken.Store(0)
+		tx.Restart()
+	}
+	if escalated {
+		rt.Stats.Escalations.AddShard(int(tx.id), 1)
+		if tr := tx.tr; tr != nil {
+			tr.Record(trace.EvEscalate, tx.id, 0, tx.attempt, 0)
+		}
+	}
+	tx.irrevAt = time.Now()
+	tx.irrevocable = true
+	tx.irrevStamp.Store(true)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvIrrevocable, tx.id, 0, tx.attempt, 0)
+	}
+}
+
+// lockReadSet upgrades every read-set entry to Exclusive at its recorded
+// version, recording holdings in owned/objs (the failure path releases via
+// tx.release(false)). A lazy transaction owns nothing during its body, so
+// every entry must be Shared at the recorded version; anything else means
+// the snapshot is stale.
+func (tx *Txn) lockReadSet() bool {
+	ok := true
+	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+			return true
+		case txrec.IsShared(w) && txrec.Version(w) == ver:
+			if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+				ok = false
+			} else {
+				tx.owned.Put(o, ver)
+				tx.objs = append(tx.objs, o)
+			}
+			return ok
+		default:
+			ok = false
+			return false
+		}
+	})
+	return ok
+}
+
+// dropIrrevocable surrenders the irrevocable token after the transaction's
+// records have been released, and accounts the hold time.
+func (tx *Txn) dropIrrevocable() {
+	if !tx.irrevocable {
+		return
+	}
+	hold := time.Since(tx.irrevAt)
+	tx.irrevocable = false
+	tx.irrevStamp.Store(false)
+	tx.rt.irrevToken.Store(0)
+	tx.rt.Stats.IrrevocableTxns.AddShard(int(tx.id), 1)
+	tx.rt.Stats.IrrevocableNs.AddShard(int(tx.id), hold.Nanoseconds())
+	if tr := tx.tr; tr != nil {
+		tr.ObserveIrrevocableHold(hold)
+	}
+}

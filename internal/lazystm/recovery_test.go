@@ -1,0 +1,259 @@
+package lazystm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/recovery"
+	"repro/internal/stmapi"
+	"repro/internal/txrec"
+)
+
+func newRecoveryRuntime(t *testing.T, cfg Config) (*Runtime, *objmodel.Object) {
+	t.Helper()
+	h := objmodel.NewHeap()
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name:   "Acct",
+		Fields: []objmodel.Field{{Name: "bal"}, {Name: "aux"}},
+	})
+	rt := New(h, cfg)
+	return rt, h.New(cls)
+}
+
+// orphanOnce runs body in its own goroutine and swallows the OrphanError the
+// injected death raises, returning once the goroutine has fully unwound.
+func orphanOnce(t *testing.T, rt *Runtime, body func(tx *Txn) error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				done <- errors.New("no orphan panic")
+				return
+			}
+			if _, ok := r.(faultinject.OrphanError); !ok {
+				panic(r)
+			}
+			done <- nil
+		}()
+		done <- rt.Atomic(nil, body)
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("orphan goroutine: %v", err)
+	}
+}
+
+func TestReaperRestoresOrphanedRecord(t *testing.T) {
+	rt, o := newRecoveryRuntime(t, Config{})
+	rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 0, 41); return nil })
+
+	// Dies at PostAcquire holding the record; the buffered 999 never reaches
+	// memory, so reclaim restores the original Shared word unchanged.
+	in := faultinject.New(1, faultinject.Rule{Point: faultinject.PostAcquire, Action: faultinject.Orphan, Every: 1})
+	rt.SetInjector(in)
+	orphanOnce(t, rt, func(tx *Txn) error {
+		tx.Write(o, 0, 999)
+		return nil
+	})
+	rt.SetInjector(nil)
+
+	if w := o.Rec.Load(); !txrec.IsExclusive(w) {
+		t.Fatalf("record not left Exclusive by the orphan: %#x", w)
+	}
+	reaper := recovery.NewReaper(rt.Recovery(), recovery.Config{})
+	rep := reaper.ScanOnce()
+	if rep.Reaped != 1 {
+		t.Fatalf("reaped %d, want 1", rep.Reaped)
+	}
+	if w := o.Rec.Load(); !txrec.IsShared(w) {
+		t.Fatalf("record not restored to Shared: %#x", w)
+	}
+	if v := o.LoadSlot(0); v != 41 {
+		t.Fatalf("buffered write leaked to memory: slot = %d, want 41", v)
+	}
+	if n := rt.Stats.ReaperSteals.Load(); n != 1 {
+		t.Fatalf("ReaperSteals = %d, want 1", n)
+	}
+	// The orphan must stay reclaimable exactly once.
+	if rep := reaper.ScanOnce(); rep.Reaped != 0 {
+		t.Fatalf("second scan reaped %d, want 0", rep.Reaped)
+	}
+}
+
+func TestCommittedOrphanKeepsEffectsAndUnstallsTickets(t *testing.T) {
+	rt, o := newRecoveryRuntime(t, Config{CommonConfig: stmapi.CommonConfig{Quiescence: true}})
+	// Dies in the Figure 4 window: logically committed, write-back complete,
+	// records held, ticket incomplete.
+	in := faultinject.New(1, faultinject.Rule{Point: faultinject.PostCommitPoint, Action: faultinject.Orphan, Every: 1})
+	rt.SetInjector(in)
+	orphanOnce(t, rt, func(tx *Txn) error {
+		tx.Write(o, 0, 7)
+		return nil
+	})
+	rt.SetInjector(nil)
+
+	reaper := recovery.NewReaper(rt.Recovery(), recovery.Config{})
+	if rep := reaper.ScanOnce(); rep.Reaped != 1 {
+		t.Fatalf("reaped %d, want 1", rep.Reaped)
+	}
+	if w := o.Rec.Load(); !txrec.IsShared(w) {
+		t.Fatalf("record not released: %#x", w)
+	}
+	if v := o.LoadSlot(0); v != 7 {
+		t.Fatalf("committed effect lost: slot = %d, want 7", v)
+	}
+	// The reaper completed the orphan's ticket, so a quiescent commit after
+	// it must not stall on the ordering chain.
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 1, 1); return nil })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("commit after reap: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("quiescent commit stalled on the orphan's ticket")
+	}
+}
+
+func TestWaiterStealsInlineWithoutReaper(t *testing.T) {
+	rt, o := newRecoveryRuntime(t, Config{})
+	in := faultinject.New(1, faultinject.Rule{Point: faultinject.PreValidate, Action: faultinject.Orphan, Every: 1})
+	rt.SetInjector(in)
+	orphanOnce(t, rt, func(tx *Txn) error {
+		tx.Write(o, 0, 999)
+		return nil
+	})
+	rt.SetInjector(nil)
+
+	// No reaper: the next committer must find the dead owner and steal inline.
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 0, 5); return nil })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("writer after orphan: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked on orphaned record: inline steal did not happen")
+	}
+	if v := o.LoadSlot(0); v != 5 {
+		t.Fatalf("slot = %d, want 5", v)
+	}
+}
+
+func TestAtomicIrrevocableCommitsAndReleasesToken(t *testing.T) {
+	rt, o := newRecoveryRuntime(t, Config{})
+	rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 0, 1); return nil })
+
+	err := rt.AtomicIrrevocable(nil, func(tx *Txn) error {
+		v := tx.Read(o, 0)
+		if !tx.IsIrrevocable() {
+			t.Error("body not irrevocable inside AtomicIrrevocable")
+		}
+		tx.Write(o, 0, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("AtomicIrrevocable: %v", err)
+	}
+	if v := o.LoadSlot(0); v != 2 {
+		t.Fatalf("slot = %d, want 2", v)
+	}
+	if tok := rt.irrevToken.Load(); tok != 0 {
+		t.Fatalf("token not released: %d", tok)
+	}
+	if n := rt.Stats.IrrevocableTxns.Load(); n != 1 {
+		t.Fatalf("IrrevocableTxns = %d, want 1", n)
+	}
+	if ns := rt.Stats.IrrevocableNs.Load(); ns <= 0 {
+		t.Fatalf("IrrevocableNs = %d, want > 0", ns)
+	}
+}
+
+func TestAtomicIrrevocableDisabled(t *testing.T) {
+	rt, _ := newRecoveryRuntime(t, Config{CommonConfig: stmapi.CommonConfig{NoIrrevocable: true}})
+	err := rt.AtomicIrrevocable(nil, func(tx *Txn) error { return nil })
+	if !errors.Is(err, stmapi.ErrIrrevocableDisabled) {
+		t.Fatalf("err = %v, want ErrIrrevocableDisabled", err)
+	}
+}
+
+func TestBecomeIrrevocableMidBodySurvivesDoom(t *testing.T) {
+	rt, o := newRecoveryRuntime(t, Config{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Background writers hammer the object, trying to invalidate the reader.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.Atomic(nil, func(tx *Txn) error {
+					tx.Write(o, 1, tx.Read(o, 1)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	err := rt.Atomic(nil, func(tx *Txn) error {
+		tx.BecomeIrrevocable()
+		// Past the switch nothing may abort us: a read of the contended
+		// object acquires it pessimistically and must succeed.
+		v := tx.Read(o, 1)
+		time.Sleep(time.Millisecond)
+		tx.Write(o, 0, v)
+		return nil
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("irrevocable txn returned %v", err)
+	}
+	if tok := rt.irrevToken.Load(); tok != 0 {
+		t.Fatalf("token not released: %d", tok)
+	}
+}
+
+func TestEscalateAfterConsecutiveAborts(t *testing.T) {
+	rt, o := newRecoveryRuntime(t, Config{
+		CommonConfig: stmapi.CommonConfig{EscalateAfter: 3},
+	})
+	// Abort every attempt at validation; the fourth attempt escalates to
+	// irrevocable, which ignores the Abort injection and commits.
+	in := faultinject.New(1, faultinject.Rule{Point: faultinject.PreValidate, Action: faultinject.Abort, Every: 1})
+	rt.SetInjector(in)
+	sawIrrevocable := false
+	err := rt.Atomic(nil, func(tx *Txn) error {
+		sawIrrevocable = tx.IsIrrevocable()
+		tx.Write(o, 0, uint64(tx.Attempt()))
+		return nil
+	})
+	rt.SetInjector(nil)
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if !sawIrrevocable {
+		t.Fatal("final attempt did not run irrevocably")
+	}
+	if n := rt.Stats.Escalations.Load(); n != 1 {
+		t.Fatalf("Escalations = %d, want 1", n)
+	}
+	if v := o.LoadSlot(0); v != 3 {
+		t.Fatalf("slot = %d, want 3 (attempt index at escalation)", v)
+	}
+}

@@ -14,7 +14,6 @@ package litmus
 
 import (
 	"context"
-	"os"
 	"sync"
 	"time"
 
@@ -92,7 +91,7 @@ type Env struct {
 // EnvConfig.Policy is empty) for the contention policy litmus environments
 // run under, so CI can sweep the whole suite per policy without plumbing a
 // flag through every test.
-const PolicyEnvVar = "STM_CONFLICT_POLICY"
+const PolicyEnvVar = conflict.PolicyEnv
 
 // EnvConfig selects variation points for an Env.
 type EnvConfig struct {
@@ -117,11 +116,7 @@ func NewEnv(mode Mode, cfg EnvConfig) *Env {
 	if cfg.Granularity == 0 {
 		cfg.Granularity = 1
 	}
-	name := cfg.Policy
-	if name == "" {
-		name = os.Getenv(PolicyEnvVar)
-	}
-	pol, err := conflict.ByName(name)
+	pol, err := conflict.ByNameOrEnv(cfg.Policy)
 	if err != nil {
 		panic("litmus: " + err.Error())
 	}

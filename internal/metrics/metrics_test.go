@@ -145,3 +145,33 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Error("expvar missing published registry")
 	}
 }
+
+func TestRobustnessCountersExported(t *testing.T) {
+	h := objmodel.NewHeap()
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name:   "RCell",
+		Fields: []objmodel.Field{{Name: "a"}},
+	})
+	o := h.New(cls)
+	ert := stm.New(h, stm.Config{})
+	if err := ert.AtomicIrrevocable(nil, func(tx *stm.Txn) error {
+		tx.Write(o, 0, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.RegisterSTM("rt", ert)
+	s := reg.Snapshot()[0]
+	if s.Stats["irrevocable_txns"] != 1 {
+		t.Errorf("irrevocable_txns = %d, want 1", s.Stats["irrevocable_txns"])
+	}
+	if s.Stats["irrevocable_ns"] <= 0 {
+		t.Errorf("irrevocable_ns = %d, want > 0", s.Stats["irrevocable_ns"])
+	}
+	for _, key := range []string{"reaper_steals", "escalations"} {
+		if _, ok := s.Stats[key]; !ok {
+			t.Errorf("stat %q missing from exported snapshot", key)
+		}
+	}
+}

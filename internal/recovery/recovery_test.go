@@ -1,0 +1,154 @@
+package recovery
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stmapi"
+)
+
+// fakeTarget is a scripted registry for reaper unit tests.
+type fakeTarget struct {
+	mu        sync.Mutex
+	txns      map[uint64]*TxnInfo
+	reclaimed []uint64
+}
+
+func newFakeTarget() *fakeTarget { return &fakeTarget{txns: map[uint64]*TxnInfo{}} }
+
+func (f *fakeTarget) Name() string { return "fake" }
+
+func (f *fakeTarget) VisitTxns(fn func(TxnInfo)) {
+	f.mu.Lock()
+	infos := make([]TxnInfo, 0, len(f.txns))
+	for _, ti := range f.txns {
+		infos = append(infos, *ti)
+	}
+	f.mu.Unlock()
+	for _, ti := range infos {
+		fn(ti)
+	}
+}
+
+func (f *fakeTarget) Reclaim(id uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ti, ok := f.txns[id]
+	if !ok || !ti.Dead {
+		return false
+	}
+	delete(f.txns, id)
+	f.reclaimed = append(f.reclaimed, id)
+	return true
+}
+
+func (f *fakeTarget) add(ti TxnInfo) {
+	f.mu.Lock()
+	f.txns[ti.ID] = &ti
+	f.mu.Unlock()
+}
+
+func (f *fakeTarget) bump(id uint64) {
+	f.mu.Lock()
+	if ti, ok := f.txns[id]; ok {
+		ti.Beat++
+	}
+	f.mu.Unlock()
+}
+
+func TestScanReclaimsOnlyDead(t *testing.T) {
+	ft := newFakeTarget()
+	ft.add(TxnInfo{ID: 1, Status: stmapi.Active})
+	ft.add(TxnInfo{ID: 2, Status: stmapi.Active, Dead: true})
+	ft.add(TxnInfo{ID: 3, Status: stmapi.Committed, Dead: true})
+	r := NewReaper(ft, Config{})
+
+	rep := r.ScanOnce()
+	if rep.Reaped != 2 {
+		t.Fatalf("reaped %d, want 2", rep.Reaped)
+	}
+	if rep.Active != 1 {
+		t.Fatalf("active %d, want 1", rep.Active)
+	}
+	if r.Steals() != 2 {
+		t.Fatalf("Steals() = %d, want 2", r.Steals())
+	}
+	ft.mu.Lock()
+	left := len(ft.txns)
+	ft.mu.Unlock()
+	if left != 1 {
+		t.Fatalf("%d txns left in registry, want 1 (the live one)", left)
+	}
+}
+
+func TestStalledHeartbeatBecomesSuspectNotSteal(t *testing.T) {
+	ft := newFakeTarget()
+	ft.add(TxnInfo{ID: 7, Beat: 3, Status: stmapi.Active})
+	r := NewReaper(ft, Config{SuspectAfter: 10 * time.Millisecond})
+
+	if rep := r.ScanOnce(); len(rep.Suspects) != 0 {
+		t.Fatalf("first sighting already suspect: %+v", rep.Suspects)
+	}
+	time.Sleep(15 * time.Millisecond)
+	rep := r.ScanOnce()
+	if len(rep.Suspects) != 1 || rep.Suspects[0].ID != 7 {
+		t.Fatalf("expected txn 7 suspected, got %+v", rep.Suspects)
+	}
+	if rep.Suspects[0].Stalled < 10*time.Millisecond {
+		t.Fatalf("stall %v below the window", rep.Suspects[0].Stalled)
+	}
+	// Suspicion never steals: the descriptor is untouched.
+	if rep.Reaped != 0 || len(ft.reclaimed) != 0 {
+		t.Fatalf("suspect was stolen from: reaped=%d reclaimed=%v", rep.Reaped, ft.reclaimed)
+	}
+}
+
+func TestHeartbeatAdvanceClearsSuspicion(t *testing.T) {
+	ft := newFakeTarget()
+	ft.add(TxnInfo{ID: 9, Beat: 1, Status: stmapi.Active})
+	r := NewReaper(ft, Config{SuspectAfter: 10 * time.Millisecond})
+	r.ScanOnce()
+	time.Sleep(15 * time.Millisecond)
+	ft.bump(9) // the owner made progress just before the scan
+	if rep := r.ScanOnce(); len(rep.Suspects) != 0 {
+		t.Fatalf("advancing heartbeat still suspected: %+v", rep.Suspects)
+	}
+}
+
+func TestFinishedTxnDropsBookkeeping(t *testing.T) {
+	ft := newFakeTarget()
+	ft.add(TxnInfo{ID: 5, Status: stmapi.Active})
+	r := NewReaper(ft, Config{})
+	r.ScanOnce()
+	ft.mu.Lock()
+	delete(ft.txns, 5)
+	ft.mu.Unlock()
+	r.ScanOnce()
+	r.mu.Lock()
+	n := len(r.seen)
+	r.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("bookkeeping retained %d entries after txn finished", n)
+	}
+}
+
+func TestStartStopBackgroundLoop(t *testing.T) {
+	ft := newFakeTarget()
+	ft.add(TxnInfo{ID: 11, Status: stmapi.Active, Dead: true})
+	r := NewReaper(ft, Config{Interval: time.Millisecond})
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Steals() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	if r.Steals() != 1 {
+		t.Fatalf("background loop reaped %d, want 1", r.Steals())
+	}
+	if r.Scans() == 0 {
+		t.Fatalf("no scans recorded")
+	}
+}

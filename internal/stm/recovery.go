@@ -1,0 +1,237 @@
+// Orphaned-transaction recovery and irrevocable mode for the eager runtime.
+//
+// Recovery: a goroutine that dies mid-protocol (simulated by the faultinject
+// Orphan action) leaves its records Exclusive with nobody to release them.
+// The dying path marks the descriptor dead — a release-store, so everything
+// the goroutine wrote beforehand (undo log, writes list) happens-before any
+// thread that observes the flag — and then unwinds without cleanup. Reclaim
+// is reapTxn: a CAS on the reaping flag elects a single reclaimer, which
+// replays the orphan's undo log and releases its records exactly as the
+// orphan's own abort would have (or, past the commit point, finishes the
+// release without rollback). Reclaimers are either the recovery.Reaper's
+// periodic scan or a conflicting waiter that finds its owner dead — so
+// orphans are recovered within a bounded wait even with no reaper running.
+//
+// Irrevocability: a transaction holding the runtime's singular token can
+// never abort. The switch (BecomeIrrevocable) acquires the token, then
+// upgrades every read-set entry to Exclusive at its recorded version; from
+// then on reads are pessimistic (acquire like writes), so commit validation
+// is structurally unable to fail, dooms are refused, and conflict
+// arbitration always rules for the token holder. Waiters on its records
+// either restart via their self-abort cap or are doomed by the irrevocable
+// transaction itself, so it always makes progress.
+package stm
+
+import (
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/recovery"
+	"repro/internal/trace"
+	"repro/internal/txrec"
+)
+
+// die terminates the goroutine's transactional life with no cleanup: the
+// orphan's records stay held until a reaper or a conflicting waiter steals
+// them. The dead store is the death certificate gating all stealing; it must
+// be the last thing the dying goroutine does to the descriptor.
+func (tx *Txn) die(p faultinject.Point) {
+	tx.dead.Store(true)
+	panic(faultinject.OrphanError{Point: p, Txn: tx.id})
+}
+
+// finish returns the descriptor to the pool unless the transaction died: a
+// dead descriptor's records are (or will be) reclaimed by a reaper, which
+// must find the undo log and writes list intact — it is retired, never
+// reused.
+func (rt *Runtime) finish(tx *Txn) {
+	if tx.dead.Load() {
+		return
+	}
+	rt.putTxn(tx)
+}
+
+// reapTxn steals a dead transaction's records. Safe by two gates: the dead
+// flag (only a goroutine that will never run again sets it, and its
+// release-store publishes the descriptor's final state) and the reaping CAS
+// (exactly one reclaimer touches the descriptor). An orphan that died before
+// its commit point is rolled back — undo replay, compensations, release with
+// version bumps — as its own abort would have; one that died past the commit
+// point has its release completed, effects intact. Either way every record
+// returns to Shared and all waiters unblock. Returns false if tx is not
+// confirmed dead or another reclaimer won the race.
+func (rt *Runtime) reapTxn(tx *Txn) bool {
+	if !tx.dead.Load() || !tx.reaping.CompareAndSwap(false, true) {
+		return false
+	}
+	id := tx.id
+	if Status(tx.status.Load()) == Committed {
+		// Died inside the commit window (post-commit-point): effects are
+		// durable; finish the release exactly as commit would have.
+		for i := len(tx.writes) - 1; i >= 0; i-- {
+			e := tx.writes[i]
+			e.obj.Rec.ReleaseOwned(e.version)
+		}
+		rt.Stats.Commits.AddShard(int(id), 1)
+	} else {
+		tx.rollbackTo(0, 0, 0)
+		tx.status.Store(uint32(Aborted))
+		rt.Stats.Aborts.AddShard(int(id), 1)
+	}
+	if tx.irrevStamp.Load() {
+		// The orphan held the irrevocable token; free it for the next taker.
+		rt.irrevToken.CompareAndSwap(id, 0)
+	}
+	rt.Stats.ReaperSteals.AddShard(int(id), 1)
+	tx.flushStats()
+	if tr := rt.tracer.Load(); tr != nil {
+		tr.Record(trace.EvSteal, 0, 0, 0, id)
+	}
+	rt.reg.remove(tx)
+	return true
+}
+
+// Recovery exposes the runtime to a recovery.Reaper.
+func (rt *Runtime) Recovery() recovery.Target { return eagerTarget{rt} }
+
+type eagerTarget struct{ rt *Runtime }
+
+func (t eagerTarget) Name() string { return "eager" }
+
+func (t eagerTarget) VisitTxns(f func(recovery.TxnInfo)) {
+	t.rt.reg.forEach(func(tx *Txn) bool {
+		f(recovery.TxnInfo{
+			ID:          tx.stamp.Load(),
+			Beat:        tx.hb.Load(),
+			Status:      Status(tx.status.Load()),
+			Dead:        tx.dead.Load(),
+			Irrevocable: tx.irrevStamp.Load(),
+		})
+		return true
+	})
+}
+
+func (t eagerTarget) Reclaim(id uint64) bool {
+	victim := t.rt.reg.findStamp(id)
+	if victim == nil {
+		return false
+	}
+	return t.rt.reapTxn(victim)
+}
+
+// IsIrrevocable reports whether the transaction has switched to irrevocable
+// mode.
+func (tx *Txn) IsIrrevocable() bool { return tx.irrevocable }
+
+// BecomeIrrevocable switches the transaction to irrevocable mode: acquire
+// the runtime's singular token (waiting while another holder exists; still
+// abortable while waiting), then upgrade the read set to Exclusive at the
+// recorded versions. If any read-set entry is already stale the transaction
+// restarts — aborting is still legal up to the instant the switch completes.
+// After a successful switch the transaction can no longer abort, restart, or
+// be doomed, and its reads acquire records pessimistically, making it safe
+// to perform I/O in the remainder of the body. The body must not return an
+// error or call Retry after the switch. Panics on a NoIrrevocable runtime
+// (AtomicIrrevocable returns ErrIrrevocableDisabled instead).
+func (tx *Txn) BecomeIrrevocable() { tx.becomeIrrevocable(false) }
+
+func (tx *Txn) becomeIrrevocable(escalated bool) {
+	if tx.irrevocable {
+		return
+	}
+	rt := tx.rt
+	if rt.cfg.NoIrrevocable {
+		panic("stm: BecomeIrrevocable on a runtime configured with NoIrrevocable")
+	}
+	for a := 0; !rt.irrevToken.CompareAndSwap(0, tx.id); a++ {
+		// Pre-switch we are still an ordinary transaction: honor dooms and
+		// cancellation so token waiters cannot deadlock with the holder.
+		if tx.doomed.Load() {
+			tx.Restart()
+		}
+		if tx.ctx != nil && tx.ctx.Err() != nil {
+			panic(txSignal{sigCancel, tx})
+		}
+		tx.hb.Add(1)
+		conflict.WaitAttempt(a, 0)
+	}
+	if !tx.lockReadSet() {
+		// A read-set entry went stale before the switch: surrender the token
+		// and restart. rollback releases the partially-upgraded records.
+		rt.irrevToken.Store(0)
+		tx.Restart()
+	}
+	if escalated {
+		rt.Stats.Escalations.AddShard(int(tx.id), 1)
+		if tr := tx.tr; tr != nil {
+			tr.Record(trace.EvEscalate, tx.id, 0, tx.attempt, 0)
+		}
+	}
+	tx.irrevAt = time.Now()
+	tx.irrevocable = true
+	tx.irrevStamp.Store(true)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvIrrevocable, tx.id, 0, tx.attempt, 0)
+	}
+}
+
+// lockReadSet upgrades every read-set entry to Exclusive at its recorded
+// version. With the whole read set owned, no other transaction can invalidate
+// it, so commit validation trivially passes — the mechanism behind the
+// no-abort guarantee. Acquired records are appended to writes/owned so the
+// failure path (ordinary restart) releases them with version bumps. Returns
+// false if any entry is stale or cannot be acquired at the recorded version.
+func (tx *Txn) lockReadSet() bool {
+	ok := true
+	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
+		w := o.Rec.Load()
+		switch {
+		case txrec.IsPrivate(w):
+			// Only this thread ever saw it; nothing to lock.
+			return true
+		case txrec.IsExclusive(w) && txrec.Owner(w) == tx.id:
+			// Already ours (read after write): valid iff acquired at the
+			// version we read.
+			if ov, _ := tx.owned.Get(o); ov != ver {
+				ok = false
+			}
+			return ok
+		case txrec.IsShared(w) && txrec.Version(w) == ver:
+			if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+				// Lost a race; a retry loop here could wait forever on a
+				// foreign owner, and release always bumps the version, so the
+				// entry can only come back stale. Fail fast and restart.
+				ok = false
+			} else {
+				tx.writes = append(tx.writes, ownedEntry{o, ver})
+				tx.owned.Put(o, ver)
+			}
+			return ok
+		default:
+			// Foreign-owned or version moved: the snapshot is already stale.
+			ok = false
+			return false
+		}
+	})
+	return ok
+}
+
+// dropIrrevocable surrenders the irrevocable token after the transaction's
+// records have been released, and accounts the hold time. No-op for ordinary
+// transactions.
+func (tx *Txn) dropIrrevocable() {
+	if !tx.irrevocable {
+		return
+	}
+	hold := time.Since(tx.irrevAt)
+	tx.irrevocable = false
+	tx.irrevStamp.Store(false)
+	tx.rt.irrevToken.Store(0)
+	tx.rt.Stats.IrrevocableTxns.AddShard(int(tx.id), 1)
+	tx.rt.Stats.IrrevocableNs.AddShard(int(tx.id), hold.Nanoseconds())
+	if tr := tx.tr; tr != nil {
+		tr.ObserveIrrevocableHold(hold)
+	}
+}

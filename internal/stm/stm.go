@@ -90,6 +90,12 @@ type Stats struct {
 	TxnWrites   stats.Counter
 	SelfAborts  stats.Counter // contention-policy SelfAbort decisions taken
 	DoomsIssued stats.Counter // contention-policy AbortOther decisions that marked a victim
+
+	// Robustness counters (recovery and irrevocability).
+	ReaperSteals    stats.Counter // dead transactions reclaimed (reaper or inline waiter steal)
+	Escalations     stats.Counter // atomic blocks escalated to irrevocable after K aborts
+	IrrevocableTxns stats.Counter // transactions that finished while irrevocable
+	IrrevocableNs   stats.Counter // cumulative irrevocable-token hold time, nanoseconds
 }
 
 // StatsSnapshot is a point-in-time copy of every Stats counter as plain
@@ -109,6 +115,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TxnWrites:   s.TxnWrites.Load(),
 		SelfAborts:  s.SelfAborts.Load(),
 		DoomsIssued: s.DoomsIssued.Load(),
+
+		ReaperSteals:    s.ReaperSteals.Load(),
+		Escalations:     s.Escalations.Load(),
+		IrrevocableTxns: s.IrrevocableTxns.Load(),
+		IrrevocableNs:   s.IrrevocableNs.Load(),
 	}
 }
 
@@ -200,6 +211,13 @@ type Runtime struct {
 	pool     sync.Pool     // idle *Txn descriptors
 	tracer   atomic.Pointer[trace.Tracer]
 	injector atomic.Pointer[faultinject.Injector]
+
+	// irrevToken is the runtime's single irrevocable-transaction token: the
+	// owner ID of the current irrevocable transaction, 0 when free. Exactly
+	// one transaction may be irrevocable at a time (Section: at most one
+	// transaction can be guaranteed never to abort, because two such
+	// transactions could deadlock on each other's records).
+	irrevToken atomic.Uint64
 }
 
 // SetTracer installs (or, with nil, removes) the event tracer. Descriptors
@@ -300,6 +318,23 @@ type Txn struct {
 	doomed atomic.Bool
 	karma  atomic.Int64
 
+	// Recovery state. hb is the epoch heartbeat the reaper watches (bumped at
+	// begin and on conflict-wait slow paths — never on the access hot path);
+	// dead is the death certificate: a release-store of true publishes every
+	// prior write of the dying goroutine (undo log, writes list) to any
+	// reaper that acquires it, and is the ONLY condition under which another
+	// thread may touch this descriptor; reaping serializes reclaimers.
+	hb      atomic.Uint64
+	dead    atomic.Bool
+	reaping atomic.Bool
+
+	// Irrevocability state. irrevocable is goroutine-local (hot-path checks
+	// by the owner); irrevStamp is its cross-thread mirror (policies and
+	// doom() consult it); irrevAt feeds the token-hold-time metrics.
+	irrevocable bool
+	irrevStamp  atomic.Bool
+	irrevAt     time.Time
+
 	// ctx is the cancellation context installed by AtomicCtx; nil for plain
 	// Atomic, in which case no cancellation checks run anywhere.
 	ctx context.Context
@@ -352,6 +387,10 @@ func (rt *Runtime) getTxn() *Txn {
 	tx.abortAt = time.Time{}
 	tx.doomed.Store(false)
 	tx.karma.Store(0)
+	tx.dead.Store(false)
+	tx.reaping.Store(false)
+	tx.irrevocable = false
+	tx.irrevStamp.Store(false)
 	// Publish the stamp before the descriptor becomes reachable through the
 	// registry, so policy lookups never observe a stale incarnation's ID.
 	tx.stamp.Store(tx.id)
@@ -381,6 +420,7 @@ func (rt *Runtime) putTxn(tx *Txn) {
 func (tx *Txn) begin() {
 	tx.status.Store(uint32(Active))
 	tx.doomed.Store(false) // a doom aimed at a finished attempt is consumed
+	tx.hb.Add(1)           // heartbeat: the reaper sees a fresh epoch
 	tx.beginSeq.Store(tx.rt.seq.Add(1))
 	tx.reads.Reset()
 	tx.owned.Reset()
@@ -452,10 +492,34 @@ func (tx *Txn) Retry() {
 }
 
 func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int, rec txrec.Word) {
+	tx.hb.Add(1) // slow path: prove liveness to the reaper while we wait
 	if tr := tx.tr; tr != nil {
 		ref := uint64(o.Ref())
 		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
 		tr.Hot().BumpConflict(ref)
+	}
+	if tx.irrevocable {
+		// An irrevocable transaction can neither restart nor lose an
+		// arbitration: skip cancellation, doom, and self-abort caps; doom any
+		// live owner directly (the token is singular, so the owner is never
+		// itself irrevocable) and wait for the record to free. A dead owner is
+		// reclaimed on the spot.
+		if txrec.IsExclusive(rec) {
+			if victim := tx.rt.reg.findStamp(txrec.Owner(rec)); victim != nil && victim != tx {
+				if victim.dead.Load() {
+					tx.rt.reapTxn(victim)
+					return
+				}
+				if victim.doomed.CompareAndSwap(false, true) {
+					tx.nDooms++
+					if tr := tx.tr; tr != nil {
+						tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, txrec.Owner(rec))
+					}
+				}
+			}
+		}
+		conflict.WaitAttempt(attempt, 0)
+		return
 	}
 	if tx.ctx != nil && tx.ctx.Err() != nil {
 		panic(txSignal{sigCancel, tx})
@@ -476,8 +540,16 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 	if txrec.IsExclusive(rec) {
 		info.Owner = txrec.Owner(rec)
 		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+			if victim.dead.Load() {
+				// The owner's goroutine died holding the record: steal it
+				// (undo replay + release) and re-probe instead of waiting on
+				// a lock nobody will ever release.
+				tx.rt.reapTxn(victim)
+				return
+			}
 			info.OwnerActive = true
 			info.OwnerPrio = victim.karma.Load()
+			info.OwnerIrrevocable = victim.irrevStamp.Load()
 		}
 	}
 	switch tx.rt.policy.Resolve(info) {
@@ -514,6 +586,11 @@ func (rt *Runtime) doom(id uint64) bool {
 		return false
 	}
 	if victim := rt.reg.findStamp(id); victim != nil {
+		if victim.irrevStamp.Load() {
+			// Irrevocable transactions are never doomed — that is the whole
+			// guarantee. The caller keeps waiting; the token holder finishes.
+			return false
+		}
 		victim.doomed.Store(true)
 		return true
 	}
@@ -526,11 +603,11 @@ func (rt *Runtime) doom(id uint64) bool {
 // non-transactional writers invoke the conflict manager and retry.
 func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 	tx.nReads++
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
-	if tx.ctx != nil && tx.ctx.Err() != nil {
+	if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
 		// Every access is a cancellation point, so a context cancelled
 		// mid-body (in particular a nested block's scoped context) is
 		// noticed without needing a conflict to arise first.
@@ -554,6 +631,24 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 			// A non-transactional writer holds the record.
 			tx.conflictWait(o, conflict.TxnRead, attempt, w)
 		default: // shared
+			if tx.irrevocable {
+				// Pessimistic read: acquire the record like a write, so commit
+				// validation is structurally unable to fail (no abort is legal
+				// past the switch). Objects read before the switch are already
+				// Exclusive(self) — lockReadSet upgraded them — so they take
+				// the IsExclusive branch above, never this one.
+				if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+					continue
+				}
+				ver := txrec.Version(w)
+				tx.writes = append(tx.writes, ownedEntry{o, ver})
+				tx.owned.Put(o, ver)
+				tx.reads.Put(o, ver)
+				if tr := tx.tr; tr != nil {
+					tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, ver)
+				}
+				return o.LoadSlot(slot)
+			}
 			v := o.LoadSlot(slot)
 			if o.Rec.Load() != w {
 				// Record changed under us; retry the sample.
@@ -608,11 +703,11 @@ func (tx *Txn) maybePublish(o *objmodel.Object, slot int, v uint64) {
 // (open-for-write with strict two-phase locking and eager versioning).
 func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 	tx.nWrites++
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		tx.blameObj = uint64(o.Ref())
 		tx.Restart()
 	}
-	if tx.ctx != nil && tx.ctx.Err() != nil {
+	if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
 		panic(txSignal{sigCancel, tx}) // accesses are cancellation points
 	}
 	for attempt := 0; ; attempt++ {
@@ -641,12 +736,20 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			if fi := tx.fi; fi != nil {
 				switch fi.Fire(faultinject.PreAcquire, tx.id) {
 				case faultinject.Abort:
-					tx.blameObj = uint64(o.Ref())
-					tx.Restart()
+					if !tx.irrevocable {
+						tx.blameObj = uint64(o.Ref())
+						tx.Restart()
+					}
 				case faultinject.Crash:
-					// Simulated thread death before the CAS: nothing is owned
-					// for this object yet; run's recover performs the abort.
-					panic(faultinject.CrashError{Point: faultinject.PreAcquire, Txn: tx.id})
+					if !tx.irrevocable {
+						// Simulated thread death before the CAS: nothing is owned
+						// for this object yet; run's recover performs the abort.
+						panic(faultinject.CrashError{Point: faultinject.PreAcquire, Txn: tx.id})
+					}
+				case faultinject.Orphan:
+					// Goroutine dies with no cleanup at all: records stay held
+					// until a reaper or a waiting contender steals them.
+					tx.die(faultinject.PreAcquire)
 				}
 			}
 			if !o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
@@ -672,16 +775,24 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			if fi := tx.fi; fi != nil {
 				switch fi.Fire(faultinject.PostAcquire, tx.id) {
 				case faultinject.Abort:
-					// The record is ours and the old value is logged; the
-					// ordinary restart path replays the undo entry and
-					// releases with a version bump.
-					tx.blameObj = uint64(o.Ref())
-					tx.Restart()
+					if !tx.irrevocable {
+						// The record is ours and the old value is logged; the
+						// ordinary restart path replays the undo entry and
+						// releases with a version bump.
+						tx.blameObj = uint64(o.Ref())
+						tx.Restart()
+					}
 				case faultinject.Crash:
-					// Crash while owning a record mid-update: run's recover
-					// aborts (rollback + release) before propagating, exactly
-					// the cleanup a managed runtime performs for a dead thread.
-					panic(faultinject.CrashError{Point: faultinject.PostAcquire, Txn: tx.id})
+					if !tx.irrevocable {
+						// Crash while owning a record mid-update: run's recover
+						// aborts (rollback + release) before propagating, exactly
+						// the cleanup a managed runtime performs for a dead thread.
+						panic(faultinject.CrashError{Point: faultinject.PostAcquire, Txn: tx.id})
+					}
+				case faultinject.Orphan:
+					// Dies owning the record mid-update: the reaper must replay
+					// the undo entry just logged before releasing.
+					tx.die(faultinject.PostAcquire)
 				}
 			}
 			return
@@ -777,13 +888,20 @@ func (tx *Txn) rollbackTo(undoLen, writesLen, compLen int) {
 }
 
 func (tx *Txn) abort() {
-	if fi := tx.fi; fi != nil && fi.Fire(faultinject.PreRelease, tx.id) == faultinject.Crash {
-		// Crash on the abort path itself: complete the cleanup (with
-		// injection disarmed, or the recursive abort would re-fire) so every
-		// owned record is released, then surface the crash.
-		tx.fi = nil
-		tx.abort()
-		panic(faultinject.CrashError{Point: faultinject.PreRelease, Txn: tx.id})
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PreRelease, tx.id) {
+		case faultinject.Crash:
+			// Crash on the abort path itself: complete the cleanup (with
+			// injection disarmed, or the recursive abort would re-fire) so every
+			// owned record is released, then surface the crash.
+			tx.fi = nil
+			tx.abort()
+			panic(faultinject.CrashError{Point: faultinject.PreRelease, Txn: tx.id})
+		case faultinject.Orphan:
+			// Dies entering its own rollback: nothing is undone or released;
+			// the reaper replays the whole undo log.
+			tx.die(faultinject.PreRelease)
+		}
 	}
 	// Work invested by the failed attempt converts into priority for the
 	// next one (Karma-style policies): reads and writes not yet flushed
@@ -792,6 +910,10 @@ func (tx *Txn) abort() {
 		tx.karma.Add(tx.nReads + tx.nWrites)
 	}
 	tx.rollbackTo(0, 0, 0)
+	// Aborting while irrevocable is a contract violation (the body returned
+	// an error after the switch), but the token must still be surrendered —
+	// after the rollback above released our records.
+	tx.dropIrrevocable()
 	tx.status.Store(uint32(Aborted))
 	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
 	if tr := tx.tr; tr != nil {
@@ -810,35 +932,55 @@ func (tx *Txn) abort() {
 // transaction's effects are durable) when a cancellation abandoned the
 // post-commit quiescence wait; the caller returns it without retrying.
 func (tx *Txn) commit() (ok bool, err error) {
-	if tx.doomed.Load() {
+	if tx.doomed.Load() && !tx.irrevocable {
 		return false, nil
 	}
 	if fi := tx.fi; fi != nil {
 		switch fi.Fire(faultinject.PreValidate, tx.id) {
 		case faultinject.Abort:
-			return false, nil
+			if !tx.irrevocable {
+				return false, nil
+			}
 		case faultinject.Crash:
-			// Thread dies entering validation: roll back and release
-			// everything (the managed-runtime cleanup), then surface it.
-			tx.abort()
-			panic(faultinject.CrashError{Point: faultinject.PreValidate, Txn: tx.id})
+			if !tx.irrevocable {
+				// Thread dies entering validation: roll back and release
+				// everything (the managed-runtime cleanup), then surface it.
+				tx.abort()
+				panic(faultinject.CrashError{Point: faultinject.PreValidate, Txn: tx.id})
+			}
+		case faultinject.Orphan:
+			// Dies entering validation with every write still in place and
+			// every record still Exclusive: the canonical orphan.
+			tx.die(faultinject.PreValidate)
 		}
 	}
 	if ok, bad := tx.validate(); !ok {
+		if tx.irrevocable {
+			// Structurally impossible: every read-set entry is Exclusive(self)
+			// since the switch, so validation cannot observe a foreign change.
+			panic("stm: irrevocable transaction failed validation")
+		}
 		tx.blameObj = bad
 		return false, nil
 	}
 	tx.status.Store(uint32(Committed))
-	if fi := tx.fi; fi != nil && fi.Fire(faultinject.PostCommitPoint, tx.id) == faultinject.Crash {
-		// Past the commit point the transaction is logically committed; a
-		// dying thread's records are released exactly as commit would have
-		// released them, never rolled back.
-		for _, e := range tx.writes {
-			e.obj.Rec.ReleaseOwned(e.version)
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PostCommitPoint, tx.id) {
+		case faultinject.Crash:
+			// Past the commit point the transaction is logically committed; a
+			// dying thread's records are released exactly as commit would have
+			// released them, never rolled back.
+			for _, e := range tx.writes {
+				e.obj.Rec.ReleaseOwned(e.version)
+			}
+			tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+			tx.flushStats()
+			panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
+		case faultinject.Orphan:
+			// Dies just past the commit point still holding every record: the
+			// reaper must finish the release (no rollback — it committed).
+			tx.die(faultinject.PostCommitPoint)
 		}
-		tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
-		tx.flushStats()
-		panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
 	}
 	for _, e := range tx.writes {
 		e.obj.Rec.ReleaseOwned(e.version)
@@ -848,6 +990,7 @@ func (tx *Txn) commit() (ok bool, err error) {
 		tr.Record(trace.EvCommit, tx.id, 0, 0, 0)
 		tr.ObserveCommit(time.Since(tx.beginAt))
 	}
+	tx.dropIrrevocable()
 	tx.flushStats()
 	if tx.rt.cfg.Quiescence {
 		if tr := tx.tr; tr != nil {
@@ -880,6 +1023,12 @@ func (tx *Txn) quiesce() error {
 			return true
 		}
 		for a := 0; Status(other.status.Load()) == Active && other.beginSeq.Load() < commitSeq; a++ {
+			if other.dead.Load() {
+				// Quiescing on an orphan would spin forever; reclaim it (the
+				// reap stores a terminal status, ending this wait).
+				tx.rt.reapTxn(other)
+				break
+			}
 			if tx.ctx != nil {
 				if err = tx.ctx.Err(); err != nil {
 					return false
@@ -937,7 +1086,35 @@ func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
 	if parent != nil {
 		return rt.nested(parent, body)
 	}
-	return rt.atomic(nil, body)
+	return rt.atomic(nil, body, rt.escalateFrom())
+}
+
+// AtomicIrrevocable executes body as an irrevocable transaction: once the
+// switch succeeds (immediately after begin, while nothing is held), the body
+// can never abort, restart, or observe inconsistent state, making it safe to
+// perform I/O or other unrecoverable actions inside. With a non-nil parent
+// the enclosing transaction itself becomes irrevocable, then body runs
+// closed-nested. Returns stmapi.ErrIrrevocableDisabled on a NoIrrevocable
+// runtime.
+func (rt *Runtime) AtomicIrrevocable(parent *Txn, body func(*Txn) error) error {
+	if rt.cfg.NoIrrevocable {
+		return stmapi.ErrIrrevocableDisabled
+	}
+	if parent != nil {
+		parent.BecomeIrrevocable()
+		return rt.nested(parent, body)
+	}
+	return rt.atomic(nil, body, 0)
+}
+
+// escalateFrom converts the configured escalation threshold into the atomic
+// loop's irrevFrom parameter: the attempt index from which the transaction
+// runs irrevocably, or -1 for never.
+func (rt *Runtime) escalateFrom() int {
+	if rt.cfg.EscalateAfter > 0 {
+		return rt.cfg.EscalateAfter
+	}
+	return -1
 }
 
 // AtomicCtx is Atomic with deadline/cancellation support. The context is
@@ -959,10 +1136,13 @@ func (rt *Runtime) AtomicCtx(ctx context.Context, parent *Txn, body func(*Txn) e
 	if parent != nil {
 		return rt.nestedCtx(ctx, parent, body)
 	}
-	return rt.atomic(ctx, body)
+	return rt.atomic(ctx, body, rt.escalateFrom())
 }
 
-func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
+// atomic is the top-level execution loop. irrevFrom is the attempt index
+// from which the body runs irrevocably (0 = from the first attempt, i.e.
+// AtomicIrrevocable; EscalateAfter for graceful degradation; -1 = never).
+func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error, irrevFrom int) error {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -970,7 +1150,7 @@ func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
 	}
 	tx := rt.getTxn()
 	tx.ctx = ctx
-	defer rt.putTxn(tx)
+	defer rt.finish(tx)
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -979,7 +1159,19 @@ func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error) error {
 		}
 		tx.attempt = attempt
 		tx.begin()
-		err, sig := rt.run(tx, body)
+		runBody := body
+		if irrevFrom >= 0 && attempt >= irrevFrom {
+			// Run this attempt irrevocably: switch right after begin, while
+			// the read set is empty and nothing is held, so the token acquire
+			// can never deadlock and the read-set upgrade is trivial. The
+			// closure allocates, but only on this cold path.
+			escalated := irrevFrom > 0
+			runBody = func(tx *Txn) error {
+				tx.becomeIrrevocable(escalated)
+				return body(tx)
+			}
+		}
+		err, sig := rt.run(tx, runBody)
 		switch sig {
 		case 0:
 			if err != nil {
@@ -1023,6 +1215,12 @@ func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {
 		r := recover()
 		if r == nil {
 			return
+		}
+		if tx.dead.Load() {
+			// The goroutine died at an Orphan injection point: no cleanup may
+			// run — its records stay held for the reaper, and the descriptor
+			// must never be pooled (finish checks the same flag).
+			panic(r)
 		}
 		if s, ok := r.(txSignal); ok && s.tx == tx {
 			sig = s.s

@@ -18,6 +18,7 @@ package stmapi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/conflict"
@@ -82,6 +83,20 @@ type CommonConfig struct {
 	// and restarts (breaking writer-writer deadlocks). Zero means
 	// DefaultSelfAbortAfter.
 	SelfAbortAfter int
+
+	// EscalateAfter is the graceful-degradation threshold: after this many
+	// consecutive aborts of the same atomic block, the next attempt is
+	// escalated to an irrevocable transaction (see Txn.BecomeIrrevocable),
+	// which cannot lose an arbitration and therefore always makes progress.
+	// Zero disables escalation (the default); negative is invalid.
+	EscalateAfter int
+
+	// NoIrrevocable forbids irrevocable transactions on the runtime: the
+	// global token is never handed out, AtomicIrrevocable returns
+	// ErrIrrevocableDisabled, and BecomeIrrevocable panics. Deployments that
+	// cannot tolerate a serializing token set this; combining it with
+	// EscalateAfter > 0 is a configuration conflict rejected by Normalize.
+	NoIrrevocable bool
 }
 
 // Normalize fills defaulted fields in place and validates the result: the
@@ -100,8 +115,18 @@ func (c *CommonConfig) Normalize() error {
 	if c.SelfAbortAfter < 0 {
 		return fmt.Errorf("stmapi: negative SelfAbortAfter %d", c.SelfAbortAfter)
 	}
+	if c.EscalateAfter < 0 {
+		return fmt.Errorf("stmapi: negative EscalateAfter %d", c.EscalateAfter)
+	}
+	if c.NoIrrevocable && c.EscalateAfter > 0 {
+		return fmt.Errorf("stmapi: EscalateAfter %d conflicts with NoIrrevocable (escalation needs irrevocable transactions)", c.EscalateAfter)
+	}
 	return nil
 }
+
+// ErrIrrevocableDisabled is returned by AtomicIrrevocable on a runtime
+// configured with NoIrrevocable.
+var ErrIrrevocableDisabled = errors.New("stmapi: irrevocable transactions disabled by configuration")
 
 // StatsSnapshot is a point-in-time copy of a runtime's counters as plain
 // values. Counters that a runtime does not track (UserRetries before the
@@ -119,6 +144,17 @@ type StatsSnapshot struct {
 	// requests issued against a visible owner on AbortOther decisions.
 	SelfAborts  int64 `json:"policy_self_aborts,omitempty"`
 	DoomsIssued int64 `json:"policy_dooms,omitempty"`
+
+	// Recovery and irrevocability counters. ReaperSteals counts orphaned
+	// transactions whose records were reclaimed (by the background reaper or
+	// an inline-stealing waiter); Escalations counts atomic blocks escalated
+	// to irrevocable after EscalateAfter consecutive aborts; IrrevocableTxns
+	// counts transactions that ran irrevocably (escalated or explicit);
+	// IrrevocableNs is the cumulative global-token hold time.
+	ReaperSteals    int64 `json:"reaper_steals,omitempty"`
+	Escalations     int64 `json:"escalations,omitempty"`
+	IrrevocableTxns int64 `json:"irrevocable_txns,omitempty"`
+	IrrevocableNs   int64 `json:"irrevocable_ns,omitempty"`
 }
 
 // Fields enumerates the snapshot as name→value pairs, in a stable order,
@@ -139,6 +175,10 @@ func (s StatsSnapshot) Fields() []struct {
 		{"txn_writes", s.TxnWrites},
 		{"policy_self_aborts", s.SelfAborts},
 		{"policy_dooms", s.DoomsIssued},
+		{"reaper_steals", s.ReaperSteals},
+		{"escalations", s.Escalations},
+		{"irrevocable_txns", s.IrrevocableTxns},
+		{"irrevocable_ns", s.IrrevocableNs},
 	}
 }
 
@@ -173,6 +213,22 @@ type Txn interface {
 
 	// Restart aborts and re-executes the body immediately.
 	Restart()
+
+	// BecomeIrrevocable switches the transaction to irrevocable mode: it
+	// acquires the runtime's single irrevocable token (waiting if another
+	// transaction holds it), upgrades its read set to exclusive ownership so
+	// commit validation cannot fail, and from then on never aborts — every
+	// subsequent read acquires its record pessimistically and conflicting
+	// transactions yield. Safe for I/O after the switch. If the read set is
+	// already stale the transaction restarts (the switch has not happened,
+	// so aborting is still legal). Panics on a NoIrrevocable runtime, and
+	// must not be followed by Retry or a body error (the runtime still
+	// cleans up, but the irrevocability guarantee is forfeited).
+	BecomeIrrevocable()
+
+	// IsIrrevocable reports whether BecomeIrrevocable has taken effect for
+	// the current attempt.
+	IsIrrevocable() bool
 }
 
 // Runtime is the uniform driver-facing surface of an STM runtime. Obtain
@@ -193,6 +249,14 @@ type Runtime interface {
 	// and returns ctx.Err(). An already-cancelled context returns
 	// immediately without executing the body.
 	AtomicCtx(ctx context.Context, body func(Txn) error) error
+
+	// AtomicIrrevocable executes body as an irrevocable transaction: the
+	// body runs at most once after the irrevocable switch (no aborts, no
+	// re-execution past the switch), so it may perform I/O. Returns
+	// ErrIrrevocableDisabled on a NoIrrevocable runtime. A body error still
+	// rolls back and is returned — returning an error from an irrevocable
+	// body forfeits the no-reexecution guarantee and is a caller bug.
+	AtomicIrrevocable(body func(Txn) error) error
 
 	// Stats snapshots the runtime's counters.
 	Stats() StatsSnapshot

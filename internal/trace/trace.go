@@ -49,12 +49,15 @@ const (
 	EvCommit                  // attempt committed
 	EvSelfAbort               // contention policy decided SelfAbort (Obj = contended object)
 	EvDoom                    // contention policy doomed the owner (Obj = contended object, Ver = victim ID)
+	EvSteal                   // reaper/waiter reclaimed a dead owner's records (Txn = reclaimer or 0, Ver = victim ID)
+	EvEscalate                // atomic block escalated to irrevocable after K consecutive aborts (Slot = attempt)
+	EvIrrevocable             // transaction became irrevocable (token acquired, read set locked)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"begin", "read", "write", "lock-acquire", "conflict", "abort", "retry", "commit",
-	"self-abort", "doom",
+	"self-abort", "doom", "steal", "escalate", "irrevocable",
 }
 
 // String returns the kind's wire name (used as JSON keys in snapshots).
@@ -135,6 +138,7 @@ type Tracer struct {
 	commitLat Histogram
 	abortGap  Histogram
 	quiesce   Histogram
+	irrevHold Histogram
 }
 
 // New creates a Tracer. Total retained history is Shards×ShardCapacity
@@ -187,6 +191,13 @@ func (t *Tracer) ObserveAbortGap(d time.Duration) { t.abortGap.Observe(d.Nanosec
 // ObserveQuiesce records one quiescence wait.
 func (t *Tracer) ObserveQuiesce(d time.Duration) { t.quiesce.Observe(d.Nanoseconds()) }
 
+// IrrevocableHold is the histogram of irrevocable-token hold durations.
+func (t *Tracer) IrrevocableHold() *Histogram { return &t.irrevHold }
+
+// ObserveIrrevocableHold records one irrevocable-token hold duration
+// (switch to release).
+func (t *Tracer) ObserveIrrevocableHold(d time.Duration) { t.irrevHold.Observe(d.Nanoseconds()) }
+
 // Count returns how many events of kind k have been recorded (including
 // events since overwritten in the rings).
 func (t *Tracer) Count(k Kind) int64 { return t.byKind[k].Load() }
@@ -229,23 +240,25 @@ func (t *Tracer) Snapshot(topN int) Snapshot {
 		}
 	}
 	return Snapshot{
-		Events:        total,
-		Dropped:       dropped,
-		ByKind:        byKind,
-		Hotspots:      t.hot.Top(topN),
-		CommitLatency: t.commitLat.Snapshot(),
-		AbortToRetry:  t.abortGap.Snapshot(),
-		QuiesceWait:   t.quiesce.Snapshot(),
+		Events:          total,
+		Dropped:         dropped,
+		ByKind:          byKind,
+		Hotspots:        t.hot.Top(topN),
+		CommitLatency:   t.commitLat.Snapshot(),
+		AbortToRetry:    t.abortGap.Snapshot(),
+		QuiesceWait:     t.quiesce.Snapshot(),
+		IrrevocableHold: t.irrevHold.Snapshot(),
 	}
 }
 
 // Snapshot is the JSON-serializable summary served by internal/metrics.
 type Snapshot struct {
-	Events        int64             `json:"events"`
-	Dropped       int64             `json:"dropped,omitempty"`
-	ByKind        map[string]int64  `json:"by_kind,omitempty"`
-	Hotspots      []HotspotEntry    `json:"hotspots,omitempty"`
-	CommitLatency HistogramSnapshot `json:"commit_latency"`
-	AbortToRetry  HistogramSnapshot `json:"abort_to_retry"`
-	QuiesceWait   HistogramSnapshot `json:"quiesce_wait"`
+	Events          int64             `json:"events"`
+	Dropped         int64             `json:"dropped,omitempty"`
+	ByKind          map[string]int64  `json:"by_kind,omitempty"`
+	Hotspots        []HotspotEntry    `json:"hotspots,omitempty"`
+	CommitLatency   HistogramSnapshot `json:"commit_latency"`
+	AbortToRetry    HistogramSnapshot `json:"abort_to_retry"`
+	QuiesceWait     HistogramSnapshot `json:"quiesce_wait"`
+	IrrevocableHold HistogramSnapshot `json:"irrevocable_hold"`
 }
