@@ -246,3 +246,67 @@ func TestStmbenchFig13(t *testing.T) {
 		}
 	}
 }
+
+// noTxnTJ has no atomic blocks at all, so NAIT proves every
+// non-transactional barrier removable — the canonical -werror trigger
+// when compiled below -O4.
+const noTxnTJ = `
+class C { var f: int; }
+class Main {
+  static func main() {
+    var c = new C();
+    c.f = 41;
+    print(c.f + 1);
+  }
+}`
+
+func TestTjcWerror(t *testing.T) {
+	bin := buildTool(t, "tjc")
+	src := filepath.Join(t.TempDir(), "notxn.tj")
+	if err := os.WriteFile(src, []byte(noTxnTJ), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Below -O4 the proven-removable barriers are still in place: fail.
+	out, err := exec.Command(bin, "-O", "0", "-werror", src).CombinedOutput()
+	if err == nil {
+		t.Fatalf("tjc -O 0 -werror accepted removable-but-kept barriers:\n%s", out)
+	}
+	if !strings.Contains(string(out), "NAIT∪TL prove") || !strings.Contains(string(out), "-O4") {
+		t.Errorf("tjc -werror diagnostic missing explanation:\n%s", out)
+	}
+	// At -O4 the removals are applied, so the same program passes.
+	if out, err := exec.Command(bin, "-O", "4", "-werror", src).CombinedOutput(); err != nil {
+		t.Fatalf("tjc -O 4 -werror: %v\n%s", err, out)
+	}
+	// A program whose barriers are all *needed* passes at every level.
+	if out, err := exec.Command(bin, "-O", "0", "-werror", writeSample(t)).CombinedOutput(); err != nil {
+		t.Fatalf("tjc -O 0 -werror on transactional sample: %v\n%s", err, out)
+	}
+}
+
+func TestStmvetTool(t *testing.T) {
+	bin := buildTool(t, "stmvet")
+	// The suite must run clean over the whole repository (the dogfooded
+	// state) — both standalone and through the go vet vettool protocol.
+	out, err := exec.Command(bin, "-C", "..", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmvet ./... found issues: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./cmd/...", "./examples/...")
+	vet.Dir = ".."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=stmvet: %v\n%s", err, out)
+	}
+	list, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmvet -list: %v\n%s", err, list)
+	}
+	for _, pass := range []string{"txnescape", "nakedaccess", "sideeffect", "retrymisuse", "ctxmisuse"} {
+		if !strings.Contains(string(list), pass) {
+			t.Errorf("stmvet -list missing %s:\n%s", pass, list)
+		}
+	}
+	if _, err := exec.Command(bin, "-passes", "nosuchpass", "./...").CombinedOutput(); err == nil {
+		t.Error("stmvet accepted an unknown pass name")
+	}
+}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	tjc [-O level] [-g granularity] [-ir] [-method name] [-fig13] file.tj
+//	tjc [-O level] [-g granularity] [-ir] [-method name] [-fig13] [-werror] file.tj
+//
+// With -werror, tjc exits nonzero when the whole-program analyses (NAIT ∪
+// TL, the Figure 13 counts) prove non-transactional barriers removable
+// that the chosen -O level leaves in place (any level below -O4, where
+// Apply is off): CI can then treat an analysis regression — barriers that
+// should be free but are still paid for — as a build failure.
 package main
 
 import (
@@ -25,6 +31,7 @@ func main() {
 	showIR := flag.Bool("ir", false, "dump IR with barrier annotations")
 	method := flag.String("method", "", "dump only this method (e.g. Main.main)")
 	fig13 := flag.Bool("fig13", false, "print the program's Figure 13 static-count row")
+	werror := flag.Bool("werror", false, "exit nonzero if NAIT∪TL prove barriers removable that this -O level leaves in place")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tjc [flags] file.tj")
@@ -55,13 +62,16 @@ func main() {
 			wp.NAITReads, wp.TotalReads, wp.NAITWrites, wp.TotalWrites,
 			wp.TLReads, wp.TotalReads, wp.TLWrites, wp.TotalWrites, wp.InitSelf)
 	}
-	if *fig13 {
+	var r *analysis.Report
+	if *fig13 || *werror {
 		frontend, err := tj.Frontend(string(src))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		r := analysis.Run(frontend, analysis.Options{Granularity: *gran})
+		r = analysis.Run(frontend, analysis.Options{Granularity: *gran})
+	}
+	if *fig13 {
 		fmt.Println("\nFigure 13 row (reachable non-transactional barriers):")
 		fmt.Print(r.String())
 	}
@@ -72,6 +82,14 @@ func main() {
 				continue
 			}
 			fmt.Println(m.String())
+		}
+	}
+	if *werror && opt.Level(*level) < opt.O4WholeProg {
+		if removable := r.UnionReads + r.UnionWrites; removable > 0 {
+			fmt.Fprintf(os.Stderr,
+				"tjc: -werror: NAIT∪TL prove %d non-transactional barriers removable (%d reads, %d writes) but %v does not apply whole-program removal — compile at -O4 or fix the regression\n",
+				removable, r.UnionReads, r.UnionWrites, opt.Level(*level))
+			os.Exit(1)
 		}
 	}
 }

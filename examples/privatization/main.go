@@ -40,6 +40,10 @@ func oneTrial(mode string) bool {
 	})
 	l := heap.New(list)
 	it := heap.New(item)
+	// Pre-publication init: no transaction has seen these objects yet, and
+	// this example deliberately works at the raw layer to reproduce the
+	// Figure 1 anomaly.
+	//stmvet:ignore nakedaccess -- init before any transaction starts
 	l.StoreSlot(0, uint64(it.Ref()))
 
 	bars := strong.New(heap, false)

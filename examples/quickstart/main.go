@@ -28,7 +28,7 @@ func main() {
 		panic(err)
 	}
 	a, b := sys.New(account), sys.New(account)
-	a.StoreSlot(0, 1000)
+	sys.Write(a, 0, 1000) // seed through the barriered accessor (stmvet discipline)
 
 	const (
 		transfers = 5000

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/lang/ir"
+)
+
+// TestGranularitySpanPoisoning pins down the Section 2.4 requirement
+// documented on Options.Granularity: with Granularity > 1, a
+// transactional write to ONE slot must be treated by NAIT as a write to
+// its WHOLE aligned span — in both directions within the span, and in no
+// other span. The transaction writes slot 1 only; slots 0 and 1 share
+// span [0,1] while slot 2 starts span [2,3].
+func TestGranularitySpanPoisoning(t *testing.T) {
+	src := `
+class C { var a: int; var b: int; var c2: int; var d: int; }
+class Main {
+  static var c: C;
+  static func w() { atomic { c.b = 1; } }
+  static func main() {
+    c = new C();
+    var t = spawn Main.w();
+    var r0 = c.a;
+    var r2 = c.c2;
+    join(t);
+    print(r0 + r2);
+  }
+}`
+	progFine, repFine := run(t, src, 1)
+	// Field-granular: the write to slot 1 touches slot 1 alone, so both
+	// non-transactional reads lose their barriers.
+	if barrierOn(t, progFine, "Main.main", ir.GetField, 0).Need {
+		t.Error("granularity 1: read of slot 0 kept its barrier despite no transactional access to it")
+	}
+	if barrierOn(t, progFine, "Main.main", ir.GetField, 2).Need {
+		t.Error("granularity 1: read of slot 2 kept its barrier despite no transactional access to it")
+	}
+
+	progCoarse, repCoarse := run(t, src, 2)
+	// Span-granular: the write to slot 1 poisons its whole span, so the
+	// slot-0 read (lower neighbour — the direction the existing
+	// TestGranularityWidensTxnWrites does not cover) must keep its
+	// barrier...
+	if !barrierOn(t, progCoarse, "Main.main", ir.GetField, 0).Need {
+		t.Error("granularity 2: read of slot 0 lost its barrier although the transactional write to slot 1 poisons span [0,1] (Section 2.4)")
+	}
+	// ...while the slot-2 read sits in the next aligned span and stays
+	// removable: poisoning must widen to the span, not the object.
+	if barrierOn(t, progCoarse, "Main.main", ir.GetField, 2).Need {
+		t.Error("granularity 2: read of slot 2 kept its barrier although span [2,3] is never written transactionally")
+	}
+
+	// The Figure 13 counts must tell the same story: coarsening the
+	// granularity can only shrink NAIT's removable-read set.
+	if repCoarse.NAITReads >= repFine.NAITReads {
+		t.Errorf("NAIT removable reads: granularity 2 removed %d, granularity 1 removed %d — span poisoning should strictly reduce removals here",
+			repCoarse.NAITReads, repFine.NAITReads)
+	}
+}

@@ -1,0 +1,91 @@
+package vetstm
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RetryMisuse flags Retry calls that can never be woken or that sit in a
+// dead loop. Txn.Retry aborts the transaction and blocks until something
+// in its *read set* changes, then re-executes the whole body from the
+// top. Two misuses follow directly from that contract:
+//
+//   - Retry before any transactional read: the read set is empty, so there
+//     is nothing whose change can wake the transaction — it blocks forever
+//     (or spins, depending on the runtime's fallback).
+//   - Retry inside a loop with no transactional read in the loop: Retry
+//     never returns (re-execution restarts the body), so the loop can
+//     never observe a change — the loop is dead scaffolding that usually
+//     indicates the author expected Retry to return and re-test.
+var RetryMisuse = &Analyzer{
+	Name: "retrymisuse",
+	Doc:  "report Retry calls with an empty read set or in a read-free loop",
+	Run:  runRetryMisuse,
+}
+
+func runRetryMisuse(pass *Pass) {
+	forEachBody(pass, func(b bodyFunc) {
+		tx := b.txn
+		var readPos []token.Pos // transactional reads on this body's handle
+		var retries []*ast.CallExpr
+		var loops []ast.Node // every for/range statement in the body
+		ast.Inspect(b.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if v, name, ok := txnMethodCall(pass.Info, n); ok && v == tx {
+					switch name {
+					case "Read", "ReadRef":
+						readPos = append(readPos, n.Pos())
+					case "Retry":
+						retries = append(retries, n)
+					}
+				}
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+			}
+			return true
+		})
+		if len(retries) == 0 {
+			return
+		}
+		readBefore := func(pos token.Pos) bool {
+			for _, p := range readPos {
+				if p < pos {
+					return true
+				}
+			}
+			return false
+		}
+		readWithin := func(n ast.Node) bool {
+			for _, p := range readPos {
+				if n.Pos() <= p && p < n.End() {
+					return true
+				}
+			}
+			return false
+		}
+		// Innermost enclosing loop of pos, by interval containment.
+		enclosingLoop := func(pos token.Pos) ast.Node {
+			var best ast.Node
+			for _, l := range loops {
+				if l.Pos() <= pos && pos < l.End() {
+					if best == nil || l.Pos() > best.Pos() {
+						best = l
+					}
+				}
+			}
+			return best
+		}
+		for _, call := range retries {
+			if !readBefore(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"Retry with an empty read set: no transactional read precedes it, so nothing can ever wake this transaction")
+				continue
+			}
+			if loop := enclosingLoop(call.Pos()); loop != nil && !readWithin(loop) {
+				pass.Reportf(call.Pos(),
+					"Retry inside a loop with no transactional read in the loop: Retry never returns (it re-executes the whole body), so the loop cannot observe a change — hoist the guard to the body top")
+			}
+		}
+	})
+}

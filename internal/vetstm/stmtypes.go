@@ -1,0 +1,244 @@
+package vetstm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The STM surface the passes recognize, by package-path suffix. Matching
+// on suffixes keeps the suite working if the module path changes.
+const (
+	pkgSTM      = "internal/stm"
+	pkgLazySTM  = "internal/lazystm"
+	pkgSTMAPI   = "internal/stmapi"
+	pkgCore     = "internal/core"
+	pkgObjModel = "internal/objmodel"
+)
+
+var stmPkgTails = []string{pkgSTM, pkgLazySTM, pkgSTMAPI, pkgCore}
+
+func pathHasTail(path, tail string) bool {
+	return path == tail || strings.HasSuffix(path, "/"+tail)
+}
+
+// namedIn reports whether t (after stripping one pointer and aliases) is
+// the named type `name` declared in a package whose path ends in tail.
+func namedIn(t types.Type, tail, name string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pathHasTail(obj.Pkg().Path(), tail)
+}
+
+// isTxnType reports whether t is a transaction handle: *stm.Txn,
+// *lazystm.Txn, stmapi.Txn, or core.Tx.
+func isTxnType(t types.Type) bool {
+	return namedIn(t, pkgSTM, "Txn") ||
+		namedIn(t, pkgLazySTM, "Txn") ||
+		namedIn(t, pkgSTMAPI, "Txn") ||
+		namedIn(t, pkgCore, "Tx")
+}
+
+// isManagedObject reports whether t is a managed-heap object handle
+// (*objmodel.Object; core.Obj is an alias of it).
+func isManagedObject(t types.Type) bool {
+	return namedIn(t, pkgObjModel, "Object")
+}
+
+// atomicEntryNames are the runtime methods that start an atomic block.
+var atomicEntryNames = map[string]bool{
+	"Atomic":            true,
+	"AtomicCtx":         true,
+	"AtomicIrrevocable": true,
+	"AtomicOpen":        true,
+}
+
+// atomicCall reports whether call invokes an atomic entry point of one of
+// the STM packages and returns the method name.
+func atomicCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicEntryNames[se.Sel.Name] {
+		return "", false
+	}
+	fn, ok := info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	for _, tail := range stmPkgTails {
+		if pathHasTail(fn.Pkg().Path(), tail) {
+			return se.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// txnMethodCall returns the transaction variable and method name when
+// call is `tx.Method(...)` on a transaction-typed variable tx.
+func txnMethodCall(info *types.Info, call *ast.CallExpr) (*types.Var, string, bool) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	id, ok := unparen(se.X).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !isTxnType(v.Type()) {
+		return nil, "", false
+	}
+	return v, se.Sel.Name, true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// identVar resolves e to the variable it names, if it is a plain
+// identifier.
+func identVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// bodyFunc is a function that executes transactionally: a func literal or
+// declaration with a transaction-typed parameter.
+type bodyFunc struct {
+	node        ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body        *ast.BlockStmt
+	ftype       *ast.FuncType
+	txn         *types.Var // the transaction parameter
+	irrevocable bool       // literal passed directly to AtomicIrrevocable
+}
+
+// txnParam returns the first transaction-typed parameter of ft, or nil.
+func txnParam(info *types.Info, ft *ast.FuncType) *types.Var {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && isTxnType(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// looksLikeBody distinguishes an atomic body (or a transactional helper)
+// from a runtime callback that merely receives a transaction. Bodies and
+// helpers return an error (the abort channel) or hand the transaction on
+// (a txn-typed result); hooks like lazystm.Hooks.OnAfterCommitPoint take
+// a *Txn and return nothing — they run exactly once at a fixed protocol
+// point and may legally perform effects.
+func looksLikeBody(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, f := range ft.Results.List {
+		t := info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if isTxnType(t) {
+			return true
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachBody invokes fn for every transactional body function in the
+// package: func literals passed to an Atomic entry point, plus literals
+// and declarations that take a transaction parameter and look like a body
+// (see looksLikeBody). Bodies passed directly to AtomicIrrevocable are
+// marked irrevocable (side effects are legal there — the body runs at
+// most once past the irrevocable switch).
+func forEachBody(pass *Pass, fn func(bodyFunc)) {
+	// First pass: literals that are arguments of Atomic-family calls.
+	atomicLits := make(map[*ast.FuncLit]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := atomicCall(pass.Info, call); ok {
+				for _, arg := range call.Args {
+					if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+						atomicLits[lit] = name
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if v := txnParam(pass.Info, n.Type); v != nil && looksLikeBody(pass.Info, n.Type) {
+					fn(bodyFunc{node: n, body: n.Body, ftype: n.Type, txn: v})
+				}
+			case *ast.FuncLit:
+				entry, isAtomicArg := atomicLits[n]
+				if !isAtomicArg && !looksLikeBody(pass.Info, n.Type) {
+					return true
+				}
+				if v := txnParam(pass.Info, n.Type); v != nil {
+					fn(bodyFunc{node: n, body: n.Body, ftype: n.Type, txn: v, irrevocable: entry == "AtomicIrrevocable"})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// irrevocableSwitchPos returns the position after which the body is
+// irrevocable: the end of the first `tx.BecomeIrrevocable()` call on the
+// body's transaction parameter, or 0 if there is none. Code past that
+// point never re-executes, so side effects there are legal.
+func irrevocableSwitchPos(pass *Pass, b bodyFunc) (pos int) {
+	pos = -1
+	ast.Inspect(b.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, name, ok := txnMethodCall(pass.Info, call); ok && name == "BecomeIrrevocable" && v == b.txn {
+			if pos < 0 || int(call.End()) < pos {
+				pos = int(call.End())
+			}
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,26 @@
+// Clean fixtures: objects never opened transactionally may use the direct
+// accessors, and barriered System accessors are always legal.
+package nakedaccess
+
+import (
+	"repro/internal/core"
+	"repro/internal/objmodel"
+)
+
+var sys *core.System
+var private *objmodel.Object // never touched by any transaction
+var audited *objmodel.Object
+
+func privateScratch() uint64 {
+	private.StoreSlot(0, 41)
+	return private.LoadSlot(0) + 1
+}
+
+func barriered() uint64 {
+	_ = sys.Atomic(func(tx core.Tx) error {
+		tx.Write(audited, 0, 1)
+		return nil
+	})
+	sys.Write(audited, 0, 2) // the Figure 9 barrier path: safe by design
+	return sys.Read(audited, 0)
+}

@@ -1,0 +1,30 @@
+// Flagged fixtures: the same object is opened transactionally in one
+// function and accessed nakedly in another.
+package nakedaccess
+
+import (
+	"repro/internal/objmodel"
+	"repro/internal/stm"
+)
+
+var rt *stm.Runtime
+var shared *objmodel.Object
+
+func transactional() {
+	_ = rt.Atomic(nil, func(tx *stm.Txn) error {
+		tx.Write(shared, 0, tx.Read(shared, 0)+1)
+		return nil
+	})
+}
+
+func nakedRead() uint64 {
+	return shared.LoadSlot(0) // want `naked LoadSlot on shared`
+}
+
+func nakedWrite() {
+	shared.StoreSlot(0, 7) // want `naked StoreSlot on shared`
+}
+
+func rawSlots() uint64 {
+	return shared.Slots[0].Load() // want `raw Slots access on shared`
+}

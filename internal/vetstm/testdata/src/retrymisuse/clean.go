@@ -1,0 +1,27 @@
+// Clean fixtures: the canonical guard shape, and a loop that re-reads.
+package retrymisuse
+
+import (
+	"repro/internal/stm"
+)
+
+func guard() {
+	_ = rt.Atomic(nil, func(tx *stm.Txn) error {
+		if tx.Read(obj, 0) == 0 {
+			tx.Retry()
+		}
+		tx.Write(obj, 0, 0)
+		return nil
+	})
+}
+
+func loopWithRead(objs []*stm.Txn) {
+	_ = rt.Atomic(nil, func(tx *stm.Txn) error {
+		for slot := 0; slot < 4; slot++ {
+			if tx.Read(obj, slot) == 0 {
+				tx.Retry() // the loop re-reads: a change is observable
+			}
+		}
+		return nil
+	})
+}

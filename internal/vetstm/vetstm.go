@@ -1,0 +1,250 @@
+// Package vetstm is a suite of static-analysis passes that enforce the
+// paper's isolation and ordering discipline on Go code embedding the STM
+// libraries (internal/stm, internal/lazystm, internal/stmapi,
+// internal/core) directly.
+//
+// In the TJ pipeline, isolation is enforced mechanically: the compiler
+// inserts the Figure 9 barriers on every non-transactional access and NAIT
+// (internal/analysis) proves where they can be dropped. Go client code has
+// no compiler on its side — a naked slot access, a transaction handle that
+// escapes its atomic block, or a side effect inside a re-executable body
+// is exactly a Figure 1–6 anomaly waiting to happen at runtime. These
+// passes are the correctness-tooling analogue of NAIT for the library
+// embedding: they catch the misuse statically, before it becomes a
+// runtime anomaly.
+//
+// The suite is framework-compatible in spirit with
+// golang.org/x/tools/go/analysis — each pass is an *Analyzer with a
+// Run(*Pass) function reporting position-anchored diagnostics — but is
+// self-contained on the standard library (go/ast, go/types) so the repo
+// carries no external dependency. cmd/stmvet drives the suite both
+// standalone (stmvet ./...) and as a `go vet -vettool` backend.
+//
+// Diagnostics can be suppressed with a trailing or preceding comment:
+//
+//	o.StoreSlot(0, v) //stmvet:ignore nakedaccess -- init before publish
+//	//stmvet:ignore sideeffect,txnescape
+//	body()
+//
+// A bare `//stmvet:ignore` suppresses every pass on that line.
+package vetstm
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass: a name (used in
+// diagnostics, pass selection, and //stmvet:ignore comments), a short
+// doc string, and the function that runs it over one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pass:     p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pass     string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Pass)
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		TxnEscape,
+		NakedAccess,
+		SideEffect,
+		RetryMisuse,
+		CtxMisuse,
+	}
+}
+
+// ByName resolves a comma-separated pass list ("txnescape,sideeffect")
+// against the suite. An empty spec selects every pass.
+func ByName(spec string) ([]*Analyzer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("vetstm: unknown pass %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Package is the type-checked unit the runner consumes. Loaders
+// (vetload, the unitchecker driver, the test harness) produce it.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// diagnostics sorted by position, with //stmvet:ignore suppressions
+// already applied.
+//
+// Test files are type-checked (the package would not resolve without
+// them when go vet hands us a test unit) but not analyzed: the STM's own
+// test suites deliberately perform naked probes and in-body channel
+// handoffs to *verify* barrier and retry behaviour, which is exactly the
+// discipline production embeddings must not need.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	files := pkg.Files
+	var kept []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) < len(files) {
+		shallow := *pkg
+		shallow.Files = kept
+		pkg = &shallow
+	}
+	sup := buildSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report: func(d Diagnostic) {
+				if !sup.suppresses(d) {
+					out = append(out, d)
+				}
+			},
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}
+
+// suppressions maps file → line → set of suppressed pass names ("" means
+// all passes). A comment suppresses its own line; a comment that is the
+// only thing on its line also suppresses the next line.
+type suppressions map[string]map[int]map[string]bool
+
+const ignoreDirective = "stmvet:ignore"
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	add := func(file string, line int, passes []string) {
+		byLine := sup[file]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			sup[file] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = make(map[string]bool)
+			byLine[line] = set
+		}
+		if len(passes) == 0 {
+			set[""] = true
+		}
+		for _, p := range passes {
+			set[p] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. stmvet:ignoreXXX — not the directive
+				}
+				// Everything after `--` is rationale, not pass names.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				var passes []string
+				for _, p := range strings.Split(rest, ",") {
+					if p = strings.TrimSpace(p); p != "" {
+						passes = append(passes, p)
+					}
+				}
+				// A directive covers its own line (trailing-comment
+				// form) and the next (standalone-comment form).
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, passes)
+				add(pos.Filename, pos.Line+1, passes)
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) suppresses(d Diagnostic) bool {
+	byLine := s[d.Position.Filename]
+	if byLine == nil {
+		return false
+	}
+	set := byLine[d.Position.Line]
+	if set == nil {
+		return false
+	}
+	return set[""] || set[d.Pass]
+}

@@ -1,0 +1,43 @@
+package vetstm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vetstm"
+	"repro/internal/vetstm/vettest"
+)
+
+// Each pass is exercised over a fixture package containing at least one
+// flagged and one clean file, analysistest-style: diagnostics must match
+// the // want comments exactly (none missing, none extra).
+
+func TestTxnEscape(t *testing.T)   { vettest.Run(t, vetstm.TxnEscape, "testdata/src/txnescape") }
+func TestNakedAccess(t *testing.T) { vettest.Run(t, vetstm.NakedAccess, "testdata/src/nakedaccess") }
+func TestSideEffect(t *testing.T)  { vettest.Run(t, vetstm.SideEffect, "testdata/src/sideeffect") }
+func TestRetryMisuse(t *testing.T) { vettest.Run(t, vetstm.RetryMisuse, "testdata/src/retrymisuse") }
+func TestCtxMisuse(t *testing.T)   { vettest.Run(t, vetstm.CtxMisuse, "testdata/src/ctxmisuse") }
+
+func TestByName(t *testing.T) {
+	all, err := vetstm.ByName("")
+	if err != nil || len(all) != len(vetstm.All()) {
+		t.Fatalf("empty spec: got %d analyzers, err %v", len(all), err)
+	}
+	two, err := vetstm.ByName("sideeffect, txnescape")
+	if err != nil || len(two) != 2 || two[0].Name != "sideeffect" || two[1].Name != "txnescape" {
+		t.Fatalf("two-pass spec: got %v, err %v", two, err)
+	}
+	if _, err := vetstm.ByName("nosuchpass"); err == nil || !strings.Contains(err.Error(), "nosuchpass") {
+		t.Fatalf("unknown pass: err %v", err)
+	}
+	names := make(map[string]bool)
+	for _, a := range vetstm.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		names[a.Name] = true
+	}
+}

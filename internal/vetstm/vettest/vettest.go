@@ -1,0 +1,161 @@
+// Package vettest runs vetstm analyzers over testdata fixtures and checks
+// their diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest. Fixtures live outside the
+// build (testdata/ is invisible to the go tool) but import the real STM
+// packages; imports are resolved through compiled export data produced by
+// one `go list -export` run over the module.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/vetstm"
+	"repro/internal/vetstm/vetload"
+)
+
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+)
+
+// extraStd are standard-library packages fixtures may import beyond the
+// module's own dependency closure.
+var extraStd = []string{"context", "fmt", "log", "math/rand", "math/rand/v2", "os", "time"}
+
+func exportMap(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		root, err := vetload.ModuleDir(".")
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		patterns := append([]string{"./..."}, extraStd...)
+		exports, exportsErr = vetload.Exports(root, patterns...)
+	})
+	if exportsErr != nil {
+		t.Fatalf("building export universe: %v", exportsErr)
+	}
+	return exports
+}
+
+// Run applies a to the fixture package in dir (e.g.
+// "testdata/src/txnescape") and reports mismatches between its
+// diagnostics and the fixture's // want comments.
+func Run(t *testing.T, a *vetstm.Analyzer, dir string) {
+	t.Helper()
+	exp := exportMap(t)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixtures in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkgPath := "vetstm.test/" + filepath.Base(dir)
+	tpkg, info, err := vetload.Check(pkgPath, fset, files, func(path string) (string, error) {
+		f, ok := exp[path]
+		if !ok {
+			return "", fmt.Errorf("fixture imports %q, which is outside the export universe", path)
+		}
+		return f, nil
+	})
+	if err != nil {
+		t.Fatalf("typecheck fixtures: %v", err)
+	}
+	pkg := &vetstm.Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	got := vetstm.Run(pkg, []*vetstm.Analyzer{a})
+
+	wants := collectWants(t, names)
+	for _, d := range got {
+		key := posKey{filepath.Base(d.Position.Filename), d.Position.Line}
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+		} else {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// collectWants scans fixture sources for `// want "re" ...` comments,
+// keyed by (file, line).
+func collectWants(t *testing.T, names []string) map[posKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[posKey][]*regexp.Regexp)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			spec := line[idx+len("// want "):]
+			matches := wantRE.FindAllStringSubmatch(spec, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", name, i+1, spec)
+			}
+			for _, m := range matches {
+				var text string
+				if strings.HasPrefix(m[0], `"`) {
+					unq, err := strconv.Unquote(m[0])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", name, i+1, m[0], err)
+					}
+					text = unq
+				} else {
+					text = m[2]
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, text, err)
+				}
+				key := posKey{filepath.Base(name), i + 1}
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(res []*regexp.Regexp, msg string) int {
+	for i, re := range res {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
