@@ -333,13 +333,14 @@ func parallelGoroutineCounts() []int {
 	return counts
 }
 
-func benchParallelTxns(b *testing.B, workload string, readPct int) {
+func benchParallelTxns(b *testing.B, workload string, readPct int, validation string) {
 	for _, g := range parallelGoroutineCounts() {
 		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
 			b.ReportAllocs()
 			res, err := bench.RunParallel(bench.ParallelSpec{
 				Workload:   workload,
 				Versioning: "eager",
+				Validation: validation,
 				Goroutines: g,
 				ReadPct:    readPct,
 				Txns:       b.N,
@@ -352,9 +353,44 @@ func benchParallelTxns(b *testing.B, workload string, readPct int) {
 	}
 }
 
-func BenchmarkParallelReadHeavy(b *testing.B)  { benchParallelTxns(b, "read-heavy", 90) }
-func BenchmarkParallelMixed(b *testing.B)      { benchParallelTxns(b, "mixed", 50) }
-func BenchmarkParallelWriteHeavy(b *testing.B) { benchParallelTxns(b, "write-heavy", 10) }
+func BenchmarkParallelReadHeavy(b *testing.B)  { benchParallelTxns(b, "read-heavy", 90, "") }
+func BenchmarkParallelMixed(b *testing.B)      { benchParallelTxns(b, "mixed", 50, "") }
+func BenchmarkParallelWriteHeavy(b *testing.B) { benchParallelTxns(b, "write-heavy", 10, "") }
+
+// BenchmarkParallelReadHeavyWalk re-runs the read-heavy sweep with the
+// commit clock disabled — every commit validates by walking its read set.
+// The gap to BenchmarkParallelReadHeavy is the TL2 fast path's gain.
+func BenchmarkParallelReadHeavyWalk(b *testing.B) {
+	benchParallelTxns(b, "read-heavy", 90, "walk")
+}
+
+// ---- STAMP-shape workload throughput ----
+//
+// The structured mixes from internal/workloads (vacation, kmeans, genome)
+// under the same harness; `stmbench -fig stamp [-json]` runs the full
+// sweep over both runtimes.
+
+func benchStamp(b *testing.B, workload string) {
+	for _, g := range parallelGoroutineCounts() {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			b.ReportAllocs()
+			res, err := bench.RunStamp(bench.StampSpec{
+				Workload:   workload,
+				Versioning: "eager",
+				Goroutines: g,
+				Txns:       b.N,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Aborts)/float64(b.N), "aborts/op")
+		})
+	}
+}
+
+func BenchmarkStampVacation(b *testing.B) { benchStamp(b, "vacation") }
+func BenchmarkStampKmeans(b *testing.B)   { benchStamp(b, "kmeans") }
+func BenchmarkStampGenome(b *testing.B)   { benchStamp(b, "genome") }
 
 // BenchmarkInterpreterDispatch calibrates the substrate: how many IR
 // instructions per second the VM interprets (context for the damped

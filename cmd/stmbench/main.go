@@ -10,8 +10,17 @@
 //	stmbench -fig 19           OO7 scalability
 //	stmbench -fig 20           JBB scalability
 //	stmbench -fig par          parallel STM hot-path throughput sweep
+//	stmbench -fig stamp        STAMP-shape workload sweep (vacation/kmeans/genome)
 //	stmbench -fig crash        crash-recovery robustness run (orphan injection)
 //	stmbench -fig all          everything
+//
+// An unknown -fig value is an error that lists the known figures. The
+// -validation flag selects the commit-time validation mode for the par and
+// stamp sweeps: "clock" (the default commit-clock fast path) or "walk"
+// (full read-set walks), enabling before/after A/B runs:
+//
+//	stmbench -fig stamp -validation walk -json > walk.json
+//	stmbench -fig stamp -validation clock -json > clock.json
 //
 // Flags -scale and -maxthreads stretch the workloads; -reps controls timed
 // repetitions per configuration. The parallel sweep drives the STM
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/conflict"
@@ -48,11 +58,24 @@ import (
 	"repro/internal/workloads"
 )
 
+// knownFigs lists every figure name run() dispatches on, in presentation
+// order. Keep in sync with the run() calls below.
+var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash"}
+
+func knownFig(name string) bool {
+	for _, f := range knownFigs {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	// Benchmarks allocate heavily and time short runs; relax the collector
 	// so GC pauses do not dominate the measurements.
 	debug.SetGCPercent(400)
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 13, 15, 16, 17, 18, 19, 20, par, crash or all")
+	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(knownFigs, ", ")+" or all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	maxThreads := flag.Int("maxthreads", bench.MaxThreads(), "largest thread count in scalability sweeps")
 	reps := flag.Int("reps", bench.Reps, "timed repetitions per configuration")
@@ -63,12 +86,26 @@ func main() {
 	policy := flag.String("policy", "", "contention policy for the parallel sweep: "+
 		fmt.Sprintf("%v", conflict.PolicyNames)+" (empty consults $"+conflict.PolicyEnv+", default backoff)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed for the crash figure")
+	validation := flag.String("validation", "", `commit-time validation for the par/stamp sweeps: "clock" (default) or "walk"`)
 	flag.Parse()
 	bench.Reps = *reps
+	// Fail fast on an unknown figure before anything runs: a typo should
+	// not silently produce an empty report.
+	if *fig != "all" && !knownFig(*fig) {
+		fmt.Fprintf(os.Stderr, "stmbench: unknown figure %q (known: %s, all)\n",
+			*fig, strings.Join(knownFigs, ", "))
+		os.Exit(2)
+	}
 	// Fail fast on an unknown policy — from the flag or from the
 	// STM_CONFLICT_POLICY environment variable — before any figure runs.
 	if _, err := conflict.ByNameOrEnv(*policy); err != nil {
 		fmt.Fprintf(os.Stderr, "stmbench: %v\n", err)
+		os.Exit(2)
+	}
+	switch *validation {
+	case "", "clock", "walk":
+	default:
+		fmt.Fprintf(os.Stderr, "stmbench: unknown validation mode %q (want clock or walk)\n", *validation)
 		os.Exit(2)
 	}
 
@@ -169,6 +206,7 @@ func main() {
 		specs := bench.ParallelSpecs(maxG, *parTxns)
 		for i := range specs {
 			specs[i].Policy = *policy
+			specs[i].Validation = *validation
 		}
 		results, err := bench.RunParallelSweep(specs, opts...)
 		if err != nil {
@@ -186,6 +224,29 @@ func main() {
 		if *traceOn && tracer != nil {
 			printTraceSummary(tracer)
 		}
+		return nil
+	})
+
+	run("stamp", func() error {
+		maxG := *maxThreads
+		if maxG < 4 {
+			maxG = 4
+		}
+		specs := bench.StampSpecs(maxG, *parTxns)
+		for i := range specs {
+			specs[i].Policy = *policy
+			specs[i].Validation = *validation
+		}
+		results, err := bench.RunStampSweep(specs)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		}
+		fmt.Print(bench.FormatStamp(results))
 		return nil
 	})
 

@@ -102,6 +102,21 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 		}
 		fmt.Fprintf(&b, "%-18s %-6s %12s %12s %7.1f%% %12s %12s\n",
 			s.Name, s.Kind, big(commits), big(aborts), abortPct, big(reads), big(writes))
+		// Validation line: shown once the commit clock or adaptive
+		// granularity has done anything, so walk-only runtimes keep the
+		// compact view.
+		fast := s.Stats["fastpath_validations"]
+		walks := s.Stats["fallback_walks"]
+		promos := s.Stats["gran_promotions"]
+		demos := s.Stats["gran_demotions"]
+		if fast > 0 || promos > 0 || demos > 0 {
+			hit := 0.0
+			if fast+walks > 0 {
+				hit = 100 * float64(fast) / float64(fast+walks)
+			}
+			fmt.Fprintf(&b, "  validation: clock fast-path %.1f%% (%s fast, %s walks)  promoted %d  demoted %d\n",
+				hit, big(float64(fast)), big(float64(walks)), promos, demos)
+		}
 		// Robustness line: shown only once recovery or irrevocability has
 		// fired, so quiet runtimes keep the compact classic view.
 		steals := counter(s, prevByName, "reaper_steals")

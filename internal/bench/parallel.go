@@ -27,9 +27,10 @@ import (
 
 // ParallelSpec configures one parallel throughput measurement.
 type ParallelSpec struct {
-	Workload   string `json:"workload"`         // read-heavy, write-heavy, mixed
-	Versioning string `json:"versioning"`       // eager or lazy
-	Policy     string `json:"policy,omitempty"` // contention policy (conflict.ByName); empty = backoff
+	Workload   string `json:"workload"`             // read-heavy, write-heavy, mixed
+	Versioning string `json:"versioning"`           // eager or lazy
+	Policy     string `json:"policy,omitempty"`     // contention policy (conflict.ByName); empty = backoff
+	Validation string `json:"validation,omitempty"` // "clock" (default) or "walk"
 	Goroutines int    `json:"goroutines"`
 	Objects    int    `json:"objects"`     // size of the shared object pool
 	OpsPerTxn  int    `json:"ops_per_txn"` // accesses per transaction
@@ -52,6 +53,11 @@ type ParallelResult struct {
 	Retries    int64   `json:"retries"`               // re-executed attempts: starts - commits
 	SelfAborts int64   `json:"self_aborts,omitempty"` // policy SelfAbort decisions
 	Dooms      int64   `json:"dooms,omitempty"`       // policy AbortOther decisions that landed
+
+	// Validation profile: how the commit-time read-set check resolved.
+	ClockAdvances       int64 `json:"clock_advances,omitempty"`
+	FastpathValidations int64 `json:"fastpath_validations,omitempty"`
+	FallbackWalks       int64 `json:"fallback_walks,omitempty"`
 }
 
 // ParallelOption customizes RunParallel beyond the JSON-serializable spec
@@ -117,6 +123,20 @@ func parallelFixture(n int) (*objmodel.Heap, []*objmodel.Object) {
 	return h, objs
 }
 
+// validationConfig maps a spec's validation mode onto the runtime knob:
+// "" and "clock" use the commit-clock fast path, "walk" forces full
+// read-set walks (the pre-clock behavior, kept for A/B measurement).
+func validationConfig(mode string) (noClock bool, err error) {
+	switch mode {
+	case "", "clock":
+		return false, nil
+	case "walk":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bench: unknown validation mode %q (want clock or walk)", mode)
+	}
+}
+
 // splitmix advances a SplitMix64 state and returns the next value.
 func splitmix(s *uint64) uint64 {
 	*s += 0x9e3779b97f4a7c15
@@ -142,7 +162,11 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 	if err != nil {
 		return ParallelResult{}, fmt.Errorf("bench: %w", err)
 	}
-	common := stmapi.CommonConfig{Handler: pol}
+	noClock, err := validationConfig(spec.Validation)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	common := stmapi.CommonConfig{Handler: pol, NoCommitClock: noClock}
 
 	// Both runtimes are driven through the uniform stmapi surface; the
 	// concrete-typed hooks still fire for callers that need runtime-specific
@@ -208,15 +232,18 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 
 	s := api.Stats()
 	res := ParallelResult{
-		ParallelSpec: spec,
-		ElapsedNs:    elapsed.Nanoseconds(),
-		NsPerTxn:     float64(elapsed.Nanoseconds()) / float64(spec.Txns),
-		Starts:       s.Starts,
-		Commits:      s.Commits,
-		Aborts:       s.Aborts,
-		Retries:      s.Starts - s.Commits,
-		SelfAborts:   s.SelfAborts,
-		Dooms:        s.DoomsIssued,
+		ParallelSpec:        spec,
+		ElapsedNs:           elapsed.Nanoseconds(),
+		NsPerTxn:            float64(elapsed.Nanoseconds()) / float64(spec.Txns),
+		Starts:              s.Starts,
+		Commits:             s.Commits,
+		Aborts:              s.Aborts,
+		Retries:             s.Starts - s.Commits,
+		SelfAborts:          s.SelfAborts,
+		Dooms:               s.DoomsIssued,
+		ClockAdvances:       s.ClockAdvances,
+		FastpathValidations: s.FastpathValidations,
+		FallbackWalks:       s.FallbackWalks,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.TxnsPerSec = float64(spec.Txns) / secs

@@ -1,0 +1,214 @@
+package bench
+
+// STAMP-shape throughput sweeps. Like the parallel sweeps these drive the
+// runtimes' Go API directly, but instead of synthetic uniform mixes they
+// run the structured workloads in internal/workloads (vacation, kmeans,
+// genome) whose access shapes echo the STAMP suite's contention profiles.
+// Each measurement also reports the validation profile — clock advances,
+// fast-path hits, fallback walks — so walk-vs-clock A/B runs land in the
+// same JSON trajectory.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/lazystm"
+	"repro/internal/objmodel"
+	"repro/internal/stm"
+	"repro/internal/stmapi"
+	"repro/internal/workloads"
+)
+
+// StampSpec configures one STAMP-shape measurement.
+type StampSpec struct {
+	Workload   string `json:"workload"`             // vacation, kmeans, genome
+	Versioning string `json:"versioning"`           // eager or lazy
+	Policy     string `json:"policy,omitempty"`     // contention policy; empty = backoff
+	Validation string `json:"validation,omitempty"` // "clock" (default) or "walk"
+	Goroutines int    `json:"goroutines"`
+	Txns       int    `json:"txns"` // committed transactions demanded, total
+}
+
+// StampResult is one measurement, flattened for JSON output.
+type StampResult struct {
+	StampSpec
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	NsPerTxn   float64 `json:"ns_per_op"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	Starts     int64   `json:"starts"`
+	Commits    int64   `json:"commits"`
+	Aborts     int64   `json:"aborts"`
+	Retries    int64   `json:"retries"`
+
+	ClockAdvances       int64 `json:"clock_advances,omitempty"`
+	FastpathValidations int64 `json:"fastpath_validations,omitempty"`
+	FallbackWalks       int64 `json:"fallback_walks,omitempty"`
+}
+
+func (s *StampSpec) defaults() {
+	if s.Workload == "" {
+		s.Workload = "vacation"
+	}
+	if s.Versioning == "" {
+		s.Versioning = "eager"
+	}
+	if s.Goroutines <= 0 {
+		s.Goroutines = 1
+	}
+	if s.Txns <= 0 {
+		s.Txns = 100_000
+	}
+}
+
+// RunStamp executes one STAMP-shape measurement: the workload's structures
+// are built on a fresh heap, then Txns transactions are split across
+// Goroutines workers, each running the workload body.
+func RunStamp(spec StampSpec) (StampResult, error) {
+	spec.defaults()
+	h := objmodel.NewHeap()
+	w, err := workloads.NewStamp(spec.Workload, h)
+	if err != nil {
+		return StampResult{}, fmt.Errorf("bench: %w", err)
+	}
+	pol, err := conflict.ByNameOrEnv(spec.Policy)
+	if err != nil {
+		return StampResult{}, fmt.Errorf("bench: %w", err)
+	}
+	noClock, err := validationConfig(spec.Validation)
+	if err != nil {
+		return StampResult{}, err
+	}
+	common := stmapi.CommonConfig{Handler: pol, NoCommitClock: noClock}
+
+	var api stmapi.Runtime
+	switch spec.Versioning {
+	case "eager":
+		api = stm.New(h, stm.Config{CommonConfig: common}).API()
+	case "lazy":
+		api = lazystm.New(h, lazystm.Config{CommonConfig: common}).API()
+	default:
+		return StampResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < spec.Goroutines; g++ {
+		n := spec.Txns / spec.Goroutines
+		if g < spec.Txns%spec.Goroutines {
+			n++
+		}
+		wg.Add(1)
+		go func(seed uint64, n int) {
+			defer wg.Done()
+			rng := seed*2862933555777941757 + 3037000493
+			// One closure per worker (see RunParallel): a per-transaction
+			// closure would allocate and mask the runtimes' zero-alloc path.
+			body := func(tx stmapi.Txn) error {
+				w.Body(tx, &rng)
+				return nil
+			}
+			for i := 0; i < n; i++ {
+				splitmix(&rng)
+				_ = api.Atomic(body)
+			}
+		}(uint64(g+1), n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := api.Stats()
+	res := StampResult{
+		StampSpec:           spec,
+		ElapsedNs:           elapsed.Nanoseconds(),
+		NsPerTxn:            float64(elapsed.Nanoseconds()) / float64(spec.Txns),
+		Starts:              s.Starts,
+		Commits:             s.Commits,
+		Aborts:              s.Aborts,
+		Retries:             s.Starts - s.Commits,
+		ClockAdvances:       s.ClockAdvances,
+		FastpathValidations: s.FastpathValidations,
+		FallbackWalks:       s.FallbackWalks,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.TxnsPerSec = float64(spec.Txns) / secs
+	}
+	return res, nil
+}
+
+// StampSpecs enumerates the sweep: each workload on each runtime at each
+// goroutine count.
+func StampSpecs(maxGoroutines, txns int) []StampSpec {
+	var specs []StampSpec
+	for _, versioning := range []string{"eager", "lazy"} {
+		for _, name := range workloads.StampNames() {
+			for _, g := range GoroutineSweep(maxGoroutines) {
+				specs = append(specs, StampSpec{
+					Workload:   name,
+					Versioning: versioning,
+					Goroutines: g,
+					Txns:       txns,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// RunStampSweep runs every spec and returns the results.
+func RunStampSweep(specs []StampSpec) ([]StampResult, error) {
+	results := make([]StampResult, 0, len(specs))
+	for _, spec := range specs {
+		res, err := RunStamp(spec)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FormatStamp renders results as a table mirroring FormatParallel.
+func FormatStamp(results []StampResult) string {
+	type key struct{ workload, versioning string }
+	cols := make(map[int]bool)
+	cells := make(map[key]map[int]StampResult)
+	var order []key
+	for _, r := range results {
+		k := key{r.Workload, r.Versioning}
+		if cells[k] == nil {
+			cells[k] = make(map[int]StampResult)
+			order = append(order, k)
+		}
+		cells[k][r.Goroutines] = r
+		cols[r.Goroutines] = true
+	}
+	var gs []int
+	for g := 1; g <= 1<<20; g++ {
+		if cols[g] {
+			gs = append(gs, g)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "STAMP-shape throughput (txns/sec; aborts in parens)\n")
+	fmt.Fprintf(&b, "%-24s", "workload/runtime")
+	for _, g := range gs {
+		fmt.Fprintf(&b, " %14dg", g)
+	}
+	b.WriteByte('\n')
+	for _, k := range order {
+		fmt.Fprintf(&b, "%-24s", k.workload+"/"+k.versioning)
+		for _, g := range gs {
+			r, ok := cells[k][g]
+			if !ok {
+				fmt.Fprintf(&b, " %15s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9s (%s)", human(int64(r.TxnsPerSec)), human(r.Aborts))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -25,10 +25,11 @@ type Kind uint8
 
 // Conflict kinds.
 const (
-	NonTxnRead  Kind = iota // non-transactional read barrier
-	NonTxnWrite             // non-transactional write barrier
-	TxnRead                 // transactional open-for-read
-	TxnWrite                // transactional open-for-write
+	NonTxnRead    Kind = iota // non-transactional read barrier
+	NonTxnWrite               // non-transactional write barrier
+	TxnRead                   // transactional open-for-read
+	TxnWrite                  // transactional open-for-write
+	TxnValidation             // read-set validation failure (clock-stale abort)
 )
 
 func (k Kind) String() string {
@@ -41,6 +42,8 @@ func (k Kind) String() string {
 		return "txn-read"
 	case TxnWrite:
 		return "txn-write"
+	case TxnValidation:
+		return "txn-validation"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -59,6 +62,7 @@ type Info struct {
 	Kind    Kind
 	Attempt int    // 0-based retry attempt for this access
 	Record  uint64 // transaction-record word observed
+	Obj     uint64 // contended object's handle; 0 if unknown
 
 	Self     uint64 // contender's transaction ID (age stamp); 0 outside a transaction
 	SelfPrio int64  // contender's accumulated priority (Karma policies)
@@ -86,7 +90,7 @@ type Handler interface {
 // converge on the same object, so a single shared counter here would
 // serialize exactly the threads that are already contending.
 type Stats struct {
-	counts [4]stats.Counter
+	counts [5]stats.Counter
 }
 
 // Count returns the number of conflicts of kind k handled so far.
@@ -102,6 +106,19 @@ func (s *Stats) Total() int64 {
 }
 
 func (s *Stats) record(k Kind) { s.counts[k].Add(1) }
+
+// StaleObserver is implemented by handlers or policies that want to see
+// validation failures. Unlike the Handler conflicts — where a thread meets
+// a record someone else owns and can wait — a validation failure means the
+// observing transaction is already doomed to abort: the runtime reports it
+// (Kind TxnValidation, Obj the first inconsistent object, Record its
+// current word) and restarts regardless of any decision. Observers use the
+// signal for attribution: under commit-clock validation these clock-stale
+// aborts are exactly the cost of sharing a heap with writers, so a policy
+// can feed them into the same priority accounting as ordinary conflicts.
+type StaleObserver interface {
+	ObserveValidationAbort(Info)
+}
 
 // Backoff is the default handler: exponential backoff capped at maxSpin
 // iterations, yielding to the scheduler between rounds. It is safe for

@@ -95,6 +95,15 @@ type Stats struct {
 	Escalations     stats.Counter // atomic blocks escalated to irrevocable after K aborts
 	IrrevocableTxns stats.Counter // transactions that finished while irrevocable
 	IrrevocableNs   stats.Counter // cumulative irrevocable-token hold time, nanoseconds
+
+	// Commit-clock validation counters (see the eager runtime).
+	ClockAdvances       stats.Counter
+	FastpathValidations stats.Counter
+	FallbackWalks       stats.Counter
+
+	// Adaptive-granularity counters.
+	GranPromotions stats.Counter
+	GranDemotions  stats.Counter
 }
 
 // StatsSnapshot is a point-in-time copy of every Stats counter, shared with
@@ -117,6 +126,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Escalations:     s.Escalations.Load(),
 		IrrevocableTxns: s.IrrevocableTxns.Load(),
 		IrrevocableNs:   s.IrrevocableNs.Load(),
+
+		ClockAdvances:       s.ClockAdvances.Load(),
+		FastpathValidations: s.FastpathValidations.Load(),
+		FallbackWalks:       s.FallbackWalks.Load(),
+		GranPromotions:      s.GranPromotions.Load(),
+		GranDemotions:       s.GranDemotions.Load(),
 	}
 }
 
@@ -198,6 +213,16 @@ type Runtime struct {
 	tracer   atomic.Pointer[trace.Tracer]
 	injector atomic.Pointer[faultinject.Injector]
 
+	// Commit-clock validation state (see the eager runtime).
+	clock    *objmodel.CommitClock
+	clockOn  bool
+	staleObs conflict.StaleObserver
+
+	// Adaptive-granularity state: immutable promotion table, swapped
+	// copy-on-write under granMu, sampled once per attempt at begin.
+	granTab atomic.Pointer[granTable]
+	granMu  sync.Mutex
+
 	// Commit tickets order write-back completion for quiescence mode. done
 	// is the contiguous completion watermark; tickets completed out of order
 	// (including by cancelled waiters) park in pending until the watermark
@@ -226,6 +251,9 @@ func New(heap *objmodel.Heap, cfg Config) *Runtime {
 	rt := &Runtime{Heap: heap, cfg: cfg, handler: h, policy: conflict.AsPolicy(h)}
 	rt.pending = make(map[uint64]struct{})
 	rt.doneCv = sync.NewCond(&rt.doneMu)
+	rt.clock = heap.Clock()
+	rt.clockOn = !cfg.NoCommitClock
+	rt.staleObs, _ = h.(conflict.StaleObserver)
 	return rt
 }
 
@@ -287,6 +315,18 @@ type Txn struct {
 	objs  []*objmodel.Object
 	owned objset.VerSet
 
+	// Commit-clock snapshot (rv) and write version (wv): rv is the clock
+	// value this attempt's reads are consistent with; wv is the stamp for
+	// committed releases, set after validation and before the commit point
+	// so that every release path — including the crash branches and the
+	// reaper completing an orphan — stamps the same version.
+	rv uint64
+	wv uint64
+
+	// gran is the adaptive-granularity promotion table sampled at begin;
+	// nil when the configured granularity is 1 or nothing is promoted.
+	gran *granTable
+
 	// Arbitration state (see the eager runtime): stamp is the cross-thread
 	// readable ID, doomed the advisory abort-other flag, karma the invested
 	// work for priority policies.
@@ -327,6 +367,9 @@ type Txn struct {
 	nRetries    int64
 	nSelfAborts int64
 	nDooms      int64
+	nClockAdv   int64
+	nFastpath   int64
+	nWalks      int64
 
 	// Tracing state (see the eager runtime): tr sampled per Atomic, nil
 	// disables every emission point; blameObj attributes pending aborts.
@@ -376,6 +419,7 @@ func (rt *Runtime) putTxn(tx *Txn) {
 	tx.objs = tx.objs[:0]
 	tx.ctx = nil
 	tx.fi = nil
+	tx.gran = nil
 	rt.pool.Put(tx)
 }
 
@@ -387,6 +431,14 @@ func (tx *Txn) begin() {
 	tx.reads.Reset()
 	clear(tx.buf)
 	tx.nStarts++
+	tx.wv = 0
+	if tx.rt.clockOn {
+		tx.rv = tx.rt.clock.Load()
+	}
+	tx.gran = nil
+	if tx.rt.cfg.Granularity > 1 {
+		tx.gran = tx.rt.granTab.Load()
+	}
 	if tr := tx.tr; tr != nil {
 		tx.beginAt = time.Now()
 		if !tx.abortAt.IsZero() {
@@ -424,6 +476,18 @@ func (tx *Txn) flushStats() {
 	if tx.nDooms != 0 {
 		s.DoomsIssued.AddShard(hint, tx.nDooms)
 		tx.nDooms = 0
+	}
+	if tx.nClockAdv != 0 {
+		s.ClockAdvances.AddShard(hint, tx.nClockAdv)
+		tx.nClockAdv = 0
+	}
+	if tx.nFastpath != 0 {
+		s.FastpathValidations.AddShard(hint, tx.nFastpath)
+		tx.nFastpath = 0
+	}
+	if tx.nWalks != 0 {
+		s.FallbackWalks.AddShard(hint, tx.nWalks)
+		tx.nWalks = 0
 	}
 }
 
@@ -535,8 +599,8 @@ func (tx *Txn) irrevClaim(o *objmodel.Object, rec txrec.Word, attempt int) {
 	conflict.WaitAttempt(attempt, 0)
 }
 
-func (tx *Txn) span(slot int) (base int) {
-	return slot &^ (tx.rt.cfg.Granularity - 1)
+func (tx *Txn) span(o *objmodel.Object, slot int) (base int) {
+	return slot &^ (tx.effGran(o) - 1)
 }
 
 // Read returns the transaction's view of o's slot: the private buffer if
@@ -555,7 +619,7 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 		// noticed without needing a conflict to arise first.
 		panic(txSignal{sigCancel, tx})
 	}
-	base := tx.span(slot)
+	base := tx.span(o, slot)
 	if len(tx.buf) > 0 {
 		if sb, ok := tx.buf[spanKey{o, base}]; ok {
 			if tr := tx.tr; tr != nil {
@@ -602,6 +666,11 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 				continue
 			}
 			ver := txrec.Version(w)
+			if tx.rt.clockOn && ver > tx.rv {
+				// Version postdates the clock snapshot: extend it (see the
+				// eager runtime) or restart if the read set is stale.
+				tx.extendSnapshot(o, ver)
+			}
 			if prev, ok := tx.reads.Get(o); ok {
 				if prev != ver {
 					tx.blameObj = uint64(o.Ref())
@@ -636,11 +705,11 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 	if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
 		panic(txSignal{sigCancel, tx}) // accesses are cancellation points
 	}
-	base := tx.span(slot)
+	base := tx.span(o, slot)
 	key := spanKey{o, base}
 	sb, ok := tx.buf[key]
 	if !ok {
-		g := tx.rt.cfg.Granularity
+		g := tx.effGran(o)
 		for i := 0; i < g && base+i < len(o.Slots); i++ {
 			sb.vals[i] = o.LoadSlot(base + i)
 			sb.n++
@@ -665,8 +734,22 @@ func (tx *Txn) Validate() bool {
 }
 
 // validateExcluding re-checks the read set; on failure it also reports the
-// handle of the first inconsistent object, for conflict attribution.
+// handle of the first inconsistent object, for conflict attribution. Under
+// commit-clock validation an unchanged clock proves no committed or
+// non-transactional write happened since the snapshot, so the walk is
+// skipped; the transaction's own commit-time acquisitions never tick the
+// clock, so holding the write set does not defeat the fast path.
 func (tx *Txn) validateExcluding(owned *objset.VerSet) (bool, uint64) {
+	if tx.rt.clockOn && tx.rt.clock.Load() == tx.rv {
+		tx.nFastpath++
+		return true, 0
+	}
+	tx.nWalks++
+	return tx.walkValidateExcluding(owned)
+}
+
+// walkValidateExcluding is the original O(|read set|) validation walk.
+func (tx *Txn) walkValidateExcluding(owned *objset.VerSet) (bool, uint64) {
 	ok := true
 	var bad uint64
 	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
@@ -692,6 +775,39 @@ func (tx *Txn) validateExcluding(owned *objset.VerSet) (bool, uint64) {
 	return ok, bad
 }
 
+// extendSnapshot handles a read that observed version ver above the clock
+// snapshot: raise the clock to cover ver, re-validate the read set against
+// a fresh clock value, and adopt it as the new snapshot — or restart if
+// the read set is already stale. (See the eager runtime for why waiting
+// for a committer to catch the clock up instead could livelock.)
+func (tx *Txn) extendSnapshot(o *objmodel.Object, ver uint64) {
+	rt := tx.rt
+	rt.clock.Raise(ver)
+	newRv := rt.clock.Load()
+	tx.nWalks++
+	if ok, bad := tx.walkValidateExcluding(nil); !ok {
+		tx.notifyStale(bad)
+		tx.blameObj = bad
+		tx.Restart()
+	}
+	tx.rv = newRv
+}
+
+// notifyStale reports a validation failure to the contention handler if it
+// observes stale aborts (conflict.StaleObserver); attribution only, the
+// abort happens regardless.
+func (tx *Txn) notifyStale(bad uint64) {
+	if obs := tx.rt.staleObs; obs != nil {
+		obs.ObserveValidationAbort(conflict.Info{
+			Kind:     conflict.TxnValidation,
+			Attempt:  tx.attempt,
+			Obj:      bad,
+			Self:     tx.id,
+			SelfPrio: tx.karma.Load(),
+		})
+	}
+}
+
 // release restores the records of every object acquired by this attempt;
 // with bump the version is incremented (publishing new state), without it
 // the original shared word is restored. The holdings are cleared afterwards:
@@ -704,7 +820,10 @@ func (tx *Txn) release(bump bool) {
 			continue
 		}
 		if bump {
-			o.Rec.ReleaseOwned(sv)
+			// Commit path: stamp with the write version obtained before the
+			// commit point (tx.wv is 0 when the clock is off, degrading to
+			// the plain version bump).
+			o.Rec.ReleaseOwnedAt(sv, tx.wv)
 		} else {
 			o.Rec.Store(txrec.MakeShared(sv))
 		}
@@ -868,9 +987,24 @@ func (tx *Txn) commit() (ok bool, err error) {
 			// Exclusive(self) since the switch.
 			panic("lazystm: irrevocable transaction failed validation")
 		}
+		tx.notifyStale(bad)
 		tx.blameObj = bad
 		tx.release(false) // nothing reached memory; restore original versions
 		return false, nil
+	}
+
+	// Obtain the write version before the commit point (GV4 pass-on-fail,
+	// see the eager runtime): every release past here — normal, crash
+	// branch, or reaper-completed — stamps records with tx.wv, and the
+	// clock advance fails the validation fast path of every snapshot that
+	// predates this commit. Transactions holding records without buffered
+	// writes (pessimistic read locks only) release values unchanged, so
+	// they need no advance.
+	if tx.rt.clockOn && len(tx.buf) > 0 {
+		var advanced bool
+		if tx.wv, advanced = tx.rt.clock.Advance(); advanced {
+			tx.nClockAdv++
+		}
 	}
 
 	// ----- commit point: the transaction is now serialized. -----

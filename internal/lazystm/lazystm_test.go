@@ -89,6 +89,9 @@ func TestLazyValidationFailureRetries(t *testing.T) {
 			}
 			o.StoreSlot(0, 7)
 			o.Rec.ReleaseAnon()
+			// The real barrier (strong.Barriers.Write) also ticks the
+			// commit clock so stale snapshots lose the validation fast path.
+			f.heap.Clock().Tick()
 		}
 		tx.Write(x, 0, v)
 		return nil

@@ -58,6 +58,14 @@ func (rt *Runtime) reapTxn(tx *Txn) bool {
 	}
 	id := tx.id
 	committed := Status(tx.status.Load()) == Committed
+	if committed && rt.clockOn {
+		// The releases below expose the orphan's written-back values; tick
+		// the clock first so no snapshot predating them keeps its
+		// single-compare validation fast path (see the eager reaper).
+		// ReleaseOwned's plain +1 bump is a fine stamp: a reader that meets
+		// a version above its snapshot extends on contact.
+		rt.clock.Tick()
+	}
 	for _, o := range tx.objs {
 		sv, ok := tx.owned.Get(o)
 		if !ok {

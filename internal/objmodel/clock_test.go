@@ -1,0 +1,65 @@
+package objmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClockTickAdvanceRaise(t *testing.T) {
+	var c CommitClock
+	c.Reset(1)
+	c.Tick()
+	if got := c.Load(); got != 2 {
+		t.Fatalf("after Tick: clock = %d, want 2", got)
+	}
+	wv, advanced := c.Advance()
+	if wv != 3 || !advanced {
+		t.Fatalf("Advance = (%d, %v), want (3, true)", wv, advanced)
+	}
+	c.Raise(10)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("after Raise(10): clock = %d, want 10", got)
+	}
+	// Raising below the current value is a no-op.
+	c.Raise(5)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("after Raise(5): clock = %d, want 10", got)
+	}
+}
+
+func TestHeapClockStartsAtObjectBirthVersion(t *testing.T) {
+	h := NewHeap()
+	if got := h.Clock().Load(); got != 1 {
+		t.Fatalf("fresh heap clock = %d, want 1 (objects are born shared v1)", got)
+	}
+}
+
+// TestClockOverflowPanics pins the wraparound guard: a clock at its ceiling
+// must refuse to advance with a loud panic rather than wrap, because a
+// wrapped clock could equal a stale snapshot and let the single-compare
+// validation fast path admit an inconsistent read set.
+func TestClockOverflowPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s at clockLimit did not panic", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "commit clock overflow") {
+				t.Fatalf("%s panic = %v, want commit clock overflow", name, r)
+			}
+		}()
+		f()
+	}
+	var c CommitClock
+	c.Reset(clockLimit)
+	mustPanic("Tick", func() { c.Tick() })
+	mustPanic("Advance", func() { c.Advance() })
+	mustPanic("Raise", func() { c.Raise(clockLimit + 1) })
+
+	// One tick below the ceiling still works; the next attempt trips.
+	c.Reset(clockLimit - 1)
+	c.Tick()
+	mustPanic("Tick at limit", func() { c.Tick() })
+}

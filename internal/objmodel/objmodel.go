@@ -190,13 +190,25 @@ type Heap struct {
 	classes  map[string]*Class
 	classMu  sync.Mutex
 	arrayCls [2]*Class // [0] scalar elements, [1] ref elements
+
+	// clock is the heap-global commit clock shared by every runtime and
+	// barrier set attached to this heap. It lives on the heap — not on a
+	// runtime — because non-transactional write barriers must advance it
+	// too, and they hold only a heap reference.
+	clock CommitClock
 }
+
+// Clock returns the heap's commit clock.
+func (h *Heap) Clock() *CommitClock { return &h.clock }
 
 // NewHeap creates an empty heap.
 func NewHeap() *Heap {
 	h := &Heap{classes: make(map[string]*Class)}
 	initial := make([]*Object, 0, 1024)
 	h.objects.Store(&initial)
+	// Objects are born shared at version 1; start the clock level with them
+	// so a fresh transaction's snapshot covers every fresh object.
+	h.clock.Reset(1)
 	h.arrayCls[0] = &Class{Name: "[]word", Kind: KindArray, ElemIsRef: false}
 	h.arrayCls[1] = &Class{Name: "[]ref", Kind: KindArray, ElemIsRef: true}
 	return h

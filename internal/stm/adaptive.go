@@ -1,0 +1,143 @@
+package stm
+
+import "repro/internal/objmodel"
+
+// Adaptive version-management granularity.
+//
+// A runtime configured with Granularity > 1 manages versions (undo-log
+// spans, write-buffer spans) for several adjacent slots at once — cheaper
+// bookkeeping, but the source of the Section 2.4 granular anomalies (GLU,
+// GIR): an abort restores a whole span, clobbering a neighbour's
+// concurrent non-transactional write. Adaptive granularity closes those
+// anomalies on exactly the objects where they cost something: objects the
+// tracer's hotspot table identifies as contended are promoted to
+// slot-level (granularity-1) version management; objects that cool down
+// are demoted back to the configured span.
+//
+// The promotion set is an immutable table swapped copy-on-write: each
+// transaction samples the table pointer once at begin and uses it for the
+// whole attempt, so a promotion can never change the span arithmetic of an
+// undo entry (or buffered span) already logged — the span-poisoning
+// semantics of an in-flight transaction are exactly those it started with,
+// and the transition is race-free by construction. Transactions beginning
+// after the swap see the new granularity.
+
+// granTable is the immutable promotion set. A nil *granTable behaves as
+// the empty set, so runtimes that never promote pay one nil check.
+type granTable struct {
+	m map[uint64]struct{} // object handles promoted to slot granularity
+}
+
+func (t *granTable) promoted(h uint64) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.m[h]
+	return ok
+}
+
+// effGran returns the version-management granularity in effect for o in
+// this attempt: 1 for promoted objects, the configured span otherwise.
+func (tx *Txn) effGran(o *objmodel.Object) int {
+	g := tx.rt.cfg.Granularity
+	if g > 1 && tx.gran.promoted(uint64(o.Ref())) {
+		return 1
+	}
+	return g
+}
+
+// editGran applies edit to a copy of the promotion set and swaps it in.
+// edit reports whether it changed anything; an unchanged table is not
+// swapped.
+func (rt *Runtime) editGran(edit func(m map[uint64]struct{}) bool) bool {
+	rt.granMu.Lock()
+	defer rt.granMu.Unlock()
+	old := rt.granTab.Load()
+	m := make(map[uint64]struct{})
+	if old != nil {
+		for h := range old.m {
+			m[h] = struct{}{}
+		}
+	}
+	if !edit(m) {
+		return false
+	}
+	rt.granTab.Store(&granTable{m: m})
+	return true
+}
+
+// PromoteObject switches o to slot-level version management for
+// transactions beginning after the call. Reports whether the object was
+// newly promoted. Promotion only has an effect on runtimes configured
+// with Granularity > 1.
+func (rt *Runtime) PromoteObject(o *objmodel.Object) bool {
+	h := uint64(o.Ref())
+	changed := rt.editGran(func(m map[uint64]struct{}) bool {
+		if _, ok := m[h]; ok {
+			return false
+		}
+		m[h] = struct{}{}
+		return true
+	})
+	if changed {
+		rt.Stats.GranPromotions.AddShard(int(h), 1)
+	}
+	return changed
+}
+
+// DemoteObject returns o to the configured span granularity for
+// transactions beginning after the call. Reports whether the object was
+// previously promoted.
+func (rt *Runtime) DemoteObject(o *objmodel.Object) bool {
+	h := uint64(o.Ref())
+	changed := rt.editGran(func(m map[uint64]struct{}) bool {
+		if _, ok := m[h]; !ok {
+			return false
+		}
+		delete(m, h)
+		return true
+	})
+	if changed {
+		rt.Stats.GranDemotions.AddShard(int(h), 1)
+	}
+	return changed
+}
+
+// AdaptGranularity reconciles the promotion set with the tracer's hotspot
+// table: the maxHot hottest objects (by HotspotEntry.Score) are promoted,
+// everything else currently promoted is demoted. Returns the number of
+// promotions and demotions performed. Callers run it periodically (there
+// is no background goroutine — policy cadence belongs to the driver). A
+// runtime without a tracer, or with maxHot <= 0, demotes everything.
+func (rt *Runtime) AdaptGranularity(maxHot int) (promoted, demoted int) {
+	want := make(map[uint64]struct{})
+	if tr := rt.tracer.Load(); tr != nil && maxHot > 0 {
+		for _, e := range tr.Hot().Top(maxHot) {
+			if e.Score() > 0 {
+				want[e.Obj] = struct{}{}
+			}
+		}
+	}
+	rt.editGran(func(m map[uint64]struct{}) bool {
+		for h := range m {
+			if _, keep := want[h]; !keep {
+				delete(m, h)
+				demoted++
+			}
+		}
+		for h := range want {
+			if _, ok := m[h]; !ok {
+				m[h] = struct{}{}
+				promoted++
+			}
+		}
+		return promoted+demoted > 0
+	})
+	if promoted > 0 {
+		rt.Stats.GranPromotions.AddShard(0, int64(promoted))
+	}
+	if demoted > 0 {
+		rt.Stats.GranDemotions.AddShard(0, int64(demoted))
+	}
+	return promoted, demoted
+}

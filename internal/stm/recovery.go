@@ -69,7 +69,15 @@ func (rt *Runtime) reapTxn(tx *Txn) bool {
 	id := tx.id
 	if Status(tx.status.Load()) == Committed {
 		// Died inside the commit window (post-commit-point): effects are
-		// durable; finish the release exactly as commit would have.
+		// durable; finish the release exactly as commit would have. Tick
+		// the clock BEFORE releasing: unlike an abort, the releases expose
+		// changed values (nothing is restored), so clock snapshots that
+		// predate them must lose their validation fast path. Ticking first
+		// means no transaction can read a released value and still pass
+		// the single-compare validation with a pre-release snapshot.
+		if rt.clockOn {
+			rt.clock.Tick()
+		}
 		for i := len(tx.writes) - 1; i >= 0; i-- {
 			e := tx.writes[i]
 			e.obj.Rec.ReleaseOwned(e.version)

@@ -96,6 +96,15 @@ type Stats struct {
 	Escalations     stats.Counter // atomic blocks escalated to irrevocable after K aborts
 	IrrevocableTxns stats.Counter // transactions that finished while irrevocable
 	IrrevocableNs   stats.Counter // cumulative irrevocable-token hold time, nanoseconds
+
+	// Commit-clock validation counters.
+	ClockAdvances       stats.Counter // successful clock-increment CASes at commit
+	FastpathValidations stats.Counter // validations satisfied by the clock compare
+	FallbackWalks       stats.Counter // validations that walked the read set
+
+	// Adaptive-granularity counters.
+	GranPromotions stats.Counter // objects promoted to slot-level versioning
+	GranDemotions  stats.Counter // objects demoted back to the configured span
 }
 
 // StatsSnapshot is a point-in-time copy of every Stats counter as plain
@@ -120,6 +129,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Escalations:     s.Escalations.Load(),
 		IrrevocableTxns: s.IrrevocableTxns.Load(),
 		IrrevocableNs:   s.IrrevocableNs.Load(),
+
+		ClockAdvances:       s.ClockAdvances.Load(),
+		FastpathValidations: s.FastpathValidations.Load(),
+		FallbackWalks:       s.FallbackWalks.Load(),
+		GranPromotions:      s.GranPromotions.Load(),
+		GranDemotions:       s.GranDemotions.Load(),
 	}
 }
 
@@ -212,6 +227,21 @@ type Runtime struct {
 	tracer   atomic.Pointer[trace.Tracer]
 	injector atomic.Pointer[faultinject.Injector]
 
+	// Commit-clock validation state: the heap's clock (cached to skip a
+	// pointer hop per validation), whether clock validation is enabled, and
+	// the handler asserted to the stale-abort observer interface (once, at
+	// New — never on the abort path).
+	clock    *objmodel.CommitClock
+	clockOn  bool
+	staleObs conflict.StaleObserver
+
+	// Adaptive-granularity state: an immutable promotion table swapped
+	// copy-on-write under granMu. Transactions sample the pointer once at
+	// begin, so a table swap never changes the span arithmetic of an
+	// attempt already in flight.
+	granTab atomic.Pointer[granTable]
+	granMu  sync.Mutex
+
 	// irrevToken is the runtime's single irrevocable-transaction token: the
 	// owner ID of the current irrevocable transaction, 0 when free. Exactly
 	// one transaction may be irrevocable at a time (Section: at most one
@@ -246,7 +276,11 @@ func New(heap *objmodel.Heap, cfg Config) *Runtime {
 	if h == nil {
 		h = &conflict.Backoff{}
 	}
-	return &Runtime{Heap: heap, cfg: cfg, handler: h, policy: conflict.AsPolicy(h)}
+	rt := &Runtime{Heap: heap, cfg: cfg, handler: h, policy: conflict.AsPolicy(h)}
+	rt.clock = heap.Clock()
+	rt.clockOn = !cfg.NoCommitClock
+	rt.staleObs, _ = h.(conflict.StaleObserver)
+	return rt
 }
 
 // Config returns the runtime's configuration.
@@ -308,6 +342,17 @@ type Txn struct {
 	comps   []func() // open-nesting compensations, run on abort in reverse
 	attempt int
 
+	// Commit-clock snapshot: the clock value this attempt's reads are
+	// consistent with. Every read at version <= rv is covered; a read above
+	// rv extends the snapshot (re-validating the read set). Meaningful only
+	// when the runtime's clock validation is on.
+	rv uint64
+
+	// gran is the adaptive-granularity promotion table sampled at begin;
+	// nil when the configured granularity is 1 (nothing to promote) or no
+	// object has been promoted.
+	gran *granTable
+
 	// Arbitration state. stamp mirrors id but is readable cross-thread
 	// (contention policies look up an owner's descriptor by ID); doomed is
 	// the advisory abort-other flag a winning transaction sets — the victim
@@ -350,6 +395,9 @@ type Txn struct {
 	nRetries    int64
 	nSelfAborts int64
 	nDooms      int64
+	nClockAdv   int64
+	nFastpath   int64
+	nWalks      int64
 
 	// Tracing state. tr is sampled from the runtime once per top-level
 	// Atomic; nil (the default) disables every emission point behind one
@@ -414,6 +462,7 @@ func (rt *Runtime) putTxn(tx *Txn) {
 	tx.saves = tx.saves[:0]
 	tx.ctx = nil
 	tx.fi = nil
+	tx.gran = nil
 	rt.pool.Put(tx)
 }
 
@@ -429,6 +478,13 @@ func (tx *Txn) begin() {
 	tx.saves = tx.saves[:0]
 	tx.comps = tx.comps[:0]
 	tx.nStarts++
+	if tx.rt.clockOn {
+		tx.rv = tx.rt.clock.Load()
+	}
+	tx.gran = nil
+	if tx.rt.cfg.Granularity > 1 {
+		tx.gran = tx.rt.granTab.Load()
+	}
 	if tr := tx.tr; tr != nil {
 		tx.beginAt = time.Now()
 		if !tx.abortAt.IsZero() {
@@ -468,6 +524,18 @@ func (tx *Txn) flushStats() {
 	if tx.nDooms != 0 {
 		s.DoomsIssued.AddShard(hint, tx.nDooms)
 		tx.nDooms = 0
+	}
+	if tx.nClockAdv != 0 {
+		s.ClockAdvances.AddShard(hint, tx.nClockAdv)
+		tx.nClockAdv = 0
+	}
+	if tx.nFastpath != 0 {
+		s.FastpathValidations.AddShard(hint, tx.nFastpath)
+		tx.nFastpath = 0
+	}
+	if tx.nWalks != 0 {
+		s.FallbackWalks.AddShard(hint, tx.nWalks)
+		tx.nWalks = 0
 	}
 }
 
@@ -655,6 +723,13 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 				continue
 			}
 			ver := txrec.Version(w)
+			if tx.rt.clockOn && ver > tx.rv {
+				// The version postdates our clock snapshot: the value may be
+				// newer than everything read so far. Extend the snapshot —
+				// walk-validate the read set against a fresh clock value — or
+				// restart if the read set is already stale.
+				tx.extendSnapshot(o, ver)
+			}
 			if prev, ok := tx.reads.Get(o); ok {
 				if prev != ver {
 					// We already read this object at an older version: the
@@ -679,7 +754,7 @@ func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
 }
 
 func (tx *Txn) logUndo(o *objmodel.Object, slot int) {
-	g := tx.rt.cfg.Granularity
+	g := tx.effGran(o)
 	base := slot &^ (g - 1)
 	e := undoEntry{obj: o, base: base}
 	for i := 0; i < g && base+i < len(o.Slots); i++ {
@@ -815,8 +890,27 @@ func (tx *Txn) Validate() bool {
 }
 
 // validate re-checks the read set; on failure it also reports the handle
-// of the first inconsistent object, for conflict attribution.
+// of the first inconsistent object, for conflict attribution. Under
+// commit-clock validation the fast path is a single compare: an unchanged
+// clock proves no committed or non-transactional write happened anywhere
+// on the heap since this transaction's snapshot, so no read-set entry can
+// have changed (the transaction's own acquisitions never tick the clock
+// and are checked against the owned set only when walking). Abort-path
+// releases bump versions without ticking the clock, but they restore the
+// values first, so a read set that passes the fast path is still
+// value-equivalent to a consistent snapshot.
 func (tx *Txn) validate() (bool, uint64) {
+	if tx.rt.clockOn && tx.rt.clock.Load() == tx.rv {
+		tx.nFastpath++
+		return true, 0
+	}
+	tx.nWalks++
+	return tx.walkValidate()
+}
+
+// walkValidate is the original O(|read set|) validation walk, used when
+// the clock snapshot is stale (or clock validation is off).
+func (tx *Txn) walkValidate() (bool, uint64) {
 	ok := true
 	var bad uint64
 	tx.reads.Range(func(o *objmodel.Object, ver uint64) bool {
@@ -846,8 +940,48 @@ func (tx *Txn) validate() (bool, uint64) {
 // ValidateOrRestart aborts and restarts the transaction if it is doomed.
 func (tx *Txn) ValidateOrRestart() {
 	if ok, bad := tx.validate(); !ok {
-		tx.blameObj = bad
-		tx.Restart()
+		tx.failValidation(bad)
+	}
+}
+
+// extendSnapshot handles a read that observed version ver above the clock
+// snapshot rv: it raises the clock to cover ver (abort releases and
+// anonymous releases push object versions past the clock, so waiting for
+// a committer to catch the clock up could livelock), re-validates the
+// read set against a fresh clock value, and on success adopts that value
+// as the new snapshot. On failure the transaction restarts — it read
+// something that changed since begin.
+func (tx *Txn) extendSnapshot(o *objmodel.Object, ver uint64) {
+	rt := tx.rt
+	rt.clock.Raise(ver)
+	newRv := rt.clock.Load()
+	tx.nWalks++
+	if ok, bad := tx.walkValidate(); !ok {
+		tx.failValidation(bad)
+	}
+	tx.rv = newRv
+}
+
+// failValidation attributes a validation failure to obj and restarts,
+// first notifying the contention handler if it observes stale aborts
+// (conflict.StaleObserver). Unlike a HandleConflict call there is no
+// decision to make — the transaction is already inconsistent — so the
+// notification is purely for attribution and priority accounting.
+func (tx *Txn) failValidation(bad uint64) {
+	tx.notifyStale(bad)
+	tx.blameObj = bad
+	tx.Restart()
+}
+
+func (tx *Txn) notifyStale(bad uint64) {
+	if obs := tx.rt.staleObs; obs != nil {
+		obs.ObserveValidationAbort(conflict.Info{
+			Kind:     conflict.TxnValidation,
+			Attempt:  tx.attempt,
+			Obj:      bad,
+			Self:     tx.id,
+			SelfPrio: tx.karma.Load(),
+		})
 	}
 }
 
@@ -960,8 +1094,20 @@ func (tx *Txn) commit() (ok bool, err error) {
 			// since the switch, so validation cannot observe a foreign change.
 			panic("stm: irrevocable transaction failed validation")
 		}
+		tx.notifyStale(bad)
 		tx.blameObj = bad
 		return false, nil
+	}
+	// Obtain a write version: one clock tick (GV4, pass-on-failure) covers
+	// every record released below, and failing the fast path of every
+	// transaction whose snapshot predates this commit. Read-only commits
+	// skip it — they changed nothing, so stale snapshots stay valid.
+	var wv uint64
+	if tx.rt.clockOn && len(tx.writes) > 0 {
+		var advanced bool
+		if wv, advanced = tx.rt.clock.Advance(); advanced {
+			tx.nClockAdv++
+		}
 	}
 	tx.status.Store(uint32(Committed))
 	if fi := tx.fi; fi != nil {
@@ -971,7 +1117,7 @@ func (tx *Txn) commit() (ok bool, err error) {
 			// dying thread's records are released exactly as commit would have
 			// released them, never rolled back.
 			for _, e := range tx.writes {
-				e.obj.Rec.ReleaseOwned(e.version)
+				e.obj.Rec.ReleaseOwnedAt(e.version, wv)
 			}
 			tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
 			tx.flushStats()
@@ -982,8 +1128,11 @@ func (tx *Txn) commit() (ok bool, err error) {
 			tx.die(faultinject.PostCommitPoint)
 		}
 	}
+	// Release with the write version: readers that observe the stamped
+	// version either began after the clock advance (snapshot covers it) or
+	// extend their snapshot on contact.
 	for _, e := range tx.writes {
-		e.obj.Rec.ReleaseOwned(e.version)
+		e.obj.Rec.ReleaseOwnedAt(e.version, wv)
 	}
 	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
 	if tr := tx.tr; tr != nil {
@@ -1226,7 +1375,10 @@ func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {
 			sig = s.s
 			return
 		}
-		if !tx.Validate() {
+		// Always walk here, never the clock fast path: the question is
+		// whether THIS read set is entry-by-entry consistent, and a fault
+		// is rare enough that the O(|read set|) answer is the right one.
+		if ok, _ := tx.walkValidate(); !ok {
 			sig = sigRestart
 			return
 		}

@@ -358,11 +358,14 @@ func TestValidationDetectsNonTxnVersionBump(t *testing.T) {
 		v := tx.Read(o, 0)
 		if runs == 1 {
 			// Simulate the NT write barrier: acquire, store, release(+9).
+			// The real barrier (strong.Barriers.Write) also ticks the commit
+			// clock so stale snapshots lose the validation fast path.
 			if _, ok := o.Rec.AcquireAnon(); !ok {
 				t.Fatal("acquire failed")
 			}
 			o.StoreSlot(0, 10)
 			o.Rec.ReleaseAnon()
+			f.heap.Clock().Tick()
 		}
 		tx.Write(o, 1, v)
 		return nil

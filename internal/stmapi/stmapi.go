@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"repro/internal/conflict"
 	"repro/internal/objmodel"
@@ -97,7 +98,23 @@ type CommonConfig struct {
 	// cannot tolerate a serializing token set this; combining it with
 	// EscalateAfter > 0 is a configuration conflict rejected by Normalize.
 	NoIrrevocable bool
+
+	// NoCommitClock disables TL2-style commit-clock validation and falls
+	// back to the original read-set walk at every validation point. The
+	// zero value — clock validation on — is the fast default: commit
+	// validation is a single clock compare whenever no other transaction
+	// committed since this one began, falling back to the walk only then.
+	// The ValidationEnv environment variable overrides this field in
+	// Normalize, so deployments can flip validation modes without a
+	// recompile.
+	NoCommitClock bool
 }
+
+// ValidationEnv is the environment variable consulted by Normalize to
+// override CommonConfig.NoCommitClock: "walk" forces read-set-walk
+// validation, "clock" forces commit-clock validation, empty leaves the
+// config value alone. Any other value is a configuration error.
+const ValidationEnv = "STM_VALIDATION"
 
 // Normalize fills defaulted fields in place and validates the result: the
 // zero value of every field is a valid "use the default" request, anything
@@ -120,6 +137,15 @@ func (c *CommonConfig) Normalize() error {
 	}
 	if c.NoIrrevocable && c.EscalateAfter > 0 {
 		return fmt.Errorf("stmapi: EscalateAfter %d conflicts with NoIrrevocable (escalation needs irrevocable transactions)", c.EscalateAfter)
+	}
+	switch v := os.Getenv(ValidationEnv); v {
+	case "":
+	case "walk":
+		c.NoCommitClock = true
+	case "clock":
+		c.NoCommitClock = false
+	default:
+		return fmt.Errorf("stmapi: %s=%q (want \"clock\" or \"walk\")", ValidationEnv, v)
 	}
 	return nil
 }
@@ -155,6 +181,21 @@ type StatsSnapshot struct {
 	Escalations     int64 `json:"escalations,omitempty"`
 	IrrevocableTxns int64 `json:"irrevocable_txns,omitempty"`
 	IrrevocableNs   int64 `json:"irrevocable_ns,omitempty"`
+
+	// Commit-clock validation counters. ClockAdvances counts commits whose
+	// clock-increment CAS succeeded (GV4 sampling means this is at most,
+	// and under contention less than, the writing-commit count);
+	// FastpathValidations counts validations satisfied by the single clock
+	// compare; FallbackWalks counts validations that had to walk the read
+	// set — stale snapshots at commit plus snapshot extensions at read.
+	ClockAdvances       int64 `json:"clock_advances,omitempty"`
+	FastpathValidations int64 `json:"fastpath_validations,omitempty"`
+	FallbackWalks       int64 `json:"fallback_walks,omitempty"`
+
+	// Adaptive-granularity counters: objects promoted to slot-level
+	// version management and demoted back to the configured span.
+	GranPromotions int64 `json:"gran_promotions,omitempty"`
+	GranDemotions  int64 `json:"gran_demotions,omitempty"`
 }
 
 // Fields enumerates the snapshot as name→value pairs, in a stable order,
@@ -179,6 +220,11 @@ func (s StatsSnapshot) Fields() []struct {
 		{"escalations", s.Escalations},
 		{"irrevocable_txns", s.IrrevocableTxns},
 		{"irrevocable_ns", s.IrrevocableNs},
+		{"clock_advances", s.ClockAdvances},
+		{"fastpath_validations", s.FastpathValidations},
+		{"fallback_walks", s.FallbackWalks},
+		{"gran_promotions", s.GranPromotions},
+		{"gran_demotions", s.GranDemotions},
 	}
 }
 

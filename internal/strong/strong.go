@@ -163,6 +163,11 @@ func (b *Barriers) Write(o *objmodel.Object, slot int, v uint64) {
 		}
 		o.StoreSlot(slot, v)
 		o.Rec.ReleaseAnon()
+		// Advance the heap's commit clock past every snapshot taken before
+		// this write: the +9 release changed a value behind optimistic
+		// readers' backs, so their single-compare validation fast path must
+		// fail and fall back to the read-set walk that notices the bump.
+		b.Heap.Clock().Tick()
 		return
 	}
 }
@@ -220,4 +225,7 @@ func (b *Barriers) Release(o *objmodel.Object, tok AggToken) {
 		return
 	}
 	o.Rec.ReleaseAnon()
+	// As in Write: values may have changed under the aggregated ownership,
+	// so stale clock snapshots must be invalidated.
+	b.Heap.Clock().Tick()
 }

@@ -250,6 +250,22 @@ func (r *Rec) ReleaseAnon() { r.w.Add(ReleaseIncrement) }
 // who observed intermediate state fail validation.
 func (r *Rec) ReleaseOwned(prior uint64) { r.w.Store(MakeShared(prior + 1)) }
 
+// ReleaseOwnedAt releases a transactionally-owned record back to Shared
+// stamped with the commit clock's write version, used by committing
+// transactions under commit-clock validation. The stored version is
+// max(stamp, prior+1): the stamp normally dominates (the clock advanced at
+// least to prior's commit before this release), but per-object version
+// monotonicity must hold even when abort bumps or anonymous releases have
+// pushed the object's version past the clock. stamp 0 degrades to
+// ReleaseOwned semantics.
+func (r *Rec) ReleaseOwnedAt(prior, stamp uint64) {
+	v := prior + 1
+	if stamp > v {
+		v = stamp
+	}
+	r.w.Store(MakeShared(v))
+}
+
 // Publish transitions a Private record to Shared with version 1. It must
 // only be called by the single thread that can see the object.
 func (r *Rec) Publish() { r.w.Store(MakeShared(1)) }

@@ -1,0 +1,186 @@
+package workloads
+
+// STAMP-shape transactional workloads, driven through the stmapi Go surface
+// rather than TJ programs. The three mixes echo the STAMP suite's canonical
+// contention profiles:
+//
+//   vacation — travel-reservation service: each transaction probes a handful
+//     of entries across three resource tables (cars, flights, rooms), picks
+//     one per table, and books it against a customer record. ~10 reads and
+//     3-4 writes per transaction over mid-sized tables: moderate contention.
+//
+//   kmeans — clustering inner loop: each transaction reads one of K hot
+//     cluster-centroid objects and accumulates a point into it. K is tiny
+//     (8), so nearly every transaction collides on the same few objects:
+//     high contention, short transactions.
+//
+//   genome — segment matching: each transaction walks ~16 read-only probes
+//     through a large hash-bucket table and rarely (1 in 16) inserts a
+//     segment. Long read-mostly transactions over a big table: low
+//     contention, validation-dominated.
+//
+// Bodies are allocation-free on the hot path: all objects are pre-built at
+// construction, the PRNG state threads through a *uint64, and the body
+// closure is built once per Stamp. This keeps the zero-alloc commit gates
+// honest when the bench harness drives these mixes.
+
+import (
+	"fmt"
+
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+)
+
+// Stamp is one STAMP-shape workload bound to a heap: a reusable transaction
+// body over pre-allocated shared objects.
+type Stamp struct {
+	Name string // vacation, kmeans, genome
+	Mix  string // human-readable access-pattern summary
+
+	body func(tx stmapi.Txn, r *uint64)
+}
+
+// Body runs one transaction's accesses against tx, advancing the caller's
+// PRNG state r. It is safe for concurrent use with distinct r.
+func (s *Stamp) Body(tx stmapi.Txn, r *uint64) { s.body(tx, r) }
+
+// StampNames lists the available workloads in canonical order.
+func StampNames() []string { return []string{"vacation", "kmeans", "genome"} }
+
+// stampMix advances a SplitMix64 state and returns the next value (same
+// generator the bench harness uses, kept local so workloads stay
+// self-contained).
+func stampMix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// stampObjs allocates n objects of a fresh 4-field class named name.
+func stampObjs(h *objmodel.Heap, name string, n int) []*objmodel.Object {
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name: name,
+		Fields: []objmodel.Field{
+			{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"},
+		},
+	})
+	objs := make([]*objmodel.Object, n)
+	for i := range objs {
+		objs[i] = h.New(cls)
+	}
+	return objs
+}
+
+// NewStamp builds the named workload's shared structures on h and returns
+// the bound workload. Unknown names list the valid ones.
+func NewStamp(name string, h *objmodel.Heap) (*Stamp, error) {
+	switch name {
+	case "vacation":
+		return newVacation(h), nil
+	case "kmeans":
+		return newKmeans(h), nil
+	case "genome":
+		return newGenome(h), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown stamp workload %q (have %v)", name, StampNames())
+	}
+}
+
+// newVacation: three resource tables of 256 entries plus 4096 customer
+// records. Each transaction probes 3 candidate entries per table (reads),
+// books the chosen entry in each (read-modify-write of the availability
+// slot), and stamps the customer record.
+func newVacation(h *objmodel.Heap) *Stamp {
+	const (
+		tableSize = 256
+		customers = 4096
+		probes    = 3
+	)
+	tables := [3][]*objmodel.Object{
+		stampObjs(h, "VacCar", tableSize),
+		stampObjs(h, "VacFlight", tableSize),
+		stampObjs(h, "VacRoom", tableSize),
+	}
+	cust := stampObjs(h, "VacCustomer", customers)
+	return &Stamp{
+		Name: "vacation",
+		Mix:  "3x3 probe reads + 3 bookings + customer stamp (moderate contention)",
+		body: func(tx stmapi.Txn, r *uint64) {
+			z := stampMix(r)
+			c := cust[z%customers]
+			total := uint64(0)
+			for t := range tables {
+				tab := tables[t]
+				// Probe a few candidates, book the one with the lowest
+				// observed price slot — the reads are real dependencies of
+				// the write that follows.
+				best := tab[stampMix(r)%tableSize]
+				bestPrice := tx.Read(best, 0)
+				for p := 1; p < probes; p++ {
+					o := tab[stampMix(r)%tableSize]
+					if price := tx.Read(o, 0); price < bestPrice {
+						best, bestPrice = o, price
+					}
+				}
+				booked := tx.Read(best, 1)
+				tx.Write(best, 1, booked+1)
+				total += bestPrice
+			}
+			tx.Write(c, 0, tx.Read(c, 0)+1) // trips taken
+			tx.Write(c, 1, total)           // last itinerary cost
+		},
+	}
+}
+
+// newKmeans: K hot centroid objects. Each transaction assigns one point —
+// read the chosen centroid's accumulators, add the point, bump its count.
+// Nearly every transaction touches the same 8 objects.
+func newKmeans(h *objmodel.Heap) *Stamp {
+	const k = 8
+	centroids := stampObjs(h, "KmCentroid", k)
+	return &Stamp{
+		Name: "kmeans",
+		Mix:  "accumulate into one of 8 hot centroids (high contention)",
+		body: func(tx stmapi.Txn, r *uint64) {
+			z := stampMix(r)
+			c := centroids[z%k]
+			px, py := z>>8&0xffff, z>>24&0xffff
+			tx.Write(c, 0, tx.Read(c, 0)+px) // sum x
+			tx.Write(c, 1, tx.Read(c, 1)+py) // sum y
+			tx.Write(c, 2, tx.Read(c, 2)+1)  // member count
+		},
+	}
+}
+
+// newGenome: a large bucket table. Each transaction probes a 16-bucket
+// pseudo hash chain read-only; one transaction in 16 also inserts a segment
+// into its final bucket.
+func newGenome(h *objmodel.Heap) *Stamp {
+	const (
+		buckets = 16384
+		probes  = 16
+	)
+	tab := stampObjs(h, "GenBucket", buckets)
+	return &Stamp{
+		Name: "genome",
+		Mix:  "16 bucket probes, 1/16 insert (low contention, read-mostly)",
+		body: func(tx stmapi.Txn, r *uint64) {
+			z := stampMix(r)
+			idx := z % buckets
+			var last *objmodel.Object
+			acc := uint64(0)
+			for p := 0; p < probes; p++ {
+				last = tab[idx]
+				acc += tx.Read(last, int(idx)&3)
+				// Chain to the next bucket as a function of what we read,
+				// like following hash-chain links.
+				idx = (idx*1103515245 + acc + 12345) % buckets
+			}
+			if z>>60&0xf == 0 {
+				tx.Write(last, 0, acc|1) // insert a segment marker
+			}
+		},
+	}
+}
