@@ -88,10 +88,11 @@ func TestLazyValidationFailureRetries(t *testing.T) {
 				t.Fatal("acquire failed")
 			}
 			o.StoreSlot(0, 7)
-			o.Rec.ReleaseAnon()
-			// The real barrier (strong.Barriers.Write) also ticks the
-			// commit clock so stale snapshots lose the validation fast path.
+			// Like the real barrier (strong.Barriers.Write), tick the commit
+			// clock before the release publishes the value, so stale
+			// snapshots lose the validation fast path.
 			f.heap.Clock().Tick()
+			o.Rec.ReleaseAnon()
 		}
 		tx.Write(x, 0, v)
 		return nil

@@ -11,8 +11,9 @@ import (
 // Version numbers live in the upper 61 bits of a transaction-record word
 // (txrec.MaxVersion); committed releases stamp object versions from the
 // clock, so the clock must stay clear of that ceiling with margin for the
-// +1/+9 bumps that abort paths and non-transactional barriers apply on top
-// of stamped versions. 2^61 ticks are unreachable in practice — the guard
+// +1 version bumps that abort paths and non-transactional barriers (whose
+// word-level +9 release also increments the version field by just 1) apply
+// on top of stamped versions. 2^61 ticks are unreachable in practice — the guard
 // exists so a wraparound would be a loud panic, never a silent validation
 // false-negative (a wrapped clock could equal a stale snapshot and let the
 // fast path admit an inconsistent read set).
@@ -73,9 +74,11 @@ func (c *CommitClock) Advance() (wv uint64, advanced bool) {
 }
 
 // Raise lifts the clock to at least v. Readers use it when they observe an
-// object version above their snapshot — abort releases (+1) and anonymous
-// releases (+9) can push object versions past the clock — so that the
-// extended snapshot taken right after covers the observed version.
+// object version above their snapshot — abort releases and anonymous
+// releases each bump an object's version by 1 without ticking the clock
+// (the anonymous release's word-level +9 is a +1 on the version field), so
+// any object whose version merely leads the clock by one qualifies — so
+// that the extended snapshot taken right after covers the observed version.
 func (c *CommitClock) Raise(v uint64) {
 	if v >= clockLimit {
 		panic(fmt.Sprintf("objmodel: commit clock overflow (raise to %#x)", v))

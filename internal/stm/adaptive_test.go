@@ -180,8 +180,8 @@ func TestAdaptGranularityFromHotspots(t *testing.T) {
 				t.Fatal("acquire failed")
 			}
 			x.StoreSlot(0, 10)
-			x.Rec.ReleaseAnon()
 			f.heap.Clock().Tick()
+			x.Rec.ReleaseAnon()
 		}
 		tx.Write(x, 1, v)
 		return nil

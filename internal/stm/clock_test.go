@@ -197,8 +197,8 @@ func TestStaleObserverNotified(t *testing.T) {
 				t.Fatal("acquire failed")
 			}
 			o1.StoreSlot(0, 10)
-			o1.Rec.ReleaseAnon()
 			f.heap.Clock().Tick()
+			o1.Rec.ReleaseAnon()
 		}
 		tx.Write(o2, 0, 1)
 		return nil

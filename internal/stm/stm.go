@@ -348,6 +348,13 @@ type Txn struct {
 	// when the runtime's clock validation is on.
 	rv uint64
 
+	// wrote records whether this attempt stored in place to a shared
+	// (record-acquired) object; private-object writes leave it false. Commit
+	// gates the clock advance on it: irrevocable transactions append
+	// pessimistic READ claims to tx.writes without changing any value, and
+	// releasing those unchanged needs no snapshot invalidation.
+	wrote bool
+
 	// gran is the adaptive-granularity promotion table sampled at begin;
 	// nil when the configured granularity is 1 (nothing to promote) or no
 	// object has been promoted.
@@ -477,6 +484,7 @@ func (tx *Txn) begin() {
 	tx.undo = tx.undo[:0]
 	tx.saves = tx.saves[:0]
 	tx.comps = tx.comps[:0]
+	tx.wrote = false
 	tx.nStarts++
 	if tx.rt.clockOn {
 		tx.rv = tx.rt.clock.Load()
@@ -800,6 +808,7 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			}
 			tx.logUndo(o, slot)
 			o.StoreSlot(slot, v)
+			tx.wrote = true
 			tx.maybePublish(o, slot, v)
 			if tr := tx.tr; tr != nil {
 				tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, 0)
@@ -843,6 +852,7 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			}
 			tx.logUndo(o, slot)
 			o.StoreSlot(slot, v)
+			tx.wrote = true
 			tx.maybePublish(o, slot, v)
 			if tr := tx.tr; tr != nil {
 				tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, ver)
@@ -1100,10 +1110,13 @@ func (tx *Txn) commit() (ok bool, err error) {
 	}
 	// Obtain a write version: one clock tick (GV4, pass-on-failure) covers
 	// every record released below, and failing the fast path of every
-	// transaction whose snapshot predates this commit. Read-only commits
-	// skip it — they changed nothing, so stale snapshots stay valid.
+	// transaction whose snapshot predates this commit. Commits that stored
+	// nothing in place skip it — read-only bodies, and irrevocable bodies
+	// whose tx.writes holds only pessimistic read claims — since releasing
+	// unchanged values leaves stale snapshots valid (wv stays 0, so the
+	// releases below degrade to plain version bumps).
 	var wv uint64
-	if tx.rt.clockOn && len(tx.writes) > 0 {
+	if tx.rt.clockOn && tx.wrote {
 		var advanced bool
 		if wv, advanced = tx.rt.clock.Advance(); advanced {
 			tx.nClockAdv++

@@ -357,15 +357,16 @@ func TestValidationDetectsNonTxnVersionBump(t *testing.T) {
 		runs++
 		v := tx.Read(o, 0)
 		if runs == 1 {
-			// Simulate the NT write barrier: acquire, store, release(+9).
-			// The real barrier (strong.Barriers.Write) also ticks the commit
-			// clock so stale snapshots lose the validation fast path.
+			// Simulate the NT write barrier: acquire, store, tick, release.
+			// Like the real barrier (strong.Barriers.Write) the commit clock
+			// ticks before the release publishes the value, so stale snapshots
+			// lose the validation fast path.
 			if _, ok := o.Rec.AcquireAnon(); !ok {
 				t.Fatal("acquire failed")
 			}
 			o.StoreSlot(0, 10)
-			o.Rec.ReleaseAnon()
 			f.heap.Clock().Tick()
+			o.Rec.ReleaseAnon()
 		}
 		tx.Write(o, 1, v)
 		return nil

@@ -162,12 +162,16 @@ func (b *Barriers) Write(o *objmodel.Object, slot int, v uint64) {
 			b.Heap.PublishRef(objmodel.Ref(v))
 		}
 		o.StoreSlot(slot, v)
-		o.Rec.ReleaseAnon()
-		// Advance the heap's commit clock past every snapshot taken before
-		// this write: the +9 release changed a value behind optimistic
-		// readers' backs, so their single-compare validation fast path must
-		// fail and fall back to the read-set walk that notices the bump.
+		// Advance the heap's commit clock BEFORE releasing: while the record
+		// is Exclusive-anonymous the store is invisible to transactions (both
+		// runtimes conflict-wait on an anonymous owner), and the word-level +9
+		// release bumps the object's version by only 1, which can still trail
+		// a concurrent transaction's clock snapshot. Ticking first guarantees
+		// no transaction can read the released value and still pass the
+		// single-compare validation fast path with a pre-release snapshot; the
+		// stale snapshot falls back to the read-set walk that notices the bump.
 		b.Heap.Clock().Tick()
+		o.Rec.ReleaseAnon()
 		return
 	}
 }
@@ -224,8 +228,9 @@ func (b *Barriers) Release(o *objmodel.Object, tok AggToken) {
 	if tok.private {
 		return
 	}
-	o.Rec.ReleaseAnon()
-	// As in Write: values may have changed under the aggregated ownership,
-	// so stale clock snapshots must be invalidated.
+	// As in Write: values may have changed under the aggregated ownership, so
+	// stale clock snapshots must lose their fast path — and the tick must land
+	// before the release makes those values visible to transactions.
 	b.Heap.Clock().Tick()
+	o.Rec.ReleaseAnon()
 }

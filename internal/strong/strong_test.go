@@ -314,3 +314,64 @@ func TestNilHandlerDefaults(t *testing.T) {
 		t.Errorf("slot = %d", got)
 	}
 }
+
+// barrierTickOrdering checks that mutate ticks the commit clock BEFORE its
+// anonymous release publishes the mutation: a watcher that observes the
+// record back in Shared at a bumped version and then still reads the
+// pre-mutation clock value has caught the unsound window in which a
+// transaction could read the released value yet pass the single-compare
+// validation fast path with a stale snapshot (sync/atomic operations are
+// sequentially consistent, so a tick-after-release would make that
+// interleaving possible). The window is a couple of instructions wide, so
+// this is a probabilistic canary for the ordering — a failure is always a
+// real regression, but a lucky run of a misordered barrier can pass — plus
+// a hard assertion that every barrier ticks the clock at all.
+func barrierTickOrdering(t *testing.T, mutate func(b *Barriers, o *objmodel.Object)) {
+	t.Helper()
+	h, cls, b := setup(t, false)
+	clock := h.Clock()
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	for i := 0; i < iters; i++ {
+		o := h.New(cls)
+		before := clock.Load()
+		violated := false
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				w := o.Rec.Load()
+				if txrec.IsShared(w) && txrec.Version(w) > 1 {
+					if clock.Load() == before {
+						violated = true
+					}
+					return
+				}
+			}
+		}()
+		mutate(b, o)
+		<-done
+		if violated {
+			t.Fatalf("iter %d: release visible while clock still at pre-write value %d", i, before)
+		}
+		if clock.Load() == before {
+			t.Fatalf("iter %d: barrier did not tick the clock", i)
+		}
+	}
+}
+
+func TestWriteTicksClockBeforeRelease(t *testing.T) {
+	barrierTickOrdering(t, func(b *Barriers, o *objmodel.Object) {
+		b.Write(o, 0, 42)
+	})
+}
+
+func TestAggReleaseTicksClockBeforeRelease(t *testing.T) {
+	barrierTickOrdering(t, func(b *Barriers, o *objmodel.Object) {
+		tok := b.Acquire(o)
+		b.AggWrite(o, 0, 42, tok)
+		b.Release(o, tok)
+	})
+}
