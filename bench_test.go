@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/bench"
+	"repro/internal/causal"
 	"repro/internal/lang/ir"
 	"repro/internal/lazystm"
 	"repro/internal/litmus"
@@ -292,6 +293,27 @@ func BenchmarkTxnTracerEnabled(b *testing.B) {
 	h, o, _ := barrierFixture(b, false)
 	rt := stm.New(h, stm.Config{})
 	rt.SetTracer(trace.New(trace.Config{}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Atomic(nil, func(tx *stm.Txn) error {
+			tx.Write(o, 0, tx.Read(o, 0)+1)
+			return nil
+		})
+	}
+}
+
+// BenchmarkTxnCausalRecorder adds the flight recorder as the tracer's sink:
+// the full observability stack — event recording plus per-event conflict-DAG
+// maintenance (attempt spans, edge rings, last-writer table). Compare against
+// BenchmarkTxnTracerEnabled for the recorder's marginal price and against
+// BenchmarkTxnTracerDisabled for the total; the disabled path must stay at
+// 0 allocs/op regardless of this stack existing.
+func BenchmarkTxnCausalRecorder(b *testing.B) {
+	h, o, _ := barrierFixture(b, false)
+	rt := stm.New(h, stm.Config{})
+	tr := trace.New(trace.Config{})
+	tr.SetSink(causal.NewRecorder(causal.Config{}))
+	rt.SetTracer(tr)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = rt.Atomic(nil, func(tx *stm.Txn) error {

@@ -9,12 +9,17 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/conflict"
 	"repro/internal/metrics"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
 
@@ -231,6 +236,178 @@ func TestStmbenchTraceJSON(t *testing.T) {
 		if !strings.Contains(benchErr.String(), want) {
 			t.Errorf("stderr missing %q:\n%s", want, benchErr.String())
 		}
+	}
+}
+
+// TestStmtraceTool drives the flight-recorder pipeline end to end: a
+// deterministic opposed-writer conflict (timestamp policy, so the younger
+// writer self-aborts) is traced in-process, dumped with trace.WriteDumpFile,
+// and the built stmtrace binary exports and analyzes the dump. The Perfetto
+// output is schema-checked: every event carries ph/pid/ts, slices pair with
+// lanes, and at least one aborted-by flow ("s"/"f" pair with matching id)
+// links the victim to its killer.
+func TestStmtraceTool(t *testing.T) {
+	bin := buildTool(t, "stmtrace")
+
+	tr := trace.New(trace.Config{})
+	h := objmodel.NewHeap()
+	cls := h.MustDefineClass(objmodel.ClassSpec{
+		Name:   "TraceCell",
+		Fields: []objmodel.Field{{Name: "n"}},
+	})
+	hot := h.New(cls)
+	rt := stm.New(h, stm.Config{CommonConfig: stmapi.CommonConfig{
+		Handler:        &conflict.Timestamp{MaxSleep: 20 * time.Microsecond},
+		SelfAbortAfter: 1 << 30,
+	}})
+	rt.SetTracer(tr)
+
+	// The older transaction holds the record until the younger one has
+	// lost at least one arbitration (timestamp: younger self-aborts), then
+	// commits so both finish.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var onceHeld, onceRelease sync.Once
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := rt.Atomic(nil, func(tx *stm.Txn) error {
+			tx.Write(hot, 0, 1)
+			onceHeld.Do(func() { close(held) })
+			<-release
+			return nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-held
+		entries := 0
+		if err := rt.Atomic(nil, func(tx *stm.Txn) error {
+			entries++
+			if entries > 1 {
+				// Already aborted at least once; let the holder commit.
+				onceRelease.Do(func() { close(release) })
+			}
+			tx.Write(hot, 0, 2)
+			return nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	dump := filepath.Join(t.TempDir(), "litmus.trace.json")
+	if err := trace.WriteDumpFile(dump, tr.DumpState()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perfetto export: valid Chrome trace-event JSON with an aborted-by flow.
+	perfOut := filepath.Join(t.TempDir(), "litmus.perfetto.json")
+	if out, err := exec.Command(bin, "export", "-perfetto", "-o", perfOut, dump).CombinedOutput(); err != nil {
+		t.Fatalf("stmtrace export -perfetto: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(perfOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto export has no traceEvents")
+	}
+	slices, flowStarts, flowEnds := 0, map[any]string{}, map[any]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("trace event missing ph: %v", ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("trace event missing pid: %v", ev)
+		}
+		switch ph {
+		case "X":
+			slices++
+			for _, key := range []string{"ts", "dur", "tid", "name"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("slice missing %q: %v", key, ev)
+				}
+			}
+		case "s":
+			flowStarts[ev["id"]], _ = ev["name"].(string)
+		case "f":
+			flowEnds[ev["id"]] = true
+		}
+	}
+	if slices < 3 {
+		t.Errorf("want >= 3 attempt slices (holder + victim attempts), got %d", slices)
+	}
+	abortedByFlows := 0
+	for id, name := range flowStarts {
+		if !flowEnds[id] {
+			t.Errorf("flow %v has a start but no finish", id)
+		}
+		if name == "aborted-by" {
+			abortedByFlows++
+		}
+	}
+	if abortedByFlows == 0 {
+		t.Fatalf("no aborted-by flow edges in perfetto export; flows = %v", flowStarts)
+	}
+
+	// DOT export names the conflict kinds on edges.
+	dotOut, err := exec.Command(bin, "export", "-dot", dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmtrace export -dot: %v\n%s", err, dotOut)
+	}
+	for _, want := range []string{"digraph conflicts", "aborted-by"} {
+		if !strings.Contains(string(dotOut), want) {
+			t.Errorf("dot output missing %q:\n%s", want, dotOut)
+		}
+	}
+
+	// Starvation report: machine-readable, with the self-abort visible.
+	starveOut, err := exec.Command(bin, "starve", "-json", dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmtrace starve -json: %v\n%s", err, starveOut)
+	}
+	var rep struct {
+		Transactions int              `json:"transactions"`
+		Attempts     int              `json:"attempts"`
+		Aborts       int              `json:"aborts"`
+		MaxConsec    int              `json:"max_consec_aborts"`
+		EdgeCounts   map[string]int64 `json:"edge_counts"`
+	}
+	if err := json.Unmarshal(starveOut, &rep); err != nil {
+		t.Fatalf("starve -json output: %v\n%s", err, starveOut)
+	}
+	if rep.Transactions < 2 || rep.Aborts < 1 || rep.MaxConsec < 1 {
+		t.Errorf("starve report misses the litmus shape: %+v", rep)
+	}
+	if rep.EdgeCounts["aborted-by"] == 0 {
+		t.Errorf("starve report has no aborted-by edges: %v", rep.EdgeCounts)
+	}
+
+	// -max-consec below the observed streak must exit nonzero.
+	if rep.MaxConsec > 0 {
+		cmd := exec.Command(bin, "starve", "-json", "-max-consec", strconv.Itoa(rep.MaxConsec-1), dump)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("starve -max-consec %d should fail with streak %d:\n%s", rep.MaxConsec-1, rep.MaxConsec, out)
+		}
+	}
+
+	// Error paths: missing file, conflicting flags.
+	if _, err := exec.Command(bin, "export", "-perfetto", filepath.Join(t.TempDir(), "nope.json")).CombinedOutput(); err == nil {
+		t.Error("export accepted a missing trace file")
+	}
+	if _, err := exec.Command(bin, "export", "-perfetto", "-dot", dump).CombinedOutput(); err == nil {
+		t.Error("export accepted both -perfetto and -dot")
 	}
 }
 

@@ -12,6 +12,7 @@
 //	stmbench -fig par          parallel STM hot-path throughput sweep
 //	stmbench -fig stamp        STAMP-shape workload sweep (vacation/kmeans/genome)
 //	stmbench -fig crash        crash-recovery robustness run (orphan injection)
+//	stmbench -fig causal       flight-recorder starvation profile + tracing overhead
 //	stmbench -fig all          everything
 //
 // An unknown -fig value is an error that lists the known figures. The
@@ -38,6 +39,14 @@
 //
 //	stmbench -fig par -trace
 //	stmbench -fig par -metrics-addr localhost:9190 &  stmtop -addr localhost:9190
+//
+// -trace-dump FILE writes the retained event history (with a causal
+// flight recorder attached) as a JSON dump for offline analysis with
+// cmd/stmtrace:
+//
+//	stmbench -fig crash -trace-dump crash.trace.json
+//	stmtrace export -perfetto crash.trace.json > crash.perfetto.json
+//	stmtrace starve crash.trace.json
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/causal"
 	"repro/internal/conflict"
 	"repro/internal/lazystm"
 	"repro/internal/metrics"
@@ -60,7 +70,7 @@ import (
 
 // knownFigs lists every figure name run() dispatches on, in presentation
 // order. Keep in sync with the run() calls below.
-var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash"}
+var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash", "causal"}
 
 func knownFig(name string) bool {
 	for _, f := range knownFigs {
@@ -82,6 +92,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (parallel sweep)")
 	parTxns := flag.Int("partxns", 100_000, "transactions per parallel-throughput configuration")
 	traceOn := flag.Bool("trace", false, "enable the event tracer on the parallel sweep; print hotspots and latency percentiles")
+	traceDump := flag.String("trace-dump", "", "write the retained trace events (JSON) to FILE for cmd/stmtrace; implies tracing")
 	metricsAddr := flag.String("metrics-addr", "", "serve the live /metrics endpoint (for cmd/stmtop) on host:port while running")
 	policy := flag.String("policy", "", "contention policy for the parallel sweep: "+
 		fmt.Sprintf("%v", conflict.PolicyNames)+" (empty consults $"+conflict.PolicyEnv+", default backoff)")
@@ -111,8 +122,20 @@ func main() {
 
 	var reg *metrics.Registry
 	var tracer *trace.Tracer
-	if *metricsAddr != "" || *traceOn {
-		tracer = trace.New(trace.Config{})
+	var recorder *causal.Recorder
+	if *metricsAddr != "" || *traceOn || *traceDump != "" {
+		var tcfg trace.Config
+		if *traceDump != "" {
+			// Offline analysis wants the whole run, not a ring-tail window:
+			// deep rings keep flow edges' endpoints inside the dump.
+			tcfg.ShardCapacity = 1 << 16
+		}
+		tracer = trace.New(tcfg)
+		// A causal flight recorder always rides along with the tracer: it is
+		// ring-bounded, and it feeds the `causal` line in /metrics + stmtop
+		// and the trace-dump consumers.
+		recorder = causal.NewRecorder(causal.Config{})
+		tracer.SetSink(recorder)
 	}
 	if *metricsAddr != "" {
 		reg = metrics.NewRegistry()
@@ -222,7 +245,7 @@ func main() {
 			fmt.Print(bench.FormatParallel(results))
 		}
 		if *traceOn && tracer != nil {
-			printTraceSummary(tracer)
+			printTraceSummary(tracer, recorder)
 		}
 		return nil
 	})
@@ -251,7 +274,17 @@ func main() {
 	})
 
 	run("crash", func() error {
-		results, err := bench.RunCrashSweep(bench.CrashSpecs(*seed))
+		var opts []bench.ParallelOption
+		if tracer != nil {
+			opts = append(opts, bench.WithTracer(tracer))
+		}
+		if reg != nil {
+			opts = append(opts,
+				bench.WithEagerRuntime(func(rt *stm.Runtime) { reg.RegisterSTM("crash/eager", rt) }),
+				bench.WithLazyRuntime(func(rt *lazystm.Runtime) { reg.RegisterLazy("crash/lazy", rt) }),
+			)
+		}
+		results, err := bench.RunCrashSweep(bench.CrashSpecs(*seed), opts...)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -265,13 +298,47 @@ func main() {
 			return err
 		}
 		fmt.Println("all crash runs conserved balances and restored every record")
+		if *traceOn && tracer != nil {
+			printTraceSummary(tracer, recorder)
+		}
 		return nil
 	})
+
+	run("causal", func() error {
+		maxG := *maxThreads
+		if maxG < 4 {
+			maxG = 4
+		}
+		// The causal figure manages its own tracer/recorder pairs: each spec
+		// needs a pristine baseline run and a pristine traced run.
+		results, err := bench.RunCausalSweep(bench.CausalSpecs(maxG, *parTxns))
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		}
+		fmt.Print(bench.FormatCausal(results))
+		return nil
+	})
+
+	if *traceDump != "" && tracer != nil {
+		if err := trace.WriteDumpFile(*traceDump, tracer.DumpState()); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-dump: %v\n", err)
+			os.Exit(1)
+		}
+		d := tracer.DumpState()
+		fmt.Fprintf(os.Stderr, "trace-dump: wrote %d events to %s (%d dropped before the dump)\n",
+			len(d.Events), *traceDump, d.Dropped)
+	}
 }
 
 // printTraceSummary renders the sweep-wide conflict attribution and latency
-// profile the tracer accumulated (to stderr, keeping -json stdout clean).
-func printTraceSummary(t *trace.Tracer) {
+// profile the tracer accumulated (to stderr, keeping -json stdout clean),
+// plus the flight recorder's causal summary when one is attached.
+func printTraceSummary(t *trace.Tracer, rec *causal.Recorder) {
 	snap := t.Snapshot(10)
 	w := os.Stderr
 	fmt.Fprintf(w, "\ntrace: %d events recorded (%d beyond ring capacity)\n", snap.Events, snap.Dropped)
@@ -294,5 +361,18 @@ func printTraceSummary(t *trace.Tracer) {
 	if snap.QuiesceWait.Count > 0 {
 		fmt.Fprintf(w, "trace: quiescence wait p50 %dns  p99 %dns (n=%d)\n",
 			snap.QuiesceWait.P50Ns, snap.QuiesceWait.P99Ns, snap.QuiesceWait.Count)
+	}
+	if rec != nil {
+		live := rec.Live()
+		rep := causal.Analyze(rec.Graph())
+		fmt.Fprintf(w, "causal: %d attempts, %d edges, wasted work %.1f%%, max consecutive aborts %d",
+			live.Attempts, live.Edges, live.WastedWorkPct, rep.MaxConsecutiveAborts)
+		if rep.MaxConsecutiveTxn != 0 {
+			fmt.Fprintf(w, " (txn %d)", rep.MaxConsecutiveTxn)
+		}
+		fmt.Fprintln(w)
+		if rep.LongestChainDepth > 1 {
+			fmt.Fprintf(w, "causal: longest victim chain depth %d\n", rep.LongestChainDepth)
+		}
 	}
 }

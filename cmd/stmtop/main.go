@@ -129,7 +129,25 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 			}
 			b.WriteByte('\n')
 		}
+		// Causal line: present only when a flight recorder is attached to
+		// the runtime's tracer (trace.Tracer sink = causal.Recorder).
+		if c := s.Causal; c != nil {
+			fmt.Fprintf(&b, "  causal: waits %d  chain %d  wasted %.1f%%  max consec aborts %d",
+				c.ActiveWaits, c.LongestChain, c.WastedWorkPct, c.MaxConsecutiveAborts)
+			if c.MaxConsecutiveTxn != 0 {
+				fmt.Fprintf(&b, " (txn %d)", c.MaxConsecutiveTxn)
+			}
+			fmt.Fprintf(&b, "  attempts %d  edges %d", c.Attempts, c.Edges)
+			if c.Extensions > 0 {
+				fmt.Fprintf(&b, "  extensions %d", c.Extensions)
+			}
+			b.WriteByte('\n')
+		}
 		if t := s.Trace; t != nil {
+			if t.Dropped > 0 {
+				fmt.Fprintf(&b, "  trace drops: %s of %s events (per shard: %s)\n",
+					big(float64(t.Dropped)), big(float64(t.Events)), shardDrops(t.DroppedByShard))
+			}
 			cl := t.CommitLatency
 			fmt.Fprintf(&b, "  commit latency: p50 %s  p95 %s  p99 %s  (n=%d)",
 				ns(cl.P50Ns), ns(cl.P95Ns), ns(cl.P99Ns), cl.Count)
@@ -157,6 +175,23 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 		}
 	}
 	return b.String()
+}
+
+// shardDrops renders per-shard drop counts compactly ("0/0/12/0/…"),
+// eliding trailing all-zero shards.
+func shardDrops(byShard []int64) string {
+	last := len(byShard)
+	for last > 0 && byShard[last-1] == 0 {
+		last--
+	}
+	if last == 0 {
+		return "none"
+	}
+	parts := make([]string, last)
+	for i := 0; i < last; i++ {
+		parts[i] = fmt.Sprintf("%d", byShard[i])
+	}
+	return strings.Join(parts, "/")
 }
 
 // counter returns the named stat as a rate (per second against the

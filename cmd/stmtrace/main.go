@@ -1,0 +1,226 @@
+// Command stmtrace turns STM trace dumps into causal artifacts: Perfetto
+// timelines, Graphviz conflict graphs, and starvation reports.
+//
+// Input is a trace dump written by `stmbench -trace-dump FILE` (or any
+// JSON file holding a trace.Dump envelope or a bare event array); "-" or
+// no path reads stdin.
+//
+//	stmtrace export -perfetto trace.json > trace.perfetto.json
+//	stmtrace export -dot -o conflicts.dot trace.json
+//	stmtrace starve trace.json
+//	stmtrace starve -json -max-consec 8 trace.json   # exit 1 if exceeded
+//
+// Load the Perfetto export at https://ui.perfetto.dev (Open trace file):
+// one track per concurrency lane, one slice per transaction attempt,
+// flow arrows for aborted-by / doomed-by / invalidated-by / stolen-from
+// edges.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/causal"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "export":
+		err = runExport(os.Args[2:])
+	case "starve":
+		err = runStarve(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "stmtrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  stmtrace export -perfetto|-dot [-o FILE] [TRACE]
+  stmtrace starve [-json] [-k N] [-max-consec N] [TRACE]
+
+TRACE is a JSON trace dump from stmbench -trace-dump (default stdin).
+`)
+}
+
+// load reads the dump named by the flagset's positional argument and
+// builds the conflict graph.
+func load(fs *flag.FlagSet) (*causal.Graph, trace.Dump, error) {
+	path := fs.Arg(0)
+	d, err := trace.ReadDumpFile(path)
+	if err != nil {
+		return nil, d, err
+	}
+	if len(d.Events) == 0 {
+		return nil, d, fmt.Errorf("no events in trace %q", path)
+	}
+	return causal.Build(d.Events, causal.Config{}), d, nil
+}
+
+func output(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	perfetto := fs.Bool("perfetto", false, "emit Chrome trace-event JSON for ui.perfetto.dev")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT of the conflict graph")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *perfetto == *dot {
+		return fmt.Errorf("pick exactly one of -perfetto or -dot")
+	}
+	g, d, err := load(fs)
+	if err != nil {
+		return err
+	}
+	if d.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "stmtrace: note: %d of %d events were dropped before the dump; the graph is a window\n",
+			d.Dropped, d.TotalEvents)
+	}
+	w, err := output(*out)
+	if err != nil {
+		return err
+	}
+	if *perfetto {
+		err = causal.WritePerfetto(w, g)
+	} else {
+		err = causal.WriteDOT(w, g)
+	}
+	if cerr := closeOut(w); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func closeOut(w io.WriteCloser) error {
+	if w == os.Stdout {
+		return nil
+	}
+	return w.Close()
+}
+
+func runStarve(args []string) error {
+	fs := flag.NewFlagSet("starve", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	topK := fs.Int("k", 5, "victim chains / starved transactions shown")
+	maxConsec := fs.Int("max-consec", 0, "exit nonzero if any transaction exceeds N consecutive aborts (0 = report only)")
+	fs.Parse(args)
+	g, _, err := load(fs)
+	if err != nil {
+		return err
+	}
+	rep := causal.Analyze(g)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(rep, *topK)
+	}
+	if *maxConsec > 0 && rep.MaxConsecutiveAborts > *maxConsec {
+		return fmt.Errorf("starvation: txn %d saw %d consecutive aborts (limit %d)",
+			rep.MaxConsecutiveTxn, rep.MaxConsecutiveAborts, *maxConsec)
+	}
+	return nil
+}
+
+func printReport(rep causal.Report, topK int) {
+	fmt.Printf("transactions %d  attempts %d  commits %d  aborts %d\n",
+		rep.Transactions, rep.Attempts, rep.Commits, rep.Aborts)
+	fmt.Printf("wasted work: %s of %s (%.1f%%)\n",
+		time.Duration(rep.WastedNS), time.Duration(rep.TotalNS), 100*rep.WastedWorkRatio)
+	fmt.Printf("max consecutive aborts: %d", rep.MaxConsecutiveAborts)
+	if rep.MaxConsecutiveTxn != 0 {
+		fmt.Printf(" (txn %d)", rep.MaxConsecutiveTxn)
+	}
+	fmt.Println()
+	if rep.LongestChainDepth > 0 {
+		fmt.Printf("longest victim chain (depth %d):", rep.LongestChainDepth)
+		for i, ref := range rep.LongestChain {
+			if i > 0 {
+				fmt.Print(" ->")
+			}
+			fmt.Printf(" txn %d#%d", ref.Txn, ref.N)
+		}
+		fmt.Println()
+	}
+	if len(rep.ChainDepths) > 0 {
+		depths := make([]int, 0, len(rep.ChainDepths))
+		for d := range rep.ChainDepths {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		fmt.Print("chain depth distribution:")
+		for _, d := range depths {
+			fmt.Printf("  %d:%d", d, rep.ChainDepths[d])
+		}
+		fmt.Println()
+	}
+	if len(rep.TopStarved) > 0 {
+		fmt.Println("most starved transactions:")
+		n := topK
+		if n > len(rep.TopStarved) {
+			n = len(rep.TopStarved)
+		}
+		for _, ts := range rep.TopStarved[:n] {
+			outcome := "never committed"
+			if ts.Committed {
+				outcome = "eventually committed"
+			}
+			fmt.Printf("  txn %-8d %3d aborts (max %d consecutive), %s wasted, %s\n",
+				ts.Txn, ts.Aborts, ts.MaxConsecutiveAborts, time.Duration(ts.WastedNS), outcome)
+		}
+	}
+	if len(rep.Dominance) > 0 {
+		fmt.Println("object dominance:")
+		n := topK
+		if n > len(rep.Dominance) {
+			n = len(rep.Dominance)
+		}
+		for _, d := range rep.Dominance[:n] {
+			fmt.Printf("  obj %-8d %4d aborts  %4d waits", d.Obj, d.Aborts, d.Waits)
+			if d.TopKiller != 0 {
+				fmt.Printf("  top winner txn %d (%.0f%%)", d.TopKiller, 100*d.TopKillerShare)
+			}
+			fmt.Println()
+		}
+	}
+	if len(rep.EdgeCounts) > 0 {
+		kinds := make([]string, 0, len(rep.EdgeCounts))
+		for k := range rep.EdgeCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Print("edges:")
+		for _, k := range kinds {
+			fmt.Printf("  %s %d", k, rep.EdgeCounts[k])
+		}
+		fmt.Println()
+	}
+}

@@ -1,4 +1,5 @@
-// Tracing: find the contended object in a workload you didn't write.
+// Tracing: find the contended object in a workload you didn't write —
+// then reconstruct *why* each abort happened.
 //
 // Eight goroutines hammer a hundred transactional counters. The access
 // pattern is skewed — most transactions also touch counter #0 — so that one
@@ -7,6 +8,16 @@
 // hotspot table names the culprit without any instrumentation in the
 // workload itself. The same data is what `stmbench -metrics-addr` serves
 // and `stmtop` renders live.
+//
+// A causal flight recorder rides along as the tracer's sink: it folds the
+// event stream into a conflict DAG (attempt spans + typed causal edges),
+// the structure behind `stmtrace starve` and the Perfetto/DOT exports. The
+// example prints the starvation profile and writes the raw trace next to
+// the binary so you can explore it offline:
+//
+//	go run ./examples/tracing
+//	go run ./cmd/stmtrace export -perfetto tracing.trace.json > tracing.perfetto.json
+//	# open tracing.perfetto.json at https://ui.perfetto.dev
 //
 // Run: go run ./examples/tracing
 package main
@@ -17,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/causal"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
 	"repro/internal/trace"
@@ -40,6 +52,8 @@ func main() {
 
 	rt := stm.New(heap, stm.Config{})
 	tracer := trace.New(trace.Config{})
+	recorder := causal.NewRecorder(causal.Config{})
+	tracer.SetSink(recorder)
 	rt.SetTracer(tracer)
 
 	var wg sync.WaitGroup
@@ -98,4 +112,28 @@ func main() {
 	}
 	total, dropped := tracer.Recorded()
 	fmt.Printf("events recorded: %d (%d beyond ring capacity)\n", total, dropped)
+
+	// The flight recorder saw every event, not just the ring window: walk
+	// its conflict DAG for the causal story behind the abort counts.
+	rep := causal.Analyze(recorder.Graph())
+	fmt.Printf("\ncausal analysis: %d attempts across %d transactions\n", rep.Attempts, rep.Transactions)
+	fmt.Printf("  wasted work: %.1f%% of attempt time went to aborted attempts\n", 100*rep.WastedWorkRatio)
+	fmt.Printf("  max consecutive aborts: %d", rep.MaxConsecutiveAborts)
+	if rep.MaxConsecutiveTxn != 0 {
+		fmt.Printf(" (txn %d)", rep.MaxConsecutiveTxn)
+	}
+	fmt.Println()
+	if len(rep.Dominance) > 0 {
+		d := rep.Dominance[0]
+		fmt.Printf("  dominant object: #%d with %d abort edges, %d wait edges\n", d.Obj, d.Aborts, d.Waits)
+	}
+
+	const dumpPath = "tracing.trace.json"
+	if err := trace.WriteDumpFile(dumpPath, tracer.DumpState()); err != nil {
+		fmt.Println("trace dump:", err)
+		return
+	}
+	fmt.Printf("\nwrote %s — try:\n", dumpPath)
+	fmt.Printf("  go run ./cmd/stmtrace starve %s\n", dumpPath)
+	fmt.Printf("  go run ./cmd/stmtrace export -perfetto %s > tracing.perfetto.json\n", dumpPath)
 }

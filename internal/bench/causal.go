@@ -1,0 +1,150 @@
+package bench
+
+// The causal figure measures the flight recorder itself: for each
+// (runtime × policy) on a deliberately contended workload, one baseline
+// run with tracing off and one run with a Tracer + causal.Recorder sink
+// attached. The traced run's conflict DAG is analyzed for chain depth,
+// consecutive aborts, and wasted work — the starvation profile the
+// ROADMAP's starvation-freedom item needs as a trajectory artifact — and
+// the baseline comparison prices the observability layer honestly.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/causal"
+	"repro/internal/trace"
+)
+
+// CausalSpec configures one causal-figure measurement: the embedded
+// parallel workload, run twice (baseline, then traced).
+type CausalSpec struct {
+	ParallelSpec
+	Contention string `json:"contention"` // "contended" or "overhead" (documentation only)
+}
+
+// CausalResult is one causal measurement, flattened for JSON output.
+type CausalResult struct {
+	CausalSpec
+
+	BaselineNsPerTxn float64 `json:"baseline_ns_per_op"` // tracing off
+	TracedNsPerTxn   float64 `json:"traced_ns_per_op"`   // tracer + recorder on
+	OverheadPct      float64 `json:"overhead_pct"`       // traced vs baseline
+
+	Commits int64 `json:"commits"` // traced run
+	Aborts  int64 `json:"aborts"`
+
+	// Starvation profile from the traced run's conflict DAG.
+	WastedWorkPct        float64          `json:"wasted_work_pct"`
+	MaxConsecutiveAborts int              `json:"max_consec_aborts"`
+	LongestChainDepth    int              `json:"longest_chain_depth"`
+	MeanChainDepth       float64          `json:"mean_chain_depth,omitempty"`
+	EdgeCounts           map[string]int64 `json:"edge_counts,omitempty"`
+	DroppedAttempts      uint64           `json:"dropped_attempts,omitempty"`
+	DroppedEdges         uint64           `json:"dropped_edges,omitempty"`
+}
+
+// RunCausal executes one causal measurement: a baseline run, then a
+// traced run feeding a flight recorder, then the starvation analysis.
+func RunCausal(spec CausalSpec) (CausalResult, error) {
+	base, err := RunParallel(spec.ParallelSpec)
+	if err != nil {
+		return CausalResult{}, err
+	}
+	tr := trace.New(trace.Config{})
+	rec := causal.NewRecorder(causal.Config{})
+	tr.SetSink(rec)
+	traced, err := RunParallel(spec.ParallelSpec, WithTracer(tr))
+	if err != nil {
+		return CausalResult{}, err
+	}
+	g := rec.Graph()
+	rep := causal.Analyze(g)
+
+	res := CausalResult{
+		CausalSpec:           spec,
+		BaselineNsPerTxn:     base.NsPerTxn,
+		TracedNsPerTxn:       traced.NsPerTxn,
+		Commits:              traced.Commits,
+		Aborts:               traced.Aborts,
+		WastedWorkPct:        100 * rep.WastedWorkRatio,
+		MaxConsecutiveAborts: rep.MaxConsecutiveAborts,
+		LongestChainDepth:    rep.LongestChainDepth,
+		EdgeCounts:           rep.EdgeCounts,
+		DroppedAttempts:      g.DroppedAttempts,
+		DroppedEdges:         g.DroppedEdges,
+	}
+	if base.NsPerTxn > 0 {
+		res.OverheadPct = 100 * (traced.NsPerTxn - base.NsPerTxn) / base.NsPerTxn
+	}
+	var sumDepth, nDepth int
+	for d, n := range rep.ChainDepths {
+		sumDepth += d * n
+		nDepth += n
+	}
+	if nDepth > 0 {
+		res.MeanChainDepth = float64(sumDepth) / float64(nDepth)
+	}
+	return res, nil
+}
+
+// CausalSpecs enumerates the causal figure: every policy on both runtimes
+// over a contended pool (few objects, write-heavy — the regime where the
+// causal structure is interesting), plus a read-heavy low-contention
+// config per runtime that prices the recorder where tracing is usually
+// left on.
+func CausalSpecs(goroutines, txns int) []CausalSpec {
+	if goroutines < 2 {
+		goroutines = 2 // one worker has no causality to record
+	}
+	var specs []CausalSpec
+	for _, versioning := range []string{"eager", "lazy"} {
+		for _, policy := range []string{"backoff", "timestamp", "karma"} {
+			specs = append(specs, CausalSpec{
+				Contention: "contended",
+				ParallelSpec: ParallelSpec{
+					Workload: "contended", Versioning: versioning, Policy: policy,
+					Goroutines: goroutines, Objects: 8, OpsPerTxn: 4, ReadPct: 20,
+					Txns: txns,
+				},
+			})
+		}
+		specs = append(specs, CausalSpec{
+			Contention: "overhead",
+			ParallelSpec: ParallelSpec{
+				Workload: "read-heavy", Versioning: versioning, Policy: "backoff",
+				Goroutines: goroutines, Objects: 1024, OpsPerTxn: 8, ReadPct: 90,
+				Txns: txns,
+			},
+		})
+	}
+	return specs
+}
+
+// RunCausalSweep runs every spec in order.
+func RunCausalSweep(specs []CausalSpec) ([]CausalResult, error) {
+	out := make([]CausalResult, 0, len(specs))
+	for _, spec := range specs {
+		res, err := RunCausal(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatCausal renders causal results as a table.
+func FormatCausal(results []CausalResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "causal flight recorder: starvation profile and tracing overhead\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %8s %8s %7s %6s %8s\n",
+		"workload/runtime/policy", "base ns", "traced ns", "ovhd", "aborts", "wasted", "chain", "consec")
+	for _, r := range results {
+		name := fmt.Sprintf("%s/%s/%s", r.Workload, r.Versioning, r.Policy)
+		fmt.Fprintf(&b, "%-28s %10.0f %10.0f %7.1f%% %8s %6.1f%% %6d %8d\n",
+			name, r.BaselineNsPerTxn, r.TracedNsPerTxn, r.OverheadPct,
+			human(r.Aborts), r.WastedWorkPct, r.LongestChainDepth, r.MaxConsecutiveAborts)
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/conflict"
 	"repro/internal/faultinject"
 	"repro/internal/lazystm"
 	"repro/internal/objmodel"
@@ -27,11 +28,13 @@ import (
 
 // CrashSpec configures one crash-recovery measurement.
 type CrashSpec struct {
-	Versioning    string `json:"versioning"` // eager or lazy
+	Versioning    string `json:"versioning"`       // eager or lazy
+	Policy        string `json:"policy,omitempty"` // contention policy (conflict.ByName); empty = backoff
 	Workers       int    `json:"workers"`
 	Accounts      int    `json:"accounts"`
 	TxnsPerWorker int    `json:"txns_per_worker"`
-	CrashRate     uint64 `json:"crash_rate"` // per-point Orphan probability, 1/1024ths per arrival
+	CrashRate     uint64 `json:"crash_rate"`           // per-point Orphan probability, 1/1024ths per arrival
+	DelayRate     uint64 `json:"delay_rate,omitempty"` // per-point Delay probability, 1/1024ths; widens lock-hold windows
 	EscalateAfter int    `json:"escalate_after,omitempty"`
 	Seed          uint64 `json:"seed"` // fault-injection seed
 }
@@ -75,9 +78,17 @@ const crashInitBalance = 1_000
 // RunCrash executes one crash-recovery measurement. The returned error is
 // non-nil when a safety invariant is violated (conservation or record
 // state), so callers exit non-zero on a broken run; injection-induced
-// worker deaths are expected and never an error.
-func RunCrash(spec CrashSpec) (CrashResult, error) {
+// worker deaths are expected and never an error. Options use the parallel
+// sweep's vocabulary — WithTracer attaches a tracer (and through it any
+// flight-recorder sink) to the runtime, which makes the crash figure the
+// richest causal fixture in the suite: dooms, steals, and validation
+// aborts all fire here.
+func RunCrash(spec CrashSpec, opts ...ParallelOption) (CrashResult, error) {
 	spec.defaults()
+	var po parallelOpts
+	for _, opt := range opts {
+		opt(&po)
+	}
 	h := objmodel.NewHeap()
 	cls := h.MustDefineClass(objmodel.ClassSpec{
 		Name:   "CAcct",
@@ -89,12 +100,25 @@ func RunCrash(spec CrashSpec) (CrashResult, error) {
 		accts[i].StoreSlot(0, crashInitBalance)
 	}
 
-	rules := make([]faultinject.Rule, 0, len(faultinject.Points))
+	rules := make([]faultinject.Rule, 0, 2*len(faultinject.Points))
 	for _, p := range faultinject.Points {
 		rules = append(rules, faultinject.Rule{Point: p, Action: faultinject.Orphan, Rate: spec.CrashRate})
 	}
+	if spec.DelayRate > 0 {
+		// Delay while records are held: transfers are otherwise so short
+		// that contenders almost never observe a live owner, and arbitration
+		// policies never fire. The sleeps recreate the long-hold regime where
+		// the policy (not just the reaper) decides who aborts whom.
+		for _, p := range []faultinject.Point{faultinject.PostAcquire, faultinject.PreValidate} {
+			rules = append(rules, faultinject.Rule{Point: p, Action: faultinject.Delay, Rate: spec.DelayRate})
+		}
+	}
 	in := faultinject.New(spec.Seed, rules...)
-	common := stmapi.CommonConfig{EscalateAfter: spec.EscalateAfter}
+	pol, err := conflict.ByNameOrEnv(spec.Policy)
+	if err != nil {
+		return CrashResult{}, fmt.Errorf("bench: %w", err)
+	}
+	common := stmapi.CommonConfig{Handler: pol, EscalateAfter: spec.EscalateAfter}
 
 	var api stmapi.Runtime
 	var target recovery.Target
@@ -102,13 +126,22 @@ func RunCrash(spec CrashSpec) (CrashResult, error) {
 	case "eager":
 		rt := stm.New(h, stm.Config{CommonConfig: common})
 		rt.SetInjector(in)
+		if po.onEager != nil {
+			po.onEager(rt)
+		}
 		api, target = rt.API(), rt.Recovery()
 	case "lazy":
 		rt := lazystm.New(h, lazystm.Config{CommonConfig: common})
 		rt.SetInjector(in)
+		if po.onLazy != nil {
+			po.onLazy(rt)
+		}
 		api, target = rt.API(), rt.Recovery()
 	default:
 		return CrashResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	}
+	if po.tracer != nil {
+		api.SetTracer(po.tracer)
 	}
 
 	reaper := recovery.NewReaper(target, recovery.Config{Interval: time.Millisecond})
@@ -196,23 +229,28 @@ func RunCrash(spec CrashSpec) (CrashResult, error) {
 }
 
 // CrashSpecs builds the default crash figure: both runtimes at the given
-// seed, with and without escalation.
+// seed, with and without escalation, plus a high-contention timestamp-policy
+// run per runtime. The timestamp configs abort younger conflicting writers
+// outright instead of waiting, so the figure exercises the policy-abort
+// recovery path (and, with a tracer attached, yields aborted-by causal
+// edges alongside the reaper's stolen-from edges).
 func CrashSpecs(seed uint64) []CrashSpec {
 	var specs []CrashSpec
 	for _, v := range []string{"eager", "lazy"} {
 		for _, esc := range []int{0, 8} {
 			specs = append(specs, CrashSpec{Versioning: v, EscalateAfter: esc, Seed: seed})
 		}
+		specs = append(specs, CrashSpec{Versioning: v, Policy: "timestamp", Accounts: 8, DelayRate: 256, Seed: seed})
 	}
 	return specs
 }
 
 // RunCrashSweep runs each spec in order, failing on the first violated
-// invariant.
-func RunCrashSweep(specs []CrashSpec) ([]CrashResult, error) {
+// invariant. Options apply to every measurement.
+func RunCrashSweep(specs []CrashSpec, opts ...ParallelOption) ([]CrashResult, error) {
 	results := make([]CrashResult, 0, len(specs))
 	for _, spec := range specs {
-		res, err := RunCrash(spec)
+		res, err := RunCrash(spec, opts...)
 		if err != nil {
 			return results, err
 		}
@@ -224,12 +262,16 @@ func RunCrashSweep(specs []CrashSpec) ([]CrashResult, error) {
 // FormatCrash renders crash results as an aligned table.
 func FormatCrash(results []CrashResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %-4s %8s %10s %10s %8s %8s %6s %6s\n",
-		"vers", "esc", "workers", "commits", "aborts", "orphans", "steals", "bal", "recs")
+	fmt.Fprintf(&b, "%-6s %-10s %-4s %8s %10s %10s %8s %8s %6s %6s\n",
+		"vers", "policy", "esc", "workers", "commits", "aborts", "orphans", "steals", "bal", "recs")
 	okStr := map[bool]string{true: "ok", false: "FAIL"}
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-6s %-4d %8d %10d %10d %8d %8d %6s %6s\n",
-			r.Versioning, r.EscalateAfter, r.Workers, r.Commits, r.Aborts,
+		pol := r.Policy
+		if pol == "" {
+			pol = "backoff"
+		}
+		fmt.Fprintf(&b, "%-6s %-10s %-4d %8d %10d %10d %8d %8d %6s %6s\n",
+			r.Versioning, pol, r.EscalateAfter, r.Workers, r.Commits, r.Aborts,
 			r.Orphans, r.ReaperSteals, okStr[r.BalanceConserved], okStr[r.RecordsShared])
 	}
 	return b.String()

@@ -1,0 +1,378 @@
+package causal
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// evStream builds trace events with monotonically increasing Seq/Unix.
+type evStream struct {
+	seq uint64
+	evs []trace.Event
+}
+
+func (s *evStream) add(k trace.Kind, txn, obj uint64, slot int, ver uint64) trace.Event {
+	s.seq++
+	ev := trace.Event{Kind: k, Txn: txn, Obj: obj, Slot: slot, Ver: ver, Seq: s.seq, Unix: int64(s.seq) * 1000}
+	s.evs = append(s.evs, ev)
+	return ev
+}
+
+// opposedPair scripts the canonical two-writer conflict: txn 1 and txn 2
+// each hold one object and want the other's; txn 2 dooms txn 1, txn 1
+// aborts and retries, txn 2 commits, txn 1 commits on attempt #1.
+func opposedPair() *evStream {
+	s := &evStream{}
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvBegin, 2, 0, 0, 0)
+	s.add(trace.EvLockAcquire, 1, 10, 0, 0)
+	s.add(trace.EvLockAcquire, 2, 20, 0, 0)
+	s.add(trace.EvConflict, 1, 20, 0, 2) // 1 waits for 2 on obj 20
+	s.add(trace.EvConflict, 2, 10, 0, 1) // 2 waits for 1 on obj 10
+	s.add(trace.EvDoom, 2, 10, 0, 1)     // 2 dooms 1 over obj 10
+	s.add(trace.EvAbort, 1, 10, 0, 0)    // 1 aborts, blamed on obj 10
+	s.add(trace.EvWrite, 2, 10, 0, 0)
+	s.add(trace.EvCommit, 2, 0, 0, 0)
+	s.add(trace.EvBegin, 1, 0, 0, 0) // 1 retries
+	s.add(trace.EvWrite, 1, 10, 0, 0)
+	s.add(trace.EvWrite, 1, 20, 0, 0)
+	s.add(trace.EvCommit, 1, 0, 0, 0)
+	return s
+}
+
+func TestRecorderReconstructsOpposedPair(t *testing.T) {
+	g := Build(opposedPair().evs, Config{})
+	if len(g.Attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3 (1#0 aborted, 2#0 committed, 1#1 committed): %+v", len(g.Attempts), g.Attempts)
+	}
+	byRef := map[AttemptRef]Attempt{}
+	for _, a := range g.Attempts {
+		byRef[a.Ref()] = a
+	}
+	if a := byRef[AttemptRef{Txn: 1, N: 0}]; a.Outcome != Aborted || a.BlameObj != 10 {
+		t.Fatalf("txn1#0 = %+v, want aborted blamed on obj 10", a)
+	}
+	if a := byRef[AttemptRef{Txn: 1, N: 1}]; a.Outcome != Committed {
+		t.Fatalf("txn1#1 = %+v, want committed", a)
+	}
+	if a := byRef[AttemptRef{Txn: 2, N: 0}]; a.Outcome != Committed {
+		t.Fatalf("txn2#0 = %+v, want committed", a)
+	}
+
+	kinds := map[EdgeKind]int{}
+	var abortedBy *Edge
+	for i, e := range g.Edges {
+		kinds[e.Kind]++
+		if e.Kind == AbortedBy {
+			abortedBy = &g.Edges[i]
+		}
+	}
+	if kinds[WaitsFor] != 2 {
+		t.Fatalf("waits-for edges = %d, want 2 (edges: %+v)", kinds[WaitsFor], g.Edges)
+	}
+	if kinds[DoomedBy] != 1 || kinds[AbortedBy] != 1 {
+		t.Fatalf("doomed-by=%d aborted-by=%d, want 1 each", kinds[DoomedBy], kinds[AbortedBy])
+	}
+	want := Edge{Kind: AbortedBy, From: AttemptRef{Txn: 1, N: 0}, To: AttemptRef{Txn: 2, N: 0}, Obj: 10}
+	if abortedBy.From != want.From || abortedBy.To != want.To || abortedBy.Obj != want.Obj {
+		t.Fatalf("aborted-by edge = %+v, want victim 1#0 -> killer 2#0 over obj 10", abortedBy)
+	}
+}
+
+func TestRecorderValidationEdges(t *testing.T) {
+	s := &evStream{}
+	// txn 1 commits a write to obj 5; txn 2 then fails validation on obj 5.
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvBegin, 2, 0, 0, 0)
+	s.add(trace.EvWrite, 1, 5, 0, 0)
+	s.add(trace.EvCommit, 1, 0, 0, 0)
+	s.add(trace.EvExtend, 2, 5, 0, 7)
+	s.add(trace.EvValidation, 2, 5, 0, 0)
+	s.add(trace.EvAbort, 2, 5, 0, 0)
+	g := Build(s.evs, Config{})
+	var inval *Edge
+	for i, e := range g.Edges {
+		if e.Kind == InvalidatedBy {
+			inval = &g.Edges[i]
+		}
+	}
+	if inval == nil {
+		t.Fatalf("no invalidated-by edge: %+v", g.Edges)
+	}
+	if inval.From != (AttemptRef{Txn: 2, N: 0}) || inval.To != (AttemptRef{Txn: 1, N: 0}) || inval.Obj != 5 {
+		t.Fatalf("invalidated-by = %+v, want 2#0 -> last writer 1#0 over obj 5", inval)
+	}
+}
+
+func TestRecorderStealClosesVictim(t *testing.T) {
+	s := &evStream{}
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvLockAcquire, 1, 10, 0, 0)
+	s.add(trace.EvBegin, 2, 0, 0, 0)
+	s.add(trace.EvSteal, 2, 10, 0, 1) // txn 2 steals obj 10 from dead txn 1
+	g := Build(s.evs, Config{})
+	var stolen *Edge
+	for i, e := range g.Edges {
+		if e.Kind == StolenFrom {
+			stolen = &g.Edges[i]
+		}
+	}
+	if stolen == nil || stolen.From.Txn != 1 || stolen.To.Txn != 2 {
+		t.Fatalf("stolen-from edge = %+v, want from txn 1 to txn 2", stolen)
+	}
+	for _, a := range g.Attempts {
+		if a.Txn == 1 && a.Outcome != Aborted {
+			t.Fatalf("dead victim's attempt = %+v, want closed as aborted", a)
+		}
+	}
+}
+
+func TestRecorderBoundedMemory(t *testing.T) {
+	cfg := Config{MaxAttempts: 16, MaxEdges: 16, MaxLive: 8, MaxObjects: 8}
+	r := NewRecorder(cfg)
+	var seq uint64
+	emit := func(k trace.Kind, txn, obj, ver uint64) {
+		seq++
+		r.Observe(trace.Event{Kind: k, Txn: txn, Obj: obj, Ver: ver, Seq: seq, Unix: int64(seq)})
+	}
+	// 100 transactions, each: begin, conflict (edge), abort (edge), begin,
+	// write, commit — far past every cap. Leave every 4th open to pressure
+	// the live table.
+	for i := uint64(1); i <= 100; i++ {
+		emit(trace.EvBegin, i, 0, 0)
+		emit(trace.EvConflict, i, i%10+1, i+1)
+		emit(trace.EvAbort, i, i%10+1, 0)
+		emit(trace.EvBegin, i, 0, 0)
+		emit(trace.EvWrite, i, i%20+1, 0)
+		if i%4 != 0 {
+			emit(trace.EvCommit, i, 0, 0)
+		}
+	}
+	r.mu.Lock()
+	nAttempts, nEdges, nLive, nWriters := len(r.attempts), len(r.edges), len(r.live), len(r.lastWriter)
+	r.mu.Unlock()
+	if nAttempts > cfg.MaxAttempts {
+		t.Fatalf("attempts ring grew to %d > cap %d", nAttempts, cfg.MaxAttempts)
+	}
+	if nEdges > cfg.MaxEdges {
+		t.Fatalf("edge ring grew to %d > cap %d", nEdges, cfg.MaxEdges)
+	}
+	if nLive > cfg.MaxLive {
+		t.Fatalf("live table grew to %d > cap %d", nLive, cfg.MaxLive)
+	}
+	if nWriters > cfg.MaxObjects {
+		t.Fatalf("last-writer table grew to %d > cap %d", nWriters, cfg.MaxObjects)
+	}
+	g := r.Graph()
+	if g.DroppedAttempts == 0 || g.DroppedEdges == 0 {
+		t.Fatalf("expected ring eviction to be reported: dropped attempts=%d edges=%d", g.DroppedAttempts, g.DroppedEdges)
+	}
+	ls := r.Live()
+	if ls.EvictedLive == 0 {
+		t.Fatalf("expected live-table eviction, got %+v", ls)
+	}
+}
+
+func TestAnalyzeStarvationChain(t *testing.T) {
+	s := &evStream{}
+	// Cascade: txn 1 aborted by txn 2; txn 2's same attempt later aborted
+	// by txn 3; txn 3 commits. Chain depth from 1's attempt should be 2.
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvBegin, 2, 0, 0, 0)
+	s.add(trace.EvBegin, 3, 0, 0, 0)
+	s.add(trace.EvDoom, 2, 10, 0, 1)
+	s.add(trace.EvAbort, 1, 10, 0, 0)
+	s.add(trace.EvDoom, 3, 20, 0, 2)
+	s.add(trace.EvAbort, 2, 20, 0, 0)
+	s.add(trace.EvWrite, 3, 20, 0, 0)
+	s.add(trace.EvCommit, 3, 0, 0, 0)
+	// txn 1 and 2 retry and abort again (consecutive aborts), then commit.
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvAbort, 1, 10, 0, 0)
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvAbort, 1, 10, 0, 0)
+	s.add(trace.EvBegin, 1, 0, 0, 0)
+	s.add(trace.EvCommit, 1, 0, 0, 0)
+	g := Build(s.evs, Config{})
+	rep := Analyze(g)
+
+	if rep.LongestChainDepth != 2 {
+		t.Fatalf("longest chain depth = %d, want 2 (chains: %v, edges %+v)", rep.LongestChainDepth, rep.ChainDepths, g.Edges)
+	}
+	if len(rep.LongestChain) != 3 || rep.LongestChain[0].Txn != 1 || rep.LongestChain[1].Txn != 2 || rep.LongestChain[2].Txn != 3 {
+		t.Fatalf("longest chain = %+v, want 1 -> 2 -> 3", rep.LongestChain)
+	}
+	if rep.MaxConsecutiveAborts != 3 || rep.MaxConsecutiveTxn != 1 {
+		t.Fatalf("max consecutive aborts = %d by txn %d, want 3 by txn 1", rep.MaxConsecutiveAborts, rep.MaxConsecutiveTxn)
+	}
+	if rep.Commits != 2 || rep.Aborts != 4 {
+		t.Fatalf("commits=%d aborts=%d, want 2/4", rep.Commits, rep.Aborts)
+	}
+	if rep.WastedWorkRatio <= 0 || rep.WastedWorkRatio >= 1 {
+		t.Fatalf("wasted work ratio = %v, want in (0,1)", rep.WastedWorkRatio)
+	}
+	if len(rep.TopStarved) == 0 || rep.TopStarved[0].Txn != 1 {
+		t.Fatalf("top starved = %+v, want txn 1 first", rep.TopStarved)
+	}
+	if len(rep.Dominance) == 0 || rep.Dominance[0].Obj != 10 {
+		t.Fatalf("dominance = %+v, want obj 10 first", rep.Dominance)
+	}
+}
+
+// TestPerfettoSchema checks the exporter against the Chrome trace-event
+// contract: a traceEvents array whose entries carry name/ph/ts/pid/tid,
+// "X" slices with dur, and matched "s"/"f" flow pairs — including at
+// least one aborted-by flow for the opposed-pair script.
+func TestPerfettoSchema(t *testing.T) {
+	g := Build(opposedPair().evs, Config{})
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	slices, flowStarts, flowEnds := 0, map[any]string{}, map[any]string{}
+	abortedByFlow := false
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["name"]; !ok {
+			t.Fatalf("event missing name: %v", ev)
+		}
+		switch ph {
+		case "X":
+			slices++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("X slice missing dur: %v", ev)
+			}
+			for _, k := range []string{"ts", "pid", "tid"} {
+				if _, ok := ev[k]; !ok {
+					t.Fatalf("X slice missing %s: %v", k, ev)
+				}
+			}
+		case "s":
+			flowStarts[ev["id"]] = ev["cat"].(string)
+		case "f":
+			flowEnds[ev["id"]] = ev["cat"].(string)
+			if ev["cat"] == "aborted-by" {
+				abortedByFlow = true
+			}
+			if bp, _ := ev["bp"].(string); bp != "e" {
+				t.Fatalf("flow end without bp=e: %v", ev)
+			}
+		case "M", "i":
+		default:
+			t.Fatalf("unexpected phase %q: %v", ph, ev)
+		}
+	}
+	if slices != 3 {
+		t.Fatalf("slices = %d, want 3 attempts", slices)
+	}
+	if len(flowStarts) == 0 || len(flowStarts) != len(flowEnds) {
+		t.Fatalf("unmatched flows: starts=%v ends=%v", flowStarts, flowEnds)
+	}
+	for id, cat := range flowStarts {
+		if flowEnds[id] != cat {
+			t.Fatalf("flow %v: start cat %q != end cat %q", id, cat, flowEnds[id])
+		}
+	}
+	if !abortedByFlow {
+		t.Fatal("no aborted-by flow edge in export")
+	}
+}
+
+func TestPerfettoLanesSeparateOverlappingTxns(t *testing.T) {
+	g := Build(opposedPair().evs, Config{})
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tidOf := map[float64]float64{} // txn -> tid
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			continue
+		}
+		args := ev["args"].(map[string]any)
+		tidOf[args["txn"].(float64)] = ev["tid"].(float64)
+	}
+	// Txns 1 and 2 overlap in time, so they must land on different lanes.
+	if tidOf[1] == tidOf[2] {
+		t.Fatalf("overlapping txns share lane %v", tidOf)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := Build(opposedPair().evs, Config{})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph conflicts", "t1_a0", "t2_a0", "aborted-by", "->", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("DOT output not closed:\n%s", out)
+	}
+}
+
+func TestLiveSnapshotWaitChain(t *testing.T) {
+	r := NewRecorder(Config{})
+	var seq uint64
+	emit := func(k trace.Kind, txn, obj, ver uint64) {
+		seq++
+		r.Observe(trace.Event{Kind: k, Txn: txn, Obj: obj, Ver: ver, Seq: seq, Unix: int64(seq)})
+	}
+	// 1 waits on 2, 2 waits on 3, 3 runs free: chain of depth 2 from 1.
+	emit(trace.EvBegin, 1, 0, 0)
+	emit(trace.EvBegin, 2, 0, 0)
+	emit(trace.EvBegin, 3, 0, 0)
+	emit(trace.EvConflict, 1, 10, 2)
+	emit(trace.EvConflict, 2, 20, 3)
+	ls := r.Live()
+	if ls.ActiveWaits != 2 {
+		t.Fatalf("active waits = %d, want 2", ls.ActiveWaits)
+	}
+	if ls.LongestChain != 2 {
+		t.Fatalf("longest chain = %d, want 2", ls.LongestChain)
+	}
+	// 3 commits, 2 progresses: waits drain.
+	emit(trace.EvWrite, 2, 20, 0)
+	emit(trace.EvCommit, 3, 0, 0)
+	emit(trace.EvCommit, 2, 0, 0)
+	if ls := r.Live(); ls.ActiveWaits != 1 {
+		t.Fatalf("active waits after drain = %d, want 1 (only txn 1)", ls.ActiveWaits)
+	}
+}
+
+func TestBuildToleratesClippedStream(t *testing.T) {
+	// Stream starting mid-flight (ring dropped the begins): events must
+	// still produce attempts, not panic or leak.
+	s := &evStream{}
+	s.add(trace.EvConflict, 7, 10, 0, 8)
+	s.add(trace.EvAbort, 7, 10, 0, 0)
+	s.add(trace.EvCommit, 8, 0, 0, 0)
+	g := Build(s.evs, Config{})
+	if len(g.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want synthesized attempts for txns 7 and 8", g.Attempts)
+	}
+}

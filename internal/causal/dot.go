@@ -1,0 +1,85 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders g's conflict graph in Graphviz DOT: one node per
+// attempt that participates in at least one causal edge (emitting every
+// uncontended attempt would drown the conflicts the graph exists to
+// show), one directed edge per causal link, styled by kind.
+func WriteDOT(w io.Writer, g *Graph) error {
+	attemptAt := make(map[AttemptRef]Attempt, len(g.Attempts))
+	for _, a := range g.Attempts {
+		attemptAt[a.Ref()] = a
+	}
+	nodes := make(map[AttemptRef]bool)
+	for _, e := range g.Edges {
+		if e.From.Known() {
+			nodes[e.From] = true
+		}
+		if e.To.Known() {
+			nodes[e.To] = true
+		}
+	}
+	refs := make([]AttemptRef, 0, len(nodes))
+	for r := range nodes {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Txn != refs[j].Txn {
+			return refs[i].Txn < refs[j].Txn
+		}
+		return refs[i].N < refs[j].N
+	})
+
+	if _, err := fmt.Fprintln(w, "digraph conflicts {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box, style=filled, fontname=\"monospace\"];")
+	for _, r := range refs {
+		color, extra := "lightgray", ", style=\"filled,dashed\""
+		if a, ok := attemptAt[r]; ok {
+			switch a.Outcome {
+			case Committed:
+				color, extra = "palegreen", ""
+			case Aborted:
+				color, extra = "lightcoral", ""
+			}
+		}
+		fmt.Fprintf(w, "  %s [label=\"txn %d #%d\", fillcolor=%s%s];\n",
+			nodeID(r), r.Txn, r.N, color, extra)
+	}
+	for _, e := range g.Edges {
+		if !e.From.Known() || !e.To.Known() {
+			continue
+		}
+		style := "solid"
+		color := "black"
+		switch e.Kind {
+		case WaitsFor:
+			style, color = "dotted", "gray40"
+		case AbortedBy:
+			color = "red"
+		case DoomedBy:
+			color = "darkorange"
+		case StolenFrom:
+			style, color = "dashed", "purple"
+		case InvalidatedBy:
+			color = "blue"
+		}
+		label := e.Kind.String()
+		if e.Obj != 0 {
+			label = fmt.Sprintf("%s\\nobj %d", label, e.Obj)
+		}
+		fmt.Fprintf(w, "  %s -> %s [label=\"%s\", color=%s, style=%s];\n",
+			nodeID(e.From), nodeID(e.To), label, color, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func nodeID(r AttemptRef) string { return fmt.Sprintf("t%d_a%d", r.Txn, r.N) }

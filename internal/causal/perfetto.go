@@ -1,0 +1,178 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePerfetto renders g in Chrome trace-event JSON (the format
+// ui.perfetto.dev and chrome://tracing load directly): one slice per
+// attempt, one track ("thread") per concurrency lane, and flow arrows for
+// the causal edges.
+//
+// The trace stream does not carry goroutine identity, so lanes are
+// recovered structurally: transactions whose lifespans overlap get
+// different lanes (greedy interval coloring over [first event, last
+// event]). Under the runtimes' one-transaction-per-goroutine execution
+// model this reproduces the goroutine layout up to renaming.
+func WritePerfetto(w io.Writer, g *Graph) error {
+	// Span per transaction for lane assignment.
+	type span struct {
+		txn        uint64
+		start, end int64
+	}
+	spans := make(map[uint64]*span)
+	var t0 int64
+	for _, a := range g.Attempts {
+		if t0 == 0 || (a.StartNS != 0 && a.StartNS < t0) {
+			t0 = a.StartNS
+		}
+		s := spans[a.Txn]
+		if s == nil {
+			s = &span{txn: a.Txn, start: a.StartNS, end: a.EndNS}
+			spans[a.Txn] = s
+		}
+		if a.StartNS < s.start {
+			s.start = a.StartNS
+		}
+		if a.EndNS > s.end {
+			s.end = a.EndNS
+		}
+		if s.end < s.start {
+			s.end = s.start
+		}
+	}
+	ordered := make([]*span, 0, len(spans))
+	for _, s := range spans {
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].start != ordered[j].start {
+			return ordered[i].start < ordered[j].start
+		}
+		return ordered[i].txn < ordered[j].txn
+	})
+	lane := make(map[uint64]int, len(spans))
+	var laneEnds []int64 // laneEnds[i] = when lane i frees up
+	for _, s := range ordered {
+		placed := false
+		for i, end := range laneEnds {
+			if end <= s.start {
+				lane[s.txn] = i
+				laneEnds[i] = s.end
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lane[s.txn] = len(laneEnds)
+			laneEnds = append(laneEnds, s.end)
+		}
+	}
+
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+
+	events := make([]map[string]any, 0, len(g.Attempts)+2*len(g.Edges)+len(laneEnds)+1)
+	events = append(events, map[string]any{
+		"name": "process_name", "ph": "M", "pid": 1,
+		"args": map[string]any{"name": "stm"},
+	})
+	for i := range laneEnds {
+		events = append(events, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": i,
+			"args": map[string]any{"name": fmt.Sprintf("worker-%d", i)},
+		})
+	}
+
+	attemptAt := make(map[AttemptRef]Attempt, len(g.Attempts))
+	for _, a := range g.Attempts {
+		attemptAt[a.Ref()] = a
+	}
+	for _, a := range g.Attempts {
+		end := a.EndNS
+		if a.Outcome == Running || end < a.StartNS {
+			end = a.StartNS
+		}
+		dur := us(end) - us(a.StartNS)
+		if dur <= 0 {
+			dur = 0.001 // zero-duration slices are invisible in the UI
+		}
+		args := map[string]any{
+			"txn": a.Txn, "attempt": a.N, "outcome": a.Outcome.String(),
+		}
+		if a.BlameObj != 0 {
+			args["blame_obj"] = a.BlameObj
+		}
+		events = append(events, map[string]any{
+			"name": fmt.Sprintf("txn %d #%d", a.Txn, a.N),
+			"cat":  "attempt-" + a.Outcome.String(),
+			"ph":   "X", "pid": 1, "tid": lane[a.Txn],
+			"ts": us(a.StartNS), "dur": dur,
+			"args": args,
+		})
+	}
+
+	// Causal edges as flow events: "s" at the cause (To), "f" at the effect
+	// (From). WaitsFor edges are rendered as instants instead — one arrow
+	// per conflict probe would bury the abort arrows that matter.
+	clampIn := func(ns int64, a Attempt) float64 {
+		t := us(ns)
+		lo := us(a.StartNS)
+		hi := lo
+		if a.EndNS > a.StartNS {
+			hi = us(a.EndNS)
+		}
+		if t < lo {
+			t = lo
+		}
+		if t > hi {
+			t = hi
+		}
+		return t
+	}
+	flowID := 0
+	for _, e := range g.Edges {
+		if e.Kind == WaitsFor {
+			if from, ok := attemptAt[e.From]; ok {
+				events = append(events, map[string]any{
+					"name": "waits-for", "cat": "waits-for",
+					"ph": "i", "s": "t", "pid": 1, "tid": lane[from.Txn],
+					"ts":   clampIn(e.NS, from),
+					"args": map[string]any{"obj": e.Obj, "owner": e.To.Txn},
+				})
+			}
+			continue
+		}
+		from, okFrom := attemptAt[e.From]
+		to, okTo := attemptAt[e.To]
+		if !okFrom || !okTo {
+			continue
+		}
+		flowID++
+		name := e.Kind.String()
+		args := map[string]any{"obj": e.Obj, "victim": e.From.Txn, "cause": e.To.Txn}
+		events = append(events, map[string]any{
+			"name": name, "cat": name, "ph": "s", "id": flowID,
+			"pid": 1, "tid": lane[to.Txn], "ts": clampIn(e.NS, to), "args": args,
+		})
+		events = append(events, map[string]any{
+			"name": name, "cat": name, "ph": "f", "bp": "e", "id": flowID,
+			"pid": 1, "tid": lane[from.Txn], "ts": clampIn(e.NS, from), "args": args,
+		})
+	}
+
+	doc := map[string]any{
+		"displayTimeUnit": "ns",
+		"traceEvents":     events,
+	}
+	if g.DroppedAttempts != 0 || g.DroppedEdges != 0 {
+		doc["otherData"] = map[string]any{
+			"dropped_attempts": g.DroppedAttempts,
+			"dropped_edges":    g.DroppedEdges,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,250 @@
+package causal
+
+import "sort"
+
+// TxnStarvation is one transaction's abort profile.
+type TxnStarvation struct {
+	Txn                  uint64 `json:"txn"`
+	Attempts             int    `json:"attempts"`
+	Aborts               int    `json:"aborts"`
+	MaxConsecutiveAborts int    `json:"max_consec_aborts"`
+	Committed            bool   `json:"committed"`
+	WastedNS             int64  `json:"wasted_ns"`
+}
+
+// ObjDominance is one object's share of the abort traffic, and who wins it.
+type ObjDominance struct {
+	Obj            uint64  `json:"obj"`
+	Aborts         int64   `json:"aborts"` // aborted-by/invalidated-by/doomed-by edges over the object
+	Waits          int64   `json:"waits"`  // waits-for edges over the object
+	TopKiller      uint64  `json:"top_killer,omitempty"`
+	TopKillerShare float64 `json:"top_killer_share,omitempty"` // killer's fraction of the object's aborts
+}
+
+// Report is the starvation analyzer's output.
+type Report struct {
+	Transactions int `json:"transactions"`
+	Attempts     int `json:"attempts"`
+	Commits      int `json:"commits"`
+	Aborts       int `json:"aborts"`
+
+	WastedNS        int64   `json:"wasted_ns"`
+	TotalNS         int64   `json:"total_ns"`
+	WastedWorkRatio float64 `json:"wasted_work_ratio"` // aborted ns / total attempt ns
+
+	MaxConsecutiveAborts int    `json:"max_consec_aborts"`
+	MaxConsecutiveTxn    uint64 `json:"max_consec_txn,omitempty"`
+
+	// LongestChain is the deepest victim chain: each attempt was aborted by
+	// the next attempt in the slice, which itself later aborted, and so on
+	// until a survivor. Depth 1 means "aborted by someone who committed".
+	LongestChain      []AttemptRef `json:"longest_chain,omitempty"`
+	LongestChainDepth int          `json:"longest_chain_depth"`
+	ChainDepths       map[int]int  `json:"chain_depths,omitempty"` // depth -> aborted attempts at that depth
+
+	TopStarved []TxnStarvation  `json:"top_starved,omitempty"` // worst consecutive-abort runs first
+	Dominance  []ObjDominance   `json:"dominance,omitempty"`   // most abort-generating objects first
+	EdgeCounts map[string]int64 `json:"edge_counts,omitempty"`
+}
+
+// victimEdgeKinds are the edge kinds that mean "From's attempt died
+// because of To".
+func isVictimEdge(k EdgeKind) bool {
+	return k == AbortedBy || k == InvalidatedBy || k == DoomedBy || k == StolenFrom
+}
+
+// Analyze walks g's abort chains. Victim-chain depth of an aborted attempt
+// is 1 + the depth of its killer's attempt if that attempt was itself a
+// victim (the killer later lost to someone else), so long chains expose
+// cascading contention, not just pairwise conflict.
+func Analyze(g *Graph) Report {
+	rep := Report{
+		ChainDepths: make(map[int]int),
+		EdgeCounts:  make(map[string]int64),
+	}
+
+	// Per-transaction rollups.
+	type txnAgg struct {
+		attempts, aborts, consec, maxConsec int
+		committed                           bool
+		wastedNS                            int64
+	}
+	txns := make(map[uint64]*txnAgg)
+	attemptIdx := make(map[AttemptRef]int, len(g.Attempts))
+	for i, a := range g.Attempts {
+		attemptIdx[a.Ref()] = i
+		t := txns[a.Txn]
+		if t == nil {
+			t = &txnAgg{}
+			txns[a.Txn] = t
+		}
+		t.attempts++
+		dur := a.EndNS - a.StartNS
+		if dur < 0 {
+			dur = 0
+		}
+		if a.Outcome != Running {
+			rep.TotalNS += dur
+		}
+		switch a.Outcome {
+		case Committed:
+			rep.Commits++
+			t.committed = true
+			t.consec = 0
+		case Aborted:
+			rep.Aborts++
+			t.aborts++
+			t.consec++
+			if t.consec > t.maxConsec {
+				t.maxConsec = t.consec
+			}
+			t.wastedNS += dur
+			rep.WastedNS += dur
+		}
+	}
+	rep.Attempts = len(g.Attempts)
+	rep.Transactions = len(txns)
+	if rep.TotalNS > 0 {
+		rep.WastedWorkRatio = float64(rep.WastedNS) / float64(rep.TotalNS)
+	}
+
+	// Victim edges: pick ONE killer per aborted attempt (the last victim
+	// edge recorded for it — the one that closed the attempt).
+	killerOf := make(map[AttemptRef]Edge)
+	perObj := make(map[uint64]*ObjDominance)
+	objKillers := make(map[uint64]map[uint64]int64)
+	for _, e := range g.Edges {
+		rep.EdgeCounts[e.Kind.String()]++
+		if e.Obj != 0 {
+			d := perObj[e.Obj]
+			if d == nil {
+				d = &ObjDominance{Obj: e.Obj}
+				perObj[e.Obj] = d
+			}
+			if e.Kind == WaitsFor {
+				d.Waits++
+			} else if isVictimEdge(e.Kind) {
+				d.Aborts++
+				if e.To.Known() {
+					m := objKillers[e.Obj]
+					if m == nil {
+						m = make(map[uint64]int64)
+						objKillers[e.Obj] = m
+					}
+					m[e.To.Txn]++
+				}
+			}
+		}
+		if isVictimEdge(e.Kind) && e.From.Known() {
+			killerOf[e.From] = e
+		}
+	}
+
+	// Chain depths via memoized walk over the killer links.
+	depth := make(map[AttemptRef]int)
+	var chainNext = make(map[AttemptRef]AttemptRef)
+	var walk func(ref AttemptRef, onPath map[AttemptRef]bool) int
+	walk = func(ref AttemptRef, onPath map[AttemptRef]bool) int {
+		if d, ok := depth[ref]; ok {
+			return d
+		}
+		e, ok := killerOf[ref]
+		if !ok {
+			depth[ref] = 0
+			return 0
+		}
+		d := 1
+		if e.To.Known() && !onPath[e.To] {
+			onPath[e.To] = true
+			// The killer's chain only extends ours if the killer attempt
+			// itself ended aborted (it won this conflict but lost later).
+			if i, found := attemptIdx[e.To]; found && g.Attempts[i].Outcome == Aborted {
+				d = 1 + walk(e.To, onPath)
+			}
+			delete(onPath, e.To)
+		}
+		depth[ref] = d
+		chainNext[ref] = e.To
+		return d
+	}
+	for ref := range killerOf {
+		d := walk(ref, map[AttemptRef]bool{ref: true})
+		rep.ChainDepths[d]++
+		if d > rep.LongestChainDepth {
+			rep.LongestChainDepth = d
+			chain := []AttemptRef{ref}
+			for cur := ref; ; {
+				next, ok := chainNext[cur]
+				if !ok || !next.Known() || len(chain) > d {
+					break
+				}
+				chain = append(chain, next)
+				if _, more := chainNext[next]; !more {
+					break
+				}
+				cur = next
+			}
+			rep.LongestChain = chain
+		}
+	}
+
+	// Consecutive aborts: per-transaction rollup.
+	for txn, t := range txns {
+		if t.maxConsec > rep.MaxConsecutiveAborts {
+			rep.MaxConsecutiveAborts = t.maxConsec
+			rep.MaxConsecutiveTxn = txn
+		}
+	}
+	for txn, t := range txns {
+		if t.aborts == 0 {
+			continue
+		}
+		rep.TopStarved = append(rep.TopStarved, TxnStarvation{
+			Txn: txn, Attempts: t.attempts, Aborts: t.aborts,
+			MaxConsecutiveAborts: t.maxConsec, Committed: t.committed,
+			WastedNS: t.wastedNS,
+		})
+	}
+	sort.Slice(rep.TopStarved, func(i, j int) bool {
+		a, b := rep.TopStarved[i], rep.TopStarved[j]
+		if a.MaxConsecutiveAborts != b.MaxConsecutiveAborts {
+			return a.MaxConsecutiveAborts > b.MaxConsecutiveAborts
+		}
+		if a.Aborts != b.Aborts {
+			return a.Aborts > b.Aborts
+		}
+		return a.Txn < b.Txn
+	})
+	if len(rep.TopStarved) > 10 {
+		rep.TopStarved = rep.TopStarved[:10]
+	}
+
+	for obj, d := range perObj {
+		var topKiller uint64
+		var topCount int64
+		for killer, n := range objKillers[obj] {
+			if n > topCount || (n == topCount && killer < topKiller) {
+				topKiller, topCount = killer, n
+			}
+		}
+		if d.Aborts > 0 && topCount > 0 {
+			d.TopKiller = topKiller
+			d.TopKillerShare = float64(topCount) / float64(d.Aborts)
+		}
+		rep.Dominance = append(rep.Dominance, *d)
+	}
+	sort.Slice(rep.Dominance, func(i, j int) bool {
+		a, b := rep.Dominance[i], rep.Dominance[j]
+		if a.Aborts != b.Aborts {
+			return a.Aborts > b.Aborts
+		}
+		if a.Waits != b.Waits {
+			return a.Waits > b.Waits
+		}
+		return a.Obj < b.Obj
+	})
+	if len(rep.Dominance) > 10 {
+		rep.Dominance = rep.Dominance[:10]
+	}
+	return rep
+}

@@ -542,8 +542,15 @@ func (tx *Txn) resolveConflict(o *objmodel.Object, kind conflict.Kind, attempt i
 				tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, info.Owner)
 			}
 		}
-		// Let the victim notice the doom and release before re-probing.
-		conflict.WaitAttempt(attempt, 0)
+		// Camp on the record with yields instead of exponential sleeps (see
+		// the eager runtime's conflictWait): arbitration decided this
+		// transaction wins, and sleeping past the victim's release invites
+		// doom churn — a third party re-acquires and must be doomed in turn.
+		a := attempt
+		if a > 9 {
+			a = 9 // clamp into WaitAttempt's spin/yield bands; never sleep
+		}
+		conflict.WaitAttempt(a, 0)
 	}
 	return d
 }
@@ -552,7 +559,11 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 	tx.hb.Add(1) // slow path: prove liveness to the reaper while we wait
 	if tr := tx.tr; tr != nil {
 		ref := uint64(o.Ref())
-		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
+		var owner uint64
+		if txrec.IsExclusive(rec) {
+			owner = txrec.Owner(rec) // Ver carries the owning txn ID: the waits-for edge
+		}
+		tr.Record(trace.EvConflict, tx.id, ref, 0, owner)
 		tr.Hot().BumpConflict(ref)
 	}
 	if tx.irrevocable {
@@ -782,6 +793,11 @@ func (tx *Txn) walkValidateExcluding(owned *objset.VerSet) (bool, uint64) {
 // for a committer to catch the clock up instead could livelock.)
 func (tx *Txn) extendSnapshot(o *objmodel.Object, ver uint64) {
 	rt := tx.rt
+	if tr := tx.tr; tr != nil {
+		ref := uint64(o.Ref())
+		tr.Record(trace.EvExtend, tx.id, ref, 0, ver)
+		tr.Hot().BumpValidation(ref)
+	}
 	rt.clock.Raise(ver)
 	newRv := rt.clock.Load()
 	tx.nWalks++
@@ -797,6 +813,10 @@ func (tx *Txn) extendSnapshot(o *objmodel.Object, ver uint64) {
 // observes stale aborts (conflict.StaleObserver); attribution only, the
 // abort happens regardless.
 func (tx *Txn) notifyStale(bad uint64) {
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvValidation, tx.id, bad, tx.attempt, 0)
+		tr.Hot().BumpValidation(bad)
+	}
 	if obs := tx.rt.staleObs; obs != nil {
 		obs.ObserveValidationAbort(conflict.Info{
 			Kind:     conflict.TxnValidation,
@@ -928,7 +948,11 @@ func (tx *Txn) commit() (ok bool, err error) {
 			}
 			if tr := tx.tr; tr != nil {
 				ref := uint64(o.Ref())
-				tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
+				var owner uint64
+				if txrec.IsExclusive(w) {
+					owner = txrec.Owner(w)
+				}
+				tr.Record(trace.EvConflict, tx.id, ref, 0, owner)
 				tr.Hot().BumpConflict(ref)
 			}
 			tx.hb.Add(1) // contended acquire: prove liveness to the reaper

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/causal"
 	"repro/internal/lazystm"
 	"repro/internal/stm"
 	"repro/internal/stmapi"
@@ -29,11 +30,12 @@ const HotspotTopN = 10
 
 // RuntimeSnapshot is one runtime's exported state at one instant.
 type RuntimeSnapshot struct {
-	Name   string           `json:"name"`
-	Kind   string           `json:"kind"` // "eager" or "lazy"
-	UnixNs int64            `json:"unix_ns"`
-	Stats  map[string]int64 `json:"stats"`
-	Trace  *trace.Snapshot  `json:"trace,omitempty"` // nil when no tracer installed
+	Name   string               `json:"name"`
+	Kind   string               `json:"kind"` // "eager" or "lazy"
+	UnixNs int64                `json:"unix_ns"`
+	Stats  map[string]int64     `json:"stats"`
+	Trace  *trace.Snapshot      `json:"trace,omitempty"`  // nil when no tracer installed
+	Causal *causal.LiveSnapshot `json:"causal,omitempty"` // nil unless a causal.Recorder is the tracer's sink
 }
 
 // Collector produces a RuntimeSnapshot on demand.
@@ -81,6 +83,10 @@ func (r *Registry) RegisterRuntime(name string, rt stmapi.Runtime) {
 		if t := rt.Tracer(); t != nil {
 			ts := t.Snapshot(HotspotTopN)
 			snap.Trace = &ts
+			if rec, ok := t.Sink().(*causal.Recorder); ok {
+				ls := rec.Live()
+				snap.Causal = &ls
+			}
 		}
 		return snap
 	})

@@ -571,7 +571,11 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 	tx.hb.Add(1) // slow path: prove liveness to the reaper while we wait
 	if tr := tx.tr; tr != nil {
 		ref := uint64(o.Ref())
-		tr.Record(trace.EvConflict, tx.id, ref, 0, 0)
+		var owner uint64
+		if txrec.IsExclusive(rec) {
+			owner = txrec.Owner(rec) // Ver carries the owning txn ID: the waits-for edge
+		}
+		tr.Record(trace.EvConflict, tx.id, ref, 0, owner)
 		tr.Hot().BumpConflict(ref)
 	}
 	if tx.irrevocable {
@@ -645,9 +649,17 @@ func (tx *Txn) conflictWait(o *objmodel.Object, kind conflict.Kind, attempt int,
 				tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, info.Owner)
 			}
 		}
-		// Give the victim a beat to notice the doom and release before the
-		// barrier re-probes the record.
-		conflict.WaitAttempt(attempt, 0)
+		// Camp on the record with yields instead of exponential sleeps:
+		// arbitration already decided this transaction wins, and the victim
+		// releases at its next access or commit. Sleeping past that release
+		// lets a third party (or the restarting victim itself) re-acquire
+		// and force another doom round — the flight recorder shows this as
+		// long consecutive doomed-by chains against whoever holds the record.
+		a := attempt
+		if a > 9 {
+			a = 9 // clamp into WaitAttempt's spin/yield bands; never sleep
+		}
+		conflict.WaitAttempt(a, 0)
 	}
 }
 
@@ -963,6 +975,11 @@ func (tx *Txn) ValidateOrRestart() {
 // something that changed since begin.
 func (tx *Txn) extendSnapshot(o *objmodel.Object, ver uint64) {
 	rt := tx.rt
+	if tr := tx.tr; tr != nil {
+		ref := uint64(o.Ref())
+		tr.Record(trace.EvExtend, tx.id, ref, 0, ver)
+		tr.Hot().BumpValidation(ref)
+	}
 	rt.clock.Raise(ver)
 	newRv := rt.clock.Load()
 	tx.nWalks++
@@ -984,6 +1001,10 @@ func (tx *Txn) failValidation(bad uint64) {
 }
 
 func (tx *Txn) notifyStale(bad uint64) {
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvValidation, tx.id, bad, tx.attempt, 0)
+		tr.Hot().BumpValidation(bad)
+	}
 	if obs := tx.rt.staleObs; obs != nil {
 		obs.ObserveValidationAbort(conflict.Info{
 			Kind:     conflict.TxnValidation,

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Dump is the on-disk form of a tracer's retained history, written by
+// `stmbench -trace-dump` and read back by `cmd/stmtrace`. Drop counts ride
+// along so offline consumers can tell a complete history from a window.
+type Dump struct {
+	TotalEvents    int64   `json:"total_events"`
+	Dropped        int64   `json:"dropped"`
+	DroppedByShard []int64 `json:"dropped_by_shard,omitempty"`
+	Events         []Event `json:"events"`
+}
+
+// DumpState captures the tracer's retained events plus per-shard drop
+// accounting, ready for WriteDump.
+func (t *Tracer) DumpState() Dump {
+	shards := t.RecordedByShard()
+	d := Dump{Events: t.Events()}
+	var anyDropped bool
+	byShard := make([]int64, len(shards))
+	for i, sc := range shards {
+		d.TotalEvents += sc.Total
+		d.Dropped += sc.Dropped
+		byShard[i] = sc.Dropped
+		anyDropped = anyDropped || sc.Dropped > 0
+	}
+	if anyDropped {
+		d.DroppedByShard = byShard
+	}
+	return d
+}
+
+// WriteDump serializes d as JSON.
+func WriteDump(w io.Writer, d Dump) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// WriteDumpFile writes d to path, creating or truncating it.
+func WriteDumpFile(path string, d Dump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDump(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDump parses a trace dump. It accepts either the Dump envelope or a
+// bare JSON array of events (hand-built fixtures). Events are re-sorted by
+// Seq so consumers can rely on order regardless of how the file was built.
+func ReadDump(r io.Reader) (Dump, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Dump{}, err
+	}
+	var d Dump
+	// Peek at the first non-space byte: '[' means a bare event array.
+	bare := false
+	for _, c := range data {
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			continue
+		}
+		bare = c == '['
+		break
+	}
+	if bare {
+		if err := json.Unmarshal(data, &d.Events); err != nil {
+			return Dump{}, fmt.Errorf("trace dump: %w", err)
+		}
+		d.TotalEvents = int64(len(d.Events))
+	} else if err := json.Unmarshal(data, &d); err != nil {
+		return Dump{}, fmt.Errorf("trace dump: %w", err)
+	}
+	sort.Slice(d.Events, func(i, j int) bool { return d.Events[i].Seq < d.Events[j].Seq })
+	return d, nil
+}
+
+// ReadDumpFile reads a trace dump from path ("-" or "" means stdin).
+func ReadDumpFile(path string) (Dump, error) {
+	if path == "" || path == "-" {
+		return ReadDump(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Dump{}, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}

@@ -13,8 +13,9 @@ const hotShards = 16
 // hotCount accumulates one object's contention profile. Counters are
 // atomic so bumps after the entry exists take no lock.
 type hotCount struct {
-	conflicts atomic.Int64 // conflict-handler invocations against the object
-	aborts    atomic.Int64 // aborts blamed on the object
+	conflicts   atomic.Int64 // conflict-handler invocations against the object
+	aborts      atomic.Int64 // aborts blamed on the object
+	validations atomic.Int64 // commit-clock validation failures / extensions charged to the object
 }
 
 // hotShard is one shard of the table: a mutex-guarded map used only for
@@ -57,16 +58,25 @@ func (h *Hotspots) BumpConflict(obj uint64) { h.get(obj).conflicts.Add(1) }
 // BumpAbort counts one abort blamed on obj.
 func (h *Hotspots) BumpAbort(obj uint64) { h.get(obj).aborts.Add(1) }
 
+// BumpValidation counts one commit-clock validation failure or snapshot
+// extension charged to obj. Without this, clock-induced churn is invisible
+// to the hotspot table and AdaptGranularity never sees it.
+func (h *Hotspots) BumpValidation(obj uint64) { h.get(obj).validations.Add(1) }
+
 // HotspotEntry is one object's contention profile.
 type HotspotEntry struct {
-	Obj       uint64 `json:"obj"`
-	Conflicts int64  `json:"conflicts"`
-	Aborts    int64  `json:"aborts"`
+	Obj         uint64 `json:"obj"`
+	Conflicts   int64  `json:"conflicts"`
+	Aborts      int64  `json:"aborts"`
+	Validations int64  `json:"validations,omitempty"`
 }
 
 // Score orders hotspots: aborts are the costly outcome, conflicts the
 // leading indicator, so aborts dominate and conflicts break ties.
-func (e HotspotEntry) Score() int64 { return e.Aborts*1000 + e.Conflicts }
+// Validation churn (clock-extension walks, stale-snapshot aborts) sits in
+// between: each event forces at least a read-set walk, so it outweighs a
+// raw conflict probe but not a full abort.
+func (e HotspotEntry) Score() int64 { return e.Aborts*1000 + e.Validations*8 + e.Conflicts }
 
 // Top returns the n hottest objects, most contended first. n <= 0 returns
 // every entry.
@@ -76,7 +86,12 @@ func (h *Hotspots) Top(n int) []HotspotEntry {
 		s := &h.shards[i]
 		s.mu.Lock()
 		for obj, c := range s.m {
-			out = append(out, HotspotEntry{Obj: obj, Conflicts: c.conflicts.Load(), Aborts: c.aborts.Load()})
+			out = append(out, HotspotEntry{
+				Obj:         obj,
+				Conflicts:   c.conflicts.Load(),
+				Aborts:      c.aborts.Load(),
+				Validations: c.validations.Load(),
+			})
 		}
 		s.mu.Unlock()
 	}

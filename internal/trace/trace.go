@@ -29,6 +29,7 @@ package trace
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -52,12 +53,15 @@ const (
 	EvSteal                   // reaper/waiter reclaimed a dead owner's records (Txn = reclaimer or 0, Ver = victim ID)
 	EvEscalate                // atomic block escalated to irrevocable after K consecutive aborts (Slot = attempt)
 	EvIrrevocable             // transaction became irrevocable (token acquired, read set locked)
+	EvValidation              // commit-clock validation failed (Obj = stale object observed)
+	EvExtend                  // read-time snapshot extension: version above snapshot, clock raised (Obj, Ver = version seen)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"begin", "read", "write", "lock-acquire", "conflict", "abort", "retry", "commit",
 	"self-abort", "doom", "steal", "escalate", "irrevocable",
+	"validation", "extend",
 }
 
 // String returns the kind's wire name (used as JSON keys in snapshots).
@@ -75,7 +79,16 @@ type Event struct {
 	Obj  uint64 `json:"obj,omitempty"` // heap handle; 0 = not object-specific
 	Slot int    `json:"slot"`          // slot index; meaningful for reads/writes
 	Ver  uint64 `json:"ver,omitempty"` // record version observed at the step
+	Seq  uint64 `json:"seq"`           // global monotonic sequence stamp (total order across shards)
 	Unix int64  `json:"unix_ns"`       // wall-clock timestamp, nanoseconds
+}
+
+// Sink receives every recorded event synchronously, in Seq order per
+// recording goroutine (the global order is the Seq stamp, not call order).
+// Implementations must be safe for concurrent use and should be cheap: the
+// call happens on the transaction's own goroutine inside the traced path.
+type Sink interface {
+	Observe(Event)
 }
 
 // Config parameterizes a Tracer.
@@ -132,6 +145,17 @@ type Tracer struct {
 	rings []ring
 	mask  uint64
 
+	// seq is the global monotonic sequence stamp. One shared atomic is a
+	// deliberate trade: it serializes only *enabled* tracing (the disabled
+	// path never reaches it) and buys a total order the sharded rings and
+	// any attached Sink can be merged by.
+	seq atomic.Uint64
+
+	// sink, when set, observes every event synchronously after it is
+	// stamped and ring-recorded. atomic.Pointer keeps the no-sink check to
+	// one load on the traced path.
+	sink atomic.Pointer[sinkBox]
+
 	byKind [numKinds]stats.Counter
 
 	hot       Hotspots
@@ -162,12 +186,48 @@ func New(cfg Config) *Tracer {
 	return t
 }
 
-// Record appends an event, stamped with the current time, to the
-// goroutine-affine ring shard.
+// sinkBox wraps a Sink so a nil interface and "no sink" are both a nil
+// pointer load.
+type sinkBox struct{ s Sink }
+
+// SetSink installs (or, with nil, removes) a synchronous event consumer.
+// Safe to call while recording continues.
+func (t *Tracer) SetSink(s Sink) {
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: s})
+}
+
+// Sink returns the installed event consumer, or nil.
+func (t *Tracer) Sink() Sink {
+	if b := t.sink.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
+
+// Record appends an event, stamped with the current time and a global
+// sequence number, to the goroutine-affine ring shard, then feeds it to the
+// sink if one is installed.
 func (t *Tracer) Record(k Kind, txn, obj uint64, slot int, ver uint64) {
-	ev := Event{Kind: k, Txn: txn, Obj: obj, Slot: slot, Ver: ver, Unix: time.Now().UnixNano()}
+	ev := Event{
+		Kind: k, Txn: txn, Obj: obj, Slot: slot, Ver: ver,
+		Seq:  t.seq.Add(1),
+		Unix: time.Now().UnixNano(),
+	}
 	t.byKind[k].Add(1)
-	t.rings[uint64(stats.Hint())&t.mask].record(ev)
+	// Mix the transaction ID into the stack-page hint: goroutine stacks
+	// allocated from the same span share a page hint, and a pure-hint choice
+	// then funnels whole worker pools into one or two shards (observed: 15 of
+	// 16 shards idle under an 8-worker sweep). Txn IDs are fresh per Atomic,
+	// so the mix keeps shard affinity for a transaction's lifetime while
+	// spreading colliding goroutines across the ring.
+	t.rings[(uint64(stats.Hint())^(txn*0x9e3779b97f4a7c15))&t.mask].record(ev)
+	if b := t.sink.Load(); b != nil {
+		b.s.Observe(ev)
+	}
 }
 
 // Hot returns the conflict-attribution table.
@@ -202,14 +262,17 @@ func (t *Tracer) ObserveIrrevocableHold(d time.Duration) { t.irrevHold.Observe(d
 // events since overwritten in the rings).
 func (t *Tracer) Count(k Kind) int64 { return t.byKind[k].Load() }
 
-// Events returns the retained event history, oldest first (merged across
-// shards by timestamp). The slice is a copy; recording continues unblocked.
+// Events returns the retained event history, oldest first, merged across
+// shards by the global sequence stamp. Timestamps alone cannot order the
+// merge: clocks on different shards can tie or run backwards under NTP
+// slew, while Seq is a strict total order. The slice is a copy; recording
+// continues unblocked.
 func (t *Tracer) Events() []Event {
 	var out []Event
 	for i := range t.rings {
 		out = t.rings[i].snapshot(out)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Unix < out[j].Unix })
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
@@ -228,11 +291,46 @@ func (t *Tracer) Recorded() (total, dropped int64) {
 	return total, dropped
 }
 
+// ShardCount reports one ring shard's recording totals.
+type ShardCount struct {
+	Total   int64 `json:"total"`
+	Dropped int64 `json:"dropped"`
+}
+
+// RecordedByShard returns per-shard totals and drop counts, in shard order.
+// Exporters use this to mark history gaps honestly: a drop on any shard
+// means the merged Events() stream has a hole whose Seq range is unknown.
+func (t *Tracer) RecordedByShard() []ShardCount {
+	out := make([]ShardCount, len(t.rings))
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.mu.Lock()
+		out[i].Total = int64(r.total)
+		if n := uint64(len(r.buf)); r.total > n {
+			out[i].Dropped = int64(r.total - n)
+		}
+		r.mu.Unlock()
+	}
+	return out
+}
+
 // Snapshot summarizes the tracer's derived views for export: per-kind event
 // counts, the topN hottest objects, and histogram summaries. It is cheap
 // relative to Events (no event copy) and JSON-serializable.
 func (t *Tracer) Snapshot(topN int) Snapshot {
-	total, dropped := t.Recorded()
+	shards := t.RecordedByShard()
+	var total, dropped int64
+	var byShard []int64
+	for _, sc := range shards {
+		total += sc.Total
+		dropped += sc.Dropped
+	}
+	if dropped > 0 {
+		byShard = make([]int64, len(shards))
+		for i, sc := range shards {
+			byShard[i] = sc.Dropped
+		}
+	}
 	byKind := make(map[string]int64, int(numKinds))
 	for k := Kind(0); k < numKinds; k++ {
 		if n := t.byKind[k].Load(); n != 0 {
@@ -242,6 +340,7 @@ func (t *Tracer) Snapshot(topN int) Snapshot {
 	return Snapshot{
 		Events:          total,
 		Dropped:         dropped,
+		DroppedByShard:  byShard,
 		ByKind:          byKind,
 		Hotspots:        t.hot.Top(topN),
 		CommitLatency:   t.commitLat.Snapshot(),
@@ -255,6 +354,7 @@ func (t *Tracer) Snapshot(topN int) Snapshot {
 type Snapshot struct {
 	Events          int64             `json:"events"`
 	Dropped         int64             `json:"dropped,omitempty"`
+	DroppedByShard  []int64           `json:"dropped_by_shard,omitempty"` // per-shard drops, present when any shard dropped
 	ByKind          map[string]int64  `json:"by_kind,omitempty"`
 	Hotspots        []HotspotEntry    `json:"hotspots,omitempty"`
 	CommitLatency   HistogramSnapshot `json:"commit_latency"`
