@@ -60,9 +60,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/causal"
 	"repro/internal/conflict"
-	"repro/internal/lazystm"
 	"repro/internal/metrics"
-	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -98,6 +97,8 @@ func main() {
 		fmt.Sprintf("%v", conflict.PolicyNames)+" (empty consults $"+conflict.PolicyEnv+", default backoff)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed for the crash figure")
 	validation := flag.String("validation", "", `commit-time validation for the par/stamp sweeps: "clock" (default) or "walk"`)
+	versioning := flag.String("versioning", "", "restrict the par/stamp/crash/causal sweeps to one runtime: "+
+		fmt.Sprintf("%v", stmapi.Runtimes())+" (empty sweeps all)")
 	flag.Parse()
 	bench.Reps = *reps
 	// Fail fast on an unknown figure before anything runs: a typo should
@@ -118,6 +119,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "stmbench: unknown validation mode %q (want clock or walk)\n", *validation)
 		os.Exit(2)
+	}
+	// Fail fast on an unknown runtime name too (mirroring the policy
+	// check): a typo must not silently run an empty sweep.
+	if *versioning != "" {
+		known := false
+		for _, name := range stmapi.Runtimes() {
+			if name == *versioning {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "stmbench: unknown runtime %q (have %v)\n", *versioning, stmapi.Runtimes())
+			os.Exit(2)
+		}
 	}
 
 	var reg *metrics.Registry
@@ -220,13 +236,14 @@ func main() {
 		}
 		if reg != nil {
 			// Each measurement creates a fresh runtime; re-register it under
-			// a stable name so stmtop always sees the one currently running.
-			opts = append(opts,
-				bench.WithEagerRuntime(func(rt *stm.Runtime) { reg.RegisterSTM("par/eager", rt) }),
-				bench.WithLazyRuntime(func(rt *lazystm.Runtime) { reg.RegisterLazy("par/lazy", rt) }),
-			)
+			// a stable per-runtime name so stmtop always sees the one
+			// currently running, whichever runtime the registry built.
+			opts = append(opts, bench.WithRuntime(func(rt stmapi.Runtime) {
+				reg.RegisterRuntime("par/"+rt.Name(), rt)
+			}))
 		}
 		specs := bench.ParallelSpecs(maxG, *parTxns)
+		specs = filterVersioning(specs, func(s bench.ParallelSpec) string { return s.Versioning }, *versioning)
 		for i := range specs {
 			specs[i].Policy = *policy
 			specs[i].Validation = *validation
@@ -256,6 +273,7 @@ func main() {
 			maxG = 4
 		}
 		specs := bench.StampSpecs(maxG, *parTxns)
+		specs = filterVersioning(specs, func(s bench.StampSpec) string { return s.Versioning }, *versioning)
 		for i := range specs {
 			specs[i].Policy = *policy
 			specs[i].Validation = *validation
@@ -279,12 +297,13 @@ func main() {
 			opts = append(opts, bench.WithTracer(tracer))
 		}
 		if reg != nil {
-			opts = append(opts,
-				bench.WithEagerRuntime(func(rt *stm.Runtime) { reg.RegisterSTM("crash/eager", rt) }),
-				bench.WithLazyRuntime(func(rt *lazystm.Runtime) { reg.RegisterLazy("crash/lazy", rt) }),
-			)
+			opts = append(opts, bench.WithRuntime(func(rt stmapi.Runtime) {
+				reg.RegisterRuntime("crash/"+rt.Name(), rt)
+			}))
 		}
-		results, err := bench.RunCrashSweep(bench.CrashSpecs(*seed), opts...)
+		specs := bench.CrashSpecs(*seed)
+		specs = filterVersioning(specs, func(s bench.CrashSpec) string { return s.Versioning }, *versioning)
+		results, err := bench.RunCrashSweep(specs, opts...)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -311,7 +330,9 @@ func main() {
 		}
 		// The causal figure manages its own tracer/recorder pairs: each spec
 		// needs a pristine baseline run and a pristine traced run.
-		results, err := bench.RunCausalSweep(bench.CausalSpecs(maxG, *parTxns))
+		specs := bench.CausalSpecs(maxG, *parTxns)
+		specs = filterVersioning(specs, func(s bench.CausalSpec) string { return s.Versioning }, *versioning)
+		results, err := bench.RunCausalSweep(specs)
 		if err != nil {
 			return err
 		}
@@ -333,6 +354,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace-dump: wrote %d events to %s (%d dropped before the dump)\n",
 			len(d.Events), *traceDump, d.Dropped)
 	}
+}
+
+// filterVersioning keeps only specs whose runtime name matches want; an
+// empty want keeps everything (the full registry sweep).
+func filterVersioning[T any](specs []T, version func(T) string, want string) []T {
+	if want == "" {
+		return specs
+	}
+	out := specs[:0]
+	for _, s := range specs {
+		if version(s) == want {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // printTraceSummary renders the sweep-wide conflict attribution and latency

@@ -117,6 +117,16 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 			fmt.Fprintf(&b, "  validation: clock fast-path %.1f%% (%s fast, %s walks)  promoted %d  demoted %d\n",
 				hit, big(float64(fast)), big(float64(walks)), promos, demos)
 		}
+		// Multi-version line: shown once the snapshot read path or the
+		// version GC has done anything (i.e. for mvstm-backed runtimes).
+		snaps := counter(s, prevByName, "snapshot_reads")
+		roTxns := s.Stats["read_only_txns"]
+		installed := s.Stats["versions_installed"]
+		if snaps > 0 || roTxns > 0 || installed > 0 {
+			fmt.Fprintf(&b, "  multiversion: snapshot reads%s %s  read-only txns %d (aborted %d)  versions live %d (gc'd %d)  watermark lag %d\n",
+				unit, big(snaps), roTxns, s.Stats["read_only_aborts"],
+				s.Stats["versions_live"], s.Stats["versions_gcd"], s.Stats["watermark_lag"])
+		}
 		// Robustness line: shown only once recovery or irrevocability has
 		// fired, so quiet runtimes keep the compact classic view.
 		steals := counter(s, prevByName, "reaper_steals")

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/stmapi"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -134,7 +135,7 @@ func TestScalingSmoke(t *testing.T) {
 }
 
 func TestRunCrashInvariants(t *testing.T) {
-	for _, v := range []string{"eager", "lazy"} {
+	for _, v := range stmapi.Runtimes() {
 		res, err := RunCrash(CrashSpec{
 			Versioning:    v,
 			Workers:       4,

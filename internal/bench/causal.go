@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/causal"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
 
@@ -88,17 +89,17 @@ func RunCausal(spec CausalSpec) (CausalResult, error) {
 	return res, nil
 }
 
-// CausalSpecs enumerates the causal figure: every policy on both runtimes
-// over a contended pool (few objects, write-heavy — the regime where the
-// causal structure is interesting), plus a read-heavy low-contention
-// config per runtime that prices the recorder where tracing is usually
-// left on.
+// CausalSpecs enumerates the causal figure: every policy on every
+// registered runtime over a contended pool (few objects, write-heavy — the
+// regime where the causal structure is interesting), plus a read-heavy
+// low-contention config per runtime that prices the recorder where tracing
+// is usually left on.
 func CausalSpecs(goroutines, txns int) []CausalSpec {
 	if goroutines < 2 {
 		goroutines = 2 // one worker has no causality to record
 	}
 	var specs []CausalSpec
-	for _, versioning := range []string{"eager", "lazy"} {
+	for _, versioning := range stmapi.Runtimes() {
 		for _, policy := range []string{"backoff", "timestamp", "karma"} {
 			specs = append(specs, CausalSpec{
 				Contention: "contended",

@@ -18,17 +18,15 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/faultinject"
-	"repro/internal/lazystm"
 	"repro/internal/objmodel"
 	"repro/internal/recovery"
-	"repro/internal/stm"
 	"repro/internal/stmapi"
 	"repro/internal/txrec"
 )
 
 // CrashSpec configures one crash-recovery measurement.
 type CrashSpec struct {
-	Versioning    string `json:"versioning"`       // eager or lazy
+	Versioning    string `json:"versioning"`       // runtime name (stmapi.Runtimes)
 	Policy        string `json:"policy,omitempty"` // contention policy (conflict.ByName); empty = backoff
 	Workers       int    `json:"workers"`
 	Accounts      int    `json:"accounts"`
@@ -120,25 +118,25 @@ func RunCrash(spec CrashSpec, opts ...ParallelOption) (CrashResult, error) {
 	}
 	common := stmapi.CommonConfig{Handler: pol, EscalateAfter: spec.EscalateAfter}
 
-	var api stmapi.Runtime
-	var target recovery.Target
-	switch spec.Versioning {
-	case "eager":
-		rt := stm.New(h, stm.Config{CommonConfig: common})
-		rt.SetInjector(in)
-		if po.onEager != nil {
-			po.onEager(rt)
-		}
-		api, target = rt.API(), rt.Recovery()
-	case "lazy":
-		rt := lazystm.New(h, lazystm.Config{CommonConfig: common})
-		rt.SetInjector(in)
-		if po.onLazy != nil {
-			po.onLazy(rt)
-		}
-		api, target = rt.API(), rt.Recovery()
-	default:
-		return CrashResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	// Build by name through the registry, then wire the crash surfaces via
+	// the capability interfaces every adapter exports: fault injection and
+	// the reaper target. A runtime missing either cannot run this figure.
+	api, err := stmapi.New(spec.Versioning, h, common)
+	if err != nil {
+		return CrashResult{}, fmt.Errorf("bench: %w", err)
+	}
+	inj, ok := api.(interface{ SetInjector(*faultinject.Injector) })
+	if !ok {
+		return CrashResult{}, fmt.Errorf("bench: runtime %q does not support fault injection", spec.Versioning)
+	}
+	rec, ok := api.(interface{ Recovery() recovery.Target })
+	if !ok {
+		return CrashResult{}, fmt.Errorf("bench: runtime %q does not expose a recovery target", spec.Versioning)
+	}
+	inj.SetInjector(in)
+	target := rec.Recovery()
+	if po.onRuntime != nil {
+		po.onRuntime(api)
 	}
 	if po.tracer != nil {
 		api.SetTracer(po.tracer)
@@ -228,15 +226,15 @@ func RunCrash(spec CrashSpec, opts ...ParallelOption) (CrashResult, error) {
 	return res, nil
 }
 
-// CrashSpecs builds the default crash figure: both runtimes at the given
-// seed, with and without escalation, plus a high-contention timestamp-policy
-// run per runtime. The timestamp configs abort younger conflicting writers
-// outright instead of waiting, so the figure exercises the policy-abort
-// recovery path (and, with a tracer attached, yields aborted-by causal
-// edges alongside the reaper's stolen-from edges).
+// CrashSpecs builds the default crash figure: every registered runtime at
+// the given seed, with and without escalation, plus a high-contention
+// timestamp-policy run per runtime. The timestamp configs abort younger
+// conflicting writers outright instead of waiting, so the figure exercises
+// the policy-abort recovery path (and, with a tracer attached, yields
+// aborted-by causal edges alongside the reaper's stolen-from edges).
 func CrashSpecs(seed uint64) []CrashSpec {
 	var specs []CrashSpec
-	for _, v := range []string{"eager", "lazy"} {
+	for _, v := range stmapi.Runtimes() {
 		for _, esc := range []int{0, 8} {
 			specs = append(specs, CrashSpec{Versioning: v, EscalateAfter: esc, Seed: seed})
 		}

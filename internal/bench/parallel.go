@@ -6,8 +6,8 @@ package bench
 // the hot path itself (open-for-read/write, commit, descriptor churn) as
 // thread count grows, so interpreter dispatch cost does not damp the
 // signal. Three canonical mixes — read-heavy, write-heavy, mixed — run at
-// 1, 2, 4, ... GOMAXPROCS goroutines over both the eager and lazy
-// runtimes. Results are JSON-serializable so cmd/stmbench -json can emit a
+// 1, 2, 4, ... GOMAXPROCS goroutines over every runtime in the stmapi
+// registry. Results are JSON-serializable so cmd/stmbench -json can emit a
 // machine-readable perf trajectory.
 
 import (
@@ -18,9 +18,7 @@ import (
 	"time"
 
 	"repro/internal/conflict"
-	"repro/internal/lazystm"
 	"repro/internal/objmodel"
-	"repro/internal/stm"
 	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
@@ -28,7 +26,7 @@ import (
 // ParallelSpec configures one parallel throughput measurement.
 type ParallelSpec struct {
 	Workload   string `json:"workload"`             // read-heavy, write-heavy, mixed
-	Versioning string `json:"versioning"`           // eager or lazy
+	Versioning string `json:"versioning"`           // runtime name (stmapi.Runtimes)
 	Policy     string `json:"policy,omitempty"`     // contention policy (conflict.ByName); empty = backoff
 	Validation string `json:"validation,omitempty"` // "clock" (default) or "walk"
 	Goroutines int    `json:"goroutines"`
@@ -58,6 +56,14 @@ type ParallelResult struct {
 	ClockAdvances       int64 `json:"clock_advances,omitempty"`
 	FastpathValidations int64 `json:"fastpath_validations,omitempty"`
 	FallbackWalks       int64 `json:"fallback_walks,omitempty"`
+
+	// Multi-version profile (mvstm only): snapshot-path reads, transactions
+	// that committed on the zero-metadata read-only path, aborts among them
+	// (the zero-abort claim demands this stays 0), and GC'd versions.
+	SnapshotReads  int64 `json:"snapshot_reads,omitempty"`
+	ReadOnlyTxns   int64 `json:"read_only_txns,omitempty"`
+	ReadOnlyAborts int64 `json:"read_only_aborts,omitempty"`
+	VersionsGCd    int64 `json:"versions_gcd,omitempty"`
 }
 
 // ParallelOption customizes RunParallel beyond the JSON-serializable spec
@@ -65,9 +71,8 @@ type ParallelResult struct {
 type ParallelOption func(*parallelOpts)
 
 type parallelOpts struct {
-	tracer  *trace.Tracer
-	onEager func(*stm.Runtime)
-	onLazy  func(*lazystm.Runtime)
+	tracer    *trace.Tracer
+	onRuntime func(stmapi.Runtime)
 }
 
 // WithTracer installs t on the runtime each measurement creates, so a
@@ -77,15 +82,12 @@ func WithTracer(t *trace.Tracer) ParallelOption {
 	return func(o *parallelOpts) { o.tracer = t }
 }
 
-// WithEagerRuntime calls f with each eager runtime a measurement creates,
-// before any transaction runs (metrics registration and the like).
-func WithEagerRuntime(f func(*stm.Runtime)) ParallelOption {
-	return func(o *parallelOpts) { o.onEager = f }
-}
-
-// WithLazyRuntime is WithEagerRuntime for the lazy runtime.
-func WithLazyRuntime(f func(*lazystm.Runtime)) ParallelOption {
-	return func(o *parallelOpts) { o.onLazy = f }
+// WithRuntime calls f with each runtime a measurement creates, before any
+// transaction runs (metrics registration and the like). The hook receives
+// the registry-built stmapi.Runtime regardless of which runtime the spec
+// named; callers needing a concrete surface probe with a type assertion.
+func WithRuntime(f func(stmapi.Runtime)) ParallelOption {
+	return func(o *parallelOpts) { o.onRuntime = f }
 }
 
 // parallelDefaults fills zero fields of a spec.
@@ -168,25 +170,15 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 	}
 	common := stmapi.CommonConfig{Handler: pol, NoCommitClock: noClock}
 
-	// Both runtimes are driven through the uniform stmapi surface; the
-	// concrete-typed hooks still fire for callers that need runtime-specific
-	// wiring (metrics registration).
-	var api stmapi.Runtime
-	switch spec.Versioning {
-	case "eager":
-		rt := stm.New(h, stm.Config{CommonConfig: common})
-		if po.onEager != nil {
-			po.onEager(rt)
-		}
-		api = rt.API()
-	case "lazy":
-		rt := lazystm.New(h, lazystm.Config{CommonConfig: common})
-		if po.onLazy != nil {
-			po.onLazy(rt)
-		}
-		api = rt.API()
-	default:
-		return ParallelResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	// Every runtime is built by name through the stmapi registry and driven
+	// through the uniform surface; an unrecognized Versioning fails fast
+	// with the registry's error listing what is available.
+	api, err := stmapi.New(spec.Versioning, h, common)
+	if err != nil {
+		return ParallelResult{}, fmt.Errorf("bench: %w", err)
+	}
+	if po.onRuntime != nil {
+		po.onRuntime(api)
 	}
 	if po.tracer != nil {
 		api.SetTracer(po.tracer)
@@ -244,6 +236,10 @@ func RunParallel(spec ParallelSpec, opts ...ParallelOption) (ParallelResult, err
 		ClockAdvances:       s.ClockAdvances,
 		FastpathValidations: s.FastpathValidations,
 		FallbackWalks:       s.FallbackWalks,
+		SnapshotReads:       s.SnapshotReads,
+		ReadOnlyTxns:        s.ReadOnlyTxns,
+		ReadOnlyAborts:      s.ReadOnlyAborts,
+		VersionsGCd:         s.VersionsGCd,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.TxnsPerSec = float64(spec.Txns) / secs
@@ -274,11 +270,11 @@ func GoroutineSweep(max int) []int {
 	return append(out, max)
 }
 
-// ParallelSpecs enumerates the full sweep: each mix on each runtime at each
-// goroutine count, with txns transactions per measurement.
+// ParallelSpecs enumerates the full sweep: each mix on each registered
+// runtime at each goroutine count, with txns transactions per measurement.
 func ParallelSpecs(maxGoroutines, txns int) []ParallelSpec {
 	var specs []ParallelSpec
-	for _, versioning := range []string{"eager", "lazy"} {
+	for _, versioning := range stmapi.Runtimes() {
 		for _, mix := range ParallelMixes {
 			for _, g := range GoroutineSweep(maxGoroutines) {
 				specs = append(specs, ParallelSpec{

@@ -1,0 +1,12 @@
+package bench
+
+// The harnesses build runtimes by name through the stmapi registry, which
+// is populated by each runtime package's init. These blank imports are what
+// pull the runtimes into any binary that links the bench package; a new
+// runtime joins every sweep, matrix, and spec enumeration by being added
+// here (or imported anywhere else in the binary).
+import (
+	_ "repro/internal/lazystm"
+	_ "repro/internal/mvstm"
+	_ "repro/internal/stm"
+)

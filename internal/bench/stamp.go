@@ -15,9 +15,7 @@ import (
 	"time"
 
 	"repro/internal/conflict"
-	"repro/internal/lazystm"
 	"repro/internal/objmodel"
-	"repro/internal/stm"
 	"repro/internal/stmapi"
 	"repro/internal/workloads"
 )
@@ -25,7 +23,7 @@ import (
 // StampSpec configures one STAMP-shape measurement.
 type StampSpec struct {
 	Workload   string `json:"workload"`             // vacation, kmeans, genome
-	Versioning string `json:"versioning"`           // eager or lazy
+	Versioning string `json:"versioning"`           // runtime name (stmapi.Runtimes)
 	Policy     string `json:"policy,omitempty"`     // contention policy; empty = backoff
 	Validation string `json:"validation,omitempty"` // "clock" (default) or "walk"
 	Goroutines int    `json:"goroutines"`
@@ -46,6 +44,11 @@ type StampResult struct {
 	ClockAdvances       int64 `json:"clock_advances,omitempty"`
 	FastpathValidations int64 `json:"fastpath_validations,omitempty"`
 	FallbackWalks       int64 `json:"fallback_walks,omitempty"`
+
+	// Multi-version profile (mvstm has no validation step; these are its
+	// equivalent activity signal).
+	SnapshotReads int64 `json:"snapshot_reads,omitempty"`
+	ReadOnlyTxns  int64 `json:"read_only_txns,omitempty"`
 }
 
 func (s *StampSpec) defaults() {
@@ -83,14 +86,9 @@ func RunStamp(spec StampSpec) (StampResult, error) {
 	}
 	common := stmapi.CommonConfig{Handler: pol, NoCommitClock: noClock}
 
-	var api stmapi.Runtime
-	switch spec.Versioning {
-	case "eager":
-		api = stm.New(h, stm.Config{CommonConfig: common}).API()
-	case "lazy":
-		api = lazystm.New(h, lazystm.Config{CommonConfig: common}).API()
-	default:
-		return StampResult{}, fmt.Errorf("bench: unknown versioning %q", spec.Versioning)
+	api, err := stmapi.New(spec.Versioning, h, common)
+	if err != nil {
+		return StampResult{}, fmt.Errorf("bench: %w", err)
 	}
 
 	var wg sync.WaitGroup
@@ -131,6 +129,8 @@ func RunStamp(spec StampSpec) (StampResult, error) {
 		ClockAdvances:       s.ClockAdvances,
 		FastpathValidations: s.FastpathValidations,
 		FallbackWalks:       s.FallbackWalks,
+		SnapshotReads:       s.SnapshotReads,
+		ReadOnlyTxns:        s.ReadOnlyTxns,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.TxnsPerSec = float64(spec.Txns) / secs
@@ -138,11 +138,11 @@ func RunStamp(spec StampSpec) (StampResult, error) {
 	return res, nil
 }
 
-// StampSpecs enumerates the sweep: each workload on each runtime at each
-// goroutine count.
+// StampSpecs enumerates the sweep: each workload on each registered runtime
+// at each goroutine count.
 func StampSpecs(maxGoroutines, txns int) []StampSpec {
 	var specs []StampSpec
-	for _, versioning := range []string{"eager", "lazy"} {
+	for _, versioning := range stmapi.Runtimes() {
 		for _, name := range workloads.StampNames() {
 			for _, g := range GoroutineSweep(maxGoroutines) {
 				specs = append(specs, StampSpec{

@@ -1,8 +1,9 @@
 package litmus
 
 // Crash-recovery litmus programs: a transaction's thread dies (faultinject
-// Orphan) at each of the five commit-protocol points on both runtimes, and
-// the suite asserts the recovery contract — every txrec returns to Shared,
+// Orphan) at each of the five commit-protocol points on every registered
+// runtime, and the suite asserts the recovery contract — every txrec
+// returns to Shared,
 // the bank's total balance is conserved (the orphan's transfer either fully
 // commits or fully rolls back), and transactions blocked on the orphan's
 // records make progress within a bounded wait.
@@ -14,10 +15,8 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
-	"repro/internal/lazystm"
 	"repro/internal/objmodel"
 	"repro/internal/recovery"
-	"repro/internal/stm"
 	"repro/internal/stmapi"
 	"repro/internal/txrec"
 )
@@ -45,20 +44,23 @@ func newCrashRig(t *testing.T, kind string) *crashRig {
 		Fields: []objmodel.Field{{Name: "bal"}},
 	})
 	rig := &crashRig{kind: kind}
-	switch kind {
-	case "eager":
-		rt := stm.New(h, stm.Config{})
-		rig.rt = rt.API()
-		rig.inject = rt.SetInjector
-		rig.target = rt.Recovery()
-	case "lazy":
-		rt := lazystm.New(h, lazystm.Config{})
-		rig.rt = rt.API()
-		rig.inject = rt.SetInjector
-		rig.target = rt.Recovery()
-	default:
-		t.Fatalf("unknown rig kind %q", kind)
+	// Build by name through the registry, then recover the crash surfaces
+	// via the capability interfaces every adapter exports.
+	api, err := stmapi.New(kind, h, stmapi.CommonConfig{})
+	if err != nil {
+		t.Fatalf("build runtime: %v", err)
 	}
+	inj, ok := api.(interface{ SetInjector(*faultinject.Injector) })
+	if !ok {
+		t.Fatalf("runtime %q does not support fault injection", kind)
+	}
+	rec, ok := api.(interface{ Recovery() recovery.Target })
+	if !ok {
+		t.Fatalf("runtime %q does not expose a recovery target", kind)
+	}
+	rig.rt = api
+	rig.inject = inj.SetInjector
+	rig.target = rec.Recovery()
 	for i := 0; i < crashAccts; i++ {
 		o := h.New(cls)
 		o.StoreSlot(0, crashInitBal)
@@ -138,11 +140,11 @@ func orphanRules(kind string, p faultinject.Point) []faultinject.Rule {
 }
 
 // TestOrphanReclaimedAtEveryPoint kills the owner at each of the five
-// commit-protocol points on both runtimes and checks the full recovery
-// contract: one reap, records Shared, balances conserved, and a subsequent
-// writer over the same accounts commits promptly.
+// commit-protocol points on every registered runtime and checks the full
+// recovery contract: one reap, records Shared, balances conserved, and a
+// subsequent writer over the same accounts commits promptly.
 func TestOrphanReclaimedAtEveryPoint(t *testing.T) {
-	for _, kind := range []string{"eager", "lazy"} {
+	for _, kind := range stmapi.Runtimes() {
 		for _, p := range crashPoints {
 			p := p
 			t.Run(kind+"/"+p.String(), func(t *testing.T) {
@@ -182,7 +184,7 @@ func TestOrphanReclaimedAtEveryPoint(t *testing.T) {
 // records before any reclaim has happened and lets a background reaper free
 // them: every waiter must commit within a bounded wait.
 func TestWaitersUnblockUnderBackgroundReaper(t *testing.T) {
-	for _, kind := range []string{"eager", "lazy"} {
+	for _, kind := range stmapi.Runtimes() {
 		t.Run(kind, func(t *testing.T) {
 			rig := newCrashRig(t, kind)
 			rig.inject(faultinject.New(1, orphanRules(kind, faultinject.PreValidate)...))
@@ -235,7 +237,7 @@ func TestCrashStormConservesBalances(t *testing.T) {
 		workers = 8
 		iters   = 400
 	)
-	for _, kind := range []string{"eager", "lazy"} {
+	for _, kind := range stmapi.Runtimes() {
 		t.Run(kind, func(t *testing.T) {
 			rig := newCrashRig(t, kind)
 			rules := make([]faultinject.Rule, 0, len(crashPoints))

@@ -1,8 +1,9 @@
 // Package litmus contains executable versions of the weak-atomicity anomaly
 // programs of Section 2 of the paper (Figures 1–5) and reproduces the
 // Figure 6 matrix: for each anomaly and each execution regime — eager
-// versioning, lazy versioning, lock-based critical sections, and the
-// paper's strongly-atomic system — whether the anomaly can be observed.
+// versioning, lazy versioning, multi-version/snapshot isolation,
+// lock-based critical sections, and the paper's strongly-atomic system —
+// whether the anomaly can be observed.
 //
 // Each program orchestrates the paper's interleaving with channel handoffs.
 // Handoffs that a strongly-atomic regime intentionally blocks (a barrier
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/lazystm"
+	"repro/internal/mvstm"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
 	"repro/internal/stmapi"
@@ -32,17 +34,23 @@ type Mode int
 // non-transactional isolation barriers. StrongLazy is the Section 3.3
 // variant: lazy versioning, field-granular buffering, ordering read
 // barriers and full write barriers; it is not a Figure 6 column but must
-// also exhibit no anomalies.
+// also exhibit no anomalies. MVWeak is the multi-version/snapshot-isolation
+// runtime (internal/mvstm) run weakly atomic: also not a paper column, but
+// it extends the matrix with the SI regime — write skew is admitted, while
+// the eager- and lazy-only anomalies close because readers never observe
+// speculative or partially-written state.
 const (
 	EagerWeak Mode = iota
 	LazyWeak
 	Locks
 	Strong
 	StrongLazy
+	MVWeak
 )
 
-// AllModes lists the regimes in Figure 6 column order, then StrongLazy.
-var AllModes = []Mode{EagerWeak, LazyWeak, Locks, Strong, StrongLazy}
+// AllModes lists the regimes in Figure 6 column order (the MV/SI column
+// after lazy), then Strong variants last.
+var AllModes = []Mode{EagerWeak, LazyWeak, MVWeak, Locks, Strong, StrongLazy}
 
 func (m Mode) String() string {
 	switch m {
@@ -56,6 +64,8 @@ func (m Mode) String() string {
 		return "strong"
 	case StrongLazy:
 		return "strong-lazy"
+	case MVWeak:
+		return "mvstm"
 	default:
 		return "?"
 	}
@@ -71,6 +81,30 @@ func waitOrTimeout(ch <-chan struct{}) bool {
 		return true
 	case <-time.After(handoffTimeout):
 		return false
+	}
+}
+
+// windowWait picks how a runtime hook should block while keeping a
+// commit-point or write-back window open for a probing thread. In the weak
+// modes the probe's plain accesses never block, so the probe always arrives
+// and the wait can be generous — only a liveness backstop, and necessarily
+// far above the handoff window because under -race on a loaded machine the
+// prober can take much longer than that to run its transactions (a premature
+// release lets write-back race ahead of the probe: a flaky "anomaly not
+// observed"). In the strong modes the probe's NT barriers block on the very
+// records the paused committer still owns, so the tight handoff timeout is
+// what breaks that circular wait — those modes must keep it.
+func windowWait(mode Mode) func(<-chan struct{}) {
+	switch mode {
+	case Strong, StrongLazy:
+		return func(ch <-chan struct{}) { waitOrTimeout(ch) }
+	default:
+		return func(ch <-chan struct{}) {
+			select {
+			case <-ch:
+			case <-time.After(100 * handoffTimeout):
+			}
+		}
 	}
 }
 
@@ -109,6 +143,10 @@ type EnvConfig struct {
 
 	// LazyHooks instrument the lazy commit window (MI programs).
 	LazyHooks lazystm.Hooks
+
+	// MVHooks instrument the mvstm commit window (the MV runtime also
+	// write-backs lazily, so the MI programs apply to it too).
+	MVHooks mvstm.Hooks
 }
 
 // NewEnv builds an environment for the given regime.
@@ -142,6 +180,8 @@ func NewEnv(mode Mode, cfg EnvConfig) *Env {
 		common.Granularity = 1
 		e.rt = lazystm.New(h, lazystm.Config{CommonConfig: common, Hooks: cfg.LazyHooks}).API()
 		e.bar = strong.New(h, false)
+	case MVWeak:
+		e.rt = mvstm.New(h, mvstm.Config{CommonConfig: common, Hooks: cfg.MVHooks}).API()
 	}
 	return e
 }
@@ -207,7 +247,7 @@ func (e *Env) Atomic(body func(a Accessor) error) error {
 // the lock is held.
 func (e *Env) AtomicCtx(ctx context.Context, body func(a Accessor) error) error {
 	switch e.Mode {
-	case EagerWeak, Strong, LazyWeak, StrongLazy:
+	case EagerWeak, Strong, LazyWeak, StrongLazy, MVWeak:
 		if ctx == nil {
 			return e.rt.Atomic(func(tx stmapi.Txn) error {
 				return body(&stmAccessor{tx})

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/lazystm"
+	"repro/internal/mvstm"
 	"repro/internal/objmodel"
 )
 
@@ -38,14 +39,23 @@ func (p Program) Observed(mode Mode) bool {
 	return false
 }
 
-func expect(eager, lazy, locks, strong bool) map[Mode]bool {
+func expect(eager, lazy, mv, locks, strong bool) map[Mode]bool {
 	return map[Mode]bool{
 		EagerWeak:  eager,
 		LazyWeak:   lazy,
+		MVWeak:     mv,
 		Locks:      locks,
 		Strong:     strong,
 		StrongLazy: false, // the strong-lazy variant must also be clean
 	}
+}
+
+// lazyCommitWindow reports whether the mode's runtime writes buffered slots
+// back after its commit point — the window the MI programs instrument with
+// commit hooks. The multi-version runtime buffers and write-backs like the
+// lazy one, so it shares the window.
+func lazyCommitWindow(mode Mode) bool {
+	return mode == LazyWeak || mode == StrongLazy || mode == MVWeak
 }
 
 // Programs returns the full anomaly suite in Figure 6 row order.
@@ -55,71 +65,101 @@ func Programs() []Program {
 			ID: "NR", Figure: "2a", Row: "write/read",
 			Description: "non-repeatable read: two transactional reads straddle a non-transactional write",
 			Trials:      3,
-			Expected:    expect(true, true, true, false),
-			Run:         runNR,
+			// MV: yes — non-transactional writes bypass the version chains,
+			// so the snapshot cannot shield the second read.
+			Expected: expect(true, true, true, true, false),
+			Run:      runNR,
 		},
 		{
 			ID: "GIR", Figure: "5b", Row: "write/read",
 			Description: "granular inconsistent read: a coarse write-buffer span serves a stale adjacent field",
 			Trials:      3,
-			Expected:    expect(false, true, false, false),
-			Run:         runGIR,
+			// MV: no — the multi-version buffer is always slot-granular, so
+			// no coarse span ever serves the adjacent field.
+			Expected: expect(false, true, false, false, false),
+			Run:      runGIR,
 		},
 		{
 			ID: "ILU", Figure: "2b", Row: "write/write",
 			Description: "intermediate lost update: a non-transactional write lands between a transactional read and write",
 			Trials:      3,
-			Expected:    expect(true, true, true, false),
-			Run:         runILU,
+			// MV: yes — the non-transactional write bumps neither the record
+			// version nor the clock, so first-committer-wins never fires.
+			Expected: expect(true, true, true, true, false),
+			Run:      runILU,
 		},
 		{
 			ID: "SLU", Figure: "3a", Row: "write/write",
 			Description: "speculative lost update: rollback of an eager transaction erases a non-transactional write",
 			Trials:      3,
-			Expected:    expect(true, false, false, false),
-			Run:         runSLU,
+			// MV: no — writes are buffered; an abort never touches memory.
+			Expected: expect(true, false, false, false, false),
+			Run:      runSLU,
 		},
 		{
 			ID: "GLU", Figure: "5a", Row: "write/write",
 			Description: "granular lost update: a coarse undo-log/write-buffer span rewrites an adjacent field",
 			Trials:      3,
-			Expected:    expect(true, true, false, false),
-			Run:         runGLU,
+			// MV: no — always slot-granular; the neighbour is never written.
+			Expected: expect(true, true, false, false, false),
+			Run:      runGLU,
 		},
 		{
 			ID: "MI-WW", Figure: "4b/1", Row: "write/write",
 			Description: "memory inconsistency: a non-transactional write to privatized data is overwritten by a committed transaction's pending write-back",
 			Trials:      3,
-			Expected:    expect(false, true, false, false),
-			Run:         runMIWW,
+			// MV: yes — the multi-version runtime write-backs lazily, so the
+			// privatization window of Figure 4 exists for it too.
+			Expected: expect(false, true, true, false, false),
+			Run:      runMIWW,
 		},
 		{
 			ID: "IDR", Figure: "2c", Row: "read/write",
 			Description: "intermediate dirty read: a non-transactional read observes a transaction's intermediate state",
 			Trials:      3,
-			Expected:    expect(true, false, true, false),
-			Run:         runIDR,
+			// MV: no — buffered writes keep intermediate state out of memory.
+			Expected: expect(true, false, false, true, false),
+			Run:      runIDR,
 		},
 		{
 			ID: "SDR", Figure: "3b", Row: "read/write",
 			Description: "speculative dirty read: a non-transactional read observes state that a rollback later erases",
 			Trials:      3,
-			Expected:    expect(true, false, false, false),
-			Run:         runSDR,
+			// MV: no — speculative state never reaches memory.
+			Expected: expect(true, false, false, false, false),
+			Run:      runSDR,
 		},
 		{
 			ID: "MI-RW", Figure: "4b/1", Row: "read/write",
 			Description: "memory inconsistency: non-transactional reads of privatized data race with a committed transaction's write-back",
 			Trials:      3,
-			Expected:    expect(false, true, false, false),
-			Run:         runMIRW,
+			// MV: yes — same lazy write-back window as MI-WW.
+			Expected: expect(false, true, true, false, false),
+			Run:      runMIRW,
 		},
 		{
 			ID: "MI-OW", Figure: "4a", Row: "read/write",
 			Description: "memory inconsistency, overlapped writes: unordered write-back publishes a reference before the initializing store",
 			Trials:      80,
-			Expected:    expect(false, true, false, false),
-			Run:         runMIOW,
+			// MV: no — mvstm writes back in heap-handle order, and the
+			// element here is allocated before the object publishing it, so
+			// the initializing store always lands first. (The window is not
+			// closed in general: publishing through a lower-handle object
+			// would reorder. The matrix records this program's outcome.)
+			Expected: expect(false, true, false, false, false),
+			Run:      runMIOW,
+		},
+		{
+			ID: "WS", Figure: "-", Row: "txn/txn",
+			Description: "write skew: two snapshot transactions read an invariant over two objects and write disjoint halves of it",
+			Trials:      3,
+			// The one row only the MV column admits: snapshot isolation has
+			// no read validation, and first-committer-wins only compares
+			// write sets — which are disjoint here. Every serializable regime
+			// (including both weak STMs, whose commit-time validation catches
+			// the stale read) forbids it.
+			Expected: expect(false, false, true, false, false),
+			Run:      runWS,
 		},
 	}
 }
@@ -276,6 +316,50 @@ func runSDR(mode Mode) bool {
 	return x.LoadSlot(SlotF) == 0 && y.LoadSlot(SlotF) == 1
 }
 
+// ---- Write skew: the textbook snapshot-isolation anomaly ----
+//
+// Two transactions each read the two cells guarding an invariant
+// (x.f + y.f <= 1) and, finding it slack, write disjoint cells. A
+// serializable system orders them — the second sees the first's write and
+// backs off. Snapshot isolation runs both against the same snapshot and
+// first-committer-wins only compares write sets, which are disjoint, so
+// both commit and the invariant breaks. The two cells MUST be distinct
+// objects: mvstm detects write/write conflicts per object, so two writes
+// to slots of one object would collide and serialize.
+
+func runWS(mode Mode) bool {
+	e := NewEnv(mode, EnvConfig{})
+	x, y := e.NewCell(), e.NewCell()
+	t1read := make(chan struct{})
+	t2read := make(chan struct{})
+	var once1, once2 sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // Thread 2: atomic { if x+y == 0 then y = 1 }
+		defer wg.Done()
+		_ = e.Atomic(func(a Accessor) error {
+			sum := a.Read(x, SlotF) + a.Read(y, SlotF)
+			once2.Do(func() { close(t2read) })
+			waitOrTimeout(t1read)
+			if sum == 0 {
+				a.Write(y, SlotF, 1)
+			}
+			return nil
+		})
+	}()
+	_ = e.Atomic(func(a Accessor) error { // Thread 1: atomic { if x+y == 0 then x = 1 }
+		sum := a.Read(x, SlotF) + a.Read(y, SlotF)
+		once1.Do(func() { close(t1read) })
+		waitOrTimeout(t2read)
+		if sum == 0 {
+			a.Write(x, SlotF, 1)
+		}
+		return nil
+	})
+	wg.Wait()
+	return x.LoadSlot(SlotF)+y.LoadSlot(SlotF) > 1
+}
+
 // ---- Figure 5a: granular lost updates (2-slot versioning granularity) ----
 
 func runGLU(mode Mode) bool {
@@ -369,13 +453,33 @@ func newPrivEnv(mode Mode) *privEnv {
 		probed:    make(chan struct{}),
 		t2done:    make(chan struct{}),
 	}
+	// The hooks are runtime-wide, so Thread 1's privatizing commit fires
+	// them too; only the first committer — Thread 2, whose window the
+	// program probes — may hold, or the privatizer deadlocks against the
+	// probe that runs after it.
 	var cfg EnvConfig
-	if mode == LazyWeak || mode == StrongLazy {
+	wait := windowWait(mode)
+	switch mode {
+	case LazyWeak, StrongLazy:
 		var once sync.Once
 		cfg.LazyHooks = lazystm.Hooks{
 			OnAfterCommitPoint: func(tx *lazystm.Txn) {
-				once.Do(func() { close(p.committed) })
-				waitOrTimeout(p.probed)
+				holder := false
+				once.Do(func() { close(p.committed); holder = true })
+				if holder {
+					wait(p.probed)
+				}
+			},
+		}
+	case MVWeak:
+		var once sync.Once
+		cfg.MVHooks = mvstm.Hooks{
+			OnAfterCommitPoint: func(tx *mvstm.Txn) {
+				holder := false
+				once.Do(func() { close(p.committed); holder = true })
+				if holder {
+					wait(p.probed)
+				}
 			},
 		}
 	}
@@ -393,7 +497,7 @@ func newPrivEnv(mode Mode) *privEnv {
 			}
 			return nil
 		})
-		if mode != LazyWeak && mode != StrongLazy {
+		if !lazyCommitWindow(mode) {
 			close(p.committed) // no commit window to instrument
 		}
 		close(p.t2done)
@@ -444,13 +548,25 @@ func runMIOW(mode Mode) bool {
 	firstWB := make(chan struct{})
 	probed := make(chan struct{})
 	var cfg EnvConfig
-	if mode == LazyWeak || mode == StrongLazy {
+	wait := windowWait(mode)
+	switch mode {
+	case LazyWeak, StrongLazy:
 		var once sync.Once
 		cfg.LazyHooks = lazystm.Hooks{
 			OnAfterWriteback: func(tx *lazystm.Txn, k int) {
 				if k == 0 {
 					once.Do(func() { close(firstWB) })
-					waitOrTimeout(probed)
+					wait(probed)
+				}
+			},
+		}
+	case MVWeak:
+		var once sync.Once
+		cfg.MVHooks = mvstm.Hooks{
+			OnAfterWriteback: func(tx *mvstm.Txn, k int) {
+				if k == 0 {
+					once.Do(func() { close(firstWB) })
+					wait(probed)
 				}
 			},
 		}
@@ -477,7 +593,7 @@ func runMIOW(mode Mode) bool {
 		a.Write(statics, SlotRef, uint64(el.Ref()))
 		return nil
 	})
-	if mode != LazyWeak && mode != StrongLazy {
+	if !lazyCommitWindow(mode) {
 		close(firstWB) // no write-back window to instrument
 	}
 	wg.Wait()

@@ -31,7 +31,7 @@ const HotspotTopN = 10
 // RuntimeSnapshot is one runtime's exported state at one instant.
 type RuntimeSnapshot struct {
 	Name   string               `json:"name"`
-	Kind   string               `json:"kind"` // "eager" or "lazy"
+	Kind   string               `json:"kind"` // runtime name (stmapi.Runtimes)
 	UnixNs int64                `json:"unix_ns"`
 	Stats  map[string]int64     `json:"stats"`
 	Trace  *trace.Snapshot      `json:"trace,omitempty"`  // nil when no tracer installed

@@ -1,0 +1,100 @@
+package mvstm
+
+import (
+	"context"
+
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/recovery"
+	"repro/internal/stmapi"
+	"repro/internal/trace"
+)
+
+// Snapshot sums every counter's shards (not an atomic cut across counters).
+// The multi-version gauges that need runtime state (live versions,
+// watermark lag) are filled in by Runtime.StatsSnapshot; drivers go through
+// the adapter and get both.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:      s.Starts.Load(),
+		Commits:     s.Commits.Load(),
+		Aborts:      s.Aborts.Load(),
+		UserRetries: s.UserRetries.Load(),
+		TxnReads:    s.TxnReads.Load(),
+		TxnWrites:   s.TxnWrites.Load(),
+		SelfAborts:  s.SelfAborts.Load(),
+		DoomsIssued: s.DoomsIssued.Load(),
+
+		ReaperSteals:    s.ReaperSteals.Load(),
+		Escalations:     s.Escalations.Load(),
+		IrrevocableTxns: s.IrrevocableTxns.Load(),
+		IrrevocableNs:   s.IrrevocableNs.Load(),
+
+		ClockAdvances: s.ClockAdvances.Load(),
+
+		SnapshotReads:     s.SnapshotReads.Load(),
+		ReadOnlyTxns:      s.ReadOnlyTxns.Load(),
+		ReadOnlyAborts:    s.ReadOnlyAborts.Load(),
+		VersionsInstalled: s.VersionsInstalled.Load(),
+		VersionsGCd:       s.VersionsGCd.Load(),
+	}
+}
+
+// StatsSnapshot copies the counters and fills in the derived multi-version
+// gauges: versions still reachable from some chain, and how far the
+// reclamation watermark trailed the commit clock at the last collection.
+func (rt *Runtime) StatsSnapshot() StatsSnapshot {
+	snap := rt.Stats.Snapshot()
+	snap.VersionsLive = snap.VersionsInstalled - snap.VersionsGCd
+	snap.WatermarkLag = rt.wmLag.Load()
+	return snap
+}
+
+// API returns the runtime-agnostic driver view of rt (see the eager
+// runtime's adapter: the body re-wrap stays non-escaping, preserving the
+// zero-allocation steady state). The adapter also satisfies
+// stmapi.ReadOnlyRuntime — AtomicRead is the zero-abort snapshot path.
+func (rt *Runtime) API() stmapi.Runtime { return apiRuntime{rt} }
+
+type apiRuntime struct{ rt *Runtime }
+
+func (a apiRuntime) Name() string         { return "mvstm" }
+func (a apiRuntime) Heap() *objmodel.Heap { return a.rt.Heap }
+func (a apiRuntime) Stats() stmapi.StatsSnapshot {
+	return a.rt.StatsSnapshot()
+}
+
+func (a apiRuntime) Atomic(body func(stmapi.Txn) error) error {
+	return a.rt.Atomic(nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) AtomicCtx(ctx context.Context, body func(stmapi.Txn) error) error {
+	return a.rt.AtomicCtx(ctx, nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) AtomicIrrevocable(body func(stmapi.Txn) error) error {
+	return a.rt.AtomicIrrevocable(nil, func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) AtomicRead(body func(stmapi.Txn) error) error {
+	return a.rt.AtomicRead(func(tx *Txn) error { return body(tx) })
+}
+
+func (a apiRuntime) SetTracer(t *trace.Tracer) { a.rt.SetTracer(t) }
+func (a apiRuntime) Tracer() *trace.Tracer     { return a.rt.Tracer() }
+func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions() }
+
+// SetInjector and Recovery forward the fault-injection and reaper surfaces
+// through the adapter; drivers probe for them with small capability
+// interfaces rather than depending on the concrete runtime.
+func (a apiRuntime) SetInjector(in *faultinject.Injector) { a.rt.SetInjector(in) }
+func (a apiRuntime) Recovery() recovery.Target            { return a.rt.Recovery() }
+
+func init() {
+	stmapi.Register("mvstm", func(heap *objmodel.Heap, cfg stmapi.CommonConfig) (stmapi.Runtime, error) {
+		if err := cfg.Normalize(); err != nil {
+			return nil, err
+		}
+		return New(heap, Config{CommonConfig: cfg}).API(), nil
+	})
+}

@@ -1,0 +1,1372 @@
+// Package mvstm implements a timestamp-ordered multi-version STM over the
+// same heap, transaction records, and commit clock as the eager and lazy
+// runtimes. Where those runtimes make every read pay for isolation —
+// per-read version validation plus a commit-time read-set check — mvstm
+// moves the whole cost to writers: each committed write publishes an
+// immutable version of the object stamped by the commit clock, and readers
+// pick a snapshot timestamp at begin and then walk version chains with no
+// validation, no aborts, and no per-read writes to shared metadata.
+//
+// Transactions run under snapshot isolation: every read (in a read-only OR
+// a writing transaction) is satisfied from the newest committed version at
+// or below the begin snapshot rv, and writers are serialized by
+// first-committer-wins conflict detection — a writer whose write-set record
+// carries a version above rv lost a race with a concurrent committer and
+// aborts. There is no read-set validation at all, which is exactly what
+// snapshot isolation gives up: two transactions may read overlapping data
+// and commit disjoint writes based on mutually stale reads (write skew; see
+// the Figure 6 matrix's SI/MV column in internal/litmus). In exchange,
+// read-only transactions — AtomicRead, or Atomic bodies that never write —
+// commit with zero aborts and zero retries under any writer storm.
+//
+// Writers buffer slot-granular and commit like the lazy runtime: acquire
+// the write set's records in handle order, first-committer-wins check,
+// advance the clock to obtain the write version, pass the commit point,
+// install a new version on each object's chain, write the buffered values
+// back to the slots (so non-transactional readers under weak atomicity see
+// current state), and release the records stamped with the write version.
+// Versions strictly decrease along each chain, and the head version's
+// timestamp always matches the record's version once released, so the
+// record word and the chain never disagree about what is newest.
+//
+// Dead versions are reclaimed against a watermark: the smallest begin
+// snapshot among live transactions (tracked in the same sharded registry
+// the reaper scans). A long-running snapshot reader therefore pins exactly
+// the history it might still read, and nothing more; when it finishes, the
+// next collection prunes past its snapshot. See gc.go.
+package mvstm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/objset"
+	"repro/internal/stats"
+	"repro/internal/stmapi"
+	"repro/internal/trace"
+	"repro/internal/txrec"
+)
+
+// Status is the lifecycle state of a transaction attempt (shared with the
+// other runtimes through stmapi).
+type Status = stmapi.Status
+
+// Transaction statuses.
+const (
+	Active    = stmapi.Active
+	Committed = stmapi.Committed
+	Aborted   = stmapi.Aborted
+)
+
+// Hooks are optional test instrumentation points inside the commit window,
+// mirroring the lazy runtime's so the litmus harness drives both uniformly.
+type Hooks struct {
+	// OnAfterCommitPoint runs after the transaction has logically committed
+	// (status set, versions installed, records held) but before any buffered
+	// value reaches the object slots.
+	OnAfterCommitPoint func(*Txn)
+
+	// OnAfterWriteback runs after the k-th individual slot write-back
+	// (0-based), still before the records are released.
+	OnAfterWriteback func(tx *Txn, k int)
+}
+
+// DefaultGCEvery is the default Config.GCEvery.
+const DefaultGCEvery = 64
+
+// Config parameterizes a Runtime. The cross-runtime knobs live in the
+// embedded stmapi.CommonConfig; two of them read differently here:
+// Granularity is accepted but buffering is always slot-granular (a
+// multi-version runtime has no reason to manufacture the granular
+// anomalies), and NoCommitClock is ignored — the clock is what stamps
+// versions, so it cannot be turned off.
+type Config struct {
+	stmapi.CommonConfig
+
+	// Hooks instrument the commit window (tests only).
+	Hooks Hooks
+
+	// GCEvery is the number of writing commits between inline version-chain
+	// collections (each collection recomputes the watermark and prunes the
+	// committing transaction's own write set). Zero means DefaultGCEvery;
+	// negative disables inline collection (tests drive GC() directly).
+	GCEvery int
+}
+
+// Stats aggregates runtime counters (sharded, fed from descriptor-local
+// deltas flushed at commit/abort, like the other runtimes).
+type Stats struct {
+	Starts      stats.Counter
+	Commits     stats.Counter
+	Aborts      stats.Counter
+	UserRetries stats.Counter
+	TxnReads    stats.Counter
+	TxnWrites   stats.Counter
+	SelfAborts  stats.Counter
+	DoomsIssued stats.Counter
+
+	ReaperSteals    stats.Counter
+	Escalations     stats.Counter
+	IrrevocableTxns stats.Counter
+	IrrevocableNs   stats.Counter
+
+	ClockAdvances stats.Counter // commits whose clock-increment CAS succeeded
+
+	// Multi-version counters (see stmapi.StatsSnapshot for semantics).
+	SnapshotReads     stats.Counter
+	ReadOnlyTxns      stats.Counter
+	ReadOnlyAborts    stats.Counter
+	VersionsInstalled stats.Counter
+	VersionsGCd       stats.Counter
+}
+
+// StatsSnapshot is shared with the other runtimes through stmapi.
+type StatsSnapshot = stmapi.StatsSnapshot
+
+// regSlots is the capacity of the fixed active-transaction slot array (kept
+// concrete per runtime so the hot path stays monomorphic).
+const regSlots = 256
+
+type regSlot struct {
+	p atomic.Pointer[Txn]
+	_ [56]byte
+}
+
+// registry tracks in-flight descriptors: CAS-claimed id-hashed slots with a
+// sync.Map overflow. Beyond the usual duties (ActiveTransactions, owner
+// lookups, the reaper's scan) it is also the GC's view of live snapshots:
+// the watermark is the minimum pinned snapshot over registered descriptors.
+type registry struct {
+	slots    [regSlots]regSlot
+	overflow sync.Map // id -> *Txn
+}
+
+func (r *registry) add(tx *Txn) {
+	h := int(tx.id)
+	for i := 0; i < regSlots; i++ {
+		s := &r.slots[(h+i)&(regSlots-1)]
+		if s.p.Load() == nil && s.p.CompareAndSwap(nil, tx) {
+			tx.slot = (h + i) & (regSlots - 1)
+			return
+		}
+	}
+	tx.slot = -1
+	r.overflow.Store(tx.id, tx)
+}
+
+func (r *registry) remove(tx *Txn) {
+	if tx.slot >= 0 {
+		r.slots[tx.slot].p.Store(nil)
+		return
+	}
+	r.overflow.Delete(tx.id)
+}
+
+func (r *registry) forEach(f func(*Txn) bool) {
+	for i := range r.slots {
+		if tx := r.slots[i].p.Load(); tx != nil {
+			if !f(tx) {
+				return
+			}
+		}
+	}
+	r.overflow.Range(func(_, v any) bool { return f(v.(*Txn)) })
+}
+
+func (r *registry) findStamp(id uint64) *Txn {
+	var found *Txn
+	r.forEach(func(tx *Txn) bool {
+		if tx.stamp.Load() == id {
+			found = tx
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Runtime is a multi-version STM instance bound to a heap.
+type Runtime struct {
+	Heap  *objmodel.Heap
+	Stats Stats
+
+	cfg      Config
+	handler  conflict.Handler
+	policy   conflict.Policy
+	nextID   atomic.Uint64
+	reg      registry
+	pool     sync.Pool // idle *Txn descriptors
+	tracer   atomic.Pointer[trace.Tracer]
+	injector atomic.Pointer[faultinject.Injector]
+	staleObs conflict.StaleObserver
+
+	clock *objmodel.CommitClock
+
+	// Commit gate: committers counts writing transactions inside the commit
+	// protocol, irrevToken is the single irrevocable-transaction token. An
+	// irrevocable switch takes the token, drains committers, and then runs
+	// alone — with nothing else committing, versions cannot move past its
+	// snapshot and first-committer-wins can never fail it, which is how a
+	// runtime with no read locks at all keeps the no-abort guarantee.
+	committers atomic.Int64
+	irrevToken atomic.Uint64
+
+	// GC state: gcTick schedules inline collections, gcMu serializes pruners
+	// (protecting the reclaim counts), watermark/wmLag are the last computed
+	// watermark and its distance behind the clock, for /metrics.
+	gcTick    atomic.Uint64
+	gcMu      sync.Mutex
+	watermark atomic.Uint64
+	wmLag     atomic.Int64
+
+	// Commit tickets order write-back completion for quiescence mode (see
+	// the lazy runtime; read-only commits have no write-back and take no
+	// ticket).
+	tickets atomic.Uint64
+	done    atomic.Uint64
+	pending map[uint64]struct{}
+	doneMu  sync.Mutex
+	doneCv  *sync.Cond
+}
+
+// New creates a multi-version Runtime over heap. Invalid configurations are
+// rejected with a panic, matching the other runtimes.
+func New(heap *objmodel.Heap, cfg Config) *Runtime {
+	if err := cfg.Normalize(); err != nil {
+		panic("mvstm: " + err.Error())
+	}
+	if cfg.GCEvery == 0 {
+		cfg.GCEvery = DefaultGCEvery
+	}
+	h := cfg.Handler
+	if h == nil {
+		h = &conflict.Backoff{}
+	}
+	rt := &Runtime{Heap: heap, cfg: cfg, handler: h, policy: conflict.AsPolicy(h)}
+	rt.pending = make(map[uint64]struct{})
+	rt.doneCv = sync.NewCond(&rt.doneMu)
+	rt.clock = heap.Clock()
+	rt.staleObs, _ = h.(conflict.StaleObserver)
+	return rt
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (rt *Runtime) SetTracer(t *trace.Tracer) { rt.tracer.Store(t) }
+
+// Tracer returns the installed tracer, or nil.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
+
+// SetInjector installs (or, with nil, removes) a fault injector, sampled
+// once per top-level Atomic like the tracer.
+func (rt *Runtime) SetInjector(in *faultinject.Injector) { rt.injector.Store(in) }
+
+// ErrAborted aborts the transaction without retry when returned from the
+// body.
+var ErrAborted = errors.New("mvstm: transaction aborted by user")
+
+type signal uint8
+
+const (
+	sigRestart signal = iota + 1
+	sigRetry
+	sigCancel
+)
+
+type txSignal struct {
+	s  signal
+	tx *Txn
+}
+
+type slotKey struct {
+	obj  *objmodel.Object
+	slot int
+}
+
+// Txn is a multi-version transaction descriptor. Pooled across Atomic
+// calls; user code must not retain one past the body.
+type Txn struct {
+	rt      *Runtime
+	id      uint64
+	slot    int
+	status  atomic.Uint32
+	attempt int
+
+	// rv is the begin snapshot: reads see the newest version at or below
+	// it. An irrevocable transaction sets rv to MaxUint64 after draining
+	// the commit gate — running alone, "newest" is always consistent.
+	// wv is the write version obtained from the clock before the commit
+	// point; every release path stamps records with it.
+	rv uint64
+	wv uint64
+
+	// snap is the GC pin, readable by the collector through the registry:
+	// the oldest snapshot this descriptor may still read from. It is
+	// stored low (1) before the first rv is taken so a concurrent
+	// watermark scan can never race past a snapshot it did not see, then
+	// refined to rv at each begin (monotonic; over-pinning is safe).
+	snap atomic.Uint64
+
+	// readOnly marks an AtomicRead transaction: writes panic, commit takes
+	// the zero-metadata path, and any abort is counted as a read-only
+	// abort (the litmus suite asserts there are none).
+	readOnly bool
+
+	buf map[slotKey]uint64 // buffered writes, always slot-granular
+
+	// Commit scratch, reused across attempts and pooled incarnations.
+	objs     []*objmodel.Object
+	owned    objset.VerSet
+	inCommit bool // inside the commit gate; reaper must decrement committers
+
+	// Arbitration state (see the eager runtime).
+	stamp  atomic.Uint64
+	doomed atomic.Bool
+	karma  atomic.Int64
+
+	// Recovery state (see the eager runtime).
+	hb      atomic.Uint64
+	dead    atomic.Bool
+	reaping atomic.Bool
+	ticket  uint64
+
+	// Irrevocability state.
+	irrevocable bool
+	irrevStamp  atomic.Bool
+	irrevAt     time.Time
+
+	ctx context.Context
+	fi  *faultinject.Injector
+
+	// Statistics deltas flushed at commit/abort.
+	nStarts     int64
+	nReads      int64
+	nWrites     int64
+	nRetries    int64
+	nSelfAborts int64
+	nDooms      int64
+	nClockAdv   int64
+	nSnapReads  int64
+	nInstalled  int64
+
+	tr       *trace.Tracer
+	blameObj uint64
+	beginAt  time.Time
+	abortAt  time.Time
+}
+
+// ID returns the descriptor's owner ID.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// Status returns the descriptor's current status.
+func (tx *Txn) Status() Status { return Status(tx.status.Load()) }
+
+// Attempt returns the 0-based retry attempt of the current top-level
+// execution.
+func (tx *Txn) Attempt() int { return tx.attempt }
+
+func (rt *Runtime) getTxn() *Txn {
+	tx, _ := rt.pool.Get().(*Txn)
+	if tx == nil {
+		tx = &Txn{rt: rt, buf: make(map[slotKey]uint64)}
+	}
+	tx.id = rt.nextID.Add(1)
+	tx.tr = rt.tracer.Load()
+	tx.fi = rt.injector.Load()
+	tx.blameObj = 0
+	tx.abortAt = time.Time{}
+	tx.readOnly = false
+	tx.inCommit = false
+	tx.doomed.Store(false)
+	tx.karma.Store(0)
+	tx.dead.Store(false)
+	tx.reaping.Store(false)
+	tx.irrevocable = false
+	tx.irrevStamp.Store(false)
+	// Pin the GC low before the registry makes tx reachable and before the
+	// first clock read: a watermark scan that misses this store must have
+	// run before it, so this transaction's upcoming rv (read after it) is
+	// at least that scan's clock sample and cannot be pruned out from
+	// under it. See gc.go for the full ordering argument.
+	tx.snap.Store(1)
+	tx.stamp.Store(tx.id)
+	rt.reg.add(tx)
+	return tx
+}
+
+func (rt *Runtime) putTxn(tx *Txn) {
+	rt.reg.remove(tx)
+	tx.snap.Store(0)
+	tx.owned.Reset()
+	clear(tx.buf)
+	clear(tx.objs)
+	tx.objs = tx.objs[:0]
+	tx.ctx = nil
+	tx.fi = nil
+	rt.pool.Put(tx)
+}
+
+func (tx *Txn) begin() {
+	tx.status.Store(uint32(Active))
+	tx.doomed.Store(false)
+	tx.hb.Add(1)
+	tx.ticket = 0
+	clear(tx.buf)
+	tx.nStarts++
+	tx.wv = 0
+	tx.rv = tx.rt.clock.Load()
+	tx.snap.Store(tx.rv) // refine the pin; previous value was ≤ rv
+	if tr := tx.tr; tr != nil {
+		tx.beginAt = time.Now()
+		if !tx.abortAt.IsZero() {
+			tr.ObserveAbortGap(tx.beginAt.Sub(tx.abortAt))
+			tx.abortAt = time.Time{}
+		}
+		tr.Record(trace.EvBegin, tx.id, 0, 0, 0)
+	}
+}
+
+func (tx *Txn) flushStats() {
+	s := &tx.rt.Stats
+	hint := int(tx.id)
+	if tx.nStarts != 0 {
+		s.Starts.AddShard(hint, tx.nStarts)
+		tx.nStarts = 0
+	}
+	if tx.nReads != 0 {
+		s.TxnReads.AddShard(hint, tx.nReads)
+		tx.nReads = 0
+	}
+	if tx.nWrites != 0 {
+		s.TxnWrites.AddShard(hint, tx.nWrites)
+		tx.nWrites = 0
+	}
+	if tx.nRetries != 0 {
+		s.UserRetries.AddShard(hint, tx.nRetries)
+		tx.nRetries = 0
+	}
+	if tx.nSelfAborts != 0 {
+		s.SelfAborts.AddShard(hint, tx.nSelfAborts)
+		tx.nSelfAborts = 0
+	}
+	if tx.nDooms != 0 {
+		s.DoomsIssued.AddShard(hint, tx.nDooms)
+		tx.nDooms = 0
+	}
+	if tx.nClockAdv != 0 {
+		s.ClockAdvances.AddShard(hint, tx.nClockAdv)
+		tx.nClockAdv = 0
+	}
+	if tx.nSnapReads != 0 {
+		s.SnapshotReads.AddShard(hint, tx.nSnapReads)
+		tx.nSnapReads = 0
+	}
+	if tx.nInstalled != 0 {
+		s.VersionsInstalled.AddShard(hint, tx.nInstalled)
+		tx.nInstalled = 0
+	}
+}
+
+// Restart aborts and re-executes the transaction.
+func (tx *Txn) Restart() { panic(txSignal{sigRestart, tx}) }
+
+// Retry aborts and blocks until the heap changes, then re-executes. With no
+// read set to wait on, "changes" is approximated conservatively by the
+// commit clock moving past the begin snapshot: every committed write
+// advances the clock, so the wait wakes on any commit (a superset of the
+// read-set wakeups the other runtimes give).
+func (tx *Txn) Retry() {
+	tx.nRetries++
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvRetry, tx.id, 0, 0, 0)
+	}
+	panic(txSignal{sigRetry, tx})
+}
+
+// resolveConflict builds the arbitration Info for a commit-time conflict on
+// o and asks the policy (see the lazy runtime; mvstm bodies never contend,
+// so this only runs during write-set acquisition).
+func (tx *Txn) resolveConflict(o *objmodel.Object, attempt int, rec txrec.Word) conflict.Decision {
+	tx.karma.Add(1)
+	info := conflict.Info{
+		Kind: conflict.TxnWrite, Attempt: attempt, Record: rec,
+		Self: tx.id, SelfPrio: tx.karma.Load(),
+	}
+	if txrec.IsExclusive(rec) {
+		info.Owner = txrec.Owner(rec)
+		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil {
+			if victim.dead.Load() {
+				tx.rt.reapTxn(victim)
+				return conflict.Wait
+			}
+			info.OwnerActive = true
+			info.OwnerPrio = victim.karma.Load()
+			info.OwnerIrrevocable = victim.irrevStamp.Load()
+		}
+	}
+	d := tx.rt.policy.Resolve(info)
+	switch d {
+	case conflict.SelfAbort:
+		tx.nSelfAborts++
+		if tr := tx.tr; tr != nil {
+			tr.Record(trace.EvSelfAbort, tx.id, uint64(o.Ref()), 0, 0)
+		}
+	case conflict.AbortOther:
+		if victim := tx.rt.reg.findStamp(info.Owner); victim != nil && !victim.irrevStamp.Load() {
+			victim.doomed.Store(true)
+			tx.nDooms++
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvDoom, tx.id, uint64(o.Ref()), 0, info.Owner)
+			}
+		}
+		a := attempt
+		if a > 9 {
+			a = 9 // camp with yields, never sleep (see the lazy runtime)
+		}
+		conflict.WaitAttempt(a, 0)
+	}
+	return d
+}
+
+// Read returns the transaction's view of o's slot: the private write buffer
+// if this transaction wrote the slot, otherwise the newest committed
+// version at or below the begin snapshot. Snapshot reads validate nothing
+// and touch no shared metadata; they cannot abort and never invoke the
+// conflict handler, so readers are invisible to the causal recorder's
+// conflict DAG.
+func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
+	tx.nReads++
+	if !tx.readOnly {
+		if tx.doomed.Load() && !tx.irrevocable {
+			tx.blameObj = uint64(o.Ref())
+			tx.Restart()
+		}
+		if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
+			panic(txSignal{sigCancel, tx})
+		}
+		if len(tx.buf) > 0 {
+			if v, ok := tx.buf[slotKey{o, slot}]; ok {
+				if tr := tx.tr; tr != nil {
+					tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, 0)
+				}
+				return v
+			}
+		}
+	}
+	return tx.snapshotRead(o, slot)
+}
+
+// snapshotRead resolves a read against the object's version chain, falling
+// back to the transaction record for objects no multi-version transaction
+// has written yet.
+//
+// The record word is consulted before the chain, and the read waits out a
+// committer that could still install a version the snapshot must see. A
+// committer advances the commit clock before installing, so a transaction
+// that begins in that window gets rv equal to the in-flight write version;
+// the committer holds the record Exclusive for that whole window (from
+// before its clock advance until after its install), which makes an
+// Exclusive record with a chain head at or below rv the precise signature
+// of "a covered version may be in flight". Loading the record first also
+// orders the loads: a Shared word proves every release — and therefore
+// every install, which precedes it — that could carry a covered timestamp
+// is already visible to the chain load that follows. Without the wait, a
+// writer reads the stale head and then passes first-committer-wins because
+// the lost commit's stamp equals rv rather than exceeding it — a lost
+// update (the crash figure's conservation check catches exactly this).
+func (tx *Txn) snapshotRead(o *objmodel.Object, slot int) uint64 {
+	for attempt := 0; ; attempt++ {
+		w := o.Rec.Load()
+		if head := o.MVHead.Load(); head != nil {
+			if head.TS <= tx.rv && txrec.IsExclusive(w) {
+				// In-flight committer whose stamp may be covered by this
+				// snapshot: wait for its install + release (bounded by its
+				// commit; dead owners are reaped inline below). A head
+				// above rv needs no wait — anything the owner installs is
+				// stamped above the head, hence above rv too.
+				tx.waitOwner(o, w, attempt)
+				continue
+			}
+			for v := head; v != nil; v = v.Prev() {
+				if v.TS <= tx.rv {
+					tx.nSnapReads++
+					if tr := tx.tr; tr != nil {
+						tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, v.TS)
+					}
+					return v.Vals[slot]
+				}
+			}
+			// Every version postdates the snapshot. Unreachable when only
+			// multi-version transactions write this object (the chain
+			// bottoms out at the pre-chain version, whose timestamp a
+			// later snapshot always covers); a foreign-runtime or
+			// non-transactional writer can manufacture it. Catch the clock
+			// up and restart with a snapshot that covers the chain.
+			tx.rt.clock.Raise(head.TS)
+			tx.restartStale(o)
+			continue
+		}
+		// No chain: the object has never been committed to by a
+		// multi-version transaction. Read the slot under the record
+		// seqlock — an unchanged record word across the load proves no
+		// writer released (publishing new state) in between.
+		switch {
+		case txrec.IsPrivate(w):
+			return o.LoadSlot(slot)
+		case txrec.IsShared(w):
+			ver := txrec.Version(w)
+			if ver > tx.rv {
+				// Committed after the snapshot by a writer that installed
+				// no version chain (foreign runtime or non-transactional
+				// barrier): the old value is gone, so the snapshot cannot
+				// be served. Unreachable in pure multi-version runs.
+				tx.rt.clock.Raise(ver)
+				tx.restartStale(o)
+				continue
+			}
+			v := o.LoadSlot(slot)
+			if o.Rec.Load() != w {
+				continue
+			}
+			tx.nSnapReads++
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, ver)
+			}
+			return v
+		default:
+			// Exclusive (a committer between acquire and release, or a
+			// foreign-runtime owner) or exclusive-anonymous (a
+			// non-transactional writer). A multi-version committer
+			// installs its chain before releasing, so waiting here is
+			// bounded by its commit; a dead owner is reaped inline.
+			tx.waitOwner(o, w, attempt)
+		}
+	}
+}
+
+// waitOwner parks a snapshot read behind a record owner for one wait round:
+// a confirmed-dead owner is reaped inline instead (so readers never stall on
+// an orphan), and a transactional reader still honors dooms, cancellation,
+// and the self-abort threshold while it waits. Read-only transactions wait
+// unconditionally — waiting is not aborting, so the zero-abort guarantee of
+// the snapshot read path survives.
+func (tx *Txn) waitOwner(o *objmodel.Object, w uint64, attempt int) {
+	if txrec.IsExclusive(w) {
+		if victim := tx.rt.reg.findStamp(txrec.Owner(w)); victim != nil && victim.dead.Load() {
+			tx.rt.reapTxn(victim)
+			return
+		}
+	}
+	tx.hb.Add(1)
+	if !tx.readOnly {
+		if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
+			panic(txSignal{sigCancel, tx})
+		}
+		if (tx.doomed.Load() || attempt >= tx.rt.cfg.SelfAbortAfter) && !tx.irrevocable {
+			tx.blameObj = uint64(o.Ref())
+			tx.Restart()
+		}
+	}
+	conflict.WaitAttempt(attempt, 0)
+}
+
+// restartStale aborts an attempt whose snapshot cannot be served (chainless
+// object overwritten, or chain pruned past a foreign write). For a
+// read-only transaction this is the one abort path that exists — kept
+// honest by the ReadOnlyAborts counter the litmus suite pins to zero.
+func (tx *Txn) restartStale(o *objmodel.Object) {
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvValidation, tx.id, uint64(o.Ref()), tx.attempt, 0)
+		tr.Hot().BumpValidation(uint64(o.Ref()))
+	}
+	tx.blameObj = uint64(o.Ref())
+	tx.Restart()
+}
+
+// ReadRef is Read for reference slots.
+func (tx *Txn) ReadRef(o *objmodel.Object, slot int) objmodel.Ref {
+	return objmodel.Ref(tx.Read(o, slot))
+}
+
+// Write buffers a store to o's slot. Always slot-granular: a span never
+// snapshots a neighbouring slot, so the Section 2.4 granular anomalies
+// cannot occur regardless of the configured granularity.
+func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
+	if tx.readOnly {
+		panic("mvstm: write inside a read-only transaction (AtomicRead)")
+	}
+	tx.nWrites++
+	if tx.doomed.Load() && !tx.irrevocable {
+		tx.blameObj = uint64(o.Ref())
+		tx.Restart()
+	}
+	if tx.ctx != nil && !tx.irrevocable && tx.ctx.Err() != nil {
+		panic(txSignal{sigCancel, tx})
+	}
+	tx.buf[slotKey{o, slot}] = v
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, 0)
+	}
+}
+
+// WriteRef is Write for reference slots.
+func (tx *Txn) WriteRef(o *objmodel.Object, slot int, r objmodel.Ref) {
+	tx.Write(o, slot, uint64(r))
+}
+
+// enterCommit admits a writing transaction into the commit protocol,
+// waiting out an irrevocable token holder. Returns false when the attempt
+// must abort instead (cancelled or doomed while waiting).
+func (rt *Runtime) enterCommit(tx *Txn) bool {
+	for a := 0; ; a++ {
+		if tok := rt.irrevToken.Load(); tok == 0 || tok == tx.id {
+			rt.committers.Add(1)
+			if tok = rt.irrevToken.Load(); tok == 0 || tok == tx.id {
+				tx.inCommit = true
+				return true
+			}
+			rt.committers.Add(-1) // lost the race to an irrevocable switch
+		}
+		tx.hb.Add(1)
+		if tx.ctx != nil && tx.ctx.Err() != nil {
+			return false
+		}
+		if tx.doomed.Load() && !tx.irrevocable {
+			return false
+		}
+		rt.reapDead() // a dead token holder must not gate commits forever
+		conflict.WaitAttempt(a, 0)
+	}
+}
+
+func (rt *Runtime) exitCommit(tx *Txn) {
+	if tx.inCommit {
+		tx.inCommit = false
+		rt.committers.Add(-1)
+	}
+}
+
+// release restores the records of every object acquired by this commit;
+// with bump they are stamped with the write version (matching the installed
+// chain head), without it the original shared words are restored — nothing
+// was published, and the untouched slots make the seqlock's ABA benign.
+func (tx *Txn) release(bump bool) {
+	for _, o := range tx.objs {
+		sv, ok := tx.owned.Get(o)
+		if !ok {
+			continue
+		}
+		if bump {
+			o.Rec.ReleaseOwnedAt(sv, tx.wv)
+		} else {
+			o.Rec.Store(txrec.MakeShared(sv))
+		}
+	}
+	tx.owned.Reset()
+	tx.objs = tx.objs[:0]
+}
+
+// snapshotSlots copies an object's current slot values — the image a new
+// chain version publishes.
+func snapshotSlots(o *objmodel.Object) []uint64 {
+	vals := make([]uint64, len(o.Slots))
+	for i := range vals {
+		vals[i] = o.LoadSlot(i)
+	}
+	return vals
+}
+
+// commit runs the multi-version commit protocol for a writing transaction:
+// enter the commit gate, acquire the write set's records in handle order
+// with the first-committer-wins check (a record version above the begin
+// snapshot means a concurrent committer got there first), obtain the write
+// version, pass the commit point, install a new version on every written
+// object's chain, write the buffered slots back, release the records
+// stamped with the write version, and (in quiescence mode) wait for all
+// previously serialized write-backs.
+func (tx *Txn) commit() (ok bool, err error) {
+	rt := tx.rt
+	if tx.doomed.Load() && !tx.irrevocable {
+		return false, nil
+	}
+	if !rt.enterCommit(tx) {
+		return false, nil
+	}
+	defer rt.exitCommit(tx)
+
+	tx.objs = tx.objs[:0]
+	tx.owned.Reset()
+	for key := range tx.buf {
+		dup := false
+		for _, o := range tx.objs {
+			if o == key.obj {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tx.objs = append(tx.objs, key.obj)
+		}
+	}
+	sortByRef(tx.objs)
+
+	for _, o := range tx.objs {
+		if txrec.IsPrivate(o.Rec.Load()) {
+			continue // thread-local: written back without synchronization
+		}
+		for attempt := 0; ; attempt++ {
+			w := o.Rec.Load()
+			if txrec.IsShared(w) {
+				if fi := tx.fi; fi != nil {
+					switch fi.Fire(faultinject.PreAcquire, tx.id) {
+					case faultinject.Abort:
+						if !tx.irrevocable {
+							tx.blameObj = uint64(o.Ref())
+							tx.release(false)
+							return false, nil
+						}
+					case faultinject.Crash:
+						if !tx.irrevocable {
+							tx.release(false)
+							tx.crash(faultinject.PreAcquire)
+						}
+					case faultinject.Orphan:
+						tx.die(faultinject.PreAcquire)
+					}
+				}
+				ver := txrec.Version(w)
+				if ver > tx.rv {
+					// First committer wins: a concurrent transaction
+					// committed this object after our snapshot. Raise the
+					// clock over the lost version so the retry's snapshot
+					// covers it even when the release stamp outran the
+					// clock (two committers sharing a write version).
+					tx.notifyStale(uint64(o.Ref()))
+					tx.blameObj = uint64(o.Ref())
+					tx.release(false)
+					rt.clock.Raise(ver)
+					return false, nil
+				}
+				if o.Rec.CompareAndSwap(w, txrec.MakeExclusive(tx.id)) {
+					tx.owned.Put(o, ver)
+					if tr := tx.tr; tr != nil {
+						tr.Record(trace.EvLockAcquire, tx.id, uint64(o.Ref()), 0, ver)
+					}
+					if fi := tx.fi; fi != nil {
+						switch fi.Fire(faultinject.PostAcquire, tx.id) {
+						case faultinject.Abort:
+							if !tx.irrevocable {
+								tx.blameObj = uint64(o.Ref())
+								tx.release(false)
+								return false, nil
+							}
+						case faultinject.Crash:
+							if !tx.irrevocable {
+								tx.release(false)
+								tx.crash(faultinject.PostAcquire)
+							}
+						case faultinject.Orphan:
+							tx.die(faultinject.PostAcquire)
+						}
+					}
+					break
+				}
+				continue
+			}
+			if tr := tx.tr; tr != nil {
+				ref := uint64(o.Ref())
+				var owner uint64
+				if txrec.IsExclusive(w) {
+					owner = txrec.Owner(w)
+				}
+				tr.Record(trace.EvConflict, tx.id, ref, 0, owner)
+				tr.Hot().BumpConflict(ref)
+			}
+			tx.hb.Add(1)
+			if tx.irrevocable {
+				// Only a dead owner can hold a record while we hold the
+				// token with the gate drained: reap it and re-probe.
+				if txrec.IsExclusive(w) {
+					if victim := rt.reg.findStamp(txrec.Owner(w)); victim != nil && victim.dead.Load() {
+						rt.reapTxn(victim)
+					}
+				}
+				conflict.WaitAttempt(attempt, 0)
+				continue
+			}
+			if tx.ctx != nil && tx.ctx.Err() != nil {
+				tx.release(false)
+				return false, nil
+			}
+			if tx.doomed.Load() || attempt >= rt.cfg.SelfAbortAfter {
+				tx.blameObj = uint64(o.Ref())
+				tx.release(false)
+				return false, nil
+			}
+			if tx.resolveConflict(o, attempt, w) == conflict.SelfAbort {
+				tx.blameObj = uint64(o.Ref())
+				tx.release(false)
+				return false, nil
+			}
+		}
+	}
+
+	if tx.doomed.Load() && !tx.irrevocable {
+		tx.release(false)
+		return false, nil
+	}
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PreValidate, tx.id) {
+		case faultinject.Abort:
+			if !tx.irrevocable {
+				tx.release(false)
+				return false, nil
+			}
+		case faultinject.Crash:
+			if !tx.irrevocable {
+				tx.release(false)
+				tx.crash(faultinject.PreValidate)
+			}
+		case faultinject.Orphan:
+			tx.die(faultinject.PreValidate)
+		}
+	}
+	// There is no validation step: first-committer-wins was enforced
+	// record-by-record at acquisition, and snapshot reads need no
+	// re-checking — that is the snapshot-isolation trade (write skew
+	// admitted, see the litmus matrix's MV column).
+
+	// Obtain the write version before the commit point (GV4
+	// pass-on-failure) so every release path — normal, crash branch, or a
+	// reaper completing an orphan — stamps the same version the installed
+	// chain heads carry.
+	var advanced bool
+	if tx.wv, advanced = rt.clock.Advance(); advanced {
+		tx.nClockAdv++
+	}
+
+	// ----- commit point: the transaction is now serialized. -----
+	tx.status.Store(uint32(Committed))
+	ticket := rt.tickets.Add(1)
+	tx.ticket = ticket
+	if h := rt.cfg.Hooks.OnAfterCommitPoint; h != nil {
+		h(tx)
+	}
+
+	// Install versions, then write the buffered slots back. Installing
+	// first means a snapshot at or past wv reads the new values from the
+	// chain even while the slots still hold old state; non-transactional
+	// readers under weak atomicity go straight to the slots and still see
+	// the lazy write-back window (the litmus MI programs depend on it).
+	k := 0
+	for _, o := range tx.objs {
+		sv, held := tx.owned.Get(o)
+		if held {
+			rs := tx.wv
+			if sv+1 > rs {
+				rs = sv + 1 // mirror ReleaseOwnedAt: chain and record agree
+			}
+			head := o.MVHead.Load()
+			if head == nil {
+				// First multi-version commit to this object: anchor the
+				// chain with the pre-transaction image at the record's
+				// version, so older snapshots keep reading the old state.
+				base := &objmodel.MVVersion{TS: sv, Vals: snapshotSlots(o)}
+				o.MVHead.Store(base)
+				head = base
+				tx.nInstalled++
+			}
+			vals := snapshotSlots(o)
+			for key, v := range tx.buf {
+				if key.obj == o {
+					vals[key.slot] = v
+				}
+			}
+			node := &objmodel.MVVersion{TS: rs, Vals: vals}
+			node.SetPrev(head)
+			o.MVHead.Store(node)
+			tx.nInstalled++
+		}
+		for key, v := range tx.buf {
+			if key.obj != o {
+				continue
+			}
+			o.StoreSlot(key.slot, v)
+			if h := rt.cfg.Hooks.OnAfterWriteback; h != nil {
+				h(tx, k)
+			}
+			k++
+		}
+	}
+
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PostCommitPoint, tx.id) {
+		case faultinject.Crash:
+			tx.release(true)
+			rt.exitCommit(tx)
+			rt.markComplete(ticket)
+			rt.Stats.Commits.AddShard(int(tx.id), 1)
+			tx.flushStats()
+			panic(faultinject.CrashError{Point: faultinject.PostCommitPoint, Txn: tx.id})
+		case faultinject.Orphan:
+			tx.die(faultinject.PostCommitPoint)
+		}
+	}
+	if fi := tx.fi; fi != nil {
+		switch fi.Fire(faultinject.PreRelease, tx.id) {
+		case faultinject.Crash:
+			tx.release(true)
+			rt.exitCommit(tx)
+			rt.markComplete(ticket)
+			rt.Stats.Commits.AddShard(int(tx.id), 1)
+			tx.flushStats()
+			panic(faultinject.CrashError{Point: faultinject.PreRelease, Txn: tx.id})
+		case faultinject.Orphan:
+			tx.die(faultinject.PreRelease)
+		}
+	}
+
+	rt.maybeCollect(tx) // before release clears tx.objs; pruning never touches records
+	tx.release(true)    // stamps every record with rs = max(wv, sv+1), the chain head's TS
+	rt.exitCommit(tx)
+	rt.markComplete(ticket)
+	tx.dropIrrevocable()
+	if rt.cfg.Quiescence {
+		if tr := tx.tr; tr != nil {
+			start := time.Now()
+			err = rt.awaitOrder(tx.ctx, ticket)
+			tr.ObserveQuiesce(time.Since(start))
+		} else {
+			err = rt.awaitOrder(tx.ctx, ticket)
+		}
+	}
+	rt.Stats.Commits.AddShard(int(tx.id), 1)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvCommit, tx.id, 0, 0, 0)
+		tr.ObserveCommit(time.Since(tx.beginAt))
+	}
+	tx.flushStats()
+	return true, err
+}
+
+// commitReadOnly is the zero-metadata commit of a transaction that never
+// wrote: no gate, no clock, no ticket, no records — set the status and
+// flush the local counters.
+func (tx *Txn) commitReadOnly() {
+	tx.status.Store(uint32(Committed))
+	tx.rt.Stats.Commits.AddShard(int(tx.id), 1)
+	tx.rt.Stats.ReadOnlyTxns.AddShard(int(tx.id), 1)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvCommit, tx.id, 0, 0, 0)
+		tr.ObserveCommit(time.Since(tx.beginAt))
+	}
+	tx.flushStats()
+}
+
+// notifyStale reports a first-committer-wins abort to the contention
+// handler if it observes stale aborts; attribution only.
+func (tx *Txn) notifyStale(bad uint64) {
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvValidation, tx.id, bad, tx.attempt, 0)
+		tr.Hot().BumpValidation(bad)
+	}
+	if obs := tx.rt.staleObs; obs != nil {
+		obs.ObserveValidationAbort(conflict.Info{
+			Kind:     conflict.TxnValidation,
+			Attempt:  tx.attempt,
+			Obj:      bad,
+			Self:     tx.id,
+			SelfPrio: tx.karma.Load(),
+		})
+	}
+}
+
+// crash performs the abort bookkeeping for a simulated thread death inside
+// commit (the caller has already restored the records) and panics.
+func (tx *Txn) crash(p faultinject.Point) {
+	tx.fi = nil
+	tx.rt.exitCommit(tx)
+	tx.abort()
+	panic(faultinject.CrashError{Point: p, Txn: tx.id})
+}
+
+// markComplete and awaitOrder implement the write-back ordering tickets for
+// quiescence mode (see the lazy runtime; the scheme is identical).
+func (rt *Runtime) markComplete(ticket uint64) {
+	rt.doneMu.Lock()
+	rt.pending[ticket] = struct{}{}
+	for {
+		next := rt.done.Load() + 1
+		if _, ok := rt.pending[next]; !ok {
+			break
+		}
+		delete(rt.pending, next)
+		rt.done.Store(next)
+	}
+	rt.doneCv.Broadcast()
+	rt.doneMu.Unlock()
+}
+
+func (rt *Runtime) awaitOrder(ctx context.Context, ticket uint64) error {
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, func() {
+			rt.doneMu.Lock()
+			rt.doneCv.Broadcast()
+			rt.doneMu.Unlock()
+		})
+		defer stop()
+	}
+	rt.doneMu.Lock()
+	defer rt.doneMu.Unlock()
+	for rt.done.Load() < ticket {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rt.doneCv.Wait()
+	}
+	return nil
+}
+
+func (tx *Txn) abort() {
+	if tx.irrevocable {
+		tx.release(false)
+		tx.dropIrrevocable()
+	}
+	if tx.nReads+tx.nWrites > 0 {
+		tx.karma.Add(tx.nReads + tx.nWrites)
+	}
+	tx.status.Store(uint32(Aborted))
+	tx.rt.Stats.Aborts.AddShard(int(tx.id), 1)
+	if tx.readOnly {
+		tx.rt.Stats.ReadOnlyAborts.AddShard(int(tx.id), 1)
+	}
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvAbort, tx.id, tx.blameObj, 0, 0)
+		if tx.blameObj != 0 {
+			tr.Hot().BumpAbort(tx.blameObj)
+		}
+		tx.abortAt = time.Now()
+	}
+	tx.blameObj = 0
+	tx.flushStats()
+}
+
+// waitForClock blocks until the commit clock passes rv — some transaction
+// committed a write since this one's snapshot, so re-execution may observe
+// something new.
+func (rt *Runtime) waitForClock(ctx context.Context, rv uint64) error {
+	for a := 0; rt.clock.Load() <= rv; a++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		conflict.WaitAttempt(a, 0)
+	}
+	return nil
+}
+
+// Atomic executes body as a multi-version transaction, retrying until it
+// commits. A body that never writes commits on the read-only path
+// automatically — the ReadOnly hint is the absence of writes, no
+// declaration needed. Closed nesting is flattened like the lazy runtime.
+func (rt *Runtime) Atomic(parent *Txn, body func(*Txn) error) error {
+	if parent != nil {
+		return body(parent)
+	}
+	return rt.atomic(nil, body, rt.escalateFrom(), false)
+}
+
+// AtomicRead executes body as a read-only snapshot transaction: writes and
+// BecomeIrrevocable panic, and the body runs exactly once — snapshot reads
+// cannot conflict, so there is nothing to retry.
+func (rt *Runtime) AtomicRead(body func(*Txn) error) error {
+	return rt.atomic(nil, body, -1, true)
+}
+
+// AtomicIrrevocable executes body as an irrevocable transaction (see
+// recovery.go for the gate-drain switch). Nested calls are flattened.
+func (rt *Runtime) AtomicIrrevocable(parent *Txn, body func(*Txn) error) error {
+	if rt.cfg.NoIrrevocable {
+		return stmapi.ErrIrrevocableDisabled
+	}
+	if parent != nil {
+		parent.BecomeIrrevocable()
+		return body(parent)
+	}
+	return rt.atomic(nil, body, 0, false)
+}
+
+func (rt *Runtime) escalateFrom() int {
+	if rt.cfg.EscalateAfter > 0 {
+		return rt.cfg.EscalateAfter
+	}
+	return -1
+}
+
+// AtomicCtx is Atomic with deadline/cancellation support (see the lazy
+// runtime for the nested-context contract).
+func (rt *Runtime) AtomicCtx(ctx context.Context, parent *Txn, body func(*Txn) error) error {
+	if parent != nil {
+		return rt.nestedCtx(ctx, parent, body)
+	}
+	return rt.atomic(ctx, body, rt.escalateFrom(), false)
+}
+
+func (rt *Runtime) nestedCtx(ctx context.Context, parent *Txn, body func(*Txn) error) (err error) {
+	if ctx == nil {
+		return body(parent)
+	}
+	if e := ctx.Err(); e != nil {
+		return e
+	}
+	prev := parent.ctx
+	parent.ctx = ctx
+	defer func() {
+		parent.ctx = prev
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s, ok := r.(txSignal); ok && s.tx == parent && s.s == sigCancel {
+			if prev == nil || prev.Err() == nil {
+				err = ctx.Err()
+				return
+			}
+		}
+		panic(r)
+	}()
+	return body(parent)
+}
+
+// atomic is the top-level execution loop. irrevFrom is the attempt index
+// from which the body runs irrevocably (-1 = never); readOnly selects the
+// AtomicRead discipline.
+func (rt *Runtime) atomic(ctx context.Context, body func(*Txn) error, irrevFrom int, readOnly bool) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	tx := rt.getTxn()
+	tx.ctx = ctx
+	tx.readOnly = readOnly
+	defer rt.finish(tx)
+	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		tx.attempt = attempt
+		tx.begin()
+		runBody := body
+		if irrevFrom >= 0 && attempt >= irrevFrom {
+			escalated := irrevFrom > 0
+			runBody = func(tx *Txn) error {
+				tx.becomeIrrevocable(escalated)
+				return body(tx)
+			}
+		}
+		err, sig := rt.run(tx, runBody)
+		switch sig {
+		case 0:
+			if err != nil {
+				tx.abort()
+				return err
+			}
+			if tx.readOnly || len(tx.buf) == 0 {
+				// The read-only path: a body that never wrote needs no
+				// commit protocol — its snapshot reads were consistent by
+				// construction the moment they happened.
+				tx.commitReadOnly()
+				return nil
+			}
+			committed, cerr := tx.commit()
+			if committed {
+				return cerr
+			}
+			tx.abort()
+		case sigRestart:
+			tx.abort()
+		case sigRetry:
+			rv := tx.rv
+			tx.abort()
+			if werr := rt.waitForClock(ctx, rv); werr != nil {
+				return werr
+			}
+		case sigCancel:
+			tx.abort()
+			if ctx != nil {
+				return ctx.Err()
+			}
+			return context.Canceled
+		}
+		conflict.WaitAttempt(attempt, 0)
+	}
+}
+
+// ActiveTransactions returns the number of registered descriptors whose
+// status is Active.
+func (rt *Runtime) ActiveTransactions() int {
+	n := 0
+	rt.reg.forEach(func(tx *Txn) bool {
+		if Status(tx.status.Load()) == Active {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func (rt *Runtime) run(tx *Txn, body func(*Txn) error) (err error, sig signal) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if tx.dead.Load() {
+			panic(r)
+		}
+		if s, ok := r.(txSignal); ok && s.tx == tx {
+			sig = s.s
+			return
+		}
+		// Unlike the validating runtimes there is no "was this fault an
+		// artifact of an inconsistent read" question: snapshot reads are
+		// consistent by construction, so the fault is the body's own.
+		tx.abort()
+		panic(r)
+	}()
+	return body(tx), 0
+}
+
+// maxSnapshot is the irrevocable rv: with the commit gate drained and the
+// token held, nothing else commits, so reading the newest version of
+// everything is the (only) serializable view.
+const maxSnapshot = math.MaxUint64
+
+// sortByRef sorts objects by their heap handle (insertion sort; write sets
+// are small).
+func sortByRef(objs []*objmodel.Object) {
+	for i := 1; i < len(objs); i++ {
+		o := objs[i]
+		j := i - 1
+		for j >= 0 && objs[j].Ref() > o.Ref() {
+			objs[j+1] = objs[j]
+			j--
+		}
+		objs[j+1] = o
+	}
+}

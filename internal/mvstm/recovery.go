@@ -1,0 +1,228 @@
+// Orphaned-transaction recovery and irrevocable mode for the multi-version
+// runtime. See internal/stm/recovery.go for the shared design; the
+// multi-version differences:
+//
+//   - Bodies own nothing. Reads resolve against version chains and writes
+//     stay buffered, so an orphan that died mid-body holds no records at
+//     all — the reaper only unregisters it (and unpins its GC snapshot).
+//
+//   - An orphan that died inside the commit window holds write-set records.
+//     Pre-commit-point the records are restored to their original Shared
+//     words (no versions were installed, no state escaped). Post-commit-point
+//     the versions are installed and written back, so the reaper releases the
+//     records at the orphan's write version — the same stamp the installed
+//     chain heads carry — and completes its ordering ticket.
+//
+//   - The commit gate (committers counter) is never repaired by the reaper:
+//     commit releases it on every exit, including the panic unwind of a
+//     simulated thread death, so only the descriptor's own goroutine ever
+//     touches it.
+//
+//   - Irrevocable mode takes no read locks. The switch acquires the
+//     singular token and then drains the commit gate; with nothing else
+//     committing, the transaction reads the newest version of everything
+//     (rv = maxSnapshot) and first-committer-wins can never fail it, which
+//     preserves the no-abort guarantee without locking a single record
+//     during the body.
+package mvstm
+
+import (
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/faultinject"
+	"repro/internal/recovery"
+	"repro/internal/trace"
+	"repro/internal/txrec"
+)
+
+// die terminates the goroutine's transactional life with no cleanup. The
+// dead store is the death certificate gating all stealing; it must be the
+// last thing the dying goroutine does to the descriptor. (The deferred
+// commit-gate release still runs on the unwind — that is goroutine-local
+// state, not part of the recoverable picture.)
+func (tx *Txn) die(p faultinject.Point) {
+	tx.dead.Store(true)
+	panic(faultinject.OrphanError{Point: p, Txn: tx.id})
+}
+
+// finish returns the descriptor to the pool unless the transaction died: a
+// dead descriptor is left for the reaper and never reused.
+func (rt *Runtime) finish(tx *Txn) {
+	if tx.dead.Load() {
+		return
+	}
+	rt.putTxn(tx)
+}
+
+// reapTxn steals a dead transaction's records (same two gates as the other
+// runtimes: confirmed death plus the single-reclaimer CAS). Uncommitted
+// orphans have their records restored to the original Shared words — their
+// buffered writes never reached memory and no version was installed.
+// Committed orphans are released at their write version, matching the chain
+// heads they installed before dying, and their ordering ticket is completed
+// so quiescing committers cannot stall. Unregistering the descriptor also
+// unpins its snapshot from the GC watermark. Returns false if tx is not
+// confirmed dead or another reclaimer won.
+func (rt *Runtime) reapTxn(tx *Txn) bool {
+	if !tx.dead.Load() || !tx.reaping.CompareAndSwap(false, true) {
+		return false
+	}
+	id := tx.id
+	committed := Status(tx.status.Load()) == Committed
+	for _, o := range tx.objs {
+		sv, ok := tx.owned.Get(o)
+		if !ok {
+			continue // write-set entry the orphan never got to acquire
+		}
+		if committed {
+			// The orphan obtained wv before its commit point; stamping with
+			// it keeps the record agreeing with the chain head it installed.
+			// No clock tick is needed: snapshot readers never validate, and
+			// a writer that meets the released version raises the clock on
+			// contact (first-committer-wins).
+			o.Rec.ReleaseOwnedAt(sv, tx.wv)
+		} else {
+			o.Rec.Store(txrec.MakeShared(sv))
+		}
+	}
+	if committed {
+		if tx.ticket != 0 {
+			rt.markComplete(tx.ticket)
+		}
+		rt.Stats.Commits.AddShard(int(id), 1)
+	} else {
+		tx.status.Store(uint32(Aborted))
+		rt.Stats.Aborts.AddShard(int(id), 1)
+	}
+	if tx.irrevStamp.Load() {
+		rt.irrevToken.CompareAndSwap(id, 0)
+	}
+	rt.Stats.ReaperSteals.AddShard(int(id), 1)
+	tx.flushStats()
+	if tr := rt.tracer.Load(); tr != nil {
+		tr.Record(trace.EvSteal, 0, 0, 0, id)
+	}
+	rt.reg.remove(tx)
+	return true
+}
+
+// reapDead sweeps the registry for confirmed-dead descriptors and reclaims
+// them inline. Used on the commit-gate and token wait paths, where a dead
+// holder would otherwise stall the waiter until the background reaper's
+// next scan.
+func (rt *Runtime) reapDead() {
+	rt.reg.forEach(func(tx *Txn) bool {
+		if tx.dead.Load() {
+			rt.reapTxn(tx)
+		}
+		return true
+	})
+}
+
+// Recovery exposes the runtime to a recovery.Reaper.
+func (rt *Runtime) Recovery() recovery.Target { return mvTarget{rt} }
+
+type mvTarget struct{ rt *Runtime }
+
+func (t mvTarget) Name() string { return "mvstm" }
+
+func (t mvTarget) VisitTxns(f func(recovery.TxnInfo)) {
+	t.rt.reg.forEach(func(tx *Txn) bool {
+		f(recovery.TxnInfo{
+			ID:          tx.stamp.Load(),
+			Beat:        tx.hb.Load(),
+			Status:      Status(tx.status.Load()),
+			Dead:        tx.dead.Load(),
+			Irrevocable: tx.irrevStamp.Load(),
+		})
+		return true
+	})
+}
+
+func (t mvTarget) Reclaim(id uint64) bool {
+	victim := t.rt.reg.findStamp(id)
+	if victim == nil {
+		return false
+	}
+	return t.rt.reapTxn(victim)
+}
+
+// IsIrrevocable reports whether the transaction has switched to irrevocable
+// mode.
+func (tx *Txn) IsIrrevocable() bool { return tx.irrevocable }
+
+// BecomeIrrevocable switches the transaction to irrevocable mode. The
+// multi-version switch is lock-free with respect to the heap: acquire the
+// singular token, drain the commit gate, and widen the snapshot to
+// maxSnapshot — running alone, the newest version of everything is a
+// consistent (and the only serializable) view, so no record is locked and
+// no read needs re-checking. Restarting is still legal up to the switch;
+// afterwards the transaction cannot abort. Panics on a NoIrrevocable
+// runtime, or inside a read-only transaction.
+func (tx *Txn) BecomeIrrevocable() { tx.becomeIrrevocable(false) }
+
+func (tx *Txn) becomeIrrevocable(escalated bool) {
+	if tx.irrevocable {
+		return
+	}
+	if tx.readOnly {
+		panic("mvstm: BecomeIrrevocable inside a read-only transaction (AtomicRead)")
+	}
+	rt := tx.rt
+	if rt.cfg.NoIrrevocable {
+		panic("mvstm: BecomeIrrevocable on a runtime configured with NoIrrevocable")
+	}
+	for a := 0; !rt.irrevToken.CompareAndSwap(0, tx.id); a++ {
+		// Pre-switch we are still an ordinary transaction: honor dooms and
+		// cancellation so token waiters cannot deadlock with the holder. A
+		// dead holder is reaped inline (reapTxn surrenders its token).
+		if tx.doomed.Load() {
+			tx.Restart()
+		}
+		if tx.ctx != nil && tx.ctx.Err() != nil {
+			panic(txSignal{sigCancel, tx})
+		}
+		tx.hb.Add(1)
+		rt.reapDead()
+		conflict.WaitAttempt(a, 0)
+	}
+	// Token held: no new committer can enter the gate. Drain the ones
+	// already inside — each is bounded by its own commit (or by the panic
+	// unwind of a simulated death, which also releases the gate).
+	for a := 0; rt.committers.Load() != 0; a++ {
+		tx.hb.Add(1)
+		rt.reapDead()
+		conflict.WaitAttempt(a, 0)
+	}
+	tx.rv = maxSnapshot
+	if escalated {
+		rt.Stats.Escalations.AddShard(int(tx.id), 1)
+		if tr := tx.tr; tr != nil {
+			tr.Record(trace.EvEscalate, tx.id, 0, tx.attempt, 0)
+		}
+	}
+	tx.irrevAt = time.Now()
+	tx.irrevocable = true
+	tx.irrevStamp.Store(true)
+	if tr := tx.tr; tr != nil {
+		tr.Record(trace.EvIrrevocable, tx.id, 0, tx.attempt, 0)
+	}
+}
+
+// dropIrrevocable surrenders the irrevocable token after the transaction's
+// records have been released, and accounts the hold time.
+func (tx *Txn) dropIrrevocable() {
+	if !tx.irrevocable {
+		return
+	}
+	hold := time.Since(tx.irrevAt)
+	tx.irrevocable = false
+	tx.irrevStamp.Store(false)
+	tx.rt.irrevToken.Store(0)
+	tx.rt.Stats.IrrevocableTxns.AddShard(int(tx.id), 1)
+	tx.rt.Stats.IrrevocableNs.AddShard(int(tx.id), hold.Nanoseconds())
+	if tr := tx.tr; tr != nil {
+		tr.ObserveIrrevocableHold(hold)
+	}
+}

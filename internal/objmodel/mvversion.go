@@ -1,0 +1,36 @@
+package objmodel
+
+import "sync/atomic"
+
+// MVVersion is one committed version in an object's multi-version chain,
+// newest first: Object.MVHead points at the most recent version, and each
+// version's prev pointer leads to the next older one. A version is immutable
+// after publication — TS and Vals are written before the CAS that links the
+// node in and never after — so snapshot readers traverse the chain without
+// any synchronization beyond the initial head load.
+//
+// The prev pointer is the one mutable field, and only in one direction: the
+// garbage collector severs the chain below the reclamation watermark by
+// storing nil. Readers that raced past the cut still hold the detached tail
+// through their local pointer, and Go's GC keeps it alive until they finish;
+// reclamation here means "unreachable from the object", not "freed now".
+type MVVersion struct {
+	// TS is the commit-clock timestamp at which this version became the
+	// object's committed state. Timestamps strictly decrease along the
+	// chain, and the head's TS always equals the version number in the
+	// object's transaction record once its writer has released it.
+	TS uint64
+
+	// Vals is the full slot image of the object at TS. Whole-object images
+	// keep the read path to a single chain walk regardless of which slots a
+	// committing writer touched.
+	Vals []uint64
+
+	prev atomic.Pointer[MVVersion]
+}
+
+// Prev returns the next older version, or nil at the end of the chain.
+func (v *MVVersion) Prev() *MVVersion { return v.prev.Load() }
+
+// SetPrev links (or, with nil, severs) the chain below v.
+func (v *MVVersion) SetPrev(p *MVVersion) { v.prev.Store(p) }

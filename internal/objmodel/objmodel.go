@@ -93,6 +93,12 @@ type Object struct {
 	Slots []atomic.Uint64
 	Len   int // array length; 0 for non-arrays
 
+	// MVHead is the newest committed version in the object's multi-version
+	// chain (internal/mvstm); nil until a multi-version transaction first
+	// commits a write to the object. It lives here rather than in mvstm so
+	// snapshot readers reach the chain with one pointer load off the object.
+	MVHead atomic.Pointer[MVVersion]
+
 	ref Ref // this object's own handle
 
 	monitor atomic.Pointer[Monitor] // lazily allocated Java-style monitor

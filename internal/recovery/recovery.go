@@ -50,10 +50,10 @@ type TxnInfo struct {
 	Irrevocable bool          // holds the runtime's irrevocable token
 }
 
-// Target is the runtime surface a Reaper scans. Both runtimes expose one
-// via their Recovery() method.
+// Target is the runtime surface a Reaper scans. Every runtime exposes one
+// via its Recovery() method.
 type Target interface {
-	// Name identifies the runtime ("eager" or "lazy"), for reports.
+	// Name identifies the runtime (a stmapi registry name), for reports.
 	Name() string
 
 	// VisitTxns calls f for every registered descriptor.

@@ -3,7 +3,9 @@ package stm
 import (
 	"context"
 
+	"repro/internal/faultinject"
 	"repro/internal/objmodel"
+	"repro/internal/recovery"
 	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
@@ -37,3 +39,18 @@ func (a apiRuntime) AtomicIrrevocable(body func(stmapi.Txn) error) error {
 func (a apiRuntime) SetTracer(t *trace.Tracer) { a.rt.SetTracer(t) }
 func (a apiRuntime) Tracer() *trace.Tracer     { return a.rt.Tracer() }
 func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions() }
+
+// SetInjector and Recovery forward the fault-injection and reaper surfaces
+// through the adapter; drivers probe for them with small capability
+// interfaces rather than depending on the concrete runtime.
+func (a apiRuntime) SetInjector(in *faultinject.Injector) { a.rt.SetInjector(in) }
+func (a apiRuntime) Recovery() recovery.Target            { return a.rt.Recovery() }
+
+func init() {
+	stmapi.Register("eager", func(heap *objmodel.Heap, cfg stmapi.CommonConfig) (stmapi.Runtime, error) {
+		if err := cfg.Normalize(); err != nil {
+			return nil, err
+		}
+		return New(heap, Config{CommonConfig: cfg}).API(), nil
+	})
+}

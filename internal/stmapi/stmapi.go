@@ -1,14 +1,18 @@
 // Package stmapi defines the runtime-agnostic transactional memory API
-// implemented by both STM runtimes (internal/stm, eager versioning;
-// internal/lazystm, lazy versioning).
+// implemented by every STM runtime in this repository (internal/stm, eager
+// versioning; internal/lazystm, lazy versioning; internal/mvstm,
+// multi-version snapshot isolation).
 //
 // Historically every driver — the bench sweeps, the litmus harness,
-// cmd/stmbench — carried a hand-written pair of code paths, one per
-// runtime, switching on a versioning string. This package collapses that
-// duplication: Runtime and Txn are small interfaces both runtimes satisfy
-// (each exposes an adapter via its API() method), CommonConfig is the
-// shared configuration surface both runtimes embed in their Config structs,
-// and StatsSnapshot is the shared counter snapshot both runtimes report.
+// cmd/stmbench — carried a hand-written code path per runtime, switching on
+// a versioning string. This package collapses that duplication twice over:
+// Runtime and Txn are small interfaces every runtime satisfies (each exposes
+// an adapter via its API() method), CommonConfig is the shared configuration
+// surface the runtimes embed in their Config structs, StatsSnapshot is the
+// shared counter snapshot they report — and the registry (Register,
+// Runtimes, New) makes the set of runtimes itself a runtime value, so
+// drivers enumerate and construct runtimes by name instead of hardcoding
+// the list.
 //
 // The interfaces are for *drivers* — harnesses, benchmarks, exporters,
 // tools that must treat the runtimes uniformly. Hot loops that care about
@@ -51,20 +55,24 @@ func (s Status) String() string {
 	}
 }
 
-// MaxGranularity is the largest version-management granularity either
-// runtime supports (in slots).
+// MaxGranularity is the largest version-management granularity a runtime
+// supports (in slots).
 const MaxGranularity = 2
 
 // DefaultSelfAbortAfter is the default CommonConfig.SelfAbortAfter.
 const DefaultSelfAbortAfter = 64
 
-// CommonConfig is the configuration surface shared by both runtimes. Each
+// CommonConfig is the configuration surface shared by every runtime. Each
 // runtime's Config embeds it (and adds its own fields: DEA for eager,
-// commit-window Hooks for lazy).
+// commit-window Hooks for lazy, GC cadence for mvstm). Fields a runtime has
+// no use for are documented on the field; a runtime never rejects one, it
+// ignores it.
 type CommonConfig struct {
 	// Granularity is the number of adjacent slots covered by one undo-log
 	// entry (eager) or write-buffer span (lazy): 1 (field-granular, the
 	// safe default) or 2 (reproduces the Section 2.4 granular anomalies).
+	// The multi-version runtime accepts either value but always buffers
+	// slot-granular, so it exhibits no granular anomalies.
 	Granularity int
 
 	// Quiescence enables the Section 3.4 ordering guarantee: a transaction
@@ -101,6 +109,8 @@ type CommonConfig struct {
 
 	// NoCommitClock disables TL2-style commit-clock validation and falls
 	// back to the original read-set walk at every validation point. The
+	// multi-version runtime ignores it: the commit clock is what stamps
+	// versions, so it cannot be turned off there. The
 	// zero value — clock validation on — is the fast default: commit
 	// validation is a single clock compare whenever no other transaction
 	// committed since this one began, falling back to the walk only then.
@@ -118,7 +128,7 @@ const ValidationEnv = "STM_VALIDATION"
 
 // Normalize fills defaulted fields in place and validates the result: the
 // zero value of every field is a valid "use the default" request, anything
-// else must be in range. It is called by both runtimes' New.
+// else must be in range. It is called by every runtime's New.
 func (c *CommonConfig) Normalize() error {
 	if c.Granularity == 0 {
 		c.Granularity = 1
@@ -196,6 +206,23 @@ type StatsSnapshot struct {
 	// version management and demoted back to the configured span.
 	GranPromotions int64 `json:"gran_promotions,omitempty"`
 	GranDemotions  int64 `json:"gran_demotions,omitempty"`
+
+	// Multi-version counters. SnapshotReads counts reads satisfied from a
+	// version chain without validation; ReadOnlyTxns counts transactions
+	// that committed on the read-only path (AtomicRead, or Atomic bodies
+	// that never wrote); ReadOnlyAborts counts read-only transactions that
+	// aborted — zero by construction in mvstm, the litmus suite asserts it.
+	// VersionsInstalled/VersionsGCd count chain nodes created and reclaimed
+	// (VersionsLive is their difference at snapshot time); WatermarkLag is
+	// the commit-clock distance the GC watermark trailed by at the last
+	// collection — how much history live snapshots were pinning.
+	SnapshotReads     int64 `json:"snapshot_reads,omitempty"`
+	ReadOnlyTxns      int64 `json:"read_only_txns,omitempty"`
+	ReadOnlyAborts    int64 `json:"read_only_aborts,omitempty"`
+	VersionsInstalled int64 `json:"versions_installed,omitempty"`
+	VersionsLive      int64 `json:"versions_live,omitempty"`
+	VersionsGCd       int64 `json:"versions_gcd,omitempty"`
+	WatermarkLag      int64 `json:"watermark_lag,omitempty"`
 }
 
 // Fields enumerates the snapshot as name→value pairs, in a stable order,
@@ -225,11 +252,18 @@ func (s StatsSnapshot) Fields() []struct {
 		{"fallback_walks", s.FallbackWalks},
 		{"gran_promotions", s.GranPromotions},
 		{"gran_demotions", s.GranDemotions},
+		{"snapshot_reads", s.SnapshotReads},
+		{"read_only_txns", s.ReadOnlyTxns},
+		{"read_only_aborts", s.ReadOnlyAborts},
+		{"versions_installed", s.VersionsInstalled},
+		{"versions_live", s.VersionsLive},
+		{"versions_gcd", s.VersionsGCd},
+		{"watermark_lag", s.WatermarkLag},
 	}
 }
 
-// Txn is the transactional access interface inside an atomic block. Both
-// *stm.Txn and *lazystm.Txn satisfy it directly.
+// Txn is the transactional access interface inside an atomic block. Every
+// runtime's concrete *Txn satisfies it directly.
 type Txn interface {
 	// ID returns the transaction's owner ID as encoded in acquired records.
 	// IDs are assigned once per top-level Atomic from a runtime-monotonic
@@ -278,9 +312,12 @@ type Txn interface {
 }
 
 // Runtime is the uniform driver-facing surface of an STM runtime. Obtain
-// one from a concrete runtime's API() method.
+// one from a concrete runtime's API() method, or by name from New.
 type Runtime interface {
-	// Name identifies the versioning policy: "eager" or "lazy".
+	// Name identifies the runtime's versioning discipline — the key it was
+	// registered under (see Register). The set of names is open-ended:
+	// drivers discover it through Runtimes() rather than enumerating
+	// runtimes themselves.
 	Name() string
 
 	// Heap returns the managed heap the runtime is bound to.
