@@ -13,6 +13,7 @@
 //	stmbench -fig stamp        STAMP-shape workload sweep (vacation/kmeans/genome)
 //	stmbench -fig crash        crash-recovery robustness run (orphan injection)
 //	stmbench -fig causal       flight-recorder starvation profile + tracing overhead
+//	stmbench -fig durable      durable-store group-commit window sweep (WAL fsync cost)
 //	stmbench -fig all          everything
 //
 // An unknown -fig value is an error that lists the known figures. The
@@ -60,6 +61,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/causal"
 	"repro/internal/conflict"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/internal/stmapi"
 	"repro/internal/trace"
@@ -69,7 +71,7 @@ import (
 
 // knownFigs lists every figure name run() dispatches on, in presentation
 // order. Keep in sync with the run() calls below.
-var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash", "causal"}
+var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash", "causal", "durable"}
 
 func knownFig(name string) bool {
 	for _, f := range knownFigs {
@@ -97,8 +99,19 @@ func main() {
 		fmt.Sprintf("%v", conflict.PolicyNames)+" (empty consults $"+conflict.PolicyEnv+", default backoff)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed for the crash figure")
 	validation := flag.String("validation", "", `commit-time validation for the par/stamp sweeps: "clock" (default) or "walk"`)
-	versioning := flag.String("versioning", "", "restrict the par/stamp/crash/causal sweeps to one runtime: "+
+	versioning := flag.String("versioning", "", "restrict the par/stamp/crash/causal/durable sweeps to one runtime: "+
 		fmt.Sprintf("%v", stmapi.Runtimes())+" (empty sweeps all)")
+	// The usage text enumerates the registries (figures and runtimes are
+	// both open-ended sets), so `stmbench -h` is always current: a newly
+	// registered runtime shows up here without anyone editing a string.
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: stmbench [flags]\n\n")
+		fmt.Fprintf(out, "Figures (-fig):\n  %s, all\n\n", strings.Join(knownFigs, ", "))
+		fmt.Fprintf(out, "Runtimes (-versioning, from the stmapi registry):\n  %s\n\n", strings.Join(stmapi.Runtimes(), ", "))
+		fmt.Fprintf(out, "Flags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	bench.Reps = *reps
 	// Fail fast on an unknown figure before anything runs: a typo should
@@ -342,6 +355,26 @@ func main() {
 			return enc.Encode(results)
 		}
 		fmt.Print(bench.FormatCausal(results))
+		return nil
+	})
+
+	run("durable", func() error {
+		specs := bench.DurableSpecs(*seed)
+		specs = filterVersioning(specs, func(s bench.DurableSpec) string { return s.Versioning }, *versioning)
+		var onStore func(string, *durable.Store)
+		if reg != nil {
+			onStore = reg.RegisterStore
+		}
+		results, err := bench.RunDurableSweep(specs, onStore)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		}
+		fmt.Print(bench.FormatDurable(results))
 		return nil
 	})
 

@@ -139,6 +139,21 @@ func render(prev, cur []metrics.RuntimeSnapshot, topN int) string {
 			}
 			b.WriteByte('\n')
 		}
+		// Durability line: present only for durable.Store-backed runtimes
+		// (metrics.Registry.RegisterStore).
+		if d := s.Durability; d != nil {
+			batch := "-"
+			if d.Fsyncs > 0 {
+				batch = fmt.Sprintf("%.1f (max %d)", d.GroupCommitMean, d.GroupCommitBatch)
+			}
+			fmt.Fprintf(&b, "  durability: epoch %d  wal appends %s  fsyncs %s  batch %s  snapshot age %s  replayed %d",
+				d.Epoch, big(float64(d.WALAppends)), big(float64(d.Fsyncs)), batch,
+				ns(d.SnapshotAgeNs), d.RecoveryReplays)
+			if d.CheckpointSkips > 0 {
+				fmt.Fprintf(&b, "  ckpt skips %d", d.CheckpointSkips)
+			}
+			b.WriteByte('\n')
+		}
 		// Causal line: present only when a flight recorder is attached to
 		// the runtime's tracer (trace.Tracer sink = causal.Recorder).
 		if c := s.Causal; c != nil {

@@ -1,0 +1,227 @@
+package bench
+
+// Durable-store figure: what does durability cost, and what does group
+// commit buy back? Opposed transfer workers run the bank workload through
+// internal/durable on the real file system, sweeping the group-commit fsync
+// window per runtime against an in-memory (no WAL) baseline. The window is
+// the knob the figure is about: at 0 the WAL fsyncs as fast as the flusher
+// can turn around (every ack waits on a nearly-private fsync), while wider
+// windows amortize one fsync over every commit in the window at the price
+// of ack latency — classic group commit, measured here end to end through
+// the STM commit path.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+)
+
+// DurableSpec configures one durable-throughput measurement.
+type DurableSpec struct {
+	Versioning    string `json:"versioning"`
+	Workers       int    `json:"workers"`
+	Accounts      int    `json:"accounts"`
+	TxnsPerWorker int    `json:"txns_per_worker"`
+	// SyncWindowNs is the group-commit window; -1 selects the in-memory
+	// baseline (no commit sink at all).
+	SyncWindowNs int64  `json:"sync_window_ns"`
+	Seed         uint64 `json:"seed"`
+}
+
+func (s *DurableSpec) defaults() {
+	if s.Versioning == "" {
+		s.Versioning = "eager"
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.Accounts <= 0 {
+		s.Accounts = 64
+	}
+	if s.TxnsPerWorker <= 0 {
+		s.TxnsPerWorker = 2000
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// DurableResult is one measurement: throughput plus the WAL profile.
+type DurableResult struct {
+	Spec             DurableSpec `json:"spec"`
+	NsPerTxn         float64     `json:"ns_per_txn"`
+	TxnsPerSec       float64     `json:"txns_per_sec"`
+	Commits          int64       `json:"commits"`
+	Aborts           int64       `json:"aborts"`
+	WALAppends       int64       `json:"wal_appends,omitempty"`
+	Fsyncs           int64       `json:"fsyncs,omitempty"`
+	GroupCommitMean  float64     `json:"group_commit_mean,omitempty"`
+	GroupCommitBatch int64       `json:"group_commit_batch,omitempty"`
+	RecoveryReplays  int64       `json:"recovery_replays,omitempty"`
+}
+
+// DurableSpecs is the default sweep: every registered runtime × {in-memory
+// baseline, fsync-ASAP, 200µs, 1ms, 5ms group-commit windows}.
+func DurableSpecs(seed uint64) []DurableSpec {
+	windows := []int64{-1, 0, int64(200 * time.Microsecond), int64(time.Millisecond), int64(5 * time.Millisecond)}
+	var specs []DurableSpec
+	for _, v := range stmapi.Runtimes() {
+		for _, w := range windows {
+			specs = append(specs, DurableSpec{Versioning: v, SyncWindowNs: w, Seed: seed})
+		}
+	}
+	return specs
+}
+
+// RunDurableSweep measures every spec. onStore, when non-nil, is called
+// with each durable store before its measurement runs — stmbench uses it
+// to register the store with the live metrics registry so stmtop's
+// `durability:` line shows the WAL filling in real time.
+func RunDurableSweep(specs []DurableSpec, onStore func(label string, s *durable.Store)) ([]DurableResult, error) {
+	results := make([]DurableResult, 0, len(specs))
+	for i := range specs {
+		res, err := runDurable(&specs[i], onStore)
+		if err != nil {
+			return results, fmt.Errorf("%s window %s: %w", specs[i].Versioning, windowLabel(specs[i].SyncWindowNs), err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func runDurable(spec *DurableSpec, onStore func(label string, s *durable.Store)) (DurableResult, error) {
+	spec.defaults()
+	setup := func(h *objmodel.Heap) error {
+		arr := h.NewArray(spec.Accounts, false)
+		for i := 0; i < spec.Accounts; i++ {
+			arr.StoreSlot(i, 1000)
+		}
+		return nil
+	}
+
+	var rt stmapi.Runtime
+	var store *durable.Store
+	var atomic func(func(stmapi.Txn) error) error
+	if spec.SyncWindowNs < 0 {
+		heap := objmodel.NewHeap()
+		if err := setup(heap); err != nil {
+			return DurableResult{}, err
+		}
+		r, err := stmapi.New(spec.Versioning, heap, stmapi.CommonConfig{})
+		if err != nil {
+			return DurableResult{}, err
+		}
+		rt, atomic = r, r.Atomic
+	} else {
+		dir, err := os.MkdirTemp("", "stmbench-durable-*")
+		if err != nil {
+			return DurableResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		s, err := durable.Open(durable.Options{
+			Dir:        dir,
+			Runtime:    spec.Versioning,
+			SyncWindow: time.Duration(spec.SyncWindowNs),
+		}, setup)
+		if err != nil {
+			return DurableResult{}, err
+		}
+		defer s.Close()
+		store, rt, atomic = s, s.Runtime(), s.Atomic
+		if onStore != nil {
+			onStore("durable/"+spec.Versioning+"/"+windowLabel(spec.SyncWindowNs), s)
+		}
+	}
+	arr := rt.Heap().Get(objmodel.Ref(1))
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < spec.Workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := spec.Seed ^ uint64(g)<<40
+			for i := 0; i < spec.TxnsPerWorker; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := int(rng>>33) % spec.Accounts
+				to := (from + 1 + int(rng>>17)%(spec.Accounts-1)) % spec.Accounts
+				_ = atomic(func(tx stmapi.Txn) error {
+					a := tx.Read(arr, from)
+					b := tx.Read(arr, to)
+					tx.Write(arr, from, a-1)
+					tx.Write(arr, to, b+1)
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := int64(spec.Workers * spec.TxnsPerWorker)
+	stats := rt.Stats()
+	res := DurableResult{
+		Spec:       *spec,
+		NsPerTxn:   float64(elapsed.Nanoseconds()) / float64(total),
+		TxnsPerSec: float64(total) / elapsed.Seconds(),
+		Commits:    stats.Commits,
+		Aborts:     stats.Aborts,
+	}
+	if store != nil {
+		d := store.Durability()
+		res.WALAppends = d.WALAppends
+		res.Fsyncs = d.Fsyncs
+		res.GroupCommitMean = d.GroupCommitMean
+		res.GroupCommitBatch = d.GroupCommitBatch
+		res.RecoveryReplays = d.RecoveryReplays
+		// Sanity: every committed writer must have hit the log.
+		if d.WALAppends < total {
+			return res, fmt.Errorf("only %d WAL appends for %d transactions", d.WALAppends, total)
+		}
+	}
+	return res, nil
+}
+
+func windowLabel(ns int64) string {
+	switch {
+	case ns < 0:
+		return "memory"
+	case ns == 0:
+		return "0"
+	default:
+		return time.Duration(ns).String()
+	}
+}
+
+// FormatDurable renders the sweep as an aligned table grouped by runtime.
+func FormatDurable(results []DurableResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Durable store: group-commit window sweep (bank transfers, real FS)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %12s %12s %10s %8s %10s\n",
+		"runtime", "window", "txns/sec", "ns/txn", "fsyncs", "batch", "batch-max")
+	last := ""
+	for _, r := range results {
+		if r.Spec.Versioning != last && last != "" {
+			fmt.Fprintln(&b)
+		}
+		last = r.Spec.Versioning
+		batch := "-"
+		batchMax := "-"
+		fsyncs := "-"
+		if r.Spec.SyncWindowNs >= 0 {
+			batch = fmt.Sprintf("%.1f", r.GroupCommitMean)
+			batchMax = fmt.Sprintf("%d", r.GroupCommitBatch)
+			fsyncs = fmt.Sprintf("%d", r.Fsyncs)
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %12.0f %12.0f %10s %8s %10s\n",
+			r.Spec.Versioning, windowLabel(r.Spec.SyncWindowNs),
+			r.TxnsPerSec, r.NsPerTxn, fsyncs, batch, batchMax)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package durability
+
+import (
+	"fmt"
+
+	"repro/internal/durable"
+)
+
+// Ack is one child-reported outcome: a commit acknowledged durable (Stamp
+// set) or a deliberate abort (Stamp zero).
+type Ack struct {
+	Epoch uint64
+	TxnID uint64
+	Stamp uint64
+}
+
+// Breach is one violated invariant.
+type Breach struct {
+	Invariant string // "conservation" | "clock-monotone" | "lost-ack" | "resurrected-abort"
+	Detail    string
+}
+
+func (b Breach) String() string { return b.Invariant + ": " + b.Detail }
+
+// State threads verification context across crash iterations: the expected
+// account total, the high-water commit stamp from previous recoveries, and
+// every ack and abort the workload ever reported (acks older than the
+// current snapshot are vacuously covered by it and pruned as the snapshot
+// stamp advances).
+type State struct {
+	ExpectedSum  uint64
+	PrevMaxStamp uint64
+	Acks         []Ack
+	Aborts       []Ack
+}
+
+// NewState starts verification for the bank workload.
+func NewState() *State {
+	return &State{ExpectedSum: BankAccounts * BankInit}
+}
+
+// Check verifies one recovered store against the accumulated history and
+// returns every breach found. sum is the recovered account total; info is
+// what recovery-on-open reported.
+func (st *State) Check(sum uint64, info durable.RecoveryInfo) []Breach {
+	var breaches []Breach
+
+	// 1. Conservation: transfers move units, never mint or burn them.
+	if sum != st.ExpectedSum {
+		breaches = append(breaches, Breach{"conservation",
+			fmt.Sprintf("account sum %d, want %d", sum, st.ExpectedSum)})
+	}
+
+	// 2. Monotone clock: recovery can only move the commit clock forward.
+	if info.MaxStamp < st.PrevMaxStamp {
+		breaches = append(breaches, Breach{"clock-monotone",
+			fmt.Sprintf("recovered MaxStamp %d below previous recovery's %d", info.MaxStamp, st.PrevMaxStamp)})
+	}
+
+	replayed := make(map[[2]uint64]uint64, len(info.Txns))
+	for _, txn := range info.Txns {
+		replayed[[2]uint64{txn.Epoch, txn.TxnID}] = txn.Stamp
+	}
+
+	// 3. No lost ack: every acknowledged commit is in the snapshot (stamp ≤
+	// SnapshotStamp) or in the replayed WAL tail. Acks covered by the
+	// snapshot are pruned — later recoveries' snapshots only grow.
+	kept := st.Acks[:0]
+	for _, a := range st.Acks {
+		if a.Stamp <= info.SnapshotStamp {
+			continue
+		}
+		kept = append(kept, a)
+		if _, ok := replayed[[2]uint64{a.Epoch, a.TxnID}]; !ok {
+			breaches = append(breaches, Breach{"lost-ack",
+				fmt.Sprintf("acked commit epoch %d txn %d stamp %d missing after recovery (snapshot stamp %d, %d txns replayed)",
+					a.Epoch, a.TxnID, a.Stamp, info.SnapshotStamp, len(info.Txns))})
+		}
+		if a.Stamp > info.MaxStamp {
+			breaches = append(breaches, Breach{"clock-monotone",
+				fmt.Sprintf("acked stamp %d above recovered MaxStamp %d", a.Stamp, info.MaxStamp)})
+		}
+	}
+	st.Acks = kept
+
+	// 4. No resurrection: aborted transactions must not be replayed.
+	for _, x := range st.Aborts {
+		if stamp, ok := replayed[[2]uint64{x.Epoch, x.TxnID}]; ok {
+			breaches = append(breaches, Breach{"resurrected-abort",
+				fmt.Sprintf("aborted txn epoch %d id %d replayed with stamp %d", x.Epoch, x.TxnID, stamp)})
+		}
+	}
+
+	if info.MaxStamp > st.PrevMaxStamp {
+		st.PrevMaxStamp = info.MaxStamp
+	}
+	return breaches
+}

@@ -1,0 +1,142 @@
+// Package durable turns an STM runtime into a durable transactional store:
+// commit-time redo records stream through a group-committed write-ahead log,
+// periodic heap snapshots bound replay, and recovery-on-open rebuilds the
+// committed heap image from the latest snapshot plus the WAL tail.
+//
+// The design follows the repo's isolation story into the failure domain. The
+// runtimes guarantee that a commit's writes become visible atomically; the
+// store extends that boundary across a crash: a transaction whose Atomic call
+// returned nil with a commit sink installed is durable (its redo record was
+// fsynced before the ack), and a transaction that aborted — or whose commit
+// was still in flight at the crash — leaves no trace after recovery.
+//
+// All file I/O goes through internal/vfs, so the same store code runs on the
+// real file system (vfs.OS) and on the fault-injecting in-memory file system
+// (vfs.FaultFS) that lies about fsync, tears unsynced tails, and forgets
+// renames — the failure models the crash harness (internal/durability)
+// verifies against.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+)
+
+// WAL record kinds.
+const (
+	kindCommit byte = 1 // one committed transaction's redo image
+	kindEpoch  byte = 2 // process-generation marker, first record of every open
+)
+
+// recordMagic starts every WAL record frame ("WL1\n").
+const recordMagic uint32 = 0x574c310a
+
+// recordHeaderLen is magic + payload length + payload CRC.
+const recordHeaderLen = 12
+
+// record is one WAL entry. Commit records carry the transaction's full redo
+// image as absolute slot values, so replay is idempotent: applying a prefix
+// of the log twice, or over a snapshot that already contains it, converges
+// to the same heap. Epoch records carry only the epoch; (Epoch, TxnID)
+// uniquely identifies a commit across process generations, because every
+// open starts a new epoch.
+type record struct {
+	Kind   byte
+	Epoch  uint64
+	TxnID  uint64
+	Stamp  uint64
+	Writes []stmapi.RedoWrite
+}
+
+// Decode errors. errShortRecord means the buffer ends mid-record — at the
+// tail of the last segment that is a torn write, not corruption, and replay
+// treats it as end-of-log. errCorruptRecord means the frame is well-delimited
+// but wrong (bad magic or checksum).
+var (
+	errShortRecord   = errors.New("durable: truncated record")
+	errCorruptRecord = errors.New("durable: corrupt record")
+)
+
+// appendRecord encodes r onto dst and returns the extended slice.
+// Frame: u32 magic | u32 payload len | u32 crc32(payload) | payload.
+// Payload: u8 kind | u64 epoch | u64 txnid | u64 stamp | u32 nwrites |
+// nwrites × (u64 ref | u32 slot | u64 val). All little-endian.
+func appendRecord(dst []byte, r *record) []byte {
+	payloadLen := 1 + 8 + 8 + 8 + 4 + len(r.Writes)*20
+	start := len(dst)
+	dst = append(dst, make([]byte, recordHeaderLen+payloadLen)...)
+	p := dst[start:]
+	binary.LittleEndian.PutUint32(p[0:], recordMagic)
+	binary.LittleEndian.PutUint32(p[4:], uint32(payloadLen))
+	payload := p[recordHeaderLen:]
+	payload[0] = r.Kind
+	binary.LittleEndian.PutUint64(payload[1:], r.Epoch)
+	binary.LittleEndian.PutUint64(payload[9:], r.TxnID)
+	binary.LittleEndian.PutUint64(payload[17:], r.Stamp)
+	binary.LittleEndian.PutUint32(payload[25:], uint32(len(r.Writes)))
+	off := 29
+	for _, w := range r.Writes {
+		binary.LittleEndian.PutUint64(payload[off:], uint64(w.Ref))
+		binary.LittleEndian.PutUint32(payload[off+8:], uint32(w.Slot))
+		binary.LittleEndian.PutUint64(payload[off+12:], w.Val)
+		off += 20
+	}
+	binary.LittleEndian.PutUint32(p[8:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodeRecord parses one record from the front of b, returning the record
+// and the number of bytes consumed. A buffer that ends mid-frame returns
+// errShortRecord; a complete frame that fails validation returns
+// errCorruptRecord.
+func decodeRecord(b []byte) (record, int, error) {
+	var r record
+	if len(b) < recordHeaderLen {
+		return r, 0, errShortRecord
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != recordMagic {
+		return r, 0, errCorruptRecord
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[4:]))
+	if payloadLen < 29 {
+		return r, 0, errCorruptRecord
+	}
+	if len(b) < recordHeaderLen+payloadLen {
+		return r, 0, errShortRecord
+	}
+	payload := b[recordHeaderLen : recordHeaderLen+payloadLen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[8:]) {
+		return r, 0, errCorruptRecord
+	}
+	r.Kind = payload[0]
+	r.Epoch = binary.LittleEndian.Uint64(payload[1:])
+	r.TxnID = binary.LittleEndian.Uint64(payload[9:])
+	r.Stamp = binary.LittleEndian.Uint64(payload[17:])
+	n := int(binary.LittleEndian.Uint32(payload[25:]))
+	if payloadLen != 29+n*20 {
+		return r, 0, errCorruptRecord
+	}
+	if n > 0 {
+		r.Writes = make([]stmapi.RedoWrite, n)
+		off := 29
+		for i := range r.Writes {
+			r.Writes[i] = stmapi.RedoWrite{
+				Ref:  objmodel.Ref(binary.LittleEndian.Uint64(payload[off:])),
+				Slot: int(binary.LittleEndian.Uint32(payload[off+8:])),
+				Val:  binary.LittleEndian.Uint64(payload[off+12:]),
+			}
+			off += 20
+		}
+	}
+	switch r.Kind {
+	case kindCommit, kindEpoch:
+	default:
+		return r, 0, fmt.Errorf("%w: unknown kind %d", errCorruptRecord, r.Kind)
+	}
+	return r, recordHeaderLen + payloadLen, nil
+}

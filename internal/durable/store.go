@@ -1,0 +1,591 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/objmodel"
+	"repro/internal/stmapi"
+	"repro/internal/vfs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the store's directory (created if absent): WAL segments,
+	// snapshots, nothing else.
+	Dir string
+
+	// FS is the file system to run on; nil means the real one (vfs.OS).
+	FS vfs.FS
+
+	// Runtime names the STM runtime (a stmapi registry key: "eager",
+	// "lazy", "mv"). It must implement stmapi.DurableRuntime.
+	Runtime string
+
+	// Common is the runtime configuration.
+	Common stmapi.CommonConfig
+
+	// SyncWindow is the group-commit window: 0 fsyncs as soon as the
+	// flusher can keep up (lowest latency), >0 batches all commits in each
+	// window into one fsync (highest throughput, up to one window of ack
+	// latency).
+	SyncWindow time.Duration
+
+	// Injector, when non-nil, is installed on the runtime and fired at the
+	// WAL points (wal-append, wal-fsync, wal-rename) — the whitebox crash
+	// harness's hook. Orphan injection at the commit-protocol points is
+	// incompatible with a durable store: an orphaned-then-stolen commit is
+	// visible in memory but never reaches the WAL.
+	Injector *faultinject.Injector
+
+	// CheckpointEvery starts a background checkpointer with that period;
+	// 0 disables it (checkpoints still happen at open and on demand).
+	CheckpointEvery time.Duration
+
+	// NoOpenCheckpoint skips the checkpoint normally taken right after
+	// recovery. Verification opens use it to inspect exactly the recovered
+	// state without rewriting anything.
+	NoOpenCheckpoint bool
+
+	// DrainTimeout bounds the commit-gate drain in a live (multi-version)
+	// checkpoint; 0 means 2s. On timeout the checkpoint is skipped — never
+	// taken inconsistently.
+	DrainTimeout time.Duration
+
+	// TrackStamps keeps an in-memory txnID→stamp map that TakeStamp pops,
+	// so a caller can learn the commit stamp (LSN) of a transaction it just
+	// ran. The crash harness needs this; benchmarks leave it off (the map
+	// would grow with every commit until popped).
+	TrackStamps bool
+}
+
+// TxnStamp identifies one committed transaction across process generations.
+type TxnStamp struct {
+	Epoch uint64 `json:"epoch"`
+	TxnID uint64 `json:"txn_id"`
+	Stamp uint64 `json:"stamp"`
+}
+
+// RecoveryInfo reports what recovery-on-open found and replayed.
+type RecoveryInfo struct {
+	// Epoch is the new process generation (max seen + 1).
+	Epoch uint64 `json:"epoch"`
+	// SnapshotStamp is the commit-clock stamp of the snapshot the heap was
+	// loaded from (0 if none existed).
+	SnapshotStamp uint64 `json:"snapshot_stamp"`
+	// Segments and Records count what the WAL tail replay consumed.
+	Segments int `json:"segments"`
+	Records  int `json:"records"`
+	// Txns lists every commit record replayed, in log order. Commits older
+	// than the snapshot are not listed — they are inside SnapshotStamp.
+	Txns []TxnStamp `json:"txns,omitempty"`
+	// MaxStamp is the highest commit stamp recovered (snapshot or WAL); the
+	// commit clock restarts above it.
+	MaxStamp uint64 `json:"max_stamp"`
+	// TornTail reports that the last segment ended in a truncated record —
+	// expected after a crash mid-append, replay stops there.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// DurabilitySnapshot is a point-in-time copy of the store's counters, in the
+// shape internal/metrics exports.
+type DurabilitySnapshot struct {
+	Epoch            uint64  `json:"epoch"`
+	WALAppends       int64   `json:"wal_appends"`
+	Fsyncs           int64   `json:"fsyncs"`
+	GroupCommitBatch int64   `json:"group_commit_batch"` // max records per fsync
+	GroupCommitMean  float64 `json:"group_commit_mean"`  // mean records per fsync
+	Rotations        int64   `json:"wal_rotations"`
+	Snapshots        int64   `json:"snapshots"`
+	SnapshotAgeNs    int64   `json:"snapshot_age_ns"`  // since last successful checkpoint
+	RecoveryReplays  int64   `json:"recovery_replays"` // WAL records replayed at open
+	CheckpointSkips  int64   `json:"checkpoint_skips"` // drain timeouts
+}
+
+// Store is a durable STM: a runtime bound to a write-ahead log. Run
+// transactions through Atomic/AtomicCtx; when they return nil the commit is
+// durable. Reopening the same directory recovers the committed heap.
+type Store struct {
+	fs   vfs.FS
+	dir  string
+	rt   stmapi.Runtime
+	heap *objmodel.Heap
+	wal  *wal
+	inj  *faultinject.Injector
+
+	epoch    uint64
+	recovery RecoveryInfo
+
+	// gate is the single-writer/many-readers shutter for stop-the-world
+	// checkpoints: Atomic holds it shared for the whole transaction, a
+	// non-live checkpoint holds it exclusively across rotate+read. The
+	// multi-version runtime checkpoints live (DrainCommitters) and never
+	// takes the exclusive side.
+	gate sync.RWMutex
+
+	trackStamps bool
+	stamps      sync.Map // txnID → stamp, popped by TakeStamp
+
+	ckMu         sync.Mutex // serializes checkpoints
+	drainTimeout time.Duration
+	snapshots    atomic.Int64
+	ckSkips      atomic.Int64
+	lastSnapNs   atomic.Int64
+
+	ckStop chan struct{}
+	ckDone chan struct{}
+
+	closed atomic.Bool
+}
+
+// liveCheckpointer is the capability a runtime exposes to checkpoint without
+// stopping the world: a barrier proving every commit that entered the commit
+// gate before some instant has fully installed (mvstm's DrainCommitters).
+type liveCheckpointer interface {
+	DrainCommitters(timeout time.Duration) bool
+}
+
+// injectable mirrors the SetInjector probe the fault harness uses.
+type injectable interface {
+	SetInjector(in *faultinject.Injector)
+}
+
+// readOnlyRunner is the zero-abort read-only path mvstm exposes; the live
+// checkpoint reads the heap through it so the snapshot read can never abort
+// a writer or itself.
+type readOnlyRunner interface {
+	AtomicRead(body func(stmapi.Txn) error) error
+}
+
+// errDrainTimeout is returned by Checkpoint when the commit gate would not
+// drain; the store keeps running on the old snapshot + longer WAL tail.
+var errDrainTimeout = errors.New("durable: checkpoint skipped: commit gate did not drain")
+
+// Open builds the heap via setup, recovers committed state from dir
+// (snapshot + WAL tail), constructs the named runtime over it, and starts a
+// fresh WAL segment in a new epoch.
+//
+// setup must be deterministic: it recreates the same object population
+// (same refs, same slot counts) on every open — recovery restores values
+// into the objects setup allocates. Dynamic allocation inside transactions
+// is outside the store's contract.
+func Open(opts Options, setup func(*objmodel.Heap) error) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("durable: Options.Dir required")
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = vfs.OS{}
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 2 * time.Second
+	}
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	heap := objmodel.NewHeap()
+	if setup != nil {
+		if err := setup(heap); err != nil {
+			return nil, fmt.Errorf("durable: setup: %w", err)
+		}
+	}
+
+	info, maxEpoch, maxSeg, err := recoverState(fs, opts.Dir, heap)
+	if err != nil {
+		return nil, err
+	}
+	heap.Clock().Raise(info.MaxStamp)
+
+	rt, err := stmapi.New(opts.Runtime, heap, opts.Common)
+	if err != nil {
+		return nil, err
+	}
+	drt, ok := rt.(stmapi.DurableRuntime)
+	if !ok {
+		return nil, fmt.Errorf("durable: runtime %q does not implement stmapi.DurableRuntime", opts.Runtime)
+	}
+	if opts.Injector != nil {
+		if ir, ok := rt.(injectable); ok {
+			ir.SetInjector(opts.Injector)
+		}
+	}
+
+	info.Epoch = maxEpoch + 1
+	w, err := openWAL(fs, opts.Dir, maxSeg+1, opts.SyncWindow, opts.Injector)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		fs: fs, dir: opts.Dir, rt: rt, heap: heap, wal: w, inj: opts.Injector,
+		epoch: info.Epoch, recovery: info,
+		trackStamps:  opts.TrackStamps,
+		drainTimeout: opts.DrainTimeout,
+	}
+	// Stamp the new epoch into the log before any commit can: after a crash,
+	// max(epoch) identifies this generation even if it commits nothing.
+	if _, err := w.Append(&record{Kind: kindEpoch, Epoch: s.epoch}); err != nil {
+		w.Close(false)
+		return nil, err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close(false)
+		return nil, err
+	}
+	drt.SetCommitSink(s)
+
+	if !opts.NoOpenCheckpoint {
+		if err := s.Checkpoint(); err != nil && !errors.Is(err, errDrainTimeout) {
+			s.Close()
+			return nil, fmt.Errorf("durable: open checkpoint: %w", err)
+		}
+	}
+	if opts.CheckpointEvery > 0 {
+		s.ckStop = make(chan struct{})
+		s.ckDone = make(chan struct{})
+		go s.checkpointLoop(opts.CheckpointEvery)
+	}
+	return s, nil
+}
+
+// recoverState loads the newest valid snapshot into heap and replays the
+// WAL tail over it.
+func recoverState(fs vfs.FS, dir string, heap *objmodel.Heap) (RecoveryInfo, uint64, int, error) {
+	var info RecoveryInfo
+	snap, err := loadBestSnapshot(fs, dir)
+	if err != nil {
+		return info, 0, 0, err
+	}
+	maxEpoch := uint64(0)
+	replayFrom := 1
+	if snap != nil {
+		for _, o := range snap.Objs {
+			if err := applyWrite(heap, o.Ref, 0, 0, true, o.Vals); err != nil {
+				return info, 0, 0, fmt.Errorf("durable: snapshot: %w", err)
+			}
+		}
+		info.SnapshotStamp = snap.Stamp
+		info.MaxStamp = snap.Stamp
+		maxEpoch = snap.Epoch
+		replayFrom = snap.SegIndex
+	}
+
+	segs, err := listSegments(fs, dir)
+	if err != nil {
+		return info, 0, 0, err
+	}
+	maxSeg := 0
+	if n := len(segs); n > 0 {
+		maxSeg = segs[n-1]
+	}
+	var replay []int
+	for _, seg := range segs {
+		if seg >= replayFrom {
+			replay = append(replay, seg)
+		}
+	}
+	if len(replay) > 0 && replay[0] != replayFrom && snap != nil {
+		return info, 0, 0, fmt.Errorf("durable: WAL gap: snapshot needs segment %d, oldest present is %d", replayFrom, replay[0])
+	}
+	for i, seg := range replay {
+		if i > 0 && replay[i-1] != seg-1 {
+			return info, 0, 0, fmt.Errorf("durable: WAL gap: segment %d follows %d", seg, replay[i-1])
+		}
+		data, err := fs.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return info, 0, 0, err
+		}
+		info.Segments++
+		off := 0
+		for off < len(data) {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil {
+				// A short or corrupt trailer on the NEWEST segment is a torn
+				// crash tail — the clean end of the log. Anywhere else it is
+				// real corruption.
+				if seg == maxSeg {
+					info.TornTail = true
+					break
+				}
+				return info, 0, 0, fmt.Errorf("durable: segment %d offset %d: %w", seg, off, err)
+			}
+			off += n
+			info.Records++
+			if rec.Epoch > maxEpoch {
+				maxEpoch = rec.Epoch
+			}
+			switch rec.Kind {
+			case kindEpoch:
+			case kindCommit:
+				for _, wr := range rec.Writes {
+					if err := applyWrite(heap, wr.Ref, wr.Slot, wr.Val, false, nil); err != nil {
+						return info, 0, 0, fmt.Errorf("durable: segment %d: %w", seg, err)
+					}
+				}
+				info.Txns = append(info.Txns, TxnStamp{Epoch: rec.Epoch, TxnID: rec.TxnID, Stamp: rec.Stamp})
+				if rec.Stamp > info.MaxStamp {
+					info.MaxStamp = rec.Stamp
+				}
+			}
+		}
+	}
+	return info, maxEpoch, maxSeg, nil
+}
+
+// applyWrite restores recovered values into the setup-built heap, checking
+// that the referenced object exists and is wide enough. bulk selects
+// whole-object restore (snapshot) vs single slot (WAL redo).
+func applyWrite(heap *objmodel.Heap, ref objmodel.Ref, slot int, val uint64, bulk bool, vals []uint64) error {
+	if ref == objmodel.Null || int(ref) > heap.Len() {
+		return fmt.Errorf("object %d not in setup heap (%d objects) — setup not deterministic?", ref, heap.Len())
+	}
+	o := heap.Get(ref)
+	if bulk {
+		if len(vals) != len(o.Slots) {
+			return fmt.Errorf("object %d has %d slots, image has %d — setup not deterministic?", ref, len(o.Slots), len(vals))
+		}
+		for i, v := range vals {
+			o.StoreSlot(i, v)
+		}
+		return nil
+	}
+	if slot < 0 || slot >= len(o.Slots) {
+		return fmt.Errorf("object %d slot %d out of range (%d slots)", ref, slot, len(o.Slots))
+	}
+	o.StoreSlot(slot, val)
+	return nil
+}
+
+// Runtime returns the driver-facing runtime. Run transactions through the
+// Store's Atomic wrappers, not the runtime's, so checkpoints can quiesce.
+func (s *Store) Runtime() stmapi.Runtime { return s.rt }
+
+// Heap returns the managed heap.
+func (s *Store) Heap() *objmodel.Heap { return s.heap }
+
+// Recovery reports what recovery-on-open found.
+func (s *Store) Recovery() RecoveryInfo { return s.recovery }
+
+// Epoch returns this process generation's epoch.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// Atomic runs body as a durable transaction: when it returns nil the
+// commit's redo record has been fsynced.
+func (s *Store) Atomic(body func(stmapi.Txn) error) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	return s.rt.Atomic(body)
+}
+
+// AppendRedo implements stmapi.CommitSink: called by the runtime at the
+// commit point with the transaction's redo image.
+func (s *Store) AppendRedo(txnID, stamp uint64, writes []stmapi.RedoWrite) (uint64, error) {
+	if s.trackStamps {
+		s.stamps.Store(txnID, stamp)
+	}
+	return s.wal.Append(&record{Kind: kindCommit, Epoch: s.epoch, TxnID: txnID, Stamp: stamp, Writes: writes})
+}
+
+// WaitDurable implements stmapi.CommitSink: the group-commit barrier.
+func (s *Store) WaitDurable(seq uint64) error { return s.wal.Wait(seq) }
+
+// TakeStamp pops and returns the commit stamp recorded for txnID (requires
+// Options.TrackStamps). ok is false for unknown or aborted transactions.
+func (s *Store) TakeStamp(txnID uint64) (uint64, bool) {
+	v, ok := s.stamps.LoadAndDelete(txnID)
+	if !ok {
+		return 0, false
+	}
+	return v.(uint64), true
+}
+
+// Checkpoint writes a consistent heap snapshot and prunes WAL segments it
+// covers. Multi-version runtimes checkpoint live (rotate → drain the commit
+// gate → tick the clock → snapshot-read the heap on the zero-abort read-only
+// path); single-version runtimes stop the world briefly (block new Atomics,
+// rotate, copy the heap).
+func (s *Store) Checkpoint() error {
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+
+	var stamp uint64
+	var newSeg int
+	var objs []objImage
+	if lc, ok := s.rt.(liveCheckpointer); ok {
+		seg, err := s.wal.rotate()
+		if err != nil {
+			return err
+		}
+		newSeg = seg
+		// Every commit that appended to a pre-rotation segment entered the
+		// gate before rotate returned; once the gate drains, their versions
+		// are installed, so a snapshot taken now covers all of them.
+		if !lc.DrainCommitters(s.drainTimeout) {
+			s.ckSkips.Add(1)
+			return errDrainTimeout
+		}
+		s.heap.Clock().Tick()
+		stamp = s.heap.Clock().Load()
+		read := s.rt.Atomic
+		if ror, ok := s.rt.(readOnlyRunner); ok {
+			read = ror.AtomicRead // mvstm's zero-abort snapshot path
+		}
+		if err := read(func(tx stmapi.Txn) error {
+			objs = s.readHeap(objs[:0], tx)
+			return nil
+		}); err != nil {
+			return err
+		}
+	} else {
+		s.gate.Lock()
+		seg, err := s.wal.rotate()
+		if err != nil {
+			s.gate.Unlock()
+			return err
+		}
+		newSeg = seg
+		stamp = s.heap.Clock().Load()
+		objs = s.readHeap(nil, nil)
+		s.gate.Unlock()
+	}
+
+	snap := &snapshot{Epoch: s.epoch, Stamp: stamp, SegIndex: newSeg, Objs: objs}
+	if err := writeSnapshot(s.fs, s.dir, s.inj, snap); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	s.lastSnapNs.Store(time.Now().UnixNano())
+	s.prune(newSeg)
+	return nil
+}
+
+// readHeap copies every object's slots into dst. With tx nil it reads the
+// raw heap (only safe stop-the-world); otherwise it reads transactionally —
+// on the multi-version runtime that is a consistent snapshot at the
+// transaction's read version, taken without blocking writers.
+func (s *Store) readHeap(dst []objImage, tx stmapi.Txn) []objImage {
+	n := s.heap.Len()
+	for i := 1; i <= n; i++ {
+		o := s.heap.Get(objmodel.Ref(i))
+		vals := make([]uint64, len(o.Slots)) //stmvet:ignore nakedaccess -- slot count only; gate held exclusively in the nil-tx path
+		for j := range vals {
+			if tx != nil {
+				vals[j] = tx.Read(o, j)
+			} else {
+				vals[j] = o.LoadSlot(j) //stmvet:ignore nakedaccess -- stop-the-world copy: Checkpoint holds the store gate, no txn is running
+			}
+		}
+		dst = append(dst, objImage{Ref: o.Ref(), Vals: vals})
+	}
+	return dst
+}
+
+// prune removes WAL segments fully covered by the newest snapshot (index <
+// keepFrom) and snapshots older than it. Best-effort: a failed remove only
+// costs disk.
+func (s *Store) prune(keepFrom int) {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, name := range names {
+		if seg, ok := parseSegName(name); ok && seg < keepFrom {
+			if s.fs.Remove(filepath.Join(s.dir, name)) == nil {
+				removed = true
+			}
+		}
+		if seg, stamp, ok := parseSnapName(name); ok && (seg < keepFrom || (seg == keepFrom && stamp < s.newestSnapStamp(keepFrom, names))) {
+			if s.fs.Remove(filepath.Join(s.dir, name)) == nil {
+				removed = true
+			}
+		}
+	}
+	if removed {
+		s.fs.SyncDir(s.dir)
+	}
+}
+
+// newestSnapStamp returns the highest snapshot stamp at segment index seg.
+func (s *Store) newestSnapStamp(seg int, names []string) uint64 {
+	best := uint64(0)
+	for _, name := range names {
+		if g, stamp, ok := parseSnapName(name); ok && g == seg && stamp > best {
+			best = stamp
+		}
+	}
+	return best
+}
+
+func (s *Store) checkpointLoop(every time.Duration) {
+	defer close(s.ckDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckStop:
+			return
+		case <-t.C:
+			s.Checkpoint()
+		}
+	}
+}
+
+// Durability snapshots the store's counters.
+func (s *Store) Durability() DurabilitySnapshot {
+	d := DurabilitySnapshot{
+		Epoch:            s.epoch,
+		WALAppends:       s.wal.appends.Load(),
+		Fsyncs:           s.wal.fsyncs.Load(),
+		GroupCommitBatch: s.wal.batchMax.Load(),
+		Rotations:        s.wal.rotates.Load(),
+		Snapshots:        s.snapshots.Load(),
+		RecoveryReplays:  int64(s.recovery.Records),
+		CheckpointSkips:  s.ckSkips.Load(),
+	}
+	if n := s.wal.batchN.Load(); n > 0 {
+		d.GroupCommitMean = float64(s.wal.batchSum.Load()) / float64(n)
+	}
+	if ns := s.lastSnapNs.Load(); ns > 0 {
+		d.SnapshotAgeNs = time.Now().UnixNano() - ns
+	}
+	return d
+}
+
+// Close shuts the store down cleanly: detach the sink, stop the
+// checkpointer, flush and close the WAL.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if drt, ok := s.rt.(stmapi.DurableRuntime); ok {
+		drt.SetCommitSink(nil)
+	}
+	if s.ckStop != nil {
+		close(s.ckStop)
+		<-s.ckDone
+	}
+	return s.wal.Close(true)
+}
+
+// Abandon drops the store without flushing — the in-process crash
+// simulation used with vfs.FaultFS: stop background goroutines, leave
+// unflushed state to die with the FS's Crash.
+func (s *Store) Abandon() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if drt, ok := s.rt.(stmapi.DurableRuntime); ok {
+		drt.SetCommitSink(nil)
+	}
+	if s.ckStop != nil {
+		close(s.ckStop)
+		<-s.ckDone
+	}
+	s.wal.Close(false)
+}

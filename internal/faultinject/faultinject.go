@@ -34,6 +34,7 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 	"time"
 )
@@ -57,16 +58,36 @@ const (
 	// PreRelease fires before abort releases the records it rolled back
 	// under (the doom sites' common exit).
 	PreRelease
+	// WALAppend fires before a commit's redo record is appended to the
+	// write-ahead log (internal/durable), while the commit still holds its
+	// records.
+	WALAppend
+	// WALFsync fires before the group committer fsyncs a WAL batch —
+	// acked commits in the batch are not yet durable.
+	WALFsync
+	// WALRename fires before a snapshot (or other durable artifact) is
+	// renamed into place — the rename-durability window.
+	WALRename
 	// NumPoints is the number of injection points.
 	NumPoints
 )
 
-// Points lists every injection point in protocol order, for callers arming
-// a rule at each point.
+// Points lists the commit-protocol injection points in protocol order, for
+// callers arming a rule at each in-memory commit stage. The durability
+// points live in WALPoints; AllPoints is their concatenation.
 var Points = []Point{PreAcquire, PostAcquire, PreValidate, PostCommitPoint, PreRelease}
+
+// WALPoints lists the durability-layer injection points (internal/durable
+// fires them; the runtimes never do).
+var WALPoints = []Point{WALAppend, WALFsync, WALRename}
+
+// AllPoints is every injection point: the commit protocol's five followed
+// by the WAL's three.
+var AllPoints = append(append([]Point{}, Points...), WALPoints...)
 
 var pointNames = [NumPoints]string{
 	"pre-acquire", "post-acquire", "pre-validate", "post-commit-point", "pre-release",
+	"wal-append", "wal-fsync", "wal-rename",
 }
 
 func (p Point) String() string {
@@ -87,6 +108,12 @@ const (
 	Crash
 	Orphan
 
+	// Kill terminates the whole process at the point — no cleanup, no
+	// panic, no deferred functions: the real SIGKILL the durability
+	// harness's whitebox killpoints are built on. Fire performs the kill
+	// itself (via KillProcess), so the action never returns to the caller.
+	Kill
+
 	// numActions sizes the per-action counters.
 	numActions
 )
@@ -103,9 +130,35 @@ func (a Action) String() string {
 		return "crash"
 	case Orphan:
 		return "orphan"
+	case Kill:
+		return "kill"
 	default:
 		return fmt.Sprintf("Action(%d)", uint8(a))
 	}
+}
+
+// PointByName resolves a point name as printed by Point.String ("pre-acquire",
+// "wal-fsync", ...). The bool reports whether the name is known.
+func PointByName(name string) (Point, bool) {
+	for p := Point(0); p < NumPoints; p++ {
+		if pointNames[p] == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// KillProcess is how a Kill action terminates the process. It sends the
+// process SIGKILL (so no deferred cleanup, no exit handlers — the honest
+// model of a machine losing power as far as the Go runtime can fake it) and
+// falls back to an immediate exit if the signal cannot be delivered. Tests
+// that count kill firings without dying may swap it out.
+var KillProcess = func() {
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		_ = p.Kill()
+		time.Sleep(time.Second) // the signal is asynchronous; never resume
+	}
+	os.Exit(137)
 }
 
 // CrashError is the panic value raised at a Crash injection. It unwinds
@@ -211,6 +264,10 @@ func (in *Injector) Fire(p Point, txID uint64) Action {
 			continue
 		}
 		in.fired[p][r.Action].Add(1)
+		if r.Action == Kill {
+			KillProcess()
+			return Kill // unreachable unless KillProcess is stubbed out
+		}
 		if r.Action == Delay {
 			d := r.Sleep
 			if d <= 0 {

@@ -212,6 +212,7 @@ type Runtime struct {
 	pool     sync.Pool // idle *Txn descriptors
 	tracer   atomic.Pointer[trace.Tracer]
 	injector atomic.Pointer[faultinject.Injector]
+	sink     atomic.Pointer[sinkBox]
 
 	// Commit-clock validation state (see the eager runtime).
 	clock    *objmodel.CommitClock
@@ -271,6 +272,21 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 // SetInjector installs (or, with nil, removes) a fault injector, sampled
 // once per top-level Atomic like the tracer.
 func (rt *Runtime) SetInjector(in *faultinject.Injector) { rt.injector.Store(in) }
+
+// sinkBox wraps a CommitSink so it can live in an atomic.Pointer (which
+// needs a concrete element type) regardless of the sink's dynamic type.
+type sinkBox struct{ s stmapi.CommitSink }
+
+// SetCommitSink installs (or, with nil, removes) the durable commit sink
+// (stmapi.DurableRuntime). Sampled once per top-level Atomic like the
+// tracer; transactions in flight keep their previous setting.
+func (rt *Runtime) SetCommitSink(s stmapi.CommitSink) {
+	if s == nil {
+		rt.sink.Store(nil)
+		return
+	}
+	rt.sink.Store(&sinkBox{s: s})
+}
 
 // ErrAborted aborts the transaction without retry when returned from the
 // body.
@@ -360,6 +376,11 @@ type Txn struct {
 	// fi is the fault injector sampled at getTxn.
 	fi *faultinject.Injector
 
+	// sink is the commit sink sampled at getTxn (nil-check hook like tr);
+	// redo is its scratch record, reused across commits.
+	sink stmapi.CommitSink
+	redo []stmapi.RedoWrite
+
 	// Statistics deltas flushed at commit/abort.
 	nStarts     int64
 	nReads      int64
@@ -397,6 +418,10 @@ func (rt *Runtime) getTxn() *Txn {
 	tx.id = rt.nextID.Add(1)
 	tx.tr = rt.tracer.Load()
 	tx.fi = rt.injector.Load()
+	tx.sink = nil
+	if b := rt.sink.Load(); b != nil {
+		tx.sink = b.s
+	}
 	tx.blameObj = 0
 	tx.abortAt = time.Time{}
 	tx.doomed.Store(false)
@@ -419,6 +444,8 @@ func (rt *Runtime) putTxn(tx *Txn) {
 	tx.objs = tx.objs[:0]
 	tx.ctx = nil
 	tx.fi = nil
+	tx.sink = nil
+	tx.redo = tx.redo[:0]
 	tx.gran = nil
 	rt.pool.Put(tx)
 }
@@ -1024,7 +1051,9 @@ func (tx *Txn) commit() (ok bool, err error) {
 	// predates this commit. Transactions holding records without buffered
 	// writes (pessimistic read locks only) release values unchanged, so
 	// they need no advance.
-	if tx.rt.clockOn && len(tx.buf) > 0 {
+	// A durable runtime needs a stamp (the redo record's LSN) for any
+	// commit with buffered writes, even when clock validation is off.
+	if (tx.rt.clockOn || tx.sink != nil) && len(tx.buf) > 0 {
 		var advanced bool
 		if tx.wv, advanced = tx.rt.clock.Advance(); advanced {
 			tx.nClockAdv++
@@ -1085,6 +1114,26 @@ func (tx *Txn) commit() (ok bool, err error) {
 		}
 	}
 
+	// Stream the redo record while the records are still held, so the log
+	// observes commits to each object in release order (replay order agrees
+	// with every object's version order). The buffered spans carry exactly
+	// the values the write-back just stored. The injected-death branches
+	// above never reach this append: a commit that died before logging is
+	// not durable — it was never acked.
+	var durSeq uint64
+	var durErr error
+	if tx.sink != nil && len(tx.buf) > 0 {
+		tx.redo = tx.redo[:0]
+		for key, sb := range tx.buf {
+			for i := 0; i < sb.n; i++ {
+				tx.redo = append(tx.redo, stmapi.RedoWrite{
+					Ref: key.obj.Ref(), Slot: key.base + i, Val: sb.vals[i],
+				})
+			}
+		}
+		durSeq, durErr = tx.sink.AppendRedo(tx.id, tx.wv, tx.redo)
+	}
+
 	tx.release(true) // version bump publishes the new state to optimistic readers
 
 	// Our own write-back is complete regardless of how long predecessors
@@ -1107,6 +1156,15 @@ func (tx *Txn) commit() (ok bool, err error) {
 		tr.ObserveCommit(time.Since(tx.beginAt))
 	}
 	tx.flushStats()
+	// Durability barrier, after release and ticket completion so the group
+	// commit's fsync window never extends lock hold times or stalls the
+	// write-back ordering chain.
+	if durErr == nil && durSeq != 0 {
+		durErr = tx.sink.WaitDurable(durSeq)
+	}
+	if err == nil {
+		err = durErr
+	}
 	return true, err
 }
 

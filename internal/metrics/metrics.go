@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/durable"
 	"repro/internal/lazystm"
 	"repro/internal/stm"
 	"repro/internal/stmapi"
@@ -36,6 +37,10 @@ type RuntimeSnapshot struct {
 	Stats  map[string]int64     `json:"stats"`
 	Trace  *trace.Snapshot      `json:"trace,omitempty"`  // nil when no tracer installed
 	Causal *causal.LiveSnapshot `json:"causal,omitempty"` // nil unless a causal.Recorder is the tracer's sink
+
+	// Durability is the WAL/checkpoint profile, present only for runtimes
+	// registered through RegisterStore (a durable.Store-backed runtime).
+	Durability *durable.DurabilitySnapshot `json:"durability,omitempty"`
 }
 
 // Collector produces a RuntimeSnapshot on demand.
@@ -70,26 +75,40 @@ func (r *Registry) Register(name string, c Collector) {
 // whatever the runtime's Stats().Fields() enumerates, so new counters (policy
 // self-aborts, dooms) appear in every exporter without touching this package.
 func (r *Registry) RegisterRuntime(name string, rt stmapi.Runtime) {
+	r.Register(name, func() RuntimeSnapshot { return collectRuntime(name, rt) })
+}
+
+// RegisterStore exports a durable.Store's runtime under name, with the
+// store's WAL/checkpoint profile attached as the snapshot's durability line.
+func (r *Registry) RegisterStore(name string, s *durable.Store) {
+	rt := s.Runtime()
 	r.Register(name, func() RuntimeSnapshot {
-		s := rt.Stats()
-		stats := make(map[string]int64)
-		for _, f := range s.Fields() {
-			stats[f.Name] = f.Value
-		}
-		snap := RuntimeSnapshot{
-			Name: name, Kind: rt.Name(), UnixNs: time.Now().UnixNano(),
-			Stats: stats,
-		}
-		if t := rt.Tracer(); t != nil {
-			ts := t.Snapshot(HotspotTopN)
-			snap.Trace = &ts
-			if rec, ok := t.Sink().(*causal.Recorder); ok {
-				ls := rec.Live()
-				snap.Causal = &ls
-			}
-		}
+		snap := collectRuntime(name, rt)
+		d := s.Durability()
+		snap.Durability = &d
 		return snap
 	})
+}
+
+func collectRuntime(name string, rt stmapi.Runtime) RuntimeSnapshot {
+	s := rt.Stats()
+	stats := make(map[string]int64)
+	for _, f := range s.Fields() {
+		stats[f.Name] = f.Value
+	}
+	snap := RuntimeSnapshot{
+		Name: name, Kind: rt.Name(), UnixNs: time.Now().UnixNano(),
+		Stats: stats,
+	}
+	if t := rt.Tracer(); t != nil {
+		ts := t.Snapshot(HotspotTopN)
+		snap.Trace = &ts
+		if rec, ok := t.Sink().(*causal.Recorder); ok {
+			ls := rec.Live()
+			snap.Causal = &ls
+		}
+	}
+	return snap
 }
 
 // RegisterSTM exports an eager-versioning runtime under name.

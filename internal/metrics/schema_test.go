@@ -13,8 +13,10 @@ import (
 	"testing"
 
 	"repro/internal/causal"
+	"repro/internal/durable"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
+	"repro/internal/stmapi"
 	"repro/internal/trace"
 )
 
@@ -164,6 +166,73 @@ func TestMetricsSchemaGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("/metrics JSON schema drifted from golden (rerun with -update if intentional).\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurabilitySchemaGolden pins the durability line's JSON key set the
+// same way: a durable.Store-backed runtime must export the WAL/checkpoint
+// profile under `durability`, and renaming any of its fields must surface
+// as a golden diff. Regenerate with
+// `go test ./internal/metrics -run Golden -update`.
+func TestDurabilitySchemaGolden(t *testing.T) {
+	store, err := durable.Open(durable.Options{
+		Dir:     t.TempDir(),
+		Runtime: "eager",
+	}, func(h *objmodel.Heap) error {
+		h.NewArray(4, false)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	arr := store.Heap().Get(objmodel.Ref(1))
+	for i := 0; i < 10; i++ {
+		if err := store.Atomic(func(tx stmapi.Txn) error {
+			tx.Write(arr, 0, tx.Read(arr, 0)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("durable", store)
+	snap := reg.Snapshot()[0]
+	if snap.Durability == nil {
+		t.Fatal("RegisterStore snapshot missing durability line")
+	}
+	if snap.Durability.WALAppends < 10 {
+		t.Fatalf("durability line reports %d WAL appends, want >= 10", snap.Durability.WALAppends)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	keySet := map[string]bool{}
+	collectKeys("", decoded, keySet)
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "schema_eager_durable.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("durability /metrics JSON schema drifted from golden (rerun with -update if intentional).\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

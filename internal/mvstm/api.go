@@ -2,6 +2,7 @@ package mvstm
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/objmodel"
@@ -89,6 +90,16 @@ func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions(
 // interfaces rather than depending on the concrete runtime.
 func (a apiRuntime) SetInjector(in *faultinject.Injector) { a.rt.SetInjector(in) }
 func (a apiRuntime) Recovery() recovery.Target            { return a.rt.Recovery() }
+
+// SetCommitSink forwards the durable-store redo stream hook
+// (stmapi.DurableRuntime) through the adapter.
+func (a apiRuntime) SetCommitSink(s stmapi.CommitSink) { a.rt.SetCommitSink(s) }
+
+// DrainCommitters forwards the commit-gate barrier the durable store's live
+// checkpoint probes for.
+func (a apiRuntime) DrainCommitters(timeout time.Duration) bool {
+	return a.rt.DrainCommitters(timeout)
+}
 
 func init() {
 	stmapi.Register("mvstm", func(heap *objmodel.Heap, cfg stmapi.CommonConfig) (stmapi.Runtime, error) {

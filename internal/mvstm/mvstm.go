@@ -205,6 +205,7 @@ type Runtime struct {
 	pool     sync.Pool // idle *Txn descriptors
 	tracer   atomic.Pointer[trace.Tracer]
 	injector atomic.Pointer[faultinject.Injector]
+	sink     atomic.Pointer[sinkBox]
 	staleObs conflict.StaleObserver
 
 	clock *objmodel.CommitClock
@@ -269,6 +270,40 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 // SetInjector installs (or, with nil, removes) a fault injector, sampled
 // once per top-level Atomic like the tracer.
 func (rt *Runtime) SetInjector(in *faultinject.Injector) { rt.injector.Store(in) }
+
+// sinkBox wraps a CommitSink so it can live in an atomic.Pointer (which
+// needs a concrete element type) regardless of the sink's dynamic type.
+type sinkBox struct{ s stmapi.CommitSink }
+
+// SetCommitSink installs (or, with nil, removes) the durable commit sink
+// (stmapi.DurableRuntime). Sampled once per top-level Atomic like the
+// tracer; transactions in flight keep their previous setting.
+func (rt *Runtime) SetCommitSink(s stmapi.CommitSink) {
+	if s == nil {
+		rt.sink.Store(nil)
+		return
+	}
+	rt.sink.Store(&sinkBox{s: s})
+}
+
+// DrainCommitters waits until no writing transaction is inside the commit
+// gate (between enterCommit and exitCommit), or the timeout elapses. An
+// instant with an empty gate proves every commit that entered before the
+// call has installed its versions and released — the barrier the durable
+// store's live checkpoint uses to bound snapshot coverage. Commits entering
+// after the observation are not excluded (a barrier, not a lock).
+func (rt *Runtime) DrainCommitters(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for a := 0; ; a++ {
+		if rt.committers.Load() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		conflict.WaitAttempt(a, 0)
+	}
+}
 
 // ErrAborted aborts the transaction without retry when returned from the
 // body.
@@ -347,6 +382,11 @@ type Txn struct {
 	ctx context.Context
 	fi  *faultinject.Injector
 
+	// sink is the commit sink sampled at getTxn (nil-check hook like tr);
+	// redo is its scratch record, reused across commits.
+	sink stmapi.CommitSink
+	redo []stmapi.RedoWrite
+
 	// Statistics deltas flushed at commit/abort.
 	nStarts     int64
 	nReads      int64
@@ -382,6 +422,10 @@ func (rt *Runtime) getTxn() *Txn {
 	tx.id = rt.nextID.Add(1)
 	tx.tr = rt.tracer.Load()
 	tx.fi = rt.injector.Load()
+	tx.sink = nil
+	if b := rt.sink.Load(); b != nil {
+		tx.sink = b.s
+	}
 	tx.blameObj = 0
 	tx.abortAt = time.Time{}
 	tx.readOnly = false
@@ -412,6 +456,8 @@ func (rt *Runtime) putTxn(tx *Txn) {
 	tx.objs = tx.objs[:0]
 	tx.ctx = nil
 	tx.fi = nil
+	tx.sink = nil
+	tx.redo = tx.redo[:0]
 	rt.pool.Put(tx)
 }
 
@@ -1035,6 +1081,22 @@ func (tx *Txn) commit() (ok bool, err error) {
 		}
 	}
 
+	// Durable runtimes stream the redo image to the commit sink while the
+	// versions are already installed but this committer is still inside the
+	// gate: WAL order is consistent with version-chain order, and a live
+	// checkpoint's DrainCommitters barrier cannot observe an installed
+	// commit whose redo record is not yet appended. The fsync wait happens
+	// after release, off the contention path.
+	var durSeq uint64
+	var durErr error
+	if tx.sink != nil && len(tx.buf) > 0 {
+		tx.redo = tx.redo[:0]
+		for key, v := range tx.buf {
+			tx.redo = append(tx.redo, stmapi.RedoWrite{Ref: key.obj.Ref(), Slot: key.slot, Val: v})
+		}
+		durSeq, durErr = tx.sink.AppendRedo(tx.id, tx.wv, tx.redo)
+	}
+
 	rt.maybeCollect(tx) // before release clears tx.objs; pruning never touches records
 	tx.release(true)    // stamps every record with rs = max(wv, sv+1), the chain head's TS
 	rt.exitCommit(tx)
@@ -1055,6 +1117,14 @@ func (tx *Txn) commit() (ok bool, err error) {
 		tr.ObserveCommit(time.Since(tx.beginAt))
 	}
 	tx.flushStats()
+	// Group-commit barrier: the commit is visible in memory; now wait for
+	// the WAL batch holding it to reach stable storage before acking.
+	if durErr == nil && durSeq != 0 {
+		durErr = tx.sink.WaitDurable(durSeq)
+	}
+	if err == nil {
+		err = durErr
+	}
 	return true, err
 }
 

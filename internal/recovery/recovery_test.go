@@ -57,6 +57,14 @@ func (f *fakeTarget) bump(id uint64) {
 	f.mu.Unlock()
 }
 
+func (f *fakeTarget) markDead(id uint64) {
+	f.mu.Lock()
+	if ti, ok := f.txns[id]; ok {
+		ti.Dead = true
+	}
+	f.mu.Unlock()
+}
+
 func TestScanReclaimsOnlyDead(t *testing.T) {
 	ft := newFakeTarget()
 	ft.add(TxnInfo{ID: 1, Status: stmapi.Active})
@@ -113,6 +121,54 @@ func TestHeartbeatAdvanceClearsSuspicion(t *testing.T) {
 	ft.bump(9) // the owner made progress just before the scan
 	if rep := r.ScanOnce(); len(rep.Suspects) != 0 {
 		t.Fatalf("advancing heartbeat still suspected: %+v", rep.Suspects)
+	}
+}
+
+// TestSuspectConfirmedDeadAtEpochBoundary walks the full suspicion
+// lifecycle across a heartbeat-epoch boundary: a stalled transaction is
+// suspected (never stolen), then its death certificate lands in the same
+// scan window as one final heartbeat advance — the certificate must win
+// (the beat bump does NOT resurrect it), the scan must reclaim it exactly
+// once, and both the suspect report and the reaper's heartbeat bookkeeping
+// must clear.
+func TestSuspectConfirmedDeadAtEpochBoundary(t *testing.T) {
+	ft := newFakeTarget()
+	ft.add(TxnInfo{ID: 21, Beat: 5, Status: stmapi.Active})
+	r := NewReaper(ft, Config{SuspectAfter: 5 * time.Millisecond})
+
+	r.ScanOnce() // first sighting: epoch 5 observed, clock starts
+	time.Sleep(8 * time.Millisecond)
+	rep := r.ScanOnce()
+	if len(rep.Suspects) != 1 || rep.Suspects[0].ID != 21 {
+		t.Fatalf("stalled txn not suspected: %+v", rep.Suspects)
+	}
+	if rep.Reaped != 0 {
+		t.Fatalf("suspect stolen without a death certificate: reaped %d", rep.Reaped)
+	}
+
+	// Epoch boundary: the owner bumps its beat one last time AND the
+	// runtime marks the descriptor dead before the next scan sees either.
+	ft.bump(21)
+	ft.markDead(21)
+	rep = r.ScanOnce()
+	if rep.Reaped != 1 {
+		t.Fatalf("confirmed-dead txn not reclaimed: reaped %d", rep.Reaped)
+	}
+	if len(rep.Suspects) != 0 {
+		t.Fatalf("dead txn still reported as suspect: %+v", rep.Suspects)
+	}
+	if len(ft.reclaimed) != 1 || ft.reclaimed[0] != 21 {
+		t.Fatalf("reclaimed = %v, want [21]", ft.reclaimed)
+	}
+	r.mu.Lock()
+	_, tracked := r.seen[21]
+	r.mu.Unlock()
+	if tracked {
+		t.Fatal("heartbeat bookkeeping retained for a reclaimed txn")
+	}
+	// Reclaim is once-only: the txn is gone from the registry.
+	if rep := r.ScanOnce(); rep.Reaped != 0 {
+		t.Fatalf("second scan re-reaped: %d", rep.Reaped)
 	}
 }
 

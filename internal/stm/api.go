@@ -46,6 +46,10 @@ func (a apiRuntime) ActiveTransactions() int   { return a.rt.ActiveTransactions(
 func (a apiRuntime) SetInjector(in *faultinject.Injector) { a.rt.SetInjector(in) }
 func (a apiRuntime) Recovery() recovery.Target            { return a.rt.Recovery() }
 
+// SetCommitSink forwards the durable-store redo stream hook
+// (stmapi.DurableRuntime) through the adapter.
+func (a apiRuntime) SetCommitSink(s stmapi.CommitSink) { a.rt.SetCommitSink(s) }
+
 func init() {
 	stmapi.Register("eager", func(heap *objmodel.Heap, cfg stmapi.CommonConfig) (stmapi.Runtime, error) {
 		if err := cfg.Normalize(); err != nil {

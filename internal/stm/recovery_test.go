@@ -133,6 +133,65 @@ func TestWaiterStealsInlineWithoutReaper(t *testing.T) {
 	}
 }
 
+// TestReaperVsInlineStealRace races the two reclamation paths against each
+// other on the same orphan: a background reaper scanning flat out while a
+// conflicting writer steals inline the moment it finds the dead owner.
+// Reclaim is idempotent per victim, so exactly one of them may win — the
+// steal counter must read exactly 1, the record must end Shared, and the
+// waiter's write must land. Run under -race in CI; repeated iterations give
+// the schedules room to interleave both orders.
+func TestReaperVsInlineStealRace(t *testing.T) {
+	iters := 25
+	if testing.Short() {
+		iters = 5
+	}
+	for i := 0; i < iters; i++ {
+		rt, o := newRecoveryRuntime(t, Config{})
+		if err := rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 0, 41); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		in := faultinject.New(uint64(i)+1, faultinject.Rule{Point: faultinject.PostAcquire, Action: faultinject.Orphan, Every: 1})
+		rt.SetInjector(in)
+		orphanOnce(t, rt, func(tx *Txn) error {
+			tx.Write(o, 0, 999)
+			return nil
+		})
+		rt.SetInjector(nil)
+
+		reaper := recovery.NewReaper(rt.Recovery(), recovery.Config{})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // reaper side
+			defer wg.Done()
+			<-start
+			for j := 0; j < 4; j++ {
+				reaper.ScanOnce()
+			}
+		}()
+		var werr error
+		go func() { // inline-steal side: conflicts with the orphaned record
+			defer wg.Done()
+			<-start
+			werr = rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 0, 5); return nil })
+		}()
+		close(start)
+		wg.Wait()
+		if werr != nil {
+			t.Fatalf("iteration %d: writer after orphan: %v", i, werr)
+		}
+		if n := rt.Stats.ReaperSteals.Load(); n != 1 {
+			t.Fatalf("iteration %d: %d steals recorded, want exactly 1 (double reclaim?)", i, n)
+		}
+		if w := o.Rec.Load(); !txrec.IsShared(w) {
+			t.Fatalf("iteration %d: record not Shared after race: %#x", i, w)
+		}
+		if v := o.LoadSlot(0); v != 5 {
+			t.Fatalf("iteration %d: slot = %d, want the waiter's 5", i, v)
+		}
+	}
+}
+
 func TestAtomicIrrevocableCommitsAndReleasesToken(t *testing.T) {
 	rt, o := newRecoveryRuntime(t, Config{})
 	rt.Atomic(nil, func(tx *Txn) error { tx.Write(o, 0, 1); return nil })

@@ -226,6 +226,7 @@ type Runtime struct {
 	pool     sync.Pool     // idle *Txn descriptors
 	tracer   atomic.Pointer[trace.Tracer]
 	injector atomic.Pointer[faultinject.Injector]
+	sink     atomic.Pointer[sinkBox]
 
 	// Commit-clock validation state: the heap's clock (cached to skip a
 	// pointer hop per validation), whether clock validation is enabled, and
@@ -263,6 +264,21 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer.Load() }
 // tracer it is sampled once per top-level Atomic and guarded by a single nil
 // check per injection point, so the uninstrumented hot path is unchanged.
 func (rt *Runtime) SetInjector(in *faultinject.Injector) { rt.injector.Store(in) }
+
+// sinkBox wraps a CommitSink so it can live in an atomic.Pointer (which
+// needs a concrete element type) regardless of the sink's dynamic type.
+type sinkBox struct{ s stmapi.CommitSink }
+
+// SetCommitSink installs (or, with nil, removes) the durable commit sink
+// (stmapi.DurableRuntime). Sampled once per top-level Atomic like the
+// tracer; transactions in flight keep their previous setting.
+func (rt *Runtime) SetCommitSink(s stmapi.CommitSink) {
+	if s == nil {
+		rt.sink.Store(nil)
+		return
+	}
+	rt.sink.Store(&sinkBox{s: s})
+}
 
 // New creates a Runtime over heap with the given configuration. Invalid
 // configurations (granularity outside [1, MaxGranularity], negative
@@ -394,6 +410,11 @@ type Txn struct {
 	// fi is the fault injector sampled at getTxn (nil-check hook like tr).
 	fi *faultinject.Injector
 
+	// sink is the commit sink sampled at getTxn (nil-check hook like tr);
+	// redo is its scratch record, reused across commits.
+	sink stmapi.CommitSink
+	redo []stmapi.RedoWrite
+
 	// Statistics deltas accumulated without synchronization and flushed to
 	// the runtime's sharded counters at commit/abort.
 	nStarts     int64
@@ -438,6 +459,10 @@ func (rt *Runtime) getTxn() *Txn {
 	tx.id = rt.nextID.Add(1)
 	tx.tr = rt.tracer.Load()
 	tx.fi = rt.injector.Load()
+	tx.sink = nil
+	if b := rt.sink.Load(); b != nil {
+		tx.sink = b.s
+	}
 	tx.blameObj = 0
 	tx.abortAt = time.Time{}
 	tx.doomed.Store(false)
@@ -469,6 +494,8 @@ func (rt *Runtime) putTxn(tx *Txn) {
 	tx.saves = tx.saves[:0]
 	tx.ctx = nil
 	tx.fi = nil
+	tx.sink = nil
+	tx.redo = tx.redo[:0]
 	tx.gran = nil
 	rt.pool.Put(tx)
 }
@@ -1136,8 +1163,12 @@ func (tx *Txn) commit() (ok bool, err error) {
 	// whose tx.writes holds only pessimistic read claims — since releasing
 	// unchanged values leaves stale snapshots valid (wv stays 0, so the
 	// releases below degrade to plain version bumps).
+	// A durable runtime needs a stamp (the redo record's LSN) for any commit
+	// that stored anywhere — including private objects, which skip tx.wrote —
+	// even when clock validation is off.
 	var wv uint64
-	if tx.rt.clockOn && tx.wrote {
+	wantStamp := tx.wrote || (tx.sink != nil && len(tx.undo) > 0)
+	if wantStamp && (tx.rt.clockOn || tx.sink != nil) {
 		var advanced bool
 		if wv, advanced = tx.rt.clock.Advance(); advanced {
 			tx.nClockAdv++
@@ -1162,6 +1193,26 @@ func (tx *Txn) commit() (ok bool, err error) {
 			tx.die(faultinject.PostCommitPoint)
 		}
 	}
+	// Stream the redo record while the records are still held: appends to
+	// the log observe commits to each object in release order, so replay
+	// order agrees with every object's version order. Eager versioning wrote
+	// in place, so the current slot values under the undo spans ARE the redo
+	// image. The injected-death branches above never reach this append: a
+	// commit that died before logging is simply not durable, which is the
+	// contract (it was never acked).
+	var durSeq uint64
+	var durErr error
+	if tx.sink != nil && len(tx.undo) > 0 {
+		tx.redo = tx.redo[:0]
+		for _, e := range tx.undo {
+			for i := 0; i < e.n; i++ {
+				tx.redo = append(tx.redo, stmapi.RedoWrite{
+					Ref: e.obj.Ref(), Slot: e.base + i, Val: e.obj.LoadSlot(e.base + i),
+				})
+			}
+		}
+		durSeq, durErr = tx.sink.AppendRedo(tx.id, wv, tx.redo)
+	}
 	// Release with the write version: readers that observe the stamped
 	// version either began after the clock advance (snapshot covers it) or
 	// extend their snapshot on contact.
@@ -1183,6 +1234,16 @@ func (tx *Txn) commit() (ok bool, err error) {
 		} else {
 			err = tx.quiesce()
 		}
+	}
+	// Durability barrier, after the records are released so the group
+	// commit's fsync window never extends lock hold times: Atomic returns
+	// only once the redo record is on stable storage (or the sink failed —
+	// the commit is applied in memory, its durability unknown to the caller).
+	if durErr == nil && durSeq != 0 {
+		durErr = tx.sink.WaitDurable(durSeq)
+	}
+	if err == nil {
+		err = durErr
 	}
 	return true, err
 }

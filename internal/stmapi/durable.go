@@ -1,0 +1,50 @@
+package stmapi
+
+import "repro/internal/objmodel"
+
+// RedoWrite is one slot store in a committed transaction's redo record: the
+// absolute value the commit left in the slot. Replaying a transaction's
+// RedoWrites in commit order reproduces its effects exactly, which is what
+// makes the write-ahead log in internal/durable a redo-only log — aborted
+// transactions never reach it, so recovery never undoes anything.
+type RedoWrite struct {
+	Ref  objmodel.Ref
+	Slot int
+	Val  uint64
+}
+
+// CommitSink receives the redo record of every committed writing
+// transaction. A durable runtime calls AppendRedo after the commit point
+// while the commit still holds its records — so the sink observes commits
+// to each object in the order they released, and the log's order agrees
+// with every object's version order — and calls WaitDurable after the
+// records are released, so a transaction blocks for durability without
+// holding locks across an fsync.
+//
+// The writes slice is scratch owned by the runtime: a sink must consume it
+// (typically by encoding) before returning, never retain it.
+//
+// AppendRedo returns a sink-defined sequence number (always non-zero) that
+// WaitDurable blocks on; stamp is the commit-clock write version the
+// transaction's releases were stamped with — the record's LSN.
+type CommitSink interface {
+	AppendRedo(txnID, stamp uint64, writes []RedoWrite) (seq uint64, err error)
+	WaitDurable(seq uint64) error
+}
+
+// DurableRuntime is the optional capability interface of runtimes that can
+// stream commit-time redo records into a CommitSink. All three runtimes in
+// this repository implement it; drivers probe with a type assertion.
+//
+// Installing a sink is sampled per top-level Atomic like a tracer: with no
+// sink installed the commit path pays one nil check. With a sink installed,
+// every writing commit obtains a commit-clock stamp (even on runtimes
+// configured with NoCommitClock — the log needs LSNs), appends its redo
+// record, and does not return from Atomic until the sink reports the record
+// durable. An error from the sink is returned from Atomic with the commit
+// already applied in memory: the caller knows the transaction happened but
+// must treat its durability as unknown.
+type DurableRuntime interface {
+	Runtime
+	SetCommitSink(CommitSink)
+}

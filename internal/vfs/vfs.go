@@ -1,0 +1,123 @@
+// Package vfs is the file-system seam under the durable STM store
+// (internal/durable): a small FS interface with a production implementation
+// over package os, and a fault-injecting in-memory implementation (FaultFS)
+// that models exactly the durability semantics a crash harness needs to
+// break — unsynced data lost on crash, fsync that lies, torn tail writes,
+// and renames that are not durable until the directory is synced.
+//
+// The interface is deliberately minimal: the WAL and snapshot writer only
+// ever create files, append to them, fsync, read them back, rename them
+// into place, and sync directories. Keeping the surface this small is what
+// makes the fault model in FaultFS tractable to reason about.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is an open file handle. WAL segments are append-only writers;
+// recovery reads sequentially or by offset.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Closer
+
+	// Sync requests that everything written so far become durable. On a
+	// lying file system the request succeeds without durability — which is
+	// the point.
+	Sync() error
+
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the file-system surface the durable store runs on.
+type FS interface {
+	// OpenFile opens name with os.O_* flags. O_CREATE creates it.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+
+	// Remove deletes a file.
+	Remove(name string) error
+
+	// Rename atomically replaces newname with oldname. Whether the rename
+	// survives a crash before SyncDir is implementation-defined (POSIX says
+	// no; journaled file systems mostly say yes; FaultFS has a knob).
+	Rename(oldname, newname string) error
+
+	// ReadDir lists the file names (not full paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string, perm os.FileMode) error
+
+	// SyncDir makes dir's entries (creates, renames, removes) durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS over package os.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Name() string { return f.File.Name() }
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// SyncDir implements FS: open the directory and fsync it, which is how
+// POSIX makes renames and creates durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// clean normalizes a path for use as a FaultFS map key.
+func clean(p string) string { return filepath.Clean(p) }
