@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/conflict"
+	"repro/internal/elide"
 	"repro/internal/metrics"
 	"repro/internal/objmodel"
 	"repro/internal/stm"
@@ -478,12 +479,78 @@ func TestStmvetTool(t *testing.T) {
 	if err != nil {
 		t.Fatalf("stmvet -list: %v\n%s", err, list)
 	}
-	for _, pass := range []string{"txnescape", "nakedaccess", "sideeffect", "retrymisuse", "ctxmisuse"} {
+	for _, pass := range []string{"txnescape", "nakedaccess", "sideeffect", "retrymisuse", "ctxmisuse", "privatization"} {
 		if !strings.Contains(string(list), pass) {
 			t.Errorf("stmvet -list missing %s:\n%s", pass, list)
 		}
 	}
 	if _, err := exec.Command(bin, "-passes", "nosuchpass", "./...").CombinedOutput(); err == nil {
 		t.Error("stmvet accepted an unknown pass name")
+	}
+}
+
+func TestStmvetIncludeTestsAndJSON(t *testing.T) {
+	bin := buildTool(t, "stmvet")
+	// The repo is clean by default, but its own test files deliberately
+	// violate the discipline (naked probes, in-body channel handoffs) —
+	// -include-tests must surface them.
+	out, err := exec.Command(bin, "-C", "..", "-include-tests", "./internal/stm/").CombinedOutput()
+	if err == nil {
+		t.Errorf("stmvet -include-tests found nothing in internal/stm's test files:\n%s", out)
+	}
+	if !strings.Contains(string(out), "_test.go") {
+		t.Errorf("-include-tests diagnostics name no test file:\n%s", out)
+	}
+	// -json: machine-readable diagnostics on stdout; a clean run is [].
+	jsOut, err := exec.Command(bin, "-C", "..", "-json", "./internal/elide/").Output()
+	if err != nil {
+		t.Fatalf("stmvet -json on a clean package: %v", err)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(jsOut, &diags); err != nil {
+		t.Fatalf("stmvet -json output not JSON: %v\n%s", err, jsOut)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean package produced %d JSON diagnostics", len(diags))
+	}
+	// Dirty run: entries carry the stable schema.
+	jsCmd := exec.Command(bin, "-C", "..", "-json", "-include-tests", "./internal/stm/")
+	jsOut, _ = jsCmd.Output() // exits 1: findings expected
+	if err := json.Unmarshal(jsOut, &diags); err != nil || len(diags) == 0 {
+		t.Fatalf("stmvet -json dirty run: err=%v, %d diags\n%s", err, len(diags), jsOut)
+	}
+	for _, k := range []string{"pass", "file", "line", "message"} {
+		if _, ok := diags[0][k]; !ok {
+			t.Errorf("JSON diagnostic missing %q: %v", k, diags[0])
+		}
+	}
+}
+
+func TestStmvetElide(t *testing.T) {
+	bin := buildTool(t, "stmvet")
+	manifest := filepath.Join(t.TempDir(), "elide_manifest.json")
+	out, err := exec.Command(bin, "elide", "-C", "..", "-o", manifest,
+		"./internal/vetstm/interproc/testdata/handoff").CombinedOutput()
+	if err != nil {
+		t.Fatalf("stmvet elide: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "elidable") {
+		t.Errorf("elide summary missing stats:\n%s", out)
+	}
+	m, err := elide.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	if m.Tool != "stmvet elide" || m.Module != "repro" {
+		t.Errorf("manifest header = tool %q module %q", m.Tool, m.Module)
+	}
+	classes := make(map[string]int)
+	for _, s := range m.Sites {
+		classes[s.Class]++
+	}
+	for _, want := range []string{elide.ClassNAIT, elide.ClassNAITTL, elide.ClassTL, elide.ClassMixed} {
+		if classes[want] == 0 {
+			t.Errorf("manifest has no %q site: %v", want, classes)
+		}
 	}
 }

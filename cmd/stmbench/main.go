@@ -14,7 +14,15 @@
 //	stmbench -fig crash        crash-recovery robustness run (orphan injection)
 //	stmbench -fig causal       flight-recorder starvation profile + tracing overhead
 //	stmbench -fig durable      durable-store group-commit window sweep (WAL fsync cost)
+//	stmbench -fig elide        barrier-elision A/B (stmvet manifest off/on + soundness oracle)
 //	stmbench -fig all          everything
+//
+// The elide figure builds its manifest in-process from the elidewl
+// workload package (or loads one with -manifest FILE) and certifies it
+// with the soundness oracle; any breach fails the run:
+//
+//	stmbench -fig elide -json > BENCH_010.json
+//	stmvet elide -o m.json ./internal/workloads/elidewl && stmbench -fig elide -manifest m.json
 //
 // An unknown -fig value is an error that lists the known figures. The
 // -validation flag selects the commit-time validation mode for the par and
@@ -62,6 +70,7 @@ import (
 	"repro/internal/causal"
 	"repro/internal/conflict"
 	"repro/internal/durable"
+	"repro/internal/elide"
 	"repro/internal/metrics"
 	"repro/internal/stmapi"
 	"repro/internal/trace"
@@ -71,7 +80,7 @@ import (
 
 // knownFigs lists every figure name run() dispatches on, in presentation
 // order. Keep in sync with the run() calls below.
-var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash", "causal", "durable"}
+var knownFigs = []string{"6", "13", "15", "16", "17", "18", "19", "20", "par", "stamp", "crash", "causal", "durable", "elide"}
 
 func knownFig(name string) bool {
 	for _, f := range knownFigs {
@@ -99,6 +108,7 @@ func main() {
 		fmt.Sprintf("%v", conflict.PolicyNames)+" (empty consults $"+conflict.PolicyEnv+", default backoff)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed for the crash figure")
 	validation := flag.String("validation", "", `commit-time validation for the par/stamp sweeps: "clock" (default) or "walk"`)
+	manifestPath := flag.String("manifest", "", "elision manifest for the elide figure (empty: build in-process with the stmvet analyses)")
 	versioning := flag.String("versioning", "", "restrict the par/stamp/crash/causal/durable sweeps to one runtime: "+
 		fmt.Sprintf("%v", stmapi.Runtimes())+" (empty sweeps all)")
 	// The usage text enumerates the registries (figures and runtimes are
@@ -376,6 +386,39 @@ func main() {
 		}
 		fmt.Print(bench.FormatDurable(results))
 		return nil
+	})
+
+	run("elide", func() error {
+		var m *elide.Manifest
+		if *manifestPath != "" {
+			loaded, err := elide.ReadFile(*manifestPath)
+			if err != nil {
+				return err
+			}
+			m = loaded
+			fmt.Fprintf(os.Stderr, "elide: loaded %s (%d site(s))\n", *manifestPath, len(m.Sites))
+		} else {
+			built, stats, err := bench.BuildElideManifest(".")
+			if err != nil {
+				return err
+			}
+			m = built
+			fmt.Fprintf(os.Stderr, "elide: analyzed %s: %d function(s), %d site(s), %d elidable\n",
+				bench.ElideWorkloadPackage, stats.Functions, stats.Sites, stats.Elidable)
+		}
+		results, err := bench.RunElideSweep(m, *scale)
+		if results != nil {
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if encErr := enc.Encode(results); encErr != nil && err == nil {
+					err = encErr
+				}
+			} else {
+				fmt.Print(bench.FormatElide(results))
+			}
+		}
+		return err
 	})
 
 	if *traceDump != "" && tracer != nil {

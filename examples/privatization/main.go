@@ -43,7 +43,7 @@ func oneTrial(mode string) bool {
 	// Pre-publication init: no transaction has seen these objects yet, and
 	// this example deliberately works at the raw layer to reproduce the
 	// Figure 1 anomaly.
-	//stmvet:ignore nakedaccess -- init before any transaction starts
+	//stmvet:ignore nakedaccess,privatization -- deliberately reproduces Figure 1: raw init before publication
 	l.StoreSlot(0, uint64(it.Ref()))
 
 	bars := strong.New(heap, false)

@@ -88,6 +88,7 @@ func (m *Map) PutTx(tx core.Tx, k, v int64) {
 	nd := m.sys.New(m.node)
 	nd.StoreSlot(mnKey, uint64(k)) // fresh private object: plain init is safe
 	nd.StoreSlot(mnVal, uint64(v))
+	//stmvet:ignore privatization -- fresh private node; the tx.WriteRef below publishes it (Figure 11 walk)
 	nd.StoreSlot(mnNext, uint64(tx.ReadRef(m.buckets, b)))
 	tx.WriteRef(m.buckets, b, nd.Ref())
 	tx.Write(m.size, 0, tx.Read(m.size, 0)+1)
@@ -293,6 +294,7 @@ func (s *Set) InsertTx(tx core.Tx, k int64) bool {
 	}
 	nd := s.sys.New(s.node)
 	nd.StoreSlot(snKey, uint64(k))
+	//stmvet:ignore privatization -- fresh private node; the tx.WriteRef below publishes it (Figure 11 walk)
 	nd.StoreSlot(snNext, uint64(curr))
 	tx.WriteRef(pred, snNext, nd.Ref())
 	return true

@@ -255,6 +255,13 @@ func New(heap *objmodel.Heap, cfg Config) *Runtime {
 	rt.clock = heap.Clock()
 	rt.clockOn = !cfg.NoCommitClock
 	rt.staleObs, _ = h.(conflict.StaleObserver)
+	// Hot manifest sites pre-seed slot-level granularity, as in the eager
+	// runtime; fires only for manifest-matched allocations.
+	heap.AddAllocObserver(func(o *objmodel.Object, site *objmodel.ManifestSite) {
+		if site.Hot && site.Granularity == "slot" {
+			rt.PromoteObject(o)
+		}
+	})
 	return rt
 }
 
@@ -670,6 +677,11 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 		w := o.Rec.Load()
 		switch {
 		case txrec.IsPrivate(w):
+			// Traced even though no logging is needed: the soundness oracle
+			// audits private (elided) accesses against the manifest.
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, 0)
+			}
 			return o.LoadSlot(slot)
 		case txrec.IsExclusive(w), txrec.IsExclusiveAnon(w):
 			if txrec.IsExclusive(w) && txrec.Owner(w) == tx.id {
@@ -1072,8 +1084,16 @@ func (tx *Txn) commit() (ok bool, err error) {
 	// faithfully modeling "copies buffered values to memory one at a time
 	// in no particular order".
 	k := 0
+	publish := tx.rt.Heap.HasManifest()
 	for key, sb := range tx.buf {
 		for i := 0; i < sb.n; i++ {
+			// With an elision manifest loaded the heap mints private-born
+			// objects, so write-back into a public container is a publication
+			// point (Figure 10b): the referenced subgraph escapes here.
+			if publish && sb.vals[i] != 0 && key.obj.IsRefSlot(key.base+i) &&
+				!txrec.IsPrivate(key.obj.Rec.Load()) {
+				tx.rt.Heap.PublishRef(objmodel.Ref(sb.vals[i]))
+			}
 			key.obj.StoreSlot(key.base+i, sb.vals[i])
 			if h := tx.rt.cfg.Hooks.OnAfterWriteback; h != nil {
 				h(tx, k)

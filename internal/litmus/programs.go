@@ -487,6 +487,7 @@ func newPrivEnv(mode Mode) *privEnv {
 	p.obj = p.e.NewCell()
 	p.obj.StoreSlot(SlotF, 1)
 	p.statics = p.e.NewCell()
+	//stmvet:ignore privatization -- litmus setup before any transaction starts
 	p.statics.StoreSlot(SlotRef, uint64(p.obj.Ref()))
 	go func() { // Thread 2: atomic { if x != null then x.val++ }
 		_ = p.e.Atomic(func(a Accessor) error {

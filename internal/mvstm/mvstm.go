@@ -667,6 +667,11 @@ func (tx *Txn) snapshotRead(o *objmodel.Object, slot int) uint64 {
 		// writer released (publishing new state) in between.
 		switch {
 		case txrec.IsPrivate(w):
+			// Traced even though no snapshot logic applies: the soundness
+			// oracle audits private (elided) accesses against the manifest.
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, 0)
+			}
 			return o.LoadSlot(slot)
 		case txrec.IsShared(w):
 			ver := txrec.Version(w)
@@ -1045,6 +1050,12 @@ func (tx *Txn) commit() (ok bool, err error) {
 		for key, v := range tx.buf {
 			if key.obj != o {
 				continue
+			}
+			// Publication point under an elision manifest: a private-born
+			// object written into a public container escapes at write-back.
+			if rt.Heap.HasManifest() && v != 0 && o.IsRefSlot(key.slot) &&
+				!txrec.IsPrivate(o.Rec.Load()) {
+				rt.Heap.PublishRef(objmodel.Ref(v))
 			}
 			o.StoreSlot(key.slot, v)
 			if h := rt.cfg.Hooks.OnAfterWriteback; h != nil {

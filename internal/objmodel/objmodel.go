@@ -197,6 +197,12 @@ type Heap struct {
 	classMu  sync.Mutex
 	arrayCls [2]*Class // [0] scalar elements, [1] ref elements
 
+	// manifest, when non-nil, maps allocation sites to the static
+	// NAIT/TL classification loaded via ApplyManifest (manifest.go).
+	manifest atomic.Pointer[manifestIndex]
+	obsMu    sync.Mutex
+	allocObs atomic.Pointer[[]AllocObserver]
+
 	// clock is the heap-global commit clock shared by every runtime and
 	// barrier set attached to this heap. It lives on the heap — not on a
 	// runtime — because non-transactional write barriers must advance it
@@ -305,9 +311,21 @@ func (h *Heap) install(o *Object) Ref {
 }
 
 // New allocates an object of class c. With AllocPrivate the object is born
-// private (Section 4: "A freshly minted object is private").
+// private (Section 4: "A freshly minted object is private"). With an
+// elision manifest loaded, a call site the static analysis classified
+// NAIT or thread-local also yields a private-born object.
 func (h *Heap) New(c *Class) *Object {
 	o := &Object{Class: c, Slots: make([]atomic.Uint64, c.NumSlots)}
+	if site := h.manifestSite(); site != nil {
+		word := h.initialRecWord(false)
+		if site.Class.Elidable() {
+			word = txrec.PrivateWord
+		}
+		o.Rec.Init(word)
+		h.install(o)
+		h.notifyAlloc(o, site)
+		return o
+	}
 	o.Rec.Init(h.initialRecWord(false))
 	h.install(o)
 	return o
@@ -330,6 +348,16 @@ func (h *Heap) NewArray(n int, elemRef bool) *Object {
 		cls = h.arrayCls[1]
 	}
 	o := &Object{Class: cls, Slots: make([]atomic.Uint64, n), Len: n}
+	if site := h.manifestSite(); site != nil {
+		word := h.initialRecWord(false)
+		if site.Class.Elidable() {
+			word = txrec.PrivateWord
+		}
+		o.Rec.Init(word)
+		h.install(o)
+		h.notifyAlloc(o, site)
+		return o
+	}
 	o.Rec.Init(h.initialRecWord(false))
 	h.install(o)
 	return o

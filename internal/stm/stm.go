@@ -296,6 +296,16 @@ func New(heap *objmodel.Heap, cfg Config) *Runtime {
 	rt.clock = heap.Clock()
 	rt.clockOn = !cfg.NoCommitClock
 	rt.staleObs, _ = h.(conflict.StaleObserver)
+	// Hot allocation sites from an elision manifest pre-seed the adaptive
+	// granularity table: their objects get slot-level records from birth
+	// instead of waiting for the hotspot attribution to notice them. The
+	// observer only fires for manifest-matched allocations, so this costs
+	// nothing when no manifest is loaded.
+	heap.AddAllocObserver(func(o *objmodel.Object, site *objmodel.ManifestSite) {
+		if site.Hot && site.Granularity == "slot" {
+			rt.PromoteObject(o)
+		}
+	})
 	return rt
 }
 
@@ -733,6 +743,12 @@ func (tx *Txn) Read(o *objmodel.Object, slot int) uint64 {
 		switch {
 		case txrec.IsPrivate(w):
 			// Visible to this thread only; no logging or validation needed.
+			// Still traced: the soundness oracle audits private (elided)
+			// accesses against the manifest, and they are invisible to it
+			// any other way.
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvRead, tx.id, uint64(o.Ref()), slot, 0)
+			}
 			return o.LoadSlot(slot)
 		case txrec.IsExclusive(w):
 			if txrec.Owner(w) == tx.id {
@@ -812,7 +828,9 @@ func (tx *Txn) logUndo(o *objmodel.Object, slot int) {
 }
 
 func (tx *Txn) maybePublish(o *objmodel.Object, slot int, v uint64) {
-	if !tx.rt.cfg.DEA || v == 0 || !o.IsRefSlot(slot) {
+	// An elision manifest mints private objects even with DEA off, so the
+	// publication safety net must stay armed whenever one is loaded.
+	if v == 0 || !o.IsRefSlot(slot) || !(tx.rt.cfg.DEA || tx.rt.Heap.HasManifest()) {
 		return
 	}
 	// The container is public (callers ensure this); publish the referenced
@@ -839,6 +857,9 @@ func (tx *Txn) Write(o *objmodel.Object, slot int, v uint64) {
 			// Thread-local: no locking, but rollback must still restore it.
 			tx.logUndo(o, slot)
 			o.StoreSlot(slot, v)
+			if tr := tx.tr; tr != nil {
+				tr.Record(trace.EvWrite, tx.id, uint64(o.Ref()), slot, 0)
+			}
 			return
 		case txrec.IsExclusive(w):
 			if txrec.Owner(w) != tx.id {

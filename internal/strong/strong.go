@@ -54,6 +54,23 @@ type Barriers struct {
 
 	// Stats, when non-nil, counts barrier executions.
 	Stats *Stats
+
+	// Observer, when non-nil, is called synchronously on the accessing
+	// goroutine for every completed barriered access (reads after the
+	// value is validated, writes after the store). The soundness oracle
+	// (internal/analysis/oracle) uses it to check the static thread-local
+	// classification against actual non-transactional traffic. Leave nil
+	// when measuring: the indirect call costs as much as the fast path.
+	Observer func(o *objmodel.Object, slot int, write bool)
+}
+
+// elide reports whether the Figure 10 private fast paths and publication
+// must be active. DEA turns them on explicitly; a loaded elision manifest
+// forces them on because manifest-classified objects are born private, and
+// a Private (all-ones) record reaching the generic write barrier's
+// anonymous acquisition would be corrupted by its bit-0 CAS.
+func (b *Barriers) elide() bool {
+	return b.DEA || b.Heap.HasManifest()
 }
 
 // New returns Barriers over heap with the default backoff conflict handler.
@@ -78,15 +95,19 @@ func (b *Barriers) Read(o *objmodel.Object, slot int) uint64 {
 	if b.Stats != nil {
 		b.Stats.Reads.Add(1)
 	}
+	elide := b.elide()
 	for attempt := 0; ; attempt++ {
 		w := o.Rec.Load()
 		v := o.LoadSlot(slot)
-		if b.DEA && txrec.IsPrivate(w) {
+		if elide && txrec.IsPrivate(w) {
 			// Optional explicit private check (Figure 10a): private records
 			// also have bit 1 set, so the generic path below would accept
 			// them too; the explicit check just skips the re-validation.
 			if b.Stats != nil {
 				b.Stats.PrivateReads.Add(1)
+			}
+			if b.Observer != nil {
+				b.Observer(o, slot, false)
 			}
 			return v
 		}
@@ -99,6 +120,9 @@ func (b *Barriers) Read(o *objmodel.Object, slot int) uint64 {
 			// loads; the value may be speculative. Retry.
 			b.handle(conflict.NonTxnRead, attempt, w)
 			continue
+		}
+		if b.Observer != nil {
+			b.Observer(o, slot, false)
 		}
 		return v
 	}
@@ -123,7 +147,11 @@ func (b *Barriers) ReadOrdering(o *objmodel.Object, slot int) uint64 {
 			b.handle(conflict.NonTxnRead, attempt, w)
 			continue
 		}
-		return o.LoadSlot(slot)
+		v := o.LoadSlot(slot)
+		if b.Observer != nil {
+			b.Observer(o, slot, false)
+		}
+		return v
 	}
 }
 
@@ -139,7 +167,8 @@ func (b *Barriers) Write(o *objmodel.Object, slot int, v uint64) {
 	if b.Stats != nil {
 		b.Stats.Writes.Add(1)
 	}
-	if b.DEA && o.Rec.Load() == txrec.PrivateWord {
+	elide := b.elide()
+	if elide && o.Rec.Load() == txrec.PrivateWord {
 		// Private fast path (Figure 10b): the object is visible to this
 		// thread only. A write of a reference into a *private* object does
 		// not publish anything.
@@ -147,6 +176,9 @@ func (b *Barriers) Write(o *objmodel.Object, slot int, v uint64) {
 			b.Stats.PrivateWrites.Add(1)
 		}
 		o.StoreSlot(slot, v)
+		if b.Observer != nil {
+			b.Observer(o, slot, true)
+		}
 		return
 	}
 	for attempt := 0; ; attempt++ {
@@ -158,7 +190,7 @@ func (b *Barriers) Write(o *objmodel.Object, slot int, v uint64) {
 		// Publication (Figure 10b, asterisked instructions, reference types
 		// only): the container is public, so a private object being written
 		// into it escapes, along with everything it reaches.
-		if b.DEA && v != 0 && o.IsRefSlot(slot) {
+		if elide && v != 0 && o.IsRefSlot(slot) {
 			b.Heap.PublishRef(objmodel.Ref(v))
 		}
 		o.StoreSlot(slot, v)
@@ -172,6 +204,9 @@ func (b *Barriers) Write(o *objmodel.Object, slot int, v uint64) {
 		// stale snapshot falls back to the read-set walk that notices the bump.
 		b.Heap.Clock().Tick()
 		o.Rec.ReleaseAnon()
+		if b.Observer != nil {
+			b.Observer(o, slot, true)
+		}
 		return
 	}
 }
@@ -196,7 +231,7 @@ func (b *Barriers) Acquire(o *objmodel.Object) AggToken {
 	if b.Stats != nil {
 		b.Stats.Aggregates.Add(1)
 	}
-	if b.DEA && o.Rec.Load() == txrec.PrivateWord {
+	if b.elide() && o.Rec.Load() == txrec.PrivateWord {
 		return AggToken{private: true}
 	}
 	for attempt := 0; ; attempt++ {
@@ -211,15 +246,22 @@ func (b *Barriers) Acquire(o *objmodel.Object) AggToken {
 // AggWrite stores a value inside an aggregated barrier, publishing written
 // references when the object is public and DEA is enabled.
 func (b *Barriers) AggWrite(o *objmodel.Object, slot int, v uint64, tok AggToken) {
-	if b.DEA && !tok.private && v != 0 && o.IsRefSlot(slot) {
+	if !tok.private && v != 0 && o.IsRefSlot(slot) && b.elide() {
 		b.Heap.PublishRef(objmodel.Ref(v))
 	}
 	o.StoreSlot(slot, v)
+	if b.Observer != nil {
+		b.Observer(o, slot, true)
+	}
 }
 
 // AggRead loads a value inside an aggregated barrier.
 func (b *Barriers) AggRead(o *objmodel.Object, slot int, tok AggToken) uint64 {
-	return o.LoadSlot(slot)
+	v := o.LoadSlot(slot)
+	if b.Observer != nil {
+		b.Observer(o, slot, false)
+	}
+	return v
 }
 
 // Release ends an aggregated barrier, restoring Shared and bumping the

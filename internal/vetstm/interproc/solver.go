@@ -1,0 +1,154 @@
+package interproc
+
+import "math/bits"
+
+// bitset is a fixed-universe bit set over allocation-site IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) bool {
+	w, m := i/64, uint64(1)<<uint(i%64)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) unionWith(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) forEach(f func(int)) {
+	for w, word := range b {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			f(w*64 + tz)
+			word &^= 1 << uint(tz)
+		}
+	}
+}
+
+// solver is the Andersen-style inclusion-constraint solver, the same shape
+// as the toy-IR one in internal/analysis/pta.go: points-to sets over
+// allocation sites, copy edges, and deferred load/store constraints
+// through the single per-object "managed field" node (the Go-embedding
+// analysis is field-insensitive over the managed heap: the runtime keys
+// elision decisions by allocation site, never by slot, so slot precision
+// would buy nothing).
+type solver struct {
+	numSites int
+
+	pts    []bitset
+	succ   [][]int
+	loads  [][]int // deferred: pts(base) ∋ s ⇒ copy(mfield(s) → dst)
+	stores [][]int // deferred: pts(base) ∋ s ⇒ copy(src → mfield(s))
+
+	mfield []int // site → its managed-field node (allocated lazily)
+
+	worklist []int
+	inWL     []bool
+}
+
+func newSolver(numSites int) *solver {
+	s := &solver{numSites: numSites}
+	s.mfield = make([]int, numSites)
+	for i := range s.mfield {
+		s.mfield[i] = -1
+	}
+	return s
+}
+
+func (s *solver) newNode() int {
+	id := len(s.pts)
+	s.pts = append(s.pts, newBitset(s.numSites))
+	s.succ = append(s.succ, nil)
+	s.loads = append(s.loads, nil)
+	s.stores = append(s.stores, nil)
+	s.inWL = append(s.inWL, false)
+	return id
+}
+
+// mfieldNode returns the managed-field node of site (all ref-holding slots
+// of all objects allocated there, collapsed).
+func (s *solver) mfieldNode(site int) int {
+	if s.mfield[site] < 0 {
+		s.mfield[site] = s.newNode()
+	}
+	return s.mfield[site]
+}
+
+func (s *solver) push(n int) {
+	if !s.inWL[n] {
+		s.inWL[n] = true
+		s.worklist = append(s.worklist, n)
+	}
+}
+
+func (s *solver) addSite(n, site int) {
+	if s.pts[n].set(site) {
+		s.push(n)
+	}
+}
+
+func (s *solver) addCopy(src, dst int) {
+	if src == dst {
+		return
+	}
+	s.succ[src] = append(s.succ[src], dst)
+	if s.pts[dst].unionWith(s.pts[src]) {
+		s.push(dst)
+	}
+}
+
+// addLoad adds dst ⊇ mfield(site) for every site in pts(base), now and as
+// pts(base) grows.
+func (s *solver) addLoad(base, dst int) {
+	s.loads[base] = append(s.loads[base], dst)
+	s.pts[base].forEach(func(site int) {
+		s.addCopy(s.mfieldNode(site), dst)
+	})
+}
+
+// addStore adds mfield(site) ⊇ src for every site in pts(base).
+func (s *solver) addStore(base, src int) {
+	s.stores[base] = append(s.stores[base], src)
+	s.pts[base].forEach(func(site int) {
+		s.addCopy(src, s.mfieldNode(site))
+	})
+}
+
+func (s *solver) solve() {
+	for len(s.worklist) > 0 {
+		n := s.worklist[len(s.worklist)-1]
+		s.worklist = s.worklist[:len(s.worklist)-1]
+		s.inWL[n] = false
+		delta := s.pts[n]
+		for _, d := range s.succ[n] {
+			if s.pts[d].unionWith(delta) {
+				s.push(d)
+			}
+		}
+		for _, dst := range s.loads[n] {
+			delta.forEach(func(site int) {
+				s.addCopy(s.mfieldNode(site), dst)
+			})
+		}
+		for _, src := range s.stores[n] {
+			delta.forEach(func(site int) {
+				s.addCopy(src, s.mfieldNode(site))
+			})
+		}
+	}
+}

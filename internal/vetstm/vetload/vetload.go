@@ -33,12 +33,29 @@ type ListedPackage struct {
 	GoFiles    []string
 	Export     string
 	DepOnly    bool
+	ForTest    string // set on test variants listed by `go list -test`
 	Error      *struct{ Err string }
 }
 
 // List runs `go list -e -json -export -deps patterns...` in dir.
 func List(dir string, patterns ...string) ([]*ListedPackage, error) {
-	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	return list(dir, false, patterns...)
+}
+
+// ListTests is List with `-test`: the listing additionally contains each
+// matched package's test-augmented variant ("pkg [pkg.test]", whose
+// GoFiles include the in-package _test.go files), external test packages
+// ("pkg_test [pkg.test]"), and the synthetic test mains ("pkg.test").
+func ListTests(dir string, patterns ...string) ([]*ListedPackage, error) {
+	return list(dir, true, patterns...)
+}
+
+func list(dir string, withTests bool, patterns ...string) ([]*ListedPackage, error) {
+	args := []string{"list", "-e", "-json", "-export", "-deps"}
+	if withTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -81,15 +98,45 @@ func Exports(dir string, patterns ...string) (map[string]string, error) {
 // package from source. Test files are excluded, matching `go vet`'s
 // per-package compile units.
 func Load(dir string, patterns ...string) ([]*vetstm.Package, error) {
-	listed, err := List(dir, patterns...)
+	return load(dir, false, patterns...)
+}
+
+// LoadTests is Load with _test.go files included: each matched package
+// with in-package test files is loaded as its test-augmented variant, and
+// external (package foo_test) test packages become their own units. The
+// synthetic test mains are skipped.
+func LoadTests(dir string, patterns ...string) ([]*vetstm.Package, error) {
+	return load(dir, true, patterns...)
+}
+
+// baseImportPath strips the test-variant suffix: "pkg [pkg.test]" → "pkg".
+func baseImportPath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+func load(dir string, withTests bool, patterns ...string) ([]*vetstm.Package, error) {
+	listed, err := list(dir, withTests, patterns...)
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(listed))
 	for _, p := range listed {
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+		if p.Export == "" {
+			continue
 		}
+		if p.ForTest == "" {
+			if _, ok := exports[p.ImportPath]; !ok {
+				exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		// A test variant's export data supersedes the plain package's (it
+		// is a superset: in-package test symbols are visible to external
+		// test packages importing it).
+		exports[baseImportPath(p.ImportPath)] = p.Export
 	}
 	resolve := func(path string) (string, error) {
 		f, ok := exports[path]
@@ -98,10 +145,25 @@ func Load(dir string, patterns ...string) ([]*vetstm.Package, error) {
 		}
 		return f, nil
 	}
+	// Plain packages superseded by an in-package test variant.
+	augmented := make(map[string]bool)
+	if withTests {
+		for _, p := range listed {
+			if p.ForTest != "" && baseImportPath(p.ImportPath) == p.ForTest {
+				augmented[p.ForTest] = true
+			}
+		}
+	}
 	var out []*vetstm.Package
 	for _, p := range listed {
 		if p.DepOnly || len(p.GoFiles) == 0 {
 			continue
+		}
+		pkgPath := p.ImportPath
+		if p.ForTest != "" {
+			pkgPath = baseImportPath(p.ImportPath)
+		} else if strings.HasSuffix(pkgPath, ".test") || augmented[pkgPath] {
+			continue // synthetic test main, or replaced by its test variant
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
@@ -119,12 +181,12 @@ func Load(dir string, patterns ...string) ([]*vetstm.Package, error) {
 			}
 			files = append(files, f)
 		}
-		tpkg, info, err := Check(p.ImportPath, fset, files, resolve)
+		tpkg, info, err := Check(pkgPath, fset, files, resolve)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
 		out = append(out, &vetstm.Package{
-			PkgPath: p.ImportPath,
+			PkgPath: pkgPath,
 			Fset:    fset,
 			Files:   files,
 			Types:   tpkg,
@@ -148,9 +210,10 @@ func Check(pkgPath string, fset *token.FileSet, files []*ast.File, resolve func(
 		Importer: unsafeAware{importer.ForCompiler(fset, "gc", lookup)},
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Defs:  make(map[*ast.Ident]types.Object),
-		Uses:  make(map[*ast.Ident]types.Object),
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
 	}
 	pkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {

@@ -86,6 +86,7 @@ func All() []*Analyzer {
 		SideEffect,
 		RetryMisuse,
 		CtxMisuse,
+		Privatization,
 	}
 }
 
@@ -129,12 +130,19 @@ type Package struct {
 // them when go vet hands us a test unit) but not analyzed: the STM's own
 // test suites deliberately perform naked probes and in-body channel
 // handoffs to *verify* barrier and retry behaviour, which is exactly the
-// discipline production embeddings must not need.
+// discipline production embeddings must not need. Use RunTests to opt
+// test files in (stmvet -include-tests).
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunTests(pkg, analyzers, false)
+}
+
+// RunTests is Run with control over the _test.go exemption: with
+// includeTests set, test files are analyzed like any other source.
+func RunTests(pkg *Package, analyzers []*Analyzer, includeTests bool) []Diagnostic {
 	files := pkg.Files
 	var kept []*ast.File
 	for _, f := range files {
-		if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+		if includeTests || !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
 			kept = append(kept, f)
 		}
 	}

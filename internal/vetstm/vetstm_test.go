@@ -17,6 +17,9 @@ func TestNakedAccess(t *testing.T) { vettest.Run(t, vetstm.NakedAccess, "testdat
 func TestSideEffect(t *testing.T)  { vettest.Run(t, vetstm.SideEffect, "testdata/src/sideeffect") }
 func TestRetryMisuse(t *testing.T) { vettest.Run(t, vetstm.RetryMisuse, "testdata/src/retrymisuse") }
 func TestCtxMisuse(t *testing.T)   { vettest.Run(t, vetstm.CtxMisuse, "testdata/src/ctxmisuse") }
+func TestPrivatization(t *testing.T) {
+	vettest.Run(t, vetstm.Privatization, "testdata/src/privatization")
+}
 
 func TestByName(t *testing.T) {
 	all, err := vetstm.ByName("")
